@@ -1,0 +1,67 @@
+// mitos-bench regenerates the paper's evaluation figures on the simulated
+// cluster and prints one table per figure.
+//
+//	mitos-bench [-quick] [-reps N] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mitos-project/mitos/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
+	reps := flag.Int("reps", 1, "measurements averaged per cell (paper: 3)")
+	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: mitos-bench [-quick] [-reps N] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|all]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	o := experiments.Options{Quick: *quick, Reps: *reps}
+	which := "all"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+
+	table := map[string]func(experiments.Options) (*experiments.Table, error){
+		"fig1": experiments.Fig1, "fig5": experiments.Fig5,
+		"fig6": experiments.Fig6, "fig7": experiments.Fig7,
+		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
+		"ablation": experiments.AblationGrid,
+	}
+	if which == "all" {
+		tables, err := experiments.All(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mitos-bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.Format())
+			}
+		}
+		return
+	}
+	f, ok := table[which]
+	if !ok {
+		flag.Usage()
+		os.Exit(2)
+	}
+	t, err := f(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mitos-bench: %v\n", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+	} else {
+		fmt.Println(t.Format())
+	}
+}

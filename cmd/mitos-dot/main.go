@@ -1,0 +1,48 @@
+// mitos-dot compiles a Mitos script and prints its intermediate
+// representations: the SSA form (paper Fig. 3a style) with -ssa, or the
+// planned dataflow job as a Graphviz digraph (Fig. 3b style) by default.
+//
+//	mitos-dot [-ssa] [-parallelism N] script.mitos | dot -Tsvg > job.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/mitos-project/mitos"
+)
+
+func main() {
+	ssa := flag.Bool("ssa", false, "print the SSA form instead of the dataflow DOT")
+	par := flag.Int("parallelism", 4, "parallelism used for the plan")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mitos-dot [-ssa] [-parallelism N] script.mitos")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mitos-dot: %v\n", err)
+		os.Exit(1)
+	}
+	prog, err := mitos.Compile(string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mitos-dot: %v\n", err)
+		os.Exit(1)
+	}
+	if *ssa {
+		fmt.Print(prog.SSA())
+		return
+	}
+	dot, err := prog.Dot(*par)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mitos-dot: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(dot)
+}

@@ -1,0 +1,125 @@
+// mitos-run compiles and executes a Mitos script against text datasets.
+//
+//	mitos-run [-machines N] [-seq] [-data DIR] [-out DIR] script.mitos
+//
+// Every "*.txt" file in -data becomes an input dataset named after the
+// file (without extension); one element per line, comma-separated tuple
+// fields (see mitos.ReadTextDataset). After the run, every dataset in the
+// store is written to -out as "<name>.txt".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/mitos-project/mitos"
+)
+
+func main() {
+	machines := flag.Int("machines", 4, "simulated cluster size")
+	parallelism := flag.Int("parallelism", 0, "operator parallelism (default: one per machine)")
+	noPipe := flag.Bool("no-pipelining", false, "disable loop pipelining")
+	noHoist := flag.Bool("no-hoisting", false, "disable loop-invariant hoisting")
+	seq := flag.Bool("seq", false, "run with the sequential reference interpreter")
+	dataDir := flag.String("data", "", "directory of input datasets (*.txt)")
+	outDir := flag.String("out", "", "directory to write result datasets to")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mitos-run [flags] script.mitos")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := run(flag.Arg(0), *machines, *parallelism, *noPipe, *noHoist, *seq, *dataDir, *outDir); err != nil {
+		fmt.Fprintf(os.Stderr, "mitos-run: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool, dataDir, outDir string) error {
+	src, err := os.ReadFile(scriptPath)
+	if err != nil {
+		return err
+	}
+	prog, err := mitos.Compile(string(src))
+	if err != nil {
+		return err
+	}
+
+	st := mitos.NewDFS(mitos.DFSConfig{})
+	if dataDir != "" {
+		entries, err := os.ReadDir(dataDir)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+				continue
+			}
+			f, err := os.Open(filepath.Join(dataDir, e.Name()))
+			if err != nil {
+				return err
+			}
+			elems, err := mitos.ReadTextDataset(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.Name(), err)
+			}
+			name := strings.TrimSuffix(e.Name(), ".txt")
+			if err := st.WriteDataset(name, elems); err != nil {
+				return err
+			}
+			fmt.Printf("loaded %s: %d elements\n", name, len(elems))
+		}
+	}
+
+	if seq {
+		if err := prog.RunSequential(st); err != nil {
+			return err
+		}
+		fmt.Println("sequential run complete")
+	} else {
+		res, err := prog.Run(st, mitos.Config{
+			Machines:          machines,
+			Parallelism:       parallelism,
+			DisablePipelining: noPipe,
+			DisableHoisting:   noHoist,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("run complete: %d basic-block visits, %v, %d elements transferred\n",
+			res.Steps, res.Duration.Round(0), res.ElementsSent)
+	}
+
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		for _, name := range st.Names() {
+			elems, err := st.ReadDataset(name)
+			if err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(outDir, name+".txt"))
+			if err != nil {
+				return err
+			}
+			err = mitos.WriteTextDataset(f, elems)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+		}
+		fmt.Printf("wrote %d datasets to %s\n", len(st.Names()), outDir)
+	}
+	return nil
+}

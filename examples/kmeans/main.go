@@ -1,0 +1,92 @@
+// K-means: Lloyd's algorithm as an imperative Mitos script. The
+// assignment step is a cross of points with the (small) centroid set, and
+// the argmin is a reduceByKey with a cond() tie-broken minimum.
+//
+//	go run ./examples/kmeans [-points 600] [-k 4] [-iters 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/mitos-project/mitos"
+)
+
+func script(iters int) string {
+	return fmt.Sprintf(`
+points = readFile("points")
+centroids = readFile("centroids")
+for iter = 1 to %d {
+  paired = points.cross(centroids)
+  scored = paired.map(t => (t.0.0,
+    ((t.0.1 - t.1.1) * (t.0.1 - t.1.1) + (t.0.2 - t.1.2) * (t.0.2 - t.1.2),
+     t.1.0, t.0.1, t.0.2)))
+  best = scored.reduceByKey((a, b) => cond(a.0 < b.0 || a.0 == b.0 && a.1 <= b.1, a, b))
+  stats = best.map(p => (p.1.1, (p.1.2, p.1.3, 1))).reduceByKey((a, b) => (a.0 + b.0, a.1 + b.1, a.2 + b.2))
+  centroids = stats.map(s => (s.0, s.1.0 / s.1.2, s.1.1 / s.1.2))
+}
+centroids.writeFile("out")
+`, iters)
+}
+
+func main() {
+	nPoints := flag.Int("points", 600, "number of points")
+	k := flag.Int("k", 4, "number of clusters")
+	iters := flag.Int("iters", 8, "Lloyd iterations")
+	machines := flag.Int("machines", 4, "simulated cluster size")
+	flag.Parse()
+
+	prog, err := mitos.Compile(script(*iters))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Generate k well-separated Gaussian blobs; points are (id, x, y).
+	r := rand.New(rand.NewSource(9))
+	centersX := make([]float64, *k)
+	centersY := make([]float64, *k)
+	for c := 0; c < *k; c++ {
+		centersX[c] = float64(c * 10)
+		centersY[c] = float64((c % 2) * 10)
+	}
+	points := make([]mitos.Value, *nPoints)
+	for i := range points {
+		c := i % *k
+		points[i] = mitos.Tuple(
+			mitos.Int(int64(i)),
+			mitos.Float(centersX[c]+r.NormFloat64()),
+			mitos.Float(centersY[c]+r.NormFloat64()))
+	}
+	// Initial centroids: the first k points' coordinates.
+	centroids := make([]mitos.Value, *k)
+	for c := range centroids {
+		p := points[c]
+		centroids[c] = mitos.Tuple(mitos.Int(int64(c)), p.Field(1), p.Field(2))
+	}
+
+	st := mitos.NewDFS(mitos.DFSConfig{})
+	if err := st.WriteDataset("points", points); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.WriteDataset("centroids", centroids); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := prog.Run(st, mitos.Config{Machines: *machines})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := st.ReadDataset("out")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k-means: %d points, k=%d, %d iterations: %v (%d steps)\n",
+		*nPoints, *k, *iters, res.Duration.Round(0), res.Steps)
+	fmt.Println("final centroids (true centers are 10 apart on a grid):")
+	for _, c := range out {
+		fmt.Printf("  cluster %s: (%.2f, %.2f)\n",
+			c.Field(0), c.Field(1).AsNumber(), c.Field(2).AsNumber())
+	}
+}

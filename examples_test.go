@@ -1,0 +1,50 @@
+package mitos
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example under examples/ with small
+// arguments and checks for a clean exit. Skipped with -short (each run
+// compiles and executes a main package).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	args := map[string][]string{
+		"quickstart":   nil,
+		"visitcount":   {"-days", "6", "-visits", "200", "-pages", "40"},
+		"pagerank":     {"-nodes", "60", "-iters", "4"},
+		"kmeans":       {"-points", "120", "-iters", "3"},
+		"hyperparam":   {"-rates", "2", "-steps", "5", "-samples", "80"},
+		"transclosure": {"-nodes", "25"},
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			extra, ok := args[name]
+			if !ok {
+				t.Fatalf("example %s has no smoke-test arguments registered", name)
+			}
+			cmd := exec.Command("go", append([]string{"run", "./" + filepath.Join("examples", name)}, extra...)...)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if strings.Contains(string(out), "MISMATCH") {
+				t.Fatalf("example reported a mismatch:\n%s", out)
+			}
+		})
+	}
+}

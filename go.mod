@@ -1,0 +1,3 @@
+module github.com/mitos-project/mitos
+
+go 1.22

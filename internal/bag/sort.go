@@ -1,0 +1,30 @@
+package bag
+
+import (
+	"sort"
+
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// Sorted returns a copy of elems sorted by val.Value's total order. Bags are
+// unordered; sorting provides the canonical form used to compare them.
+func Sorted(elems []val.Value) []val.Value {
+	out := make([]val.Value, len(elems))
+	copy(out, elems)
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Equal reports whether two bags hold the same multiset of elements.
+func Equal(a, b []val.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	sa, sb := Sorted(a), Sorted(b)
+	for i := range sa {
+		if !sa[i].Equal(sb[i]) {
+			return false
+		}
+	}
+	return true
+}

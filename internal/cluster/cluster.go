@@ -1,0 +1,216 @@
+// Package cluster simulates a multi-machine cluster inside one process.
+//
+// The paper's evaluation shapes hinge on coordination costs that differ
+// between systems: Spark pays a centralized job launch for every iteration
+// step (cost growing linearly with the machine count), Flink's native
+// iterations pay a per-superstep barrier, and Mitos pays only asynchronous
+// control-flow broadcasts that overlap with computation. This package makes
+// those costs real: every machine runs a scheduler goroutine, and task
+// dispatch, barriers, and control messages are actual messages processed
+// with configurable delays — measured by the benchmarks, not computed.
+//
+// Delays default to roughly 1/10 of the JVM-cluster magnitudes reported in
+// the paper so that benchmark runs stay fast; EXPERIMENTS.md documents the
+// scaling.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/simtime"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Machines is the number of simulated worker machines (the paper
+	// scales from 1 to 25).
+	Machines int
+	// SchedDelay is the cost of dispatching one task descriptor from the
+	// driver to one machine. Job launches dispatch serially, so a launch
+	// costs about Machines * SchedDelay — the linear growth of Fig. 7.
+	SchedDelay time.Duration
+	// JobBase is the fixed driver-side cost of planning one job
+	// (DAG construction, serialization).
+	JobBase time.Duration
+	// BarrierDelay is the per-machine processing cost of one superstep
+	// barrier message. Barrier messages are processed in parallel, so a
+	// barrier costs about one round trip plus BarrierDelay.
+	BarrierDelay time.Duration
+	// CtrlDelay is the cost of one control-plane message (e.g. a Mitos
+	// control-flow-manager broadcast to one machine). Control messages are
+	// asynchronous and overlap with data processing.
+	CtrlDelay time.Duration
+	// NetDelay is the latency added to one cross-machine data batch.
+	NetDelay time.Duration
+}
+
+// DefaultConfig returns the calibrated defaults used by the benchmark
+// harness (~1/10 of the paper's JVM-cluster magnitudes).
+func DefaultConfig(machines int) Config {
+	return Config{
+		Machines:     machines,
+		SchedDelay:   3 * time.Millisecond,
+		JobBase:      8 * time.Millisecond,
+		BarrierDelay: 200 * time.Microsecond,
+		CtrlDelay:    20 * time.Microsecond,
+		NetDelay:     50 * time.Microsecond,
+	}
+}
+
+// FastConfig returns a configuration with all delays zeroed, for unit
+// tests where only functional behaviour matters.
+func FastConfig(machines int) Config {
+	return Config{Machines: machines}
+}
+
+type schedReq struct {
+	delay time.Duration
+	done  chan struct{}
+}
+
+// Cluster is a running simulated cluster. Create with New, release with
+// Close.
+type Cluster struct {
+	cfg    Config
+	scheds []chan schedReq
+	wg     sync.WaitGroup
+
+	jobsLaunched    atomic.Int64
+	tasksDispatched atomic.Int64
+	barriers        atomic.Int64
+	ctrlMessages    atomic.Int64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Stats counts coordination events, exposed for tests and the benchmark
+// harness.
+type Stats struct {
+	JobsLaunched    int64
+	TasksDispatched int64
+	Barriers        int64
+	CtrlMessages    int64
+}
+
+// New starts the per-machine scheduler goroutines.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Machines <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one machine, got %d", cfg.Machines)
+	}
+	c := &Cluster{cfg: cfg, scheds: make([]chan schedReq, cfg.Machines)}
+	for i := range c.scheds {
+		ch := make(chan schedReq, 64)
+		c.scheds[i] = ch
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			for req := range ch {
+				simtime.Sleep(req.delay)
+				close(req.done)
+			}
+		}()
+	}
+	return c, nil
+}
+
+// Close stops the scheduler goroutines. The cluster must not be used
+// afterwards.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, ch := range c.scheds {
+		close(ch)
+	}
+	c.wg.Wait()
+}
+
+// Machines returns the number of simulated machines.
+func (c *Cluster) Machines() int { return c.cfg.Machines }
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the coordination counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		JobsLaunched:    c.jobsLaunched.Load(),
+		TasksDispatched: c.tasksDispatched.Load(),
+		Barriers:        c.barriers.Load(),
+		CtrlMessages:    c.ctrlMessages.Load(),
+	}
+}
+
+// Place maps a physical operator instance index to a machine (round-robin).
+func (c *Cluster) Place(instance int) int {
+	return instance % c.cfg.Machines
+}
+
+// dispatch sends one request to machine m and waits for completion.
+func (c *Cluster) dispatch(m int, delay time.Duration) {
+	done := make(chan struct{})
+	c.scheds[m] <- schedReq{delay: delay, done: done}
+	<-done
+}
+
+// LaunchJob models driver-side job submission: the driver plans the job
+// (JobBase), then dispatches one task set per machine serially — the
+// centralized scheduling bottleneck that makes Spark-style per-step job
+// launches degrade as machines are added.
+func (c *Cluster) LaunchJob() {
+	simtime.Sleep(c.cfg.JobBase)
+	for m := 0; m < c.cfg.Machines; m++ {
+		c.dispatch(m, c.cfg.SchedDelay)
+	}
+	c.jobsLaunched.Add(1)
+	c.tasksDispatched.Add(int64(c.cfg.Machines))
+}
+
+// ScheduleStage models dispatching one additional stage's task wave
+// (without the driver-side job planning cost): Spark-style execution pays
+// it once per shuffle boundary within a job.
+func (c *Cluster) ScheduleStage() {
+	for m := 0; m < c.cfg.Machines; m++ {
+		c.dispatch(m, c.cfg.SchedDelay)
+	}
+	c.tasksDispatched.Add(int64(c.cfg.Machines))
+}
+
+// Barrier models a superstep barrier coordinated by a central job
+// manager: one round trip per machine, processed serially at the
+// coordinator — so barrier cost grows with the machine count, as the
+// paper's per-step overheads do.
+func (c *Cluster) Barrier() {
+	for m := 0; m < c.cfg.Machines; m++ {
+		c.dispatch(m, c.cfg.BarrierDelay)
+	}
+	c.barriers.Add(1)
+}
+
+// CtrlSleep models the cost of delivering one asynchronous control-plane
+// message. Callers invoke it from their own goroutines, so it overlaps
+// with data processing.
+func (c *Cluster) CtrlSleep() {
+	simtime.Sleep(c.cfg.CtrlDelay)
+	c.ctrlMessages.Add(1)
+}
+
+// NetSleep models the latency of one cross-machine data batch. It is
+// called on the sender's path for batches between instances placed on
+// different machines.
+func (c *Cluster) NetSleep() {
+	simtime.Sleep(c.cfg.NetDelay)
+}
+
+// Remote reports whether two instances are placed on different machines.
+func (c *Cluster) Remote(instA, instB int) bool {
+	return c.Place(instA) != c.Place(instB)
+}

@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := New(Config{Machines: -1}); err == nil {
+		t.Error("negative machines accepted")
+	}
+	cl, err := New(FastConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	cl.Close() // idempotent
+}
+
+func TestCountersAndPlacement(t *testing.T) {
+	cl, err := New(FastConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.LaunchJob()
+	cl.ScheduleStage()
+	cl.Barrier()
+	cl.Barrier()
+	cl.CtrlSleep()
+	cl.NetSleep()
+	st := cl.Stats()
+	if st.JobsLaunched != 1 {
+		t.Errorf("jobs = %d", st.JobsLaunched)
+	}
+	if st.TasksDispatched != 8 { // launch (4) + stage (4)
+		t.Errorf("tasks = %d", st.TasksDispatched)
+	}
+	if st.Barriers != 2 {
+		t.Errorf("barriers = %d", st.Barriers)
+	}
+	if st.CtrlMessages != 1 {
+		t.Errorf("ctrl = %d", st.CtrlMessages)
+	}
+	if cl.Machines() != 4 || cl.Place(6) != 2 {
+		t.Error("placement broken")
+	}
+	if !cl.Remote(0, 1) || cl.Remote(1, 5) {
+		t.Error("Remote broken")
+	}
+}
+
+func TestLaunchCostGrowsWithMachines(t *testing.T) {
+	cost := func(machines int) time.Duration {
+		cfg := FastConfig(machines)
+		cfg.SchedDelay = 200 * time.Microsecond
+		cl, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+		start := time.Now()
+		cl.LaunchJob()
+		return time.Since(start)
+	}
+	small, large := cost(2), cost(16)
+	// Serial dispatch: 16 machines cost several times 2 machines. Allow
+	// generous slack for scheduling noise.
+	if large < 3*small {
+		t.Errorf("launch cost does not scale with machines: 2->%v, 16->%v", small, large)
+	}
+}
+
+func TestConfigAccessor(t *testing.T) {
+	cfg := DefaultConfig(5)
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Config().Machines != 5 || cl.Config().SchedDelay != cfg.SchedDelay {
+		t.Error("Config roundtrip broken")
+	}
+}
+
+func TestConcurrentCoordination(t *testing.T) {
+	cl, err := New(FastConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	done := make(chan struct{}, 10)
+	for i := 0; i < 10; i++ {
+		go func() {
+			cl.Barrier()
+			cl.CtrlSleep()
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		<-done
+	}
+	if cl.Stats().Barriers != 10 {
+		t.Errorf("barriers = %d", cl.Stats().Barriers)
+	}
+}

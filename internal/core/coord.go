@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mitos-project/mitos/internal/dataflow"
+	"github.com/mitos-project/mitos/internal/ir"
+)
+
+// The control-flow manager (paper Sec. 5.2.1): condition operators report
+// their branch decisions; the coordinator extends the global execution path
+// and broadcasts every extension to all operator instances (the paper's
+// per-machine managers connected by TCP; here the broadcast pays the
+// cluster's control-message latency once per machine).
+//
+// With loop pipelining enabled, extensions are broadcast the moment they
+// are determined, letting later iteration steps start while earlier ones
+// are still processing. With pipelining disabled, the coordinator holds
+// position p+1 back until every operator instance of position p has
+// reported completion, and pays a superstep barrier — Flink-style
+// lockstep execution, used as the ablation baseline in Fig. 9.
+
+type coordEventKind uint8
+
+const (
+	evDecision coordEventKind = iota
+	evCompletion
+)
+
+type coordEvent struct {
+	kind   coordEventKind
+	pos    int
+	branch bool
+}
+
+type coordinator struct {
+	rt  *runtime
+	job *dataflow.Job
+
+	path       []ir.BlockID // determined path
+	pathFinal  bool         // exit block appended
+	nBroadcast int          // positions broadcast so far
+
+	completed []int // completion counts per position (1-based index pos-1)
+	doneUpTo  int   // all positions <= doneUpTo are complete
+
+	// Steps counts the path length for stats.
+	steps int
+}
+
+func newCoordinator(rt *runtime, job *dataflow.Job) *coordinator {
+	return &coordinator{rt: rt, job: job}
+}
+
+// run drives the job. When the execution path is complete and every
+// position has been completed by every instance it stops the job — but it
+// keeps draining events until stop closes, so that operator instances can
+// never block on the event channel after a failure.
+func (c *coordinator) run(stop <-chan struct{}) {
+	entry := c.rt.plan.IR.Entry()
+	c.append(entry)
+	c.extendThroughJumps()
+	c.broadcastAllowed()
+	failed := false
+	if c.pathFinal && c.doneUpTo == len(c.path) {
+		c.job.Stop(nil) // program with no work at all
+	}
+	for {
+		select {
+		case ev := <-c.rt.events:
+			if failed {
+				continue
+			}
+			var err error
+			switch ev.kind {
+			case evDecision:
+				err = c.onDecision(ev.pos, ev.branch)
+			case evCompletion:
+				err = c.onCompletion(ev.pos)
+			}
+			if err != nil {
+				failed = true
+				c.job.Stop(err)
+				continue
+			}
+			if c.pathFinal && c.doneUpTo == len(c.path) {
+				c.job.Stop(nil)
+			}
+		case <-stop:
+			return
+		}
+	}
+}
+
+// append adds a block to the determined path.
+func (c *coordinator) append(b ir.BlockID) {
+	c.path = append(c.path, b)
+	c.completed = append(c.completed, 0)
+	c.steps++
+	c.advanceDone()
+}
+
+// extendThroughJumps determines further positions while the last block's
+// terminator needs no runtime decision.
+func (c *coordinator) extendThroughJumps() {
+	for !c.pathFinal {
+		last := c.rt.plan.IR.Blocks[c.path[len(c.path)-1]]
+		switch last.Term.Kind {
+		case ir.TermJump:
+			c.append(last.Term.Succs[0])
+		case ir.TermExit:
+			c.pathFinal = true
+		default:
+			return // branch: wait for the condition operator's decision
+		}
+	}
+}
+
+func (c *coordinator) onDecision(pos int, branch bool) error {
+	if pos != len(c.path) {
+		return fmt.Errorf("core: decision for position %d, path has %d determined positions", pos, len(c.path))
+	}
+	blk := c.rt.plan.IR.Blocks[c.path[pos-1]]
+	if blk.Term.Kind != ir.TermBranch {
+		return fmt.Errorf("core: decision for non-branch block b%d", blk.ID)
+	}
+	if branch {
+		c.append(blk.Term.Succs[0])
+	} else {
+		c.append(blk.Term.Succs[1])
+	}
+	c.extendThroughJumps()
+	c.broadcastAllowed()
+	return nil
+}
+
+func (c *coordinator) onCompletion(pos int) error {
+	if pos < 1 || pos > len(c.path) {
+		return fmt.Errorf("core: completion for unknown position %d", pos)
+	}
+	c.completed[pos-1]++
+	expected := c.rt.plan.InstancesPerBlock[c.path[pos-1]]
+	if c.completed[pos-1] > expected {
+		return fmt.Errorf("core: position %d completed %d times, expected %d", pos, c.completed[pos-1], expected)
+	}
+	c.advanceDone()
+	c.broadcastAllowed()
+	return nil
+}
+
+// advanceDone moves the fully-completed prefix marker.
+func (c *coordinator) advanceDone() {
+	for c.doneUpTo < len(c.path) {
+		pos := c.doneUpTo + 1
+		if c.completed[pos-1] < c.rt.plan.InstancesPerBlock[c.path[pos-1]] {
+			return
+		}
+		c.doneUpTo = pos
+	}
+}
+
+// broadcastAllowed sends every determined position the mode permits.
+// Pipelined: everything determined. Non-pipelined: position p+1 only once
+// positions <= p are complete, paying a superstep barrier per step.
+func (c *coordinator) broadcastAllowed() {
+	for c.nBroadcast < len(c.path) {
+		next := c.nBroadcast + 1
+		if !c.rt.opts.Pipelining && next > 1 {
+			if c.doneUpTo < next-1 {
+				return
+			}
+			c.rt.cl.Barrier()
+		}
+		pos := next
+		final := c.pathFinal && pos == len(c.path) &&
+			c.rt.plan.IR.Blocks[c.path[pos-1]].Term.Kind == ir.TermExit
+		// One control message per machine, as the per-machine control-flow
+		// managers relay the decision (paper: TCP connections independent
+		// of the dataflow edges).
+		for m := 0; m < c.rt.cl.Machines(); m++ {
+			c.rt.cl.CtrlSleep()
+		}
+		c.job.Broadcast(pathUpdate{pos: pos, block: c.path[pos-1], final: final})
+		c.nBroadcast = next
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mitos-project/mitos/internal/ir"
+)
+
+// Dot renders the plan as a Graphviz digraph in the style of the paper's
+// Fig. 3b: basic blocks are dashed clusters, singleton-producing (wrapped
+// scalar) operators have thin borders, phi operators are filled black,
+// condition operators are filled blue, and cross-block (conditional) edges
+// are dashed.
+func (p *Plan) Dot() string {
+	var b strings.Builder
+	b.WriteString("digraph mitos {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	byBlock := make(map[ir.BlockID][]*PlanOp)
+	for _, op := range p.Ops {
+		byBlock[op.Block] = append(byBlock[op.Block], op)
+	}
+	for _, blk := range p.IR.Blocks {
+		ops := byBlock[blk.ID]
+		if len(ops) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_b%d {\n    label=\"b%d\";\n    style=dashed;\n", blk.ID, blk.ID)
+		for _, op := range ops {
+			attrs := []string{fmt.Sprintf("label=%q", fmt.Sprintf("%s\\n%s par=%d", op.Instr.Var, op.Instr.Kind, op.Par))}
+			switch {
+			case op.Instr.Kind == ir.OpPhi:
+				attrs = append(attrs, "style=filled", "fillcolor=black", "fontcolor=white")
+			case op.IsCondition:
+				attrs = append(attrs, "style=filled", "fillcolor=lightblue")
+			case op.Par == 1:
+				attrs = append(attrs, "penwidth=0.5")
+			default:
+				attrs = append(attrs, "penwidth=2")
+			}
+			fmt.Fprintf(&b, "    n%d [%s];\n", op.ID, strings.Join(attrs, ", "))
+		}
+		b.WriteString("  }\n")
+	}
+	// Mark loop-invariant join-build edges (where hoisting applies).
+	loops := ir.AnalyzeLoops(p.IR)
+	hoistable := make(map[[2]string]bool)
+	for _, e := range ir.FindInvariantEdges(p.IR, loops) {
+		if e.HoistableJoinBuild {
+			hoistable[[2]string{e.Producer.Var, e.Consumer.Var}] = true
+		}
+	}
+	for _, op := range p.Ops {
+		for slot, in := range op.Inputs {
+			attrs := []string{fmt.Sprintf("label=%q", fmt.Sprintf("%d:%s", slot, in.Part))}
+			if in.Producer.Block != op.Block {
+				attrs = append(attrs, "style=dashed") // conditional edge
+			}
+			if hoistable[[2]string{in.Producer.Instr.Var, op.Instr.Var}] {
+				attrs = append(attrs, "color=darkgreen", "penwidth=2") // hoisted build side
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d [%s];\n", in.Producer.ID, op.ID, strings.Join(attrs, ", "))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

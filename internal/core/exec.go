@@ -1,0 +1,146 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/dataflow"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/store"
+)
+
+// Options configure one Mitos execution.
+type Options struct {
+	// Parallelism is the instance count of data-parallel operators;
+	// 0 selects one instance per cluster machine.
+	Parallelism int
+	// Pipelining overlaps iteration steps (paper Sec. 5, Fig. 9 ablates it).
+	Pipelining bool
+	// Hoisting reuses loop-invariant join build state across iteration
+	// steps (paper Sec. 5.3, Fig. 8 ablates it).
+	Hoisting bool
+	// BatchSize overrides the engine's transfer batch size (0 = default).
+	BatchSize int
+}
+
+// DefaultOptions enables both optimizations, as Mitos runs in the paper.
+func DefaultOptions() Options {
+	return Options{Pipelining: true, Hoisting: true}
+}
+
+// Result reports what one execution did.
+type Result struct {
+	// Steps is the execution path length (number of basic-block visits).
+	Steps int
+	// Duration is the wall-clock execution time (excluding planning).
+	Duration time.Duration
+	// JoinBuilds counts hash-table build phases executed by join operator
+	// instances. With hoisting, a loop-invariant build side is built once
+	// per instance instead of once per iteration step.
+	JoinBuilds int64
+	// MaxBufferedBags is the largest number of input bags any operator
+	// instance held at once — the garbage-collection rule of Sec. 5.2.4
+	// keeps it bounded regardless of the iteration count.
+	MaxBufferedBags int64
+	// Job reports engine transfer counters.
+	Job dataflow.JobStats
+}
+
+// runtime is the state shared by all operator hosts and the coordinator of
+// one execution.
+type runtime struct {
+	plan   *Plan
+	store  store.Store
+	cl     *cluster.Cluster
+	opts   Options
+	events chan coordEvent
+
+	joinBuilds  atomic.Int64
+	maxBuffered atomic.Int64
+}
+
+// noteBuffered records a high-water mark of buffered input bags.
+func (rt *runtime) noteBuffered(n int64) {
+	for {
+		cur := rt.maxBuffered.Load()
+		if n <= cur || rt.maxBuffered.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Execute compiles the SSA graph into a single cyclic dataflow job, runs it
+// on the cluster against the dataset store, and coordinates the distributed
+// control flow.
+func Execute(g *ir.Graph, st store.Store, cl *cluster.Cluster, opts Options) (*Result, error) {
+	par := opts.Parallelism
+	if par == 0 {
+		par = cl.Machines()
+	}
+	plan, err := BuildPlan(g, par)
+	if err != nil {
+		return nil, err
+	}
+	return ExecutePlan(plan, st, cl, opts)
+}
+
+// ExecutePlan runs an already-built plan (Execute builds one from an SSA
+// graph). The plan's parallelism must match opts.
+func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) (*Result, error) {
+	rt := &runtime{
+		plan:   plan,
+		store:  st,
+		cl:     cl,
+		opts:   opts,
+		events: make(chan coordEvent, 4096),
+	}
+
+	// Translate the plan into a dataflow job: one vertex per SSA
+	// instruction, one edge per variable reference (paper Sec. 4.3).
+	var g dataflow.Graph
+	dfOps := make([]*dataflow.Op, len(plan.Ops))
+	for _, pop := range plan.Ops {
+		pop := pop
+		dfOps[pop.ID] = g.AddOp(pop.Instr.Var, pop.Par, func(inst int) dataflow.Vertex {
+			return newHost(rt, pop, inst)
+		})
+	}
+	for _, pop := range plan.Ops {
+		for slot, in := range pop.Inputs {
+			g.Connect(dfOps[in.Producer.ID], dfOps[pop.ID], slot, in.Part)
+		}
+	}
+
+	job, err := dataflow.NewJob(&g, cl, opts.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := job.Start(); err != nil {
+		return nil, err
+	}
+
+	coord := newCoordinator(rt, job)
+	stop := make(chan struct{})
+	coordDone := make(chan struct{})
+	go func() {
+		defer close(coordDone)
+		coord.run(stop)
+	}()
+
+	err = job.Wait()
+	close(stop)
+	<-coordDone
+	if err != nil {
+		return nil, fmt.Errorf("core: execution failed: %w", err)
+	}
+	return &Result{
+		Steps:           coord.steps,
+		Duration:        time.Since(start),
+		JoinBuilds:      rt.joinBuilds.Load(),
+		MaxBufferedBags: rt.maxBuffered.Load(),
+		Job:             job.Stats(),
+	}, nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/testprog"
+)
+
+// TestFuzzDifferential generates random well-typed control-flow programs
+// and checks that the distributed runtime agrees with the sequential AST
+// interpreter on every one of them, alternating runtime configurations.
+// This is the broad-coverage safety net behind the hand-written corpus.
+func TestFuzzDifferential(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	for seed := int64(0); seed < int64(trials); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			t.Parallel()
+			refStore := store.NewMemStore()
+			src, err := testprog.GenProgram(refStore, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := lang.Parse(src)
+			if err != nil {
+				t.Fatalf("generated program does not parse: %v\n%s", err, src)
+			}
+			if _, err := lang.Check(prog); err != nil {
+				t.Fatalf("generated program does not check: %v\n%s", err, src)
+			}
+			if err := ir.RunAST(prog, refStore); err != nil {
+				t.Fatalf("AST interpreter: %v\n%s", err, src)
+			}
+
+			g, err := ir.CompileToSSA(prog)
+			if err != nil {
+				t.Fatalf("compile: %v\n%s", err, src)
+			}
+
+			machines := 1 + int(seed%4)
+			opts := Options{
+				Pipelining: seed%2 == 0,
+				Hoisting:   seed%3 != 0,
+			}
+			cl, err := cluster.New(cluster.FastConfig(machines))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			distStore := store.NewMemStore()
+			if _, err := testprog.GenProgram(distStore, seed); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Execute(g, distStore, cl, opts); err != nil {
+				t.Fatalf("Execute (m=%d, %+v): %v\n%s", machines, opts, err, src)
+			}
+			diffStores(t, refStore, distStore)
+			if t.Failed() {
+				t.Logf("program:\n%s", src)
+			}
+		})
+	}
+}

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// hoistSrc joins a static build side against a per-day probe side inside a
+// loop of `days` steps.
+const hoistDays = 5
+
+var hoistSrc = fmt.Sprintf(`
+static = readFile("static")
+day = 1
+do {
+  dyn = readFile("dyn" + day)
+  j = static.join(dyn)
+  j.count().writeFile("c" + day)
+  day = day + 1
+} while (day <= %d)
+`, hoistDays)
+
+func hoistStore(t *testing.T) *store.MemStore {
+	t.Helper()
+	st := store.NewMemStore()
+	stat := make([]val.Value, 40)
+	for i := range stat {
+		stat[i] = val.Pair(val.Str(fmt.Sprintf("k%d", i)), val.Int(int64(i)))
+	}
+	if err := st.WriteDataset("static", stat); err != nil {
+		t.Fatal(err)
+	}
+	for d := 1; d <= hoistDays; d++ {
+		dyn := make([]val.Value, 20)
+		for i := range dyn {
+			dyn[i] = val.Pair(val.Str(fmt.Sprintf("k%d", (i+d)%40)), val.Int(int64(d)))
+		}
+		if err := st.WriteDataset(fmt.Sprintf("dyn%d", d), dyn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+// TestHoistingBuildsOncePerInstance verifies the paper's Sec. 5.3
+// mechanism directly: with hoisting, each join instance builds its hash
+// table exactly once for the loop-invariant side; without it, once per
+// iteration step.
+func TestHoistingBuildsOncePerInstance(t *testing.T) {
+	const machines = 3
+	for _, hoisting := range []bool{true, false} {
+		t.Run(fmt.Sprintf("hoisting=%t", hoisting), func(t *testing.T) {
+			g := compile(t, hoistSrc)
+			cl, err := cluster.New(cluster.FastConfig(machines))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cl.Close()
+			st := hoistStore(t)
+			res, err := Execute(g, st, cl, Options{Pipelining: true, Hoisting: hoisting})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := int64(machines) // one build per join instance
+			if !hoisting {
+				want = int64(machines * hoistDays)
+			}
+			if res.JoinBuilds != want {
+				t.Errorf("JoinBuilds = %d, want %d", res.JoinBuilds, want)
+			}
+		})
+	}
+}
+
+// TestHoistingDynamicBuildAlwaysRebuilds: when the build side changes
+// every step, hoisting must not reuse the table.
+func TestHoistingDynamicBuildAlwaysRebuilds(t *testing.T) {
+	src := fmt.Sprintf(`
+static = readFile("static")
+day = 1
+do {
+  dyn = readFile("dyn" + day)
+  j = dyn.join(static)
+  j.count().writeFile("c" + day)
+  day = day + 1
+} while (day <= %d)
+`, hoistDays)
+	const machines = 2
+	g := compile(t, src)
+	cl, err := cluster.New(cluster.FastConfig(machines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st := hoistStore(t)
+	res, err := Execute(g, st, cl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(machines * hoistDays); res.JoinBuilds != want {
+		t.Errorf("JoinBuilds = %d, want %d (dynamic build must rebuild per step)", res.JoinBuilds, want)
+	}
+}
+
+// TestHoistingAcrossNestedLoops reproduces the paper's Fig. 4a sharing
+// pattern: the build side changes per outer step but is reused across
+// inner steps.
+func TestHoistingAcrossNestedLoops(t *testing.T) {
+	src := `
+i = 1
+while (i <= 3) {
+  x = readFile("x" + i)
+  j = 1
+  while (j <= 4) {
+    y = readFile("y" + j)
+    z = x.join(y)
+    z.count().writeFile("z" + i + "_" + j)
+    j = j + 1
+  }
+  i = i + 1
+}
+`
+	st := store.NewMemStore()
+	for i := 1; i <= 3; i++ {
+		elems := []val.Value{val.Pair(val.Str("a"), val.Int(int64(i)))}
+		if err := st.WriteDataset(fmt.Sprintf("x%d", i), elems); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := 1; j <= 4; j++ {
+		elems := []val.Value{val.Pair(val.Str("a"), val.Int(int64(10*j)))}
+		if err := st.WriteDataset(fmt.Sprintf("y%d", j), elems); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const machines = 2
+	g := compile(t, src)
+	cl, err := cluster.New(cluster.FastConfig(machines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	res, err := Execute(g, st, cl, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x changes per outer iteration (3 builds per instance), reused across
+	// the 4 inner iterations.
+	if want := int64(machines * 3); res.JoinBuilds != want {
+		t.Errorf("JoinBuilds = %d, want %d (build per outer step only)", res.JoinBuilds, want)
+	}
+	// Every inner output present and correct: all joins match on key "a".
+	for i := 1; i <= 3; i++ {
+		for j := 1; j <= 4; j++ {
+			c, err := st.ReadDataset(fmt.Sprintf("z%d_%d", i, j))
+			if err != nil || len(c) != 1 || c[0].AsInt() != 1 {
+				t.Errorf("z%d_%d = %v, %v", i, j, c, err)
+			}
+		}
+	}
+}
+
+// TestPlanParallelismRules spot-checks the planner's parallelism and
+// partitioning decisions on the Visit Count plan.
+func TestPlanParallelismRules(t *testing.T) {
+	g := compile(t, hoistSrc)
+	plan, err := BuildPlan(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[string]*PlanOp{}
+	for _, op := range plan.Ops {
+		byKind[op.Instr.Kind.String()] = op
+	}
+	if op := byKind["join"]; op == nil || op.Par != 5 {
+		t.Errorf("join parallelism = %+v", op)
+	}
+	if op := byKind["count"]; op == nil || op.Par != 1 {
+		t.Errorf("count parallelism = %+v", op)
+	}
+	if op := byKind["readFile"]; op == nil || op.Par != 5 {
+		t.Errorf("readFile parallelism = %+v", op)
+	}
+	if op := byKind["singleton"]; op == nil || op.Par != 1 {
+		t.Errorf("singleton parallelism = %+v", op)
+	}
+	// The branch block's condition op is marked.
+	found := false
+	for _, op := range plan.Ops {
+		if op.IsCondition {
+			found = true
+			if op.Par != 1 {
+				t.Errorf("condition op parallelism = %d", op.Par)
+			}
+		}
+	}
+	if !found {
+		t.Error("no condition operator in plan")
+	}
+}
+
+func TestBuildPlanRequiresSSA(t *testing.T) {
+	prog := `x = 1`
+	g := compile(t, prog)
+	if _, err := BuildPlan(g, 0); err == nil {
+		t.Error("parallelism 0 accepted")
+	}
+	g.InSSA = false
+	if _, err := BuildPlan(g, 2); err == nil {
+		t.Error("non-SSA graph accepted")
+	}
+}
+
+func TestPlanStringAndDot(t *testing.T) {
+	g := compile(t, hoistSrc)
+	plan, err := BuildPlan(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := plan.String(); len(s) == 0 {
+		t.Error("empty plan dump")
+	}
+	dot := plan.Dot()
+	for _, want := range []string{"digraph", "subgraph cluster_b", "->"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q", want)
+		}
+	}
+}

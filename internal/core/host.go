@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mitos-project/mitos/internal/dataflow"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// pathUpdate is the control event the control-flow manager broadcasts to
+// every operator instance when the execution path grows: path position pos
+// (1-based) is block. final marks the exit block.
+type pathUpdate struct {
+	pos   int
+	block ir.BlockID
+	final bool
+}
+
+// host is the bag operator host (paper Sec. 5): it wraps one physical
+// instance of one logical operator and implements the coordination logic —
+// choosing output bags from the execution path, choosing input bags by the
+// longest-prefix rule, tagging emitted elements with their bag, tracking
+// end-of-bag across physical inputs, and the pipelining/hoisting behaviour.
+type host struct {
+	rt   *runtime
+	op   *PlanOp
+	inst int
+	ctx  *dataflow.Context
+
+	// Execution path as known to this instance.
+	path  []ir.BlockID
+	final bool
+	// occ[b] lists the (1-based) positions at which block b occurs.
+	occ map[ir.BlockID][]int
+
+	nextScan   int   // path index not yet scanned for own-block occurrences
+	pendingOut []int // positions of output bags still to produce, in order
+	cur        *outputRun
+
+	inbufs []inputBuf
+
+	// Loop-invariant hoisting: position of the input bag the cached join
+	// build state was built from (-1 when none), and the cached hash table.
+	cachedBuildPos int
+	cachedBuild    *val.Map[[]val.Value]
+}
+
+type inputBuf struct {
+	bags     map[int]*inBag
+	lowWater int // bags below this position are garbage
+}
+
+type inBag struct {
+	elems    []val.Value
+	eobs     int
+	complete bool
+}
+
+// outputRun is the production of one output bag (one bag identifier:
+// this operator + the execution-path prefix of length pos).
+type outputRun struct {
+	pos      int
+	inPos    []int // selected input bag per slot; -1 = unused (phi)
+	cursor   []int // per slot: elements consumed so far
+	slotDone []bool
+	phase    int // kind-specific sequencing (join build/probe, cross sides)
+
+	hash     *val.Map[val.Value]   // reduceByKey groups
+	build    *val.Map[[]val.Value] // join build table
+	distinct *val.Map[struct{}]
+	args     []val.Value // captured singleton inputs (combine, readFile, writeFile)
+	acc      val.Value   // reduce accumulator
+	accSet   bool
+	sumInt   int64
+	sumFloat float64
+	sumIsF   bool
+	count    int64
+	emitted  val.Value // last singleton emitted (condition capture)
+	nEmitted int64
+}
+
+func newHost(rt *runtime, op *PlanOp, inst int) *host {
+	h := &host{
+		rt:             rt,
+		op:             op,
+		inst:           inst,
+		occ:            make(map[ir.BlockID][]int),
+		inbufs:         make([]inputBuf, len(op.Inputs)),
+		cachedBuildPos: -1,
+	}
+	for i := range h.inbufs {
+		h.inbufs[i].bags = make(map[int]*inBag)
+	}
+	return h
+}
+
+// Open implements dataflow.Vertex.
+func (h *host) Open(ctx *dataflow.Context) error {
+	h.ctx = ctx
+	return nil
+}
+
+// Close implements dataflow.Vertex.
+func (h *host) Close() error { return nil }
+
+// OnControl ingests execution-path extensions.
+func (h *host) OnControl(ev any) error {
+	up, ok := ev.(pathUpdate)
+	if !ok {
+		return nil
+	}
+	if up.pos != len(h.path)+1 {
+		return fmt.Errorf("core: path update %d out of order (have %d)", up.pos, len(h.path))
+	}
+	h.path = append(h.path, up.block)
+	h.occ[up.block] = append(h.occ[up.block], up.pos)
+	if up.final {
+		h.final = true
+	}
+	return h.progress()
+}
+
+// OnBatch buffers elements into their bags and pumps the current output.
+func (h *host) OnBatch(input, from int, batch []Element) error {
+	buf := &h.inbufs[input]
+	for _, e := range batch {
+		pos := int(e.Tag)
+		if pos < buf.lowWater {
+			return fmt.Errorf("core: %s input %d: element for GCed bag at %d (lowWater %d)", h.op.Instr.Var, input, pos, buf.lowWater)
+		}
+		b := buf.bags[pos]
+		if b == nil {
+			b = &inBag{}
+			buf.bags[pos] = b
+		}
+		b.elems = append(b.elems, e.Val)
+	}
+	return h.progress()
+}
+
+// Element aliases the engine element type for brevity.
+type Element = dataflow.Element
+
+// OnEOB counts end-of-bag markers per physical producer.
+func (h *host) OnEOB(input, from int, tag dataflow.Tag) error {
+	buf := &h.inbufs[input]
+	pos := int(tag)
+	if pos < buf.lowWater {
+		return fmt.Errorf("core: %s input %d: EOB for GCed bag at %d", h.op.Instr.Var, input, pos)
+	}
+	b := buf.bags[pos]
+	if b == nil {
+		b = &inBag{}
+		buf.bags[pos] = b
+	}
+	b.eobs++
+	if b.eobs > h.ctx.NumProducers(input) {
+		return fmt.Errorf("core: %s input %d: too many EOBs for bag %d", h.op.Instr.Var, input, pos)
+	}
+	b.complete = b.eobs == h.ctx.NumProducers(input)
+	return h.progress()
+}
+
+// progress advances the host state machine: schedule newly visible output
+// bags, then pump the current one.
+func (h *host) progress() error {
+	for h.nextScan < len(h.path) {
+		if h.path[h.nextScan] == h.op.Block {
+			h.pendingOut = append(h.pendingOut, h.nextScan+1)
+		}
+		h.nextScan++
+	}
+	for {
+		if h.cur == nil {
+			if len(h.pendingOut) == 0 {
+				return nil
+			}
+			pos := h.pendingOut[0]
+			h.pendingOut = h.pendingOut[1:]
+			if err := h.startOutput(pos); err != nil {
+				return err
+			}
+		}
+		finished, err := h.pump()
+		if err != nil {
+			return err
+		}
+		if !finished {
+			return nil
+		}
+		if err := h.finishOutput(); err != nil {
+			return err
+		}
+	}
+}
+
+// latestOcc returns the largest occurrence position of block b that is
+// <= limit, or 0 if none.
+func (h *host) latestOcc(b ir.BlockID, limit int) int {
+	occ := h.occ[b]
+	best := 0
+	for i := len(occ) - 1; i >= 0; i-- {
+		if occ[i] <= limit {
+			best = occ[i]
+			break
+		}
+	}
+	return best
+}
+
+// startOutput chooses the input bag identifiers for the output bag at pos:
+// for ordinary inputs the longest prefix of the output's execution path
+// that ends with the producer's basic block (paper Sec. 5.2.3); for phi
+// inputs, the slot whose predecessor block the path arrived from, with the
+// prefix bounded by pos-1 so a value produced later in the same block visit
+// is never selected.
+func (h *host) startOutput(pos int) error {
+	n := len(h.op.Inputs)
+	run := &outputRun{
+		pos:      pos,
+		inPos:    make([]int, n),
+		cursor:   make([]int, n),
+		slotDone: make([]bool, n),
+	}
+	if h.op.Instr.Kind == ir.OpPhi {
+		if pos < 2 {
+			return fmt.Errorf("core: phi %s scheduled at path position %d", h.op.Instr.Var, pos)
+		}
+		pred := h.path[pos-2]
+		selected := -1
+		for i, in := range h.op.Inputs {
+			if in.PredBlock == pred && selected == -1 {
+				selected = i
+				p := h.latestOcc(in.Producer.Block, pos-1)
+				if p == 0 {
+					return fmt.Errorf("core: phi %s: no bag from %s on path before %d", h.op.Instr.Var, in.Producer.Instr.Var, pos)
+				}
+				run.inPos[i] = p
+			} else {
+				run.inPos[i] = -1
+				run.slotDone[i] = true
+			}
+		}
+		if selected == -1 {
+			return fmt.Errorf("core: phi %s: no input for predecessor b%d", h.op.Instr.Var, pred)
+		}
+	} else {
+		for i, in := range h.op.Inputs {
+			p := h.latestOcc(in.Producer.Block, pos)
+			if p == 0 {
+				return fmt.Errorf("core: %s input %d: producer block b%d never occurred before %d",
+					h.op.Instr.Var, i, in.Producer.Block, pos)
+			}
+			run.inPos[i] = p
+		}
+	}
+	h.cur = run
+	return h.beginKind(run)
+}
+
+// bagFor returns the input bag the current run reads on slot i, creating
+// the (possibly still empty) buffer entry.
+func (h *host) bagFor(run *outputRun, i int) *inBag {
+	buf := &h.inbufs[i]
+	b := buf.bags[run.inPos[i]]
+	if b == nil {
+		b = &inBag{}
+		buf.bags[run.inPos[i]] = b
+	}
+	return b
+}
+
+// finishOutput emits the end-of-bag, reports completion to the
+// control-flow manager, sends the branch decision if this operator is a
+// condition node, and garbage-collects input bags that can no longer be
+// selected (input positions are monotone across outputs).
+func (h *host) finishOutput() error {
+	run := h.cur
+	h.cur = nil
+	h.ctx.EmitEOB(dataflow.Tag(run.pos))
+	if h.op.IsCondition {
+		if run.nEmitted != 1 {
+			return fmt.Errorf("core: condition %s produced %d elements, want 1", h.op.Instr.Var, run.nEmitted)
+		}
+		if run.emitted.Kind() != val.KindBool {
+			return fmt.Errorf("core: condition %s is %s, want bool", h.op.Instr.Var, run.emitted.Kind())
+		}
+		h.rt.events <- coordEvent{kind: evDecision, pos: run.pos, branch: run.emitted.AsBool()}
+	}
+	h.rt.events <- coordEvent{kind: evCompletion, pos: run.pos}
+	total := 0
+	for i := range h.op.Inputs {
+		buf := &h.inbufs[i]
+		if run.inPos[i] > buf.lowWater {
+			buf.lowWater = run.inPos[i]
+			for p := range buf.bags {
+				if p < buf.lowWater {
+					delete(buf.bags, p)
+				}
+			}
+		}
+		total += len(buf.bags)
+	}
+	h.rt.noteBuffered(int64(total))
+	return nil
+}
+
+// emit sends one element of the current output bag downstream.
+func (h *host) emit(run *outputRun, v val.Value) {
+	run.emitted = v
+	run.nEmitted++
+	h.ctx.Emit(dataflow.Element{Tag: dataflow.Tag(run.pos), Val: v})
+}

@@ -1,0 +1,239 @@
+// Package core implements Mitos proper: the translation of an SSA program
+// into a single (cyclic) dataflow job (paper Sec. 4.3), and the distributed
+// control-flow coordination based on bag identifiers (paper Sec. 5) — the
+// control flow manager, the bag operator host, loop pipelining, and
+// loop-invariant hoisting.
+package core
+
+import (
+	"fmt"
+
+	"github.com/mitos-project/mitos/internal/dataflow"
+	"github.com/mitos-project/mitos/internal/ir"
+)
+
+// Plan is the physical plan of one Mitos job: one dataflow operator per SSA
+// instruction, one edge per variable reference, with parallelism and
+// partitioning decided per the operator's semantics.
+type Plan struct {
+	IR  *ir.Graph
+	Ops []*PlanOp
+	// ByVar maps an SSA variable to the operator defining it.
+	ByVar map[string]*PlanOp
+	// InstancesPerBlock is the number of physical operator instances that
+	// must complete each visit of a block — the control-flow coordinator's
+	// per-position completion target.
+	InstancesPerBlock map[ir.BlockID]int
+}
+
+// PlanOp is one planned operator.
+type PlanOp struct {
+	ID    int // index in Plan.Ops and dataflow.OpID
+	Instr *ir.Instr
+	Block ir.BlockID
+	Par   int
+	// IsCondition marks the operator whose singleton bool output drives its
+	// block's branch terminator.
+	IsCondition bool
+	Inputs      []PlanInput
+}
+
+// PlanInput describes one logical input slot.
+type PlanInput struct {
+	// Producer is the operator defining the referenced variable.
+	Producer *PlanOp
+	// Part is the edge partitioning.
+	Part dataflow.Partitioning
+	// PredBlock is, for phi inputs only, the predecessor block whose
+	// incoming control-flow edge selects this slot.
+	PredBlock ir.BlockID
+}
+
+// BuildPlan plans the dataflow job for an SSA graph. parallelism is the
+// degree of parallelism of data-parallel operators (readers, joins,
+// aggregations' pre-stages); singleton-producing operators always run with
+// one instance.
+func BuildPlan(g *ir.Graph, parallelism int) (*Plan, error) {
+	if !g.InSSA {
+		return nil, fmt.Errorf("core: plan requires an SSA graph")
+	}
+	if parallelism < 1 {
+		return nil, fmt.Errorf("core: parallelism %d", parallelism)
+	}
+	p := &Plan{IR: g, ByVar: make(map[string]*PlanOp), InstancesPerBlock: make(map[ir.BlockID]int)}
+	// Create one op per instruction.
+	for _, b := range g.Blocks {
+		condVar := ""
+		if b.Term.Kind == ir.TermBranch {
+			condVar = b.Term.Cond
+		}
+		for _, in := range b.Instrs {
+			op := &PlanOp{
+				ID:          len(p.Ops),
+				Instr:       in,
+				Block:       b.ID,
+				IsCondition: in.Var == condVar,
+			}
+			p.Ops = append(p.Ops, op)
+			p.ByVar[in.Var] = op
+		}
+	}
+	// Resolve inputs.
+	for _, op := range p.Ops {
+		op.Inputs = make([]PlanInput, len(op.Instr.Args))
+		for i, a := range op.Instr.Args {
+			prod, ok := p.ByVar[a]
+			if !ok {
+				return nil, fmt.Errorf("core: %s references undefined %s", op.Instr, a)
+			}
+			op.Inputs[i].Producer = prod
+			if op.Instr.Kind == ir.OpPhi {
+				op.Inputs[i].PredBlock = g.Blocks[op.Block].Preds[i]
+			}
+		}
+	}
+	if err := p.inferParallelism(parallelism); err != nil {
+		return nil, err
+	}
+	p.choosePartitionings()
+	for _, op := range p.Ops {
+		p.InstancesPerBlock[op.Block] += op.Par
+	}
+	return p, nil
+}
+
+// inferParallelism fixes the instance count of every operator.
+// Singleton-producing operators run with one instance; sources and
+// key-based operators run with full parallelism; element-wise operators
+// inherit their input's parallelism (computed as a fixpoint because copy
+// and phi chains can cycle through loops).
+func (p *Plan) inferParallelism(n int) error {
+	for _, op := range p.Ops {
+		switch op.Instr.Kind {
+		case ir.OpSingleton, ir.OpEmpty, ir.OpCombine, ir.OpSum, ir.OpCount,
+			ir.OpReduce, ir.OpWriteFile:
+			op.Par = 1
+		case ir.OpReadFile, ir.OpJoin, ir.OpReduceByKey, ir.OpDistinct:
+			op.Par = n
+		default:
+			op.Par = 0 // propagated below: Map, FlatMap, Filter, Copy, Phi, Union, Cross
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, op := range p.Ops {
+			if op.Par != 0 {
+				continue
+			}
+			var par int
+			switch op.Instr.Kind {
+			case ir.OpMap, ir.OpFlatMap, ir.OpFilter, ir.OpCopy, ir.OpCross:
+				par = op.Inputs[0].Producer.Par
+			case ir.OpPhi, ir.OpUnion:
+				for _, in := range op.Inputs {
+					if in.Producer.Par > par {
+						par = in.Producer.Par
+					}
+				}
+			default:
+				return fmt.Errorf("core: no parallelism rule for %s", op.Instr.Kind)
+			}
+			if par != 0 {
+				op.Par = par
+				changed = true
+			}
+		}
+	}
+	// A cycle of only propagating ops (phi of copies of itself) cannot
+	// occur in valid SSA reached from an entry definition, but guard anyway.
+	for _, op := range p.Ops {
+		if op.Par == 0 {
+			op.Par = 1
+		}
+	}
+	return nil
+}
+
+// choosePartitionings picks each edge's partitioning from the consumer's
+// semantics and the producer/consumer parallelism.
+func (p *Plan) choosePartitionings() {
+	for _, op := range p.Ops {
+		for i := range op.Inputs {
+			in := &op.Inputs[i]
+			prodPar := in.Producer.Par
+			switch op.Instr.Kind {
+			case ir.OpJoin, ir.OpReduceByKey:
+				in.Part = dataflow.PartShuffleKey
+			case ir.OpDistinct:
+				in.Part = dataflow.PartShuffleVal
+			case ir.OpSum, ir.OpCount, ir.OpReduce:
+				if prodPar == 1 {
+					in.Part = dataflow.PartForward
+				} else {
+					in.Part = dataflow.PartGather
+				}
+			case ir.OpWriteFile:
+				if prodPar == 1 {
+					in.Part = dataflow.PartForward
+				} else {
+					in.Part = dataflow.PartGather
+				}
+			case ir.OpReadFile:
+				// The singleton file name must reach every reader instance.
+				if op.Par == 1 {
+					in.Part = dataflow.PartForward
+				} else {
+					in.Part = dataflow.PartBroadcast
+				}
+			case ir.OpCombine:
+				in.Part = dataflow.PartForward // all singletons
+			case ir.OpCross:
+				if i == 1 {
+					in.Part = dataflow.PartBroadcast
+				} else {
+					in.Part = partForPars(prodPar, op.Par)
+				}
+			default: // Map, FlatMap, Filter, Copy, Phi, Union
+				in.Part = partForPars(prodPar, op.Par)
+			}
+		}
+	}
+}
+
+// partForPars picks forward when parallelism matches, and a value shuffle
+// (multiset-preserving repartitioning) otherwise.
+func partForPars(prod, cons int) dataflow.Partitioning {
+	if prod == cons {
+		return dataflow.PartForward
+	}
+	if cons == 1 {
+		return dataflow.PartGather
+	}
+	return dataflow.PartShuffleVal
+}
+
+// CondOpOfBlock returns the condition operator of a branching block.
+func (p *Plan) CondOpOfBlock(b ir.BlockID) *PlanOp {
+	blk := p.IR.Blocks[b]
+	if blk.Term.Kind != ir.TermBranch {
+		return nil
+	}
+	return p.ByVar[blk.Term.Cond]
+}
+
+// String renders the plan for debugging and the mitos-dot tool.
+func (p *Plan) String() string {
+	s := ""
+	for _, op := range p.Ops {
+		s += fmt.Sprintf("op%d b%d par%d", op.ID, op.Block, op.Par)
+		if op.IsCondition {
+			s += " cond"
+		}
+		s += " " + op.Instr.String()
+		for i, in := range op.Inputs {
+			s += fmt.Sprintf(" [in%d<-op%d %s]", i, in.Producer.ID, in.Part)
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -1,0 +1,344 @@
+package dataflow
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+)
+
+// DefaultBatchSize is the number of elements buffered per (edge, receiver)
+// before a batch is shipped. Small enough to keep transfers pipelined,
+// large enough to amortize per-batch costs.
+const DefaultBatchSize = 128
+
+// Job is a running (or runnable) physical dataflow. Build the logical
+// Graph, then NewJob, Start, optionally Broadcast control events, and Wait.
+type Job struct {
+	graph     *Graph
+	cl        *cluster.Cluster
+	batchSize int
+
+	insts [][]*instance // [op][instance]
+
+	wg      sync.WaitGroup
+	stopped atomic.Bool
+	errOnce sync.Once
+	err     error
+
+	elementsSent  atomic.Int64
+	batchesSent   atomic.Int64
+	remoteBatches atomic.Int64
+}
+
+// JobStats reports transfer counters for the experiment harness.
+type JobStats struct {
+	ElementsSent  int64
+	BatchesSent   int64
+	RemoteBatches int64
+}
+
+// NewJob plans the physical execution of g on cl. batchSize <= 0 selects
+// DefaultBatchSize.
+func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	j := &Job{graph: g, cl: cl, batchSize: batchSize}
+	// Create instances.
+	j.insts = make([][]*instance, len(g.ops))
+	for _, op := range g.ops {
+		insts := make([]*instance, op.Parallelism)
+		for i := range insts {
+			insts[i] = &instance{
+				job:     j,
+				op:      op,
+				idx:     i,
+				machine: cl.Place(i),
+				mbox:    newMailbox(),
+			}
+		}
+		j.insts[op.ID] = insts
+	}
+	// Wire physical out-edges.
+	for _, op := range g.ops {
+		for _, e := range op.ins {
+			fromInsts := j.insts[e.From]
+			toInsts := j.insts[e.To]
+			for _, fi := range fromInsts {
+				fi.outs = append(fi.outs, &outEdge{
+					part:    e.Part,
+					input:   e.Input,
+					targets: toInsts,
+					bufs:    make([][]Element, len(toInsts)),
+				})
+			}
+			// Record producer count per input slot for the consumer side.
+			for _, ti := range toInsts {
+				ti.ensureInputs(e.Input + 1)
+				if e.Part == PartForward {
+					ti.producers[e.Input] = 1
+				} else {
+					ti.producers[e.Input] = len(fromInsts)
+				}
+			}
+		}
+	}
+	return j, nil
+}
+
+// Stats returns a snapshot of the job's transfer counters.
+func (j *Job) Stats() JobStats {
+	return JobStats{
+		ElementsSent:  j.elementsSent.Load(),
+		BatchesSent:   j.batchesSent.Load(),
+		RemoteBatches: j.remoteBatches.Load(),
+	}
+}
+
+// Start opens every vertex and launches the instance event loops.
+func (j *Job) Start() error {
+	// Open all vertices synchronously so a Broadcast immediately after
+	// Start reaches every instance.
+	for _, insts := range j.insts {
+		for _, in := range insts {
+			in.vertex = in.op.NewVertex(in.idx)
+			if in.vertex == nil {
+				return fmt.Errorf("dataflow: op %s instance %d: nil vertex", in.op.Name, in.idx)
+			}
+			in.ctx = &Context{inst: in}
+			if err := in.vertex.Open(in.ctx); err != nil {
+				return fmt.Errorf("dataflow: open %s[%d]: %w", in.op.Name, in.idx, err)
+			}
+		}
+	}
+	for _, insts := range j.insts {
+		for _, in := range insts {
+			j.wg.Add(1)
+			go in.loop()
+		}
+	}
+	return nil
+}
+
+// Broadcast delivers a control event to every vertex (in mailbox order
+// relative to data). The Mitos control-flow managers use it for
+// execution-path updates.
+func (j *Job) Broadcast(ev any) {
+	for _, insts := range j.insts {
+		for _, in := range insts {
+			in.mbox.put(envelope{kind: envControl, ctrl: ev})
+		}
+	}
+}
+
+// Send delivers a control event to one specific instance.
+func (j *Job) Send(op OpID, inst int, ev any) {
+	j.insts[op][inst].mbox.put(envelope{kind: envControl, ctrl: ev})
+}
+
+// Stop ends the job. Pending mailbox contents are still delivered before
+// vertices close. err records the reason (nil for normal completion).
+func (j *Job) Stop(err error) {
+	if err != nil {
+		j.errOnce.Do(func() { j.err = err })
+	}
+	if j.stopped.CompareAndSwap(false, true) {
+		for _, insts := range j.insts {
+			for _, in := range insts {
+				in.mbox.close()
+			}
+		}
+	}
+}
+
+// fail records the first error and stops the job.
+func (j *Job) fail(err error) {
+	j.errOnce.Do(func() { j.err = err })
+	j.Stop(nil)
+}
+
+// Wait blocks until all instance loops have exited and returns the first
+// error (nil for clean completion).
+func (j *Job) Wait() error {
+	j.wg.Wait()
+	return j.err
+}
+
+// instance is one physical operator instance.
+type instance struct {
+	job     *Job
+	op      *Op
+	idx     int
+	machine int
+	mbox    *mailbox
+	vertex  Vertex
+	ctx     *Context
+
+	outs      []*outEdge
+	producers []int // per input slot: number of producer instances feeding this instance
+}
+
+func (in *instance) ensureInputs(n int) {
+	for len(in.producers) < n {
+		in.producers = append(in.producers, 0)
+	}
+}
+
+type outEdge struct {
+	part    Partitioning
+	input   int
+	targets []*instance
+	bufs    [][]Element
+}
+
+func (in *instance) loop() {
+	defer in.job.wg.Done()
+	for {
+		env, ok := in.mbox.take()
+		if !ok {
+			break
+		}
+		var err error
+		switch env.kind {
+		case envData:
+			err = in.vertex.OnBatch(env.input, env.from, env.batch)
+		case envEOB:
+			err = in.vertex.OnEOB(env.input, env.from, env.tag)
+		case envControl:
+			err = in.vertex.OnControl(env.ctrl)
+		}
+		if err != nil {
+			in.job.fail(fmt.Errorf("dataflow: %s[%d]: %w", in.op.Name, in.idx, err))
+			break
+		}
+	}
+	if err := in.vertex.Close(); err != nil {
+		in.job.fail(fmt.Errorf("dataflow: close %s[%d]: %w", in.op.Name, in.idx, err))
+	}
+}
+
+// Context is the emission and introspection interface handed to a vertex.
+// It must only be used from within the vertex's callbacks.
+type Context struct {
+	inst *instance
+}
+
+// Instance returns the 0-based physical instance index.
+func (c *Context) Instance() int { return c.inst.idx }
+
+// Parallelism returns the number of instances of this logical operator.
+func (c *Context) Parallelism() int { return c.inst.op.Parallelism }
+
+// Machine returns the simulated machine this instance is placed on.
+func (c *Context) Machine() int { return c.inst.machine }
+
+// NumProducers returns how many physical producer instances feed the given
+// input slot of this instance — the number of OnEOB calls to expect per bag.
+func (c *Context) NumProducers(input int) int {
+	if input < len(c.inst.producers) {
+		return c.inst.producers[input]
+	}
+	return 0
+}
+
+// NumInputs returns the number of connected input slots.
+func (c *Context) NumInputs() int { return len(c.inst.producers) }
+
+// Emit routes one element along every outgoing edge according to each
+// edge's partitioning. Elements are buffered into batches; EmitEOB (or
+// Flush) pushes buffered batches out.
+func (c *Context) Emit(e Element) {
+	in := c.inst
+	in.job.elementsSent.Add(1)
+	for _, oe := range in.outs {
+		switch oe.part {
+		case PartForward:
+			c.buffer(oe, in.idx, e)
+		case PartShuffleKey:
+			t := int(e.Val.Key().Hash() % uint64(len(oe.targets)))
+			c.buffer(oe, t, e)
+		case PartShuffleVal:
+			t := int(e.Val.Hash() % uint64(len(oe.targets)))
+			c.buffer(oe, t, e)
+		case PartGather:
+			c.buffer(oe, 0, e)
+		case PartBroadcast:
+			for t := range oe.targets {
+				c.buffer(oe, t, e)
+			}
+		}
+	}
+}
+
+func (c *Context) buffer(oe *outEdge, target int, e Element) {
+	if oe.bufs[target] == nil {
+		// Ownership of the slice moves to the receiver at flush, so a
+		// fresh buffer is allocated per batch — at full capacity up front
+		// to avoid repeated append growth in the hot path.
+		oe.bufs[target] = make([]Element, 0, c.inst.job.batchSize)
+	}
+	oe.bufs[target] = append(oe.bufs[target], e)
+	if len(oe.bufs[target]) >= c.inst.job.batchSize {
+		c.flush(oe, target)
+	}
+}
+
+func (c *Context) flush(oe *outEdge, target int) {
+	buf := oe.bufs[target]
+	if len(buf) == 0 {
+		return
+	}
+	oe.bufs[target] = nil
+	tgt := oe.targets[target]
+	c.inst.job.batchesSent.Add(1)
+	if tgt.machine != c.inst.machine {
+		c.inst.job.remoteBatches.Add(1)
+		c.inst.job.cl.NetSleep()
+	}
+	tgt.mbox.put(envelope{kind: envData, input: oe.input, from: c.inst.idx, batch: buf})
+}
+
+// Flush pushes out all buffered batches on all edges.
+func (c *Context) Flush() {
+	for _, oe := range c.inst.outs {
+		for t := range oe.targets {
+			c.flush(oe, t)
+		}
+	}
+}
+
+// EmitEOB flushes and then signals end-of-bag tag to every receiver that
+// this instance can route to: the matching instance on forward edges,
+// instance 0 on gather edges, and all instances on shuffle and broadcast
+// edges.
+func (c *Context) EmitEOB(tag Tag) {
+	in := c.inst
+	for _, oe := range in.outs {
+		switch oe.part {
+		case PartForward:
+			c.flush(oe, in.idx)
+			c.sendEOB(oe, in.idx, tag)
+		case PartGather:
+			c.flush(oe, 0)
+			c.sendEOB(oe, 0, tag)
+		default:
+			for t := range oe.targets {
+				c.flush(oe, t)
+				c.sendEOB(oe, t, tag)
+			}
+		}
+	}
+}
+
+func (c *Context) sendEOB(oe *outEdge, target int, tag Tag) {
+	tgt := oe.targets[target]
+	if tgt.machine != c.inst.machine {
+		c.inst.job.cl.NetSleep()
+	}
+	tgt.mbox.put(envelope{kind: envEOB, input: oe.input, from: c.inst.idx, tag: tag})
+}

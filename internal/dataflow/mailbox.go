@@ -1,0 +1,76 @@
+package dataflow
+
+import "sync"
+
+// mailbox is an unbounded MPSC queue. Dataflow graphs with cycles can
+// deadlock over bounded channels (a full mailbox blocks a sender that the
+// receiver transitively depends on), so instance mailboxes grow without
+// bound; memory stays bounded in practice because vertices drain their
+// mailboxes unconditionally into per-bag buffers.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+type envKind uint8
+
+const (
+	envData envKind = iota
+	envEOB
+	envControl
+)
+
+type envelope struct {
+	kind  envKind
+	input int
+	from  int
+	batch []Element
+	tag   Tag
+	ctrl  any
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// put enqueues an envelope. It never blocks. Puts after close are dropped.
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, e)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// take dequeues the next envelope, blocking until one is available or the
+// mailbox is closed. ok is false when closed and drained.
+func (m *mailbox) take() (envelope, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.queue) == 0 && !m.closed {
+		m.cond.Wait()
+	}
+	if len(m.queue) == 0 {
+		return envelope{}, false
+	}
+	e := m.queue[0]
+	m.queue[0] = envelope{} // release references
+	m.queue = m.queue[1:]
+	if len(m.queue) == 0 {
+		m.queue = nil // reset backing array when drained
+	}
+	return e, true
+}
+
+// close wakes the consumer; remaining envelopes are still delivered.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

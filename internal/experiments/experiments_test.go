@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		Title:   "demo",
+		XAxis:   "machines",
+		Columns: []string{"Spark", "Mitos"},
+		XLabels: []string{"1", "2"},
+		Cells: [][]Cell{
+			{{Seconds: 2.0}, {Seconds: 1.0}},
+			{{Skipped: true}, {Seconds: 0.5}},
+		},
+	}
+	out := tbl.Format()
+	for _, want := range []string{"demo", "machines", "Spark", "Mitos", "2.0x", "1.000s", "-", "0.500s"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{
+		XAxis:   "m",
+		Columns: []string{"A", "B"},
+		XLabels: []string{"1"},
+		Cells:   [][]Cell{{{Seconds: 1.5}, {Skipped: true}}},
+	}
+	got := tbl.CSV()
+	want := "m,A,B\n1,1.500000,\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestOptionsReps(t *testing.T) {
+	if (Options{}).reps() != 1 {
+		t.Error("default reps != 1")
+	}
+	if (Options{Reps: 3}).reps() != 3 {
+		t.Error("explicit reps ignored")
+	}
+}
+
+// TestFig1QuickSmoke runs the cheapest experiment end to end at quick
+// scale, validating the whole harness wiring. Skipped with -short.
+func TestFig1QuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment still takes ~1s")
+	}
+	tbl, err := Fig1(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Cells) != 1 || len(tbl.Cells[0]) != 2 {
+		t.Fatalf("unexpected table shape: %+v", tbl)
+	}
+	spark, flink := tbl.Cells[0][0].Seconds, tbl.Cells[0][1].Seconds
+	if spark <= flink {
+		t.Errorf("Spark (%0.3fs) not slower than Flink (%0.3fs): per-step job launches not modeled?", spark, flink)
+	}
+}
+
+// TestAblationGridQuickSmoke checks the optimization ordering: both
+// optimizations together must not be slower than neither.
+func TestAblationGridQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment still takes ~2s")
+	}
+	tbl, err := AblationGrid(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neither := tbl.Cells[0][0].Seconds
+	both := tbl.Cells[3][0].Seconds
+	if both > neither*1.5 {
+		t.Errorf("both optimizations (%0.3fs) much slower than neither (%0.3fs)", both, neither)
+	}
+}

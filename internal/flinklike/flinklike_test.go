@@ -1,0 +1,200 @@
+package flinklike
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/bag"
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+func newTestEnv(t *testing.T, machines int) (*Env, *store.MemStore) {
+	t.Helper()
+	cl, err := cluster.New(cluster.FastConfig(machines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	st := store.NewMemStore()
+	return NewEnv(cl, st), st
+}
+
+func ints(ns ...int64) []val.Value {
+	out := make([]val.Value, len(ns))
+	for i, n := range ns {
+		out[i] = val.Int(n)
+	}
+	return out
+}
+
+func TestDataSetOps(t *testing.T) {
+	env, st := newTestEnv(t, 3)
+	st.WriteDataset("in", ints(1, 2, 3, 4, 5))
+
+	ds := env.ReadFile("in").
+		Map(func(x val.Value) (val.Value, error) { return val.Int(x.AsInt() * 2), nil }).
+		Filter(func(x val.Value) (bool, error) { return x.AsInt() > 4, nil })
+	got, err := ds.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bag.Equal(got, ints(6, 8, 10)) {
+		t.Errorf("collect = %v", bag.Sorted(got))
+	}
+	n, err := ds.Count()
+	if err != nil || n != 3 {
+		t.Errorf("count = %d, %v", n, err)
+	}
+	sum, err := ds.Sum()
+	if err != nil || sum.AsInt() != 24 {
+		t.Errorf("sum = %v, %v", sum, err)
+	}
+}
+
+func TestReduceByKeyAndJoin(t *testing.T) {
+	env, _ := newTestEnv(t, 2)
+	pairs := []val.Value{
+		val.Pair(val.Str("a"), val.Int(1)),
+		val.Pair(val.Str("b"), val.Int(2)),
+		val.Pair(val.Str("a"), val.Int(3)),
+	}
+	counts := env.FromSlice(pairs).ReduceByKey(func(a, b val.Value) (val.Value, error) {
+		return val.Int(a.AsInt() + b.AsInt()), nil
+	})
+	got, err := counts.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []val.Value{val.Pair(val.Str("a"), val.Int(4)), val.Pair(val.Str("b"), val.Int(2))}
+	if !bag.Equal(got, want) {
+		t.Errorf("reduceByKey = %v", bag.Sorted(got))
+	}
+
+	other := env.FromSlice([]val.Value{val.Pair(val.Str("a"), val.Str("x"))})
+	joined, err := counts.Join(other).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 1 || !joined[0].Equal(val.Tuple(val.Str("a"), val.Int(4), val.Str("x"))) {
+		t.Errorf("join = %v", joined)
+	}
+}
+
+func TestIterateFixedSteps(t *testing.T) {
+	env, _ := newTestEnv(t, 2)
+	initial := env.FromSlice(ints(0))
+	out, err := env.Iterate(initial, 10, func(step int, in *DataSet) (*DataSet, error) {
+		return in.Map(func(x val.Value) (val.Value, error) { return val.Int(x.AsInt() + 1), nil }), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := out.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].AsInt() != 10 {
+		t.Errorf("iterate result = %v", got)
+	}
+}
+
+func TestNestedIterateRejected(t *testing.T) {
+	env, _ := newTestEnv(t, 1)
+	initial := env.FromSlice(ints(0))
+	_, err := env.Iterate(initial, 2, func(step int, in *DataSet) (*DataSet, error) {
+		_, nested := env.Iterate(in, 2, func(int, *DataSet) (*DataSet, error) { return in, nil })
+		return in, nested
+	})
+	if err == nil || !strings.Contains(err.Error(), "nested") {
+		t.Errorf("nested iterate error = %v", err)
+	}
+	// The environment recovers for further use.
+	if _, err := env.Iterate(env.FromSlice(ints(1)), 1, func(step int, in *DataSet) (*DataSet, error) {
+		return in, nil
+	}); err != nil {
+		t.Errorf("iterate after failed nesting: %v", err)
+	}
+}
+
+func TestStrictModeRejectsIOInIteration(t *testing.T) {
+	env, st := newTestEnv(t, 1)
+	env.Strict = true
+	st.WriteDataset("f", ints(1))
+	initial := env.FromSlice(ints(0))
+	_, err := env.Iterate(initial, 1, func(step int, in *DataSet) (*DataSet, error) {
+		ds := env.ReadFile("f")
+		if _, err := ds.Collect(); err != nil {
+			return nil, err
+		}
+		return in, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("strict readFile error = %v", err)
+	}
+	_, err = env.Iterate(env.FromSlice(ints(0)), 1, func(step int, in *DataSet) (*DataSet, error) {
+		return in, in.WriteFile("out")
+	})
+	if err == nil || !strings.Contains(err.Error(), "not supported") {
+		t.Errorf("strict writeFile error = %v", err)
+	}
+}
+
+func TestJoinStaticBuildsOnce(t *testing.T) {
+	env, st := newTestEnv(t, 2)
+	stat := []val.Value{val.Pair(val.Str("k"), val.Str("T"))}
+	st.WriteDataset("static", stat)
+	static := env.ReadFile("static")
+	probeData := []val.Value{val.Pair(val.Str("k"), val.Int(7))}
+
+	// Two joins against the same static dataset share one build.
+	for i := 0; i < 2; i++ {
+		out, err := env.FromSlice(probeData).JoinStatic(static).Collect()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 1 || !out[0].Equal(val.Tuple(val.Str("k"), val.Str("T"), val.Int(7))) {
+			t.Errorf("joinStatic = %v", out)
+		}
+	}
+	if len(env.staticJoins) != 1 {
+		t.Errorf("static join tables = %d, want 1", len(env.staticJoins))
+	}
+}
+
+func TestUnionAndParallelism(t *testing.T) {
+	env, _ := newTestEnv(t, 4)
+	env.SetParallelism(2)
+	a := env.FromSlice(ints(1, 2))
+	b := env.FromSlice(ints(3))
+	got, err := a.Union(b).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bag.Equal(got, ints(1, 2, 3)) {
+		t.Errorf("union = %v", bag.Sorted(got))
+	}
+}
+
+func TestErrorsPropagateFromBody(t *testing.T) {
+	env, _ := newTestEnv(t, 1)
+	_, err := env.Iterate(env.FromSlice(ints(1)), 3, func(step int, in *DataSet) (*DataSet, error) {
+		return in.Map(func(x val.Value) (val.Value, error) {
+			if step == 2 {
+				return val.Value{}, &store.NotFoundError{Name: "boom"}
+			}
+			return x, nil
+		}), nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("body error = %v", err)
+	}
+}
+
+func TestReadMissingDataset(t *testing.T) {
+	env, _ := newTestEnv(t, 1)
+	if _, err := env.ReadFile("nope").Collect(); err == nil {
+		t.Error("missing dataset read succeeded")
+	}
+}

@@ -1,0 +1,389 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/mitos-project/mitos/internal/bag"
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// RunAST directly interprets the imperative program AST against st.
+// It never lowers to the IR, making it an independent ground truth for
+// differential testing of the whole compiler and runtime pipeline:
+// AST interpreter vs SSA interpreter vs distributed execution.
+func RunAST(prog *lang.Program, st store.Store) error {
+	a := &astInterp{
+		store:    st,
+		scalars:  make(map[string]val.Value),
+		bags:     make(map[string][]val.Value),
+		varTypes: make(map[string]lang.Type),
+		limit:    1e7,
+	}
+	return a.runStmts(prog.Stmts)
+}
+
+// Loop-control signals propagated as sentinel errors; the enclosing loop
+// intercepts them.
+var (
+	errBreakSignal    = errors.New("break")
+	errContinueSignal = errors.New("continue")
+)
+
+type astInterp struct {
+	store    store.Store
+	scalars  map[string]val.Value
+	bags     map[string][]val.Value
+	varTypes map[string]lang.Type
+	steps    int
+	limit    int
+}
+
+func (a *astInterp) typeOf(e lang.Expr) lang.Type {
+	return lang.StaticType(e, func(name string) lang.Type { return a.varTypes[name] })
+}
+
+func (a *astInterp) runStmts(stmts []lang.Stmt) error {
+	for _, s := range stmts {
+		if err := a.runStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *astInterp) tick() error {
+	a.steps++
+	if a.steps > a.limit {
+		return fmt.Errorf("ir: AST execution exceeded %d steps (infinite loop?)", a.limit)
+	}
+	return nil
+}
+
+func (a *astInterp) runStmt(s lang.Stmt) error {
+	if err := a.tick(); err != nil {
+		return err
+	}
+	switch s := s.(type) {
+	case *lang.AssignStmt:
+		if a.typeOf(s.RHS) == lang.TypeBag {
+			b, err := a.evalBag(s.RHS)
+			if err != nil {
+				return err
+			}
+			a.bags[s.Name] = b
+			a.varTypes[s.Name] = lang.TypeBag
+		} else {
+			v, err := a.evalScalar(s.RHS)
+			if err != nil {
+				return err
+			}
+			a.scalars[s.Name] = v
+			a.varTypes[s.Name] = lang.TypeScalar
+		}
+		return nil
+	case *lang.IfStmt:
+		c, err := a.evalCond(s.Cond)
+		if err != nil {
+			return err
+		}
+		if c {
+			return a.runStmts(s.Then)
+		}
+		return a.runStmts(s.Else)
+	case *lang.WhileStmt:
+		if s.PostTest {
+			for {
+				if err := a.runBody(s.Body); err != nil {
+					if errors.Is(err, errBreakSignal) {
+						return nil
+					}
+					return err
+				}
+				c, err := a.evalCond(s.Cond)
+				if err != nil {
+					return err
+				}
+				if !c {
+					return nil
+				}
+				if err := a.tick(); err != nil {
+					return err
+				}
+			}
+		}
+		for {
+			c, err := a.evalCond(s.Cond)
+			if err != nil {
+				return err
+			}
+			if !c {
+				return nil
+			}
+			if err := a.runBody(s.Body); err != nil {
+				if errors.Is(err, errBreakSignal) {
+					return nil
+				}
+				return err
+			}
+			if err := a.tick(); err != nil {
+				return err
+			}
+		}
+	case *lang.ForStmt:
+		from, err := a.evalScalar(s.From)
+		if err != nil {
+			return err
+		}
+		to, err := a.evalScalar(s.To)
+		if err != nil {
+			return err
+		}
+		if from.Kind() != val.KindInt || to.Kind() != val.KindInt {
+			return fmt.Errorf("ir: %s: for bounds must be integers", s.Pos)
+		}
+		a.varTypes[s.Var] = lang.TypeScalar
+		// Same observable semantics as the lowered desugar: the loop
+		// variable is from-1 when the loop runs zero times, and keeps its
+		// last iterated value afterwards.
+		a.scalars[s.Var] = val.Int(from.AsInt() - 1)
+		for i := from.AsInt(); i <= to.AsInt(); i++ {
+			a.scalars[s.Var] = val.Int(i)
+			if err := a.runBody(s.Body); err != nil {
+				if errors.Is(err, errBreakSignal) {
+					return nil
+				}
+				return err
+			}
+			if err := a.tick(); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *lang.BreakStmt:
+		return errBreakSignal
+	case *lang.ContinueStmt:
+		return errContinueSignal
+	case *lang.ExprStmt:
+		m, ok := s.X.(*lang.Method)
+		if !ok || m.Name != "writeFile" {
+			return fmt.Errorf("ir: %s: only writeFile may be used as a statement", s.StmtPos())
+		}
+		data, err := a.evalBag(m.Recv)
+		if err != nil {
+			return err
+		}
+		name, err := a.evalScalar(m.Args[0])
+		if err != nil {
+			return err
+		}
+		if name.Kind() != val.KindString {
+			return fmt.Errorf("ir: writeFile name is %s, want string", name.Kind())
+		}
+		return a.store.WriteDataset(name.AsStr(), data)
+	default:
+		return fmt.Errorf("ir: unknown statement %T", s)
+	}
+}
+
+// runBody executes a loop body, absorbing continue signals (the loop then
+// proceeds to its next test) and passing break signals to the caller.
+func (a *astInterp) runBody(stmts []lang.Stmt) error {
+	err := a.runStmts(stmts)
+	if errors.Is(err, errContinueSignal) {
+		return nil
+	}
+	return err
+}
+
+func (a *astInterp) evalCond(e lang.Expr) (bool, error) {
+	v, err := a.evalScalar(e)
+	if err != nil {
+		return false, err
+	}
+	if v.Kind() != val.KindBool {
+		return false, fmt.Errorf("ir: condition is %s, want bool", v.Kind())
+	}
+	return v.AsBool(), nil
+}
+
+// evalScalar evaluates a scalar expression. only(...) sub-expressions are
+// first replaced by literals of their computed values, after which
+// lang.EvalScalar handles the rest.
+func (a *astInterp) evalScalar(e lang.Expr) (val.Value, error) {
+	rewritten, err := a.resolveOnly(e)
+	if err != nil {
+		return val.Value{}, err
+	}
+	return lang.EvalScalar(rewritten, func(name string) (val.Value, bool) {
+		v, ok := a.scalars[name]
+		return v, ok
+	})
+}
+
+// resolveOnly clones e with every only(bagExpr) replaced by a literal.
+func (a *astInterp) resolveOnly(e lang.Expr) (lang.Expr, error) {
+	switch e := e.(type) {
+	case *lang.Call:
+		if e.Fn == "only" {
+			b, err := a.evalBag(e.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			v, err := bag.Only(b)
+			if err != nil {
+				return nil, err
+			}
+			return &lang.Lit{Pos: e.Pos, V: v}, nil
+		}
+		args := make([]lang.Expr, len(e.Args))
+		for i, arg := range e.Args {
+			x, err := a.resolveOnly(arg)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return &lang.Call{Pos: e.Pos, Fn: e.Fn, Args: args}, nil
+	case *lang.Unary:
+		x, err := a.resolveOnly(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &lang.Unary{Pos: e.Pos, Op: e.Op, X: x}, nil
+	case *lang.Binary:
+		x, err := a.resolveOnly(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := a.resolveOnly(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &lang.Binary{Pos: e.Pos, Op: e.Op, X: x, Y: y}, nil
+	case *lang.TupleExpr:
+		elems := make([]lang.Expr, len(e.Elems))
+		for i, el := range e.Elems {
+			x, err := a.resolveOnly(el)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = x
+		}
+		return &lang.TupleExpr{Pos: e.Pos, Elems: elems}, nil
+	case *lang.Field:
+		x, err := a.resolveOnly(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &lang.Field{Pos: e.Pos, X: x, Index: e.Index}, nil
+	default:
+		return e, nil
+	}
+}
+
+func (a *astInterp) evalBag(e lang.Expr) ([]val.Value, error) {
+	switch e := e.(type) {
+	case *lang.Ident:
+		b, ok := a.bags[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("ir: %s: bag %s not assigned", e.Pos, e.Name)
+		}
+		return b, nil
+	case *lang.Call:
+		switch e.Fn {
+		case "readFile":
+			name, err := a.evalScalar(e.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			if name.Kind() != val.KindString {
+				return nil, fmt.Errorf("ir: readFile name is %s, want string", name.Kind())
+			}
+			return a.store.ReadDataset(name.AsStr())
+		case "newBag":
+			v, err := a.evalScalar(e.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return []val.Value{v}, nil
+		case "empty":
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("ir: %s: %s is not a bag constructor", e.Pos, e.Fn)
+		}
+	case *lang.Method:
+		return a.evalMethod(e)
+	default:
+		return nil, fmt.Errorf("ir: cannot evaluate %T as a bag", e)
+	}
+}
+
+func (a *astInterp) evalMethod(e *lang.Method) ([]val.Value, error) {
+	recv, err := a.evalBag(e.Recv)
+	if err != nil {
+		return nil, err
+	}
+	udf := func() (*lang.UDF, error) { return lang.MakeUDF(e.Args[0]) }
+	other := func() ([]val.Value, error) { return a.evalBag(e.Args[0]) }
+	switch e.Name {
+	case "map":
+		f, err := udf()
+		if err != nil {
+			return nil, err
+		}
+		return bag.Map(recv, f)
+	case "flatMap":
+		f, err := udf()
+		if err != nil {
+			return nil, err
+		}
+		return bag.FlatMap(recv, f)
+	case "filter":
+		f, err := udf()
+		if err != nil {
+			return nil, err
+		}
+		return bag.Filter(recv, f)
+	case "reduceByKey":
+		f, err := udf()
+		if err != nil {
+			return nil, err
+		}
+		return bag.ReduceByKey(recv, f)
+	case "reduce":
+		f, err := udf()
+		if err != nil {
+			return nil, err
+		}
+		return bag.Reduce(recv, f)
+	case "join":
+		o, err := other()
+		if err != nil {
+			return nil, err
+		}
+		return bag.Join(recv, o)
+	case "union":
+		o, err := other()
+		if err != nil {
+			return nil, err
+		}
+		return bag.Union(recv, o), nil
+	case "cross":
+		o, err := other()
+		if err != nil {
+			return nil, err
+		}
+		return bag.Cross(recv, o), nil
+	case "sum":
+		return bag.Sum(recv)
+	case "count":
+		return bag.Count(recv), nil
+	case "distinct":
+		return bag.Distinct(recv), nil
+	default:
+		return nil, fmt.Errorf("ir: %s: unknown bag operation %s", e.Pos, e.Name)
+	}
+}

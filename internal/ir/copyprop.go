@@ -1,0 +1,71 @@
+package ir
+
+// PropagateCopies is an optional optimization pass (an extension beyond
+// the paper, which keeps copy nodes such as Fig. 3's yesterdayCnts3): it
+// replaces every use of an OpCopy's result with the copy's source and
+// removes the copy instruction.
+//
+// Safety: in SSA, a copy's output bag always holds exactly its source's
+// bag content. For any use u dominated by the copy's block A, with the
+// source defined in block B (which dominates A), no occurrence of B can
+// lie between the last occurrence of A and u on any execution — otherwise
+// a path reaching u without passing A would exist, contradicting
+// dominance. Hence redirecting u from the copy to the source selects the
+// same bag content at runtime. The same argument applies to phi operands
+// with u taken as the incoming predecessor block.
+//
+// Copies that compute branch conditions are kept: the runtime requires
+// every condition to be defined by an instruction in the branching block.
+//
+// It returns the number of copies removed. The graph must be in SSA form.
+func PropagateCopies(g *Graph) int {
+	if !g.InSSA {
+		return 0
+	}
+	condVars := make(map[string]bool)
+	for _, b := range g.Blocks {
+		if b.Term.Kind == TermBranch {
+			condVars[b.Term.Cond] = true
+		}
+	}
+	// Resolve copy chains to their ultimate source.
+	source := make(map[string]string)
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == OpCopy && !condVars[in.Var] {
+				source[in.Var] = in.Args[0]
+			}
+		}
+	}
+	resolve := func(v string) string {
+		for {
+			s, ok := source[v]
+			if !ok {
+				return v
+			}
+			v = s
+		}
+	}
+	if len(source) == 0 {
+		return 0
+	}
+	removed := 0
+	for _, b := range g.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if _, isCopy := source[in.Var]; isCopy {
+				removed++
+				continue
+			}
+			for i, a := range in.Args {
+				in.Args[i] = resolve(a)
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+		if b.Term.Kind == TermBranch {
+			b.Term.Cond = resolve(b.Term.Cond)
+		}
+	}
+	return removed
+}

@@ -1,0 +1,131 @@
+package ir
+
+import (
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/testprog"
+)
+
+func TestPropagateCopiesRemovesPlainCopies(t *testing.T) {
+	g := ssaSrc(t, `
+a = readFile("in")
+b = a
+c = b
+c.writeFile("out")
+`)
+	removed := PropagateCopies(g)
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2\n%s", removed, g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == OpCopy {
+				t.Errorf("copy survived: %s", in)
+			}
+		}
+	}
+}
+
+func TestPropagateCopiesKeepsConditionCopies(t *testing.T) {
+	// `if (flag)` lowers to a condition Copy in the branching block, which
+	// must survive: the runtime's branch decisions come from an
+	// instruction in that block.
+	g := ssaSrc(t, `
+flag = true
+if (flag) {
+  x = 1
+}
+`)
+	PropagateCopies(g)
+	for _, b := range g.Blocks {
+		if b.Term.Kind != TermBranch {
+			continue
+		}
+		found := false
+		for _, in := range b.Instrs {
+			if in.Var == b.Term.Cond {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("condition no longer defined in branching block\n%s", g)
+		}
+	}
+}
+
+func TestPropagateCopiesThroughPhis(t *testing.T) {
+	g := ssaSrc(t, `
+counts = readFile("in")
+yesterday = empty()
+day = 1
+do {
+  yesterday = counts
+  day = day + 1
+} while (day <= 3)
+yesterday.writeFile("out")
+`)
+	removed := PropagateCopies(g)
+	if removed == 0 {
+		t.Fatalf("no copies removed\n%s", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("invalid after propagation: %v\n%s", err, g)
+	}
+}
+
+// TestPropagateCopiesSemanticsOnCorpus: the pass must not change program
+// outputs on any corpus program (checked via the SSA interpreter).
+func TestPropagateCopiesSemanticsOnCorpus(t *testing.T) {
+	for _, c := range testprog.Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			prog, err := lang.Parse(c.Src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := lang.Check(prog); err != nil {
+				t.Fatal(err)
+			}
+			plain, err := CompileToSSA(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stA := store.NewMemStore()
+			if err := c.Setup(stA); err != nil {
+				t.Fatal(err)
+			}
+			if err := (&Interp{Store: stA}).Run(plain); err != nil {
+				t.Fatal(err)
+			}
+
+			opt, err := CompileToSSA(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			PropagateCopies(opt)
+			if err := opt.Validate(); err != nil {
+				t.Fatalf("invalid after propagation: %v", err)
+			}
+			stB := store.NewMemStore()
+			if err := c.Setup(stB); err != nil {
+				t.Fatal(err)
+			}
+			if err := (&Interp{Store: stB}).Run(opt); err != nil {
+				t.Fatalf("interpreter after propagation: %v\n%s", err, opt)
+			}
+			compareStores(t, stA, stB)
+		})
+	}
+}
+
+func TestPropagateCopiesNoSSA(t *testing.T) {
+	g := lowerSrc(t, `a = 1
+b = a`)
+	if removed := PropagateCopies(g); removed != 0 {
+		t.Errorf("pre-SSA graph modified: %d", removed)
+	}
+}

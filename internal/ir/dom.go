@@ -1,0 +1,133 @@
+package ir
+
+// Dominator analysis using the iterative algorithm of Cooper, Harvey and
+// Kennedy ("A Simple, Fast Dominance Algorithm"). It feeds phi placement in
+// SSA conversion and the natural-loop analysis.
+
+// Dominators returns the immediate dominator of every reachable block.
+// idom[entry] == entry; unreachable blocks map to -1.
+func Dominators(g *Graph) []BlockID {
+	rpo := g.ReversePostorder()
+	index := make([]int, len(g.Blocks)) // position in rpo
+	for i := range index {
+		index[i] = -1
+	}
+	for i, id := range rpo {
+		index[id] = i
+	}
+	idom := make([]BlockID, len(g.Blocks))
+	for i := range idom {
+		idom[i] = -1
+	}
+	entry := g.Entry()
+	idom[entry] = entry
+
+	intersect := func(a, b BlockID) BlockID {
+		for a != b {
+			for index[a] > index[b] {
+				a = idom[a]
+			}
+			for index[b] > index[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	g.ComputePreds()
+	for changed := true; changed; {
+		changed = false
+		for _, id := range rpo {
+			if id == entry {
+				continue
+			}
+			var newIdom BlockID = -1
+			for _, p := range g.Blocks[id].Preds {
+				if index[p] < 0 || idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[id] != newIdom {
+				idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the given idom relation
+// (every block dominates itself).
+func Dominates(idom []BlockID, a, b BlockID) bool {
+	for {
+		if a == b {
+			return true
+		}
+		next := idom[b]
+		if next < 0 || next == b {
+			return a == b
+		}
+		b = next
+	}
+}
+
+// DominanceFrontiers returns, for every block, the set of blocks on its
+// dominance frontier, sorted by ID.
+func DominanceFrontiers(g *Graph, idom []BlockID) [][]BlockID {
+	df := make([]map[BlockID]bool, len(g.Blocks))
+	for _, b := range g.Blocks {
+		if len(b.Preds) < 2 {
+			continue
+		}
+		for _, p := range b.Preds {
+			if idom[p] < 0 || idom[b.ID] < 0 {
+				continue
+			}
+			runner := p
+			for runner != idom[b.ID] {
+				if df[runner] == nil {
+					df[runner] = make(map[BlockID]bool)
+				}
+				df[runner][b.ID] = true
+				runner = idom[runner]
+			}
+		}
+	}
+	out := make([][]BlockID, len(g.Blocks))
+	for i, set := range df {
+		for id := range set {
+			out[i] = append(out[i], id)
+		}
+		sortBlockIDs(out[i])
+	}
+	return out
+}
+
+func sortBlockIDs(ids []BlockID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+// DomTreeChildren returns the children lists of the dominator tree, sorted
+// by ID for deterministic traversal.
+func DomTreeChildren(g *Graph, idom []BlockID) [][]BlockID {
+	children := make([][]BlockID, len(g.Blocks))
+	for _, b := range g.Blocks {
+		if b.ID == g.Entry() || idom[b.ID] < 0 {
+			continue
+		}
+		children[idom[b.ID]] = append(children[idom[b.ID]], b.ID)
+	}
+	for i := range children {
+		sortBlockIDs(children[i])
+	}
+	return children
+}

@@ -1,0 +1,183 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveDominators computes dominators by the textbook definition: block d
+// dominates b iff removing d makes b unreachable from entry. Used as a
+// reference for the fast algorithm.
+func naiveDominates(g *Graph, d, b BlockID) bool {
+	if d == b {
+		return true
+	}
+	// Reachability from entry avoiding d.
+	seen := make([]bool, len(g.Blocks))
+	var stack []BlockID
+	if g.Entry() != d {
+		stack = append(stack, g.Entry())
+		seen[g.Entry()] = true
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[id].Term.Succs {
+			if s == d || seen[s] {
+				continue
+			}
+			seen[s] = true
+			stack = append(stack, s)
+		}
+	}
+	return !seen[b]
+}
+
+// randomGraph builds a random connected CFG with n blocks.
+func randomGraph(r *rand.Rand, n int) *Graph {
+	g := &Graph{}
+	for i := 0; i < n; i++ {
+		g.Blocks = append(g.Blocks, &Block{ID: BlockID(i)})
+	}
+	for i := 0; i < n; i++ {
+		b := g.Blocks[i]
+		switch r.Intn(3) {
+		case 0:
+			b.Term = Terminator{Kind: TermExit}
+		case 1:
+			b.Term = Terminator{Kind: TermJump, Succs: []BlockID{BlockID(r.Intn(n))}}
+		default:
+			b.Instrs = append(b.Instrs, &Instr{Var: "c", Kind: OpEmpty})
+			b.Term = Terminator{
+				Kind: TermBranch, Cond: "c",
+				Succs: []BlockID{BlockID(r.Intn(n)), BlockID(r.Intn(n))},
+			}
+		}
+	}
+	// Drop unreachable blocks so every block participates.
+	removeUnreachable(g)
+	return g
+}
+
+func TestDominatorsAgainstNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		g := randomGraph(r, 2+r.Intn(12))
+		idom := Dominators(g)
+		for _, b := range g.Blocks {
+			if b.ID == g.Entry() {
+				if idom[b.ID] != g.Entry() {
+					t.Fatalf("trial %d: idom(entry) = %d", trial, idom[b.ID])
+				}
+				continue
+			}
+			d := idom[b.ID]
+			if d < 0 {
+				t.Fatalf("trial %d: reachable block b%d has no idom\n%s", trial, b.ID, g)
+			}
+			// The immediate dominator must dominate b...
+			if !naiveDominates(g, d, b.ID) {
+				t.Fatalf("trial %d: idom(b%d)=b%d does not dominate\n%s", trial, b.ID, d, g)
+			}
+			// ...and must be dominated by every other dominator of b
+			// (immediacy).
+			for _, c := range g.Blocks {
+				if c.ID == b.ID || c.ID == d {
+					continue
+				}
+				if naiveDominates(g, c.ID, b.ID) && !naiveDominates(g, c.ID, d) {
+					t.Fatalf("trial %d: b%d dominates b%d but not idom b%d\n%s", trial, c.ID, b.ID, d, g)
+				}
+			}
+		}
+	}
+}
+
+func TestDominatesHelper(t *testing.T) {
+	g := lowerSrc(t, `
+i = 0
+while (i < 3) {
+  if (i % 2 == 0) {
+    i = i + 2
+  } else {
+    i = i + 1
+  }
+}
+`)
+	idom := Dominators(g)
+	entry := g.Entry()
+	for _, b := range g.Blocks {
+		if !Dominates(idom, entry, b.ID) {
+			t.Errorf("entry does not dominate b%d", b.ID)
+		}
+		if !Dominates(idom, b.ID, b.ID) {
+			t.Errorf("b%d does not dominate itself", b.ID)
+		}
+	}
+}
+
+func TestDominanceFrontiersLoop(t *testing.T) {
+	// while loop: the header is in the dominance frontier of the body
+	// (backedge) and of itself.
+	g := lowerSrc(t, `
+i = 0
+while (i < 3) {
+  i = i + 1
+}
+`)
+	idom := Dominators(g)
+	df := DominanceFrontiers(g, idom)
+	// Find header: the block with a branch terminator.
+	var header, body BlockID = -1, -1
+	for _, b := range g.Blocks {
+		if b.Term.Kind == TermBranch {
+			header = b.ID
+			body = b.Term.Succs[0]
+		}
+	}
+	if header < 0 {
+		t.Fatalf("no branch block\n%s", g)
+	}
+	has := func(ids []BlockID, want BlockID) bool {
+		for _, id := range ids {
+			if id == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(df[body], header) {
+		t.Errorf("DF(body) = %v, want to contain header b%d", df[body], header)
+	}
+	if !has(df[header], header) {
+		t.Errorf("DF(header) = %v, want to contain header itself", df[header])
+	}
+}
+
+func TestDomTreeChildrenCoverAllBlocks(t *testing.T) {
+	g := lowerSrc(t, `
+a = 1
+if (a > 0) {
+  b = 1
+} else {
+  b = 2
+}
+while (b < 5) {
+  b = b + 1
+}
+`)
+	idom := Dominators(g)
+	children := DomTreeChildren(g, idom)
+	count := 1 // entry
+	var walk func(BlockID)
+	walk = func(id BlockID) {
+		for _, c := range children[id] {
+			count++
+			walk(c)
+		}
+	}
+	walk(g.Entry())
+	if count != g.NumBlocks() {
+		t.Errorf("dom tree covers %d of %d blocks", count, g.NumBlocks())
+	}
+}

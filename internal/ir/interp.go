@@ -1,0 +1,147 @@
+package ir
+
+import (
+	"fmt"
+
+	"github.com/mitos-project/mitos/internal/bag"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// Interp is the sequential reference interpreter for SSA graphs. It
+// executes one basic block at a time, following terminators, and gives the
+// ground-truth semantics that the distributed runtime must reproduce.
+type Interp struct {
+	// Store provides readFile/writeFile datasets.
+	Store store.Store
+	// MaxBlockVisits bounds execution to catch accidental infinite loops;
+	// 0 means the default of 1e7.
+	MaxBlockVisits int
+	// Trace, if non-nil, receives the sequence of executed block IDs — the
+	// "execution path" of the paper's coordination mechanism.
+	Trace *[]BlockID
+}
+
+// Run executes the SSA graph g against the interpreter's store.
+func (it *Interp) Run(g *Graph) error {
+	if !g.InSSA {
+		return fmt.Errorf("ir: interpreter requires an SSA graph (call ToSSA)")
+	}
+	limit := it.MaxBlockVisits
+	if limit == 0 {
+		limit = 1e7
+	}
+	env := make(map[string][]val.Value)
+	cur := g.Entry()
+	prev := BlockID(-1)
+	for visits := 0; ; visits++ {
+		if visits >= limit {
+			return fmt.Errorf("ir: execution exceeded %d block visits (infinite loop?)", limit)
+		}
+		if it.Trace != nil {
+			*it.Trace = append(*it.Trace, cur)
+		}
+		b := g.Blocks[cur]
+		for _, in := range b.Instrs {
+			out, err := it.exec(in, b, prev, env)
+			if err != nil {
+				return fmt.Errorf("ir: b%d: %s: %w", b.ID, in, err)
+			}
+			env[in.Var] = out
+		}
+		switch b.Term.Kind {
+		case TermExit:
+			return nil
+		case TermJump:
+			prev, cur = cur, b.Term.Succs[0]
+		case TermBranch:
+			cv, err := bag.Only(env[b.Term.Cond])
+			if err != nil {
+				return fmt.Errorf("ir: b%d: condition %s: %w", b.ID, b.Term.Cond, err)
+			}
+			if cv.Kind() != val.KindBool {
+				return fmt.Errorf("ir: b%d: condition %s is %s, want bool", b.ID, b.Term.Cond, cv.Kind())
+			}
+			if cv.AsBool() {
+				prev, cur = cur, b.Term.Succs[0]
+			} else {
+				prev, cur = cur, b.Term.Succs[1]
+			}
+		}
+	}
+}
+
+func (it *Interp) exec(in *Instr, blk *Block, prev BlockID, env map[string][]val.Value) ([]val.Value, error) {
+	arg := func(i int) []val.Value { return env[in.Args[i]] }
+	switch in.Kind {
+	case OpSingleton:
+		return []val.Value{in.Lit}, nil
+	case OpEmpty:
+		return nil, nil
+	case OpCopy:
+		return arg(0), nil
+	case OpMap:
+		return bag.Map(arg(0), in.F)
+	case OpFlatMap:
+		return bag.FlatMap(arg(0), in.F)
+	case OpFilter:
+		return bag.Filter(arg(0), in.F)
+	case OpJoin:
+		return bag.Join(arg(0), arg(1))
+	case OpReduceByKey:
+		return bag.ReduceByKey(arg(0), in.F)
+	case OpReduce:
+		return bag.Reduce(arg(0), in.F)
+	case OpSum:
+		return bag.Sum(arg(0))
+	case OpCount:
+		return bag.Count(arg(0)), nil
+	case OpDistinct:
+		return bag.Distinct(arg(0)), nil
+	case OpUnion:
+		return bag.Union(arg(0), arg(1)), nil
+	case OpCross:
+		return bag.Cross(arg(0), arg(1)), nil
+	case OpCombine:
+		inputs := make([][]val.Value, len(in.Args))
+		for i := range in.Args {
+			inputs[i] = arg(i)
+		}
+		return bag.Combine(inputs, in.F)
+	case OpReadFile:
+		name, err := singletonString(arg(0))
+		if err != nil {
+			return nil, err
+		}
+		return it.Store.ReadDataset(name)
+	case OpWriteFile:
+		name, err := singletonString(arg(1))
+		if err != nil {
+			return nil, err
+		}
+		if err := it.Store.WriteDataset(name, arg(0)); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	case OpPhi:
+		for i, p := range blk.Preds {
+			if p == prev {
+				return env[in.Args[i]], nil
+			}
+		}
+		return nil, fmt.Errorf("phi: no incoming edge from b%d", prev)
+	default:
+		return nil, fmt.Errorf("unknown op %s", in.Kind)
+	}
+}
+
+func singletonString(b []val.Value) (string, error) {
+	v, err := bag.Only(b)
+	if err != nil {
+		return "", err
+	}
+	if v.Kind() != val.KindString {
+		return "", fmt.Errorf("ir: file name is %s, want string", v.Kind())
+	}
+	return v.AsStr(), nil
+}

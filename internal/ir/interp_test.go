@@ -1,0 +1,194 @@
+package ir
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/bag"
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/testprog"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// DiffStores reports dataset-level differences between two stores
+// (bags compared as multisets). Exported to _test files of other packages
+// via copy; kept here for the interpreter differential.
+func diffStores(t *testing.T, want, got *store.MemStore) {
+	t.Helper()
+	wn, gn := want.Names(), got.Names()
+	if !reflect.DeepEqual(wn, gn) {
+		t.Errorf("dataset names differ:\n want %v\n got  %v", wn, gn)
+		return
+	}
+	for _, name := range wn {
+		we, _ := want.ReadDataset(name)
+		ge, _ := got.ReadDataset(name)
+		if !bag.Equal(we, ge) {
+			t.Errorf("dataset %q differs:\n want %v\n got  %v", name, bag.Sorted(we), bag.Sorted(ge))
+		}
+	}
+}
+
+func TestInterpMatchesASTOnCorpus(t *testing.T) {
+	for _, c := range testprog.Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			prog, err := lang.Parse(c.Src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if _, err := lang.Check(prog); err != nil {
+				t.Fatalf("check: %v", err)
+			}
+
+			astStore := store.NewMemStore()
+			if err := c.Setup(astStore); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			if err := RunAST(prog, astStore); err != nil {
+				t.Fatalf("AST interpreter: %v", err)
+			}
+
+			g, err := Lower(prog)
+			if err != nil {
+				t.Fatalf("lower: %v", err)
+			}
+			if err := ToSSA(g); err != nil {
+				t.Fatalf("ToSSA: %v", err)
+			}
+			ssaStore := store.NewMemStore()
+			if err := c.Setup(ssaStore); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+			it := &Interp{Store: ssaStore}
+			if err := it.Run(g); err != nil {
+				t.Fatalf("SSA interpreter: %v\n%s", err, g)
+			}
+			diffStores(t, astStore, ssaStore)
+		})
+	}
+}
+
+func TestInterpExecutionPathTrace(t *testing.T) {
+	g := ssaSrc(t, `
+day = 1
+do {
+  day = day + 1
+} while (day <= 3)
+`)
+	st := store.NewMemStore()
+	var trace []BlockID
+	it := &Interp{Store: st, Trace: &trace}
+	if err := it.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	// entry, body x3, after
+	if len(trace) != 5 {
+		t.Fatalf("trace = %v, want 5 visits", trace)
+	}
+	if trace[1] != trace[2] || trace[2] != trace[3] {
+		t.Errorf("loop body visits differ: %v", trace)
+	}
+}
+
+func TestInterpRequiresSSA(t *testing.T) {
+	g := lowerSrc(t, `x = 1`)
+	it := &Interp{Store: store.NewMemStore()}
+	if err := it.Run(g); err == nil || !strings.Contains(err.Error(), "SSA") {
+		t.Errorf("non-SSA graph accepted: %v", err)
+	}
+}
+
+func TestInterpInfiniteLoopGuard(t *testing.T) {
+	g := ssaSrc(t, `
+x = 1
+while (x > 0) {
+  x = x + 1
+}
+`)
+	it := &Interp{Store: store.NewMemStore(), MaxBlockVisits: 100}
+	if err := it.Run(g); err == nil || !strings.Contains(err.Error(), "infinite loop") {
+		t.Errorf("infinite loop not caught: %v", err)
+	}
+}
+
+func TestInterpRuntimeErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"missing dataset", `a = readFile("nope")
+a.writeFile("x")`, "not found"},
+		{"non-bool condition", `a = readFile("d")
+if (only(a.sum()) + 0 == 0) { x = 1 }`, ""}, // valid; control case
+		{"only on multi-element", `a = readFile("d")
+n = only(a) + 1
+newBag(n).writeFile("x")`, "holds 2 elements"},
+		{"join on non-pairs", `a = readFile("d")
+b = a.join(a)
+b.writeFile("x")`, "(key, value) pairs"},
+		{"filter non-bool", `a = readFile("d")
+b = a.filter(x => x + 1)
+b.writeFile("x")`, "predicate returned"},
+		{"combine multi-element", `a = readFile("d")
+x = only(a.map(v => v)) + 1
+newBag(x).writeFile("y")`, "holds 2 elements"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			st := store.NewMemStore()
+			st.WriteDataset("d", []val.Value{val.Int(1), val.Int(2)})
+			g := ssaSrc(t, c.src)
+			it := &Interp{Store: st}
+			err := it.Run(g)
+			if c.wantSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestRunASTErrors(t *testing.T) {
+	st := store.NewMemStore()
+	prog, err := lang.Parse(`a = readFile("nope")
+a.writeFile("x")`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAST(prog, st); err == nil {
+		t.Error("missing dataset not reported")
+	}
+}
+
+func TestInterpWriteReadRoundtripInsideLoop(t *testing.T) {
+	// A loop that writes a file then a later iteration reads it back:
+	// exercises the store as a side channel, matching the paper's
+	// observation that native Flink iterations cannot express this.
+	g := ssaSrc(t, `
+seed = readFile("f0")
+seed.writeFile("g1")
+for i = 1 to 3 {
+  d = readFile("g" + i)
+  d.map(x => x + 1).writeFile("g" + (i + 1))
+}
+`)
+	st := store.NewMemStore()
+	st.WriteDataset("f0", []val.Value{val.Int(0), val.Int(10)})
+	it := &Interp{Store: st}
+	if err := it.Run(g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ReadDataset("g4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bag.Equal(got, []val.Value{val.Int(3), val.Int(13)}) {
+		t.Errorf("g4 = %v", got)
+	}
+}

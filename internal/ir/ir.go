@@ -1,0 +1,377 @@
+// Package ir implements Mitos' compiler middle end: lowering of imperative
+// programs to a control-flow graph of simple bag operations, conversion to
+// static single assignment form (SSA), supporting analyses (dominators,
+// liveness, natural loops), and a sequential reference interpreter.
+//
+// The pipeline mirrors Sec. 4 of the paper:
+//
+//	lang.Program --Lower--> ir.Graph (basic blocks, one bag op per
+//	assignment, scalars wrapped into singleton bags)
+//	            --ToSSA--> ir.Graph in SSA (phi instructions at joins)
+//
+// The SSA graph abstracts away the specific control flow constructs: only
+// basic blocks and conditional jumps remain, which is what both the
+// dataflow translator (internal/core) and the runtime coordination rely on.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// BlockID identifies a basic block within a Graph.
+type BlockID int
+
+// OpKind enumerates the simple operations an instruction can perform.
+// After lowering, every assignment statement performs exactly one of these.
+type OpKind uint8
+
+// The operation kinds.
+const (
+	OpInvalid OpKind = iota
+	// OpSingleton produces a one-element bag holding the literal Lit.
+	OpSingleton
+	// OpEmpty produces the empty bag.
+	OpEmpty
+	// OpCopy forwards its input bag unchanged (`a = b`).
+	OpCopy
+	// OpMap applies F to every element.
+	OpMap
+	// OpFlatMap applies F to every element; the resulting tuple's fields
+	// are emitted as individual elements.
+	OpFlatMap
+	// OpFilter keeps elements for which F returns true.
+	OpFilter
+	// OpJoin joins two bags of (key, value) pairs on the key, producing
+	// (key, leftValue, rightValue) triples. Args[0] is the build side for
+	// the hash join, Args[1] the probe side.
+	OpJoin
+	// OpReduceByKey groups (key, value) pairs by key and folds the values
+	// of each group with F, producing one (key, folded) pair per group.
+	OpReduceByKey
+	// OpReduce folds all elements with F into a singleton bag
+	// (the empty bag stays empty).
+	OpReduce
+	// OpSum sums numeric elements into a singleton (empty input sums to 0).
+	OpSum
+	// OpCount counts elements into a singleton.
+	OpCount
+	// OpDistinct removes duplicate elements.
+	OpDistinct
+	// OpUnion is multiset union (concatenation) of two bags.
+	OpUnion
+	// OpCross is the cartesian product of two bags, as (left, right) pairs.
+	OpCross
+	// OpCombine consumes one singleton bag per argument and applies F to
+	// the elements, producing a singleton. Scalar expressions lower to it.
+	OpCombine
+	// OpReadFile reads the dataset named by the singleton string bag Args[0].
+	OpReadFile
+	// OpWriteFile writes bag Args[0] to the dataset named by the singleton
+	// string bag Args[1]. It defines a dummy variable.
+	OpWriteFile
+	// OpPhi selects among Args according to the incoming control-flow edge;
+	// Args are aligned with the containing block's Preds. Only present
+	// after ToSSA.
+	OpPhi
+)
+
+var opNames = [...]string{
+	OpInvalid: "invalid", OpSingleton: "singleton", OpEmpty: "empty",
+	OpCopy: "copy", OpMap: "map", OpFlatMap: "flatMap", OpFilter: "filter",
+	OpJoin: "join", OpReduceByKey: "reduceByKey", OpReduce: "reduce",
+	OpSum: "sum", OpCount: "count", OpDistinct: "distinct", OpUnion: "union",
+	OpCross: "cross", OpCombine: "combine", OpReadFile: "readFile",
+	OpWriteFile: "writeFile", OpPhi: "phi",
+}
+
+// String returns the operation's name.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// HasUDF reports whether instructions of this kind carry a UDF.
+func (k OpKind) HasUDF() bool {
+	switch k {
+	case OpMap, OpFlatMap, OpFilter, OpReduceByKey, OpReduce, OpCombine:
+		return true
+	}
+	return false
+}
+
+// IsBinary reports whether the kind takes exactly two bag inputs with
+// distinct roles (left/right).
+func (k OpKind) IsBinary() bool {
+	switch k {
+	case OpJoin, OpUnion, OpCross:
+		return true
+	}
+	return false
+}
+
+// Instr is one simple instruction: it defines variable Var by applying the
+// operation to the referenced argument variables.
+type Instr struct {
+	Var  string    // defined variable (unique program-wide after ToSSA)
+	Kind OpKind    //
+	Args []string  // referenced variables, order significant
+	F    *lang.UDF // user function, for kinds with HasUDF
+	Lit  val.Value // literal, for OpSingleton
+}
+
+// String renders the instruction, e.g. `counts = reduceByKey(visitsMapped)`.
+func (in *Instr) String() string {
+	var b strings.Builder
+	b.WriteString(in.Var)
+	b.WriteString(" = ")
+	b.WriteString(in.Kind.String())
+	switch in.Kind {
+	case OpSingleton:
+		fmt.Fprintf(&b, "(%s)", in.Lit)
+	default:
+		b.WriteByte('(')
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a)
+		}
+		b.WriteByte(')')
+	}
+	if in.F != nil {
+		fmt.Fprintf(&b, " [%s]", in.F)
+	}
+	return b.String()
+}
+
+// TermKind classifies a block terminator.
+type TermKind uint8
+
+// Terminator kinds.
+const (
+	// TermJump unconditionally continues at Succs[0].
+	TermJump TermKind = iota
+	// TermBranch continues at Succs[0] if the condition variable holds
+	// true, else at Succs[1].
+	TermBranch
+	// TermExit ends the program.
+	TermExit
+)
+
+// Terminator is the control transfer at the end of a basic block.
+type Terminator struct {
+	Kind  TermKind
+	Cond  string    // condition variable (singleton bool bag), for TermBranch
+	Succs []BlockID // successor blocks: 1 for jump, 2 for branch (true, false)
+}
+
+// String renders the terminator.
+func (t Terminator) String() string {
+	switch t.Kind {
+	case TermJump:
+		return fmt.Sprintf("jump b%d", t.Succs[0])
+	case TermBranch:
+		return fmt.Sprintf("branch %s ? b%d : b%d", t.Cond, t.Succs[0], t.Succs[1])
+	case TermExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(t.Kind))
+	}
+}
+
+// Block is a basic block: straight-line instructions plus one terminator.
+type Block struct {
+	ID     BlockID
+	Instrs []*Instr
+	Term   Terminator
+	Preds  []BlockID // predecessor blocks; phi Args align with this order
+}
+
+// Graph is the control-flow graph of a lowered program. Entry is always
+// block 0. After ToSSA, every variable has exactly one defining instruction.
+type Graph struct {
+	Blocks []*Block
+	// InSSA records whether ToSSA has run.
+	InSSA bool
+}
+
+// Entry returns the entry block's ID (always 0).
+func (g *Graph) Entry() BlockID { return 0 }
+
+// Block returns the block with the given ID.
+func (g *Graph) Block(id BlockID) *Block { return g.Blocks[id] }
+
+// NumBlocks returns the number of basic blocks.
+func (g *Graph) NumBlocks() int { return len(g.Blocks) }
+
+// ComputePreds recomputes every block's predecessor list from the
+// terminators. Predecessors are ordered by (predecessor ID, successor slot)
+// so the order is deterministic.
+func (g *Graph) ComputePreds() {
+	for _, b := range g.Blocks {
+		b.Preds = b.Preds[:0]
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Term.Succs {
+			blk := g.Blocks[s]
+			// A block can appear twice as a successor (branch with both
+			// targets equal); record it once per edge.
+			blk.Preds = append(blk.Preds, b.ID)
+		}
+	}
+}
+
+// Defs returns a map from variable name to its defining instructions.
+// After ToSSA every variable maps to exactly one instruction.
+func (g *Graph) Defs() map[string][]*Instr {
+	defs := make(map[string][]*Instr)
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			defs[in.Var] = append(defs[in.Var], in)
+		}
+	}
+	return defs
+}
+
+// DefBlocks returns a map from variable name to the IDs of blocks that
+// define it.
+func (g *Graph) DefBlocks() map[string][]BlockID {
+	defs := make(map[string][]BlockID)
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			ids := defs[in.Var]
+			if len(ids) == 0 || ids[len(ids)-1] != b.ID {
+				defs[in.Var] = append(ids, b.ID)
+			}
+		}
+	}
+	return defs
+}
+
+// String renders the whole graph in a stable textual form used by tests
+// and the mitos-dot tool.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&b, "b%d:", blk.ID)
+		if len(blk.Preds) > 0 {
+			b.WriteString(" ; preds")
+			for _, p := range blk.Preds {
+				fmt.Fprintf(&b, " b%d", p)
+			}
+		}
+		b.WriteByte('\n')
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in)
+		}
+		fmt.Fprintf(&b, "  %s\n", blk.Term)
+	}
+	return b.String()
+}
+
+// ReversePostorder returns the block IDs in reverse postorder of a
+// depth-first search from the entry. Unreachable blocks are excluded.
+func (g *Graph) ReversePostorder() []BlockID {
+	seen := make([]bool, len(g.Blocks))
+	var order []BlockID
+	var dfs func(BlockID)
+	dfs = func(id BlockID) {
+		seen[id] = true
+		for _, s := range g.Blocks[id].Term.Succs {
+			if !seen[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, id)
+	}
+	dfs(g.Entry())
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Validate checks structural invariants of the graph: terminator arity,
+// in-range successors, phi/pred alignment, and (when InSSA) the single
+// assignment property with every use reachable from a def. It returns the
+// first violation found.
+func (g *Graph) Validate() error {
+	if len(g.Blocks) == 0 {
+		return fmt.Errorf("ir: graph has no blocks")
+	}
+	for i, b := range g.Blocks {
+		if b.ID != BlockID(i) {
+			return fmt.Errorf("ir: block at index %d has ID %d", i, b.ID)
+		}
+		switch b.Term.Kind {
+		case TermJump:
+			if len(b.Term.Succs) != 1 {
+				return fmt.Errorf("ir: b%d: jump with %d successors", b.ID, len(b.Term.Succs))
+			}
+		case TermBranch:
+			if len(b.Term.Succs) != 2 {
+				return fmt.Errorf("ir: b%d: branch with %d successors", b.ID, len(b.Term.Succs))
+			}
+			if b.Term.Cond == "" {
+				return fmt.Errorf("ir: b%d: branch without condition variable", b.ID)
+			}
+		case TermExit:
+			if len(b.Term.Succs) != 0 {
+				return fmt.Errorf("ir: b%d: exit with successors", b.ID)
+			}
+		default:
+			return fmt.Errorf("ir: b%d: unknown terminator kind", b.ID)
+		}
+		for _, s := range b.Term.Succs {
+			if s < 0 || int(s) >= len(g.Blocks) {
+				return fmt.Errorf("ir: b%d: successor b%d out of range", b.ID, s)
+			}
+		}
+		for _, in := range b.Instrs {
+			if in.Var == "" {
+				return fmt.Errorf("ir: b%d: instruction without variable: %s", b.ID, in)
+			}
+			if in.Kind.HasUDF() && in.F == nil {
+				return fmt.Errorf("ir: b%d: %s without UDF", b.ID, in)
+			}
+			if in.Kind == OpPhi && len(in.Args) != len(b.Preds) {
+				return fmt.Errorf("ir: b%d: phi %s has %d args for %d preds", b.ID, in.Var, len(in.Args), len(b.Preds))
+			}
+		}
+	}
+	if g.InSSA {
+		return g.validateSSA()
+	}
+	return nil
+}
+
+func (g *Graph) validateSSA() error {
+	defs := make(map[string]bool)
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if defs[in.Var] {
+				return fmt.Errorf("ir: SSA violation: %s assigned more than once", in.Var)
+			}
+			defs[in.Var] = true
+		}
+	}
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !defs[a] {
+					return fmt.Errorf("ir: b%d: %s references undefined %s", b.ID, in.Var, a)
+				}
+			}
+		}
+		if b.Term.Kind == TermBranch && !defs[b.Term.Cond] {
+			return fmt.Errorf("ir: b%d: branch on undefined %s", b.ID, b.Term.Cond)
+		}
+	}
+	return nil
+}

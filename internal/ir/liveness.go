@@ -1,0 +1,62 @@
+package ir
+
+// Liveness computes the live-in variable sets of every block by backward
+// iteration to a fixpoint. It is used to prune SSA phi placement: a phi for
+// variable v is only inserted at blocks where v is live-in, which (together
+// with lang.Check's definite-assignment guarantee) ensures every phi
+// operand has a definition.
+func Liveness(g *Graph) []map[string]bool {
+	n := len(g.Blocks)
+	use := make([]map[string]bool, n)
+	def := make([]map[string]bool, n)
+	for i, b := range g.Blocks {
+		use[i] = make(map[string]bool)
+		def[i] = make(map[string]bool)
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !def[i][a] {
+					use[i][a] = true
+				}
+			}
+			def[i][in.Var] = true
+		}
+		if b.Term.Kind == TermBranch && !def[i][b.Term.Cond] {
+			use[i][b.Term.Cond] = true
+		}
+	}
+	liveIn := make([]map[string]bool, n)
+	liveOut := make([]map[string]bool, n)
+	for i := range liveIn {
+		liveIn[i] = make(map[string]bool)
+		liveOut[i] = make(map[string]bool)
+	}
+	for changed := true; changed; {
+		changed = false
+		// Iterate in reverse block order for faster convergence; order does
+		// not affect the fixpoint.
+		for i := n - 1; i >= 0; i-- {
+			b := g.Blocks[i]
+			for _, s := range b.Term.Succs {
+				for v := range liveIn[s] {
+					if !liveOut[i][v] {
+						liveOut[i][v] = true
+						changed = true
+					}
+				}
+			}
+			for v := range use[i] {
+				if !liveIn[i][v] {
+					liveIn[i][v] = true
+					changed = true
+				}
+			}
+			for v := range liveOut[i] {
+				if !def[i][v] && !liveIn[i][v] {
+					liveIn[i][v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn
+}

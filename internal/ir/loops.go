@@ -1,0 +1,188 @@
+package ir
+
+// Natural-loop analysis: back edges, loop membership, nesting, and
+// loop-invariant value detection. The runtime does not need this analysis
+// (the bag-identifier protocol handles any control flow uniformly), but it
+// identifies where loop-invariant hoisting applies — used by tests, the
+// mitos-dot tool, and the experiment documentation.
+
+// Loop is one natural loop.
+type Loop struct {
+	// Header is the loop header (target of the back edge).
+	Header BlockID
+	// Blocks are the loop's members (including the header), sorted.
+	Blocks []BlockID
+	// Parent is the index of the innermost enclosing loop in Loops.Loops,
+	// or -1 for a top-level loop.
+	Parent int
+	// Depth is the nesting depth (1 = top-level loop).
+	Depth int
+}
+
+// Loops is the result of loop analysis.
+type Loops struct {
+	Loops []Loop
+	// loopOf[b] is the index of the innermost loop containing block b,
+	// or -1.
+	loopOf []int
+}
+
+// InnermostLoop returns the index into Loops of the innermost loop
+// containing b, or -1 if b is not in any loop.
+func (l *Loops) InnermostLoop(b BlockID) int { return l.loopOf[b] }
+
+// Contains reports whether loop li contains block b (including nested
+// loops' blocks).
+func (l *Loops) Contains(li int, b BlockID) bool {
+	for i := l.loopOf[b]; i >= 0; i = l.Loops[i].Parent {
+		if i == li {
+			return true
+		}
+	}
+	return false
+}
+
+// AnalyzeLoops finds the natural loops of g. Loops sharing a header are
+// merged (as usual for natural loops). The graph must be reducible, which
+// holds for everything Lower produces from structured control flow.
+func AnalyzeLoops(g *Graph) *Loops {
+	idom := Dominators(g)
+	n := len(g.Blocks)
+
+	// Collect back edges: b -> h where h dominates b.
+	bodies := make(map[BlockID]map[BlockID]bool) // header -> members
+	for _, b := range g.Blocks {
+		for _, s := range b.Term.Succs {
+			if !Dominates(idom, s, b.ID) {
+				continue
+			}
+			h := s
+			if bodies[h] == nil {
+				bodies[h] = map[BlockID]bool{h: true}
+			}
+			// Walk predecessors backwards from the back-edge source until
+			// the header.
+			stack := []BlockID{b.ID}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if bodies[h][x] {
+					continue
+				}
+				bodies[h][x] = true
+				for _, p := range g.Blocks[x].Preds {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+
+	out := &Loops{loopOf: make([]int, n)}
+	for i := range out.loopOf {
+		out.loopOf[i] = -1
+	}
+	// Deterministic order: by header ID.
+	var headers []BlockID
+	for h := range bodies {
+		headers = append(headers, h)
+	}
+	sortBlockIDs(headers)
+	for _, h := range headers {
+		var members []BlockID
+		for b := range bodies[h] {
+			members = append(members, b)
+		}
+		sortBlockIDs(members)
+		out.Loops = append(out.Loops, Loop{Header: h, Blocks: members, Parent: -1})
+	}
+	// Nesting: loop A is nested in B if B's body contains A's header and
+	// A != B. The innermost such B (smallest body) is the parent.
+	for i := range out.Loops {
+		parent, parentSize := -1, n+1
+		for j := range out.Loops {
+			if i == j {
+				continue
+			}
+			if bodies[out.Loops[j].Header][out.Loops[i].Header] && len(out.Loops[j].Blocks) < parentSize &&
+				len(out.Loops[j].Blocks) > len(out.Loops[i].Blocks) {
+				parent, parentSize = j, len(out.Loops[j].Blocks)
+			}
+		}
+		out.Loops[i].Parent = parent
+	}
+	for i := range out.Loops {
+		d := 1
+		for p := out.Loops[i].Parent; p >= 0; p = out.Loops[p].Parent {
+			d++
+		}
+		out.Loops[i].Depth = d
+	}
+	// Innermost loop per block: the loop with the smallest body containing
+	// the block.
+	for _, blk := range g.Blocks {
+		best, bestSize := -1, n+1
+		for i, lp := range out.Loops {
+			if bodies[lp.Header][blk.ID] && len(lp.Blocks) < bestSize {
+				best, bestSize = i, len(lp.Blocks)
+			}
+		}
+		out.loopOf[blk.ID] = best
+	}
+	return out
+}
+
+// InvariantEdge describes a dataflow edge whose consumer re-executes in a
+// loop while its producer does not: the value is loop-invariant for that
+// loop, and if the consumer is a join's build side, hoisting keeps its
+// hash table across the loop's steps.
+type InvariantEdge struct {
+	Consumer *Instr
+	// Slot is the consumer's input slot fed by the invariant value.
+	Slot     int
+	Producer *Instr
+	// Loop is the index of the consumer's innermost loop in Loops.Loops.
+	Loop int
+	// HoistableJoinBuild marks the case the paper's Sec. 5.3 optimizes:
+	// the invariant value is the build side (slot 0) of a join.
+	HoistableJoinBuild bool
+}
+
+// FindInvariantEdges returns, for an SSA graph, every edge from a producer
+// outside a loop to a consumer inside it (phi inputs excluded: they select
+// per-iteration values by design).
+func FindInvariantEdges(g *Graph, loops *Loops) []InvariantEdge {
+	defBlock := make(map[string]BlockID)
+	defInstr := make(map[string]*Instr)
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			defBlock[in.Var] = b.ID
+			defInstr[in.Var] = in
+		}
+	}
+	var out []InvariantEdge
+	for _, b := range g.Blocks {
+		li := loops.InnermostLoop(b.ID)
+		if li < 0 {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Kind == OpPhi {
+				continue
+			}
+			for slot, a := range in.Args {
+				pb, ok := defBlock[a]
+				if !ok || loops.Contains(li, pb) {
+					continue
+				}
+				out = append(out, InvariantEdge{
+					Consumer:           in,
+					Slot:               slot,
+					Producer:           defInstr[a],
+					Loop:               li,
+					HoistableJoinBuild: in.Kind == OpJoin && slot == 0,
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package ir
+
+import (
+	"testing"
+)
+
+func TestAnalyzeLoopsSingle(t *testing.T) {
+	g := ssaSrc(t, `
+i = 0
+while (i < 3) {
+  i = i + 1
+}
+`)
+	loops := AnalyzeLoops(g)
+	if len(loops.Loops) != 1 {
+		t.Fatalf("loops = %d, want 1\n%s", len(loops.Loops), g)
+	}
+	lp := loops.Loops[0]
+	if lp.Depth != 1 || lp.Parent != -1 {
+		t.Errorf("loop depth/parent = %d/%d", lp.Depth, lp.Parent)
+	}
+	// Header must be the branch block.
+	hdr := g.Blocks[lp.Header]
+	if hdr.Term.Kind != TermBranch {
+		t.Errorf("header b%d is not a branch", lp.Header)
+	}
+	// Entry and after blocks are outside.
+	if loops.InnermostLoop(g.Entry()) != -1 {
+		t.Error("entry classified inside loop")
+	}
+}
+
+func TestAnalyzeLoopsNested(t *testing.T) {
+	g := ssaSrc(t, `
+i = 0
+while (i < 3) {
+  j = 0
+  while (j < 2) {
+    j = j + 1
+  }
+  i = i + 1
+}
+`)
+	loops := AnalyzeLoops(g)
+	if len(loops.Loops) != 2 {
+		t.Fatalf("loops = %d, want 2\n%s", len(loops.Loops), g)
+	}
+	var outer, inner *Loop
+	for i := range loops.Loops {
+		switch loops.Loops[i].Depth {
+		case 1:
+			outer = &loops.Loops[i]
+		case 2:
+			inner = &loops.Loops[i]
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("depths = %+v", loops.Loops)
+	}
+	if loops.Loops[inner.Parent].Header != outer.Header {
+		t.Errorf("inner's parent is not the outer loop")
+	}
+	if len(outer.Blocks) <= len(inner.Blocks) {
+		t.Errorf("outer body (%d) not larger than inner (%d)", len(outer.Blocks), len(inner.Blocks))
+	}
+	// Every inner block is contained in the outer loop too.
+	for _, b := range inner.Blocks {
+		if !loops.Contains(loopIndex(loops, outer.Header), b) {
+			t.Errorf("inner block b%d not in outer loop", b)
+		}
+	}
+}
+
+func loopIndex(l *Loops, header BlockID) int {
+	for i := range l.Loops {
+		if l.Loops[i].Header == header {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestAnalyzeLoopsTripleNesting(t *testing.T) {
+	g := ssaSrc(t, `
+a = 0
+while (a < 2) {
+  b = 0
+  while (b < 2) {
+    for c = 1 to 2 {
+      x = c
+    }
+    b = b + 1
+  }
+  a = a + 1
+}
+`)
+	loops := AnalyzeLoops(g)
+	if len(loops.Loops) != 3 {
+		t.Fatalf("loops = %d, want 3", len(loops.Loops))
+	}
+	maxDepth := 0
+	for _, lp := range loops.Loops {
+		if lp.Depth > maxDepth {
+			maxDepth = lp.Depth
+		}
+	}
+	if maxDepth != 3 {
+		t.Errorf("max depth = %d, want 3", maxDepth)
+	}
+}
+
+func TestAnalyzeLoopsNone(t *testing.T) {
+	g := ssaSrc(t, `
+a = readFile("f")
+if (only(a.count()) > 0) {
+  b = a.map(x => x)
+} else {
+  b = a
+}
+b.writeFile("out")
+`)
+	loops := AnalyzeLoops(g)
+	if len(loops.Loops) != 0 {
+		t.Fatalf("loops = %d, want 0", len(loops.Loops))
+	}
+	for _, b := range g.Blocks {
+		if loops.InnermostLoop(b.ID) != -1 {
+			t.Errorf("b%d classified inside a loop", b.ID)
+		}
+	}
+}
+
+func TestFindInvariantEdgesHoistableJoin(t *testing.T) {
+	g := ssaSrc(t, `
+static = readFile("static")
+day = 1
+do {
+  dyn = readFile("dyn" + day)
+  j = static.join(dyn)
+  j.count().writeFile("c" + day)
+  day = day + 1
+} while (day <= 3)
+`)
+	loops := AnalyzeLoops(g)
+	edges := FindInvariantEdges(g, loops)
+	var hoistable []InvariantEdge
+	for _, e := range edges {
+		if e.HoistableJoinBuild {
+			hoistable = append(hoistable, e)
+		}
+	}
+	if len(hoistable) != 1 {
+		t.Fatalf("hoistable join builds = %d, want 1 (edges: %+v)\n%s", len(hoistable), edges, g)
+	}
+	if OrigName(hoistable[0].Producer.Var) != "static" {
+		t.Errorf("hoistable producer = %s", hoistable[0].Producer.Var)
+	}
+	if hoistable[0].Consumer.Kind != OpJoin {
+		t.Errorf("consumer kind = %s", hoistable[0].Consumer.Kind)
+	}
+}
+
+func TestFindInvariantEdgesDynamicBuildNotHoistable(t *testing.T) {
+	g := ssaSrc(t, `
+static = readFile("static")
+day = 1
+do {
+  dyn = readFile("dyn" + day)
+  j = dyn.join(static)
+  j.count().writeFile("c" + day)
+  day = day + 1
+} while (day <= 3)
+`)
+	loops := AnalyzeLoops(g)
+	for _, e := range FindInvariantEdges(g, loops) {
+		if e.HoistableJoinBuild {
+			t.Errorf("dynamic build side reported hoistable: %+v", e)
+		}
+	}
+}
+
+func TestFindInvariantEdgesPhiExcluded(t *testing.T) {
+	g := ssaSrc(t, `
+acc = empty()
+i = 0
+while (i < 3) {
+  acc = acc.union(readFile("f" + i))
+  i = i + 1
+}
+acc.writeFile("out")
+`)
+	loops := AnalyzeLoops(g)
+	for _, e := range FindInvariantEdges(g, loops) {
+		if e.Consumer.Kind == OpPhi {
+			t.Errorf("phi reported as invariant consumer: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,581 @@
+package ir
+
+import (
+	"fmt"
+
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// Lower translates a checked imperative program into a control-flow graph
+// of simple operations (paper Sec. 4.1):
+//
+//   - compound right-hand sides are split so every instruction performs one
+//     bag operation;
+//   - scalar variables (loop counters, file names, ...) are wrapped into
+//     one-element bags: scalar expressions become OpCombine instructions
+//     over singleton bags;
+//   - control flow statements become basic blocks with conditional jumps;
+//     every branch condition is computed by an instruction in the branching
+//     block itself (the future condition node).
+//
+// The input program must have passed lang.Check; Lower returns an error for
+// constructs Check would reject, but its messages are less precise.
+func Lower(prog *lang.Program) (*Graph, error) {
+	lo := &lowerer{
+		graph:    &Graph{},
+		varTypes: make(map[string]lang.Type),
+	}
+	lo.cur = lo.newBlock()
+	if err := lo.lowerStmts(prog.Stmts); err != nil {
+		return nil, err
+	}
+	lo.cur.Term = Terminator{Kind: TermExit}
+	SimplifyCFG(lo.graph)
+	lo.graph.ComputePreds()
+	if err := lo.graph.Validate(); err != nil {
+		return nil, fmt.Errorf("ir: lowering produced invalid graph: %w", err)
+	}
+	return lo.graph, nil
+}
+
+type lowerer struct {
+	graph    *Graph
+	cur      *Block
+	varTypes map[string]lang.Type
+	nTemp    int
+	// loops is the stack of enclosing loop targets for break/continue.
+	loops []loopTargets
+}
+
+// loopTargets are the jump destinations of the innermost loop:
+// continue jumps to the loop's test, break to the block after the loop.
+type loopTargets struct {
+	test  BlockID
+	after BlockID
+}
+
+func (lo *lowerer) newBlock() *Block {
+	b := &Block{ID: BlockID(len(lo.graph.Blocks))}
+	lo.graph.Blocks = append(lo.graph.Blocks, b)
+	return b
+}
+
+func (lo *lowerer) emit(in *Instr) *Instr {
+	lo.cur.Instrs = append(lo.cur.Instrs, in)
+	return in
+}
+
+// fresh returns a variable name that cannot collide with source
+// identifiers ('$' is not a legal identifier character).
+func (lo *lowerer) fresh(prefix string) string {
+	lo.nTemp++
+	return fmt.Sprintf("$%s%d", prefix, lo.nTemp)
+}
+
+func (lo *lowerer) typeOf(e lang.Expr) lang.Type {
+	return lang.StaticType(e, func(name string) lang.Type { return lo.varTypes[name] })
+}
+
+func (lo *lowerer) lowerStmts(stmts []lang.Stmt) error {
+	for _, s := range stmts {
+		if err := lo.lowerStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (lo *lowerer) lowerStmt(s lang.Stmt) error {
+	switch s := s.(type) {
+	case *lang.AssignStmt:
+		return lo.lowerAssign(s.Name, s.RHS)
+	case *lang.IfStmt:
+		return lo.lowerIf(s)
+	case *lang.WhileStmt:
+		return lo.lowerWhile(s)
+	case *lang.ForStmt:
+		return lo.lowerFor(s)
+	case *lang.ExprStmt:
+		m, ok := s.X.(*lang.Method)
+		if !ok || m.Name != "writeFile" {
+			return fmt.Errorf("ir: %s: only writeFile may be used as a statement", s.StmtPos())
+		}
+		return lo.lowerWrite(m)
+	case *lang.BreakStmt:
+		return lo.lowerLoopJump(s.StmtPos(), "break")
+	case *lang.ContinueStmt:
+		return lo.lowerLoopJump(s.StmtPos(), "continue")
+	default:
+		return fmt.Errorf("ir: unknown statement %T", s)
+	}
+}
+
+// lowerAssign lowers `name = rhs`. If the lowering of rhs emitted a fresh
+// top-level instruction, that instruction is renamed to define name
+// directly (avoiding a copy); a plain variable reference becomes an OpCopy
+// instruction — a real dataflow node, as in the paper's Fig. 3
+// (yesterdayCnts3 = counts).
+func (lo *lowerer) lowerAssign(name string, rhs lang.Expr) error {
+	v, top, err := lo.lowerExpr(rhs)
+	if err != nil {
+		return err
+	}
+	if top != nil {
+		top.Var = name
+	} else {
+		lo.emit(&Instr{Var: name, Kind: OpCopy, Args: []string{v}})
+	}
+	lo.varTypes[name] = lo.typeOf(rhs)
+	return nil
+}
+
+// lowerExpr lowers a bag or scalar expression, returning the variable that
+// holds the result and, when a fresh instruction was emitted as the
+// expression's top-level operation, that instruction.
+func (lo *lowerer) lowerExpr(e lang.Expr) (string, *Instr, error) {
+	if lo.typeOf(e) == lang.TypeBag {
+		return lo.lowerBag(e)
+	}
+	return lo.lowerScalar(e)
+}
+
+// lowerBag lowers a bag-typed expression.
+func (lo *lowerer) lowerBag(e lang.Expr) (string, *Instr, error) {
+	switch e := e.(type) {
+	case *lang.Ident:
+		return e.Name, nil, nil
+	case *lang.Call:
+		switch e.Fn {
+		case "readFile":
+			nv, _, err := lo.lowerScalarVar(e.Args[0])
+			if err != nil {
+				return "", nil, err
+			}
+			in := lo.emit(&Instr{Var: lo.fresh("t"), Kind: OpReadFile, Args: []string{nv}})
+			return in.Var, in, nil
+		case "newBag":
+			// The wrapped scalar already is a singleton bag.
+			return lo.lowerScalar(e.Args[0])
+		case "empty":
+			in := lo.emit(&Instr{Var: lo.fresh("t"), Kind: OpEmpty})
+			return in.Var, in, nil
+		default:
+			return "", nil, fmt.Errorf("ir: %s: %s is not a bag constructor", e.Pos, e.Fn)
+		}
+	case *lang.Method:
+		return lo.lowerMethod(e)
+	default:
+		return "", nil, fmt.Errorf("ir: cannot lower %T as a bag expression", e)
+	}
+}
+
+func (lo *lowerer) lowerMethod(e *lang.Method) (string, *Instr, error) {
+	recv, _, err := lo.lowerBag(e.Recv)
+	if err != nil {
+		return "", nil, err
+	}
+	kindOf := map[string]OpKind{
+		"map": OpMap, "flatMap": OpFlatMap, "filter": OpFilter,
+		"reduceByKey": OpReduceByKey, "reduce": OpReduce,
+		"join": OpJoin, "union": OpUnion, "cross": OpCross,
+		"sum": OpSum, "count": OpCount, "distinct": OpDistinct,
+	}
+	kind, ok := kindOf[e.Name]
+	if !ok {
+		return "", nil, fmt.Errorf("ir: %s: unknown bag operation %s", e.Pos, e.Name)
+	}
+	instr := &Instr{Var: lo.fresh("t"), Kind: kind, Args: []string{recv}}
+	if kind.HasUDF() {
+		f, err := lang.MakeUDF(e.Args[0])
+		if err != nil {
+			return "", nil, err
+		}
+		instr.F = f
+	} else if kind.IsBinary() {
+		other, _, err := lo.lowerBag(e.Args[0])
+		if err != nil {
+			return "", nil, err
+		}
+		instr.Args = append(instr.Args, other)
+	}
+	lo.emit(instr)
+	return instr.Var, instr, nil
+}
+
+func (lo *lowerer) lowerWrite(m *lang.Method) error {
+	data, _, err := lo.lowerBag(m.Recv)
+	if err != nil {
+		return err
+	}
+	name, _, err := lo.lowerScalarVar(m.Args[0])
+	if err != nil {
+		return err
+	}
+	lo.emit(&Instr{Var: lo.fresh("w"), Kind: OpWriteFile, Args: []string{data, name}})
+	return nil
+}
+
+// lowerScalar lowers a scalar expression into singleton-bag instructions.
+func (lo *lowerer) lowerScalar(e lang.Expr) (string, *Instr, error) {
+	switch e := e.(type) {
+	case *lang.Ident:
+		return e.Name, nil, nil
+	case *lang.Lit:
+		in := lo.emit(&Instr{Var: lo.fresh("t"), Kind: OpSingleton, Lit: e.V})
+		return in.Var, in, nil
+	}
+	rw := &scalarRewriter{lo: lo, paramFor: make(map[string]string)}
+	body, err := rw.rewrite(e)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(rw.inputs) == 0 {
+		// Constant expression: fold it now when possible.
+		if v, err := lang.EvalScalar(body, func(string) (val.Value, bool) {
+			return val.Value{}, false
+		}); err == nil {
+			in := lo.emit(&Instr{Var: lo.fresh("t"), Kind: OpSingleton, Lit: v})
+			return in.Var, in, nil
+		}
+		// Evaluation failed (e.g. division by zero): defer to runtime.
+	}
+	f, err := lang.MakeUDF(&lang.Lambda{Params: rw.params, Body: body})
+	if err != nil {
+		return "", nil, err
+	}
+	in := lo.emit(&Instr{Var: lo.fresh("t"), Kind: OpCombine, Args: rw.inputs, F: f})
+	return in.Var, in, nil
+}
+
+// lowerScalarVar is lowerScalar but guarantees the result names a variable
+// (it never returns an inline literal).
+func (lo *lowerer) lowerScalarVar(e lang.Expr) (string, *Instr, error) {
+	return lo.lowerScalar(e)
+}
+
+// scalarRewriter clones a scalar expression, replacing references to
+// program variables and only(...) sub-expressions with lambda parameters.
+// The rewritten expression becomes the body of the OpCombine UDF.
+type scalarRewriter struct {
+	lo       *lowerer
+	params   []string
+	inputs   []string          // variable names, aligned with params
+	paramFor map[string]string // input variable -> parameter name
+}
+
+func (r *scalarRewriter) bind(input string) string {
+	if p, ok := r.paramFor[input]; ok {
+		return p
+	}
+	p := fmt.Sprintf("p%d", len(r.params))
+	r.paramFor[input] = p
+	r.params = append(r.params, p)
+	r.inputs = append(r.inputs, input)
+	return p
+}
+
+func (r *scalarRewriter) rewrite(e lang.Expr) (lang.Expr, error) {
+	switch e := e.(type) {
+	case *lang.Lit:
+		return e, nil
+	case *lang.Ident:
+		return &lang.Ident{Pos: e.Pos, Name: r.bind(e.Name)}, nil
+	case *lang.Unary:
+		x, err := r.rewrite(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &lang.Unary{Pos: e.Pos, Op: e.Op, X: x}, nil
+	case *lang.Binary:
+		x, err := r.rewrite(e.X)
+		if err != nil {
+			return nil, err
+		}
+		y, err := r.rewrite(e.Y)
+		if err != nil {
+			return nil, err
+		}
+		return &lang.Binary{Pos: e.Pos, Op: e.Op, X: x, Y: y}, nil
+	case *lang.Call:
+		if e.Fn == "only" {
+			// Lower the bag argument, then bind its (singleton) value.
+			v, _, err := r.lo.lowerBag(e.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			return &lang.Ident{Pos: e.Pos, Name: r.bind(v)}, nil
+		}
+		args := make([]lang.Expr, len(e.Args))
+		for i, a := range e.Args {
+			x, err := r.rewrite(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = x
+		}
+		return &lang.Call{Pos: e.Pos, Fn: e.Fn, Args: args}, nil
+	case *lang.TupleExpr:
+		elems := make([]lang.Expr, len(e.Elems))
+		for i, el := range e.Elems {
+			x, err := r.rewrite(el)
+			if err != nil {
+				return nil, err
+			}
+			elems[i] = x
+		}
+		return &lang.TupleExpr{Pos: e.Pos, Elems: elems}, nil
+	case *lang.Field:
+		x, err := r.rewrite(e.X)
+		if err != nil {
+			return nil, err
+		}
+		return &lang.Field{Pos: e.Pos, X: x, Index: e.Index}, nil
+	default:
+		return nil, fmt.Errorf("ir: unexpected %T in scalar expression", e)
+	}
+}
+
+// lowerCond lowers a branch condition, guaranteeing the condition-defining
+// instruction sits in the current (branching) block: that instruction
+// becomes the condition node driving the control-flow decision at runtime.
+func (lo *lowerer) lowerCond(e lang.Expr) (string, error) {
+	v, top, err := lo.lowerScalar(e)
+	if err != nil {
+		return "", err
+	}
+	if top != nil {
+		return v, nil
+	}
+	// Bare variable reference: materialize a condition node in this block.
+	in := lo.emit(&Instr{Var: lo.fresh("cond"), Kind: OpCopy, Args: []string{v}})
+	return in.Var, nil
+}
+
+// lowerLoopJump terminates the current block with a jump to the innermost
+// loop's test (continue) or exit (break). Lowering continues in a fresh,
+// unreachable block — the checker guarantees no reachable statements
+// follow, and SimplifyCFG drops the placeholder.
+func (lo *lowerer) lowerLoopJump(pos lang.Pos, kind string) error {
+	if len(lo.loops) == 0 {
+		return fmt.Errorf("ir: %s: %s outside a loop", pos, kind)
+	}
+	t := lo.loops[len(lo.loops)-1]
+	target := t.after
+	if kind == "continue" {
+		target = t.test
+	}
+	lo.cur.Term = Terminator{Kind: TermJump, Succs: []BlockID{target}}
+	lo.cur = lo.newBlock()
+	return nil
+}
+
+func (lo *lowerer) lowerIf(s *lang.IfStmt) error {
+	cond, err := lo.lowerCond(s.Cond)
+	if err != nil {
+		return err
+	}
+	branchBlock := lo.cur
+
+	thenB := lo.newBlock()
+	lo.cur = thenB
+	if err := lo.lowerStmts(s.Then); err != nil {
+		return err
+	}
+	thenEnd := lo.cur
+
+	var elseB, elseEnd *Block
+	if len(s.Else) > 0 {
+		elseB = lo.newBlock()
+		lo.cur = elseB
+		if err := lo.lowerStmts(s.Else); err != nil {
+			return err
+		}
+		elseEnd = lo.cur
+	}
+
+	join := lo.newBlock()
+	thenEnd.Term = Terminator{Kind: TermJump, Succs: []BlockID{join.ID}}
+	if elseB != nil {
+		branchBlock.Term = Terminator{Kind: TermBranch, Cond: cond, Succs: []BlockID{thenB.ID, elseB.ID}}
+		elseEnd.Term = Terminator{Kind: TermJump, Succs: []BlockID{join.ID}}
+	} else {
+		branchBlock.Term = Terminator{Kind: TermBranch, Cond: cond, Succs: []BlockID{thenB.ID, join.ID}}
+	}
+	lo.cur = join
+	return nil
+}
+
+func (lo *lowerer) lowerWhile(s *lang.WhileStmt) error {
+	if s.PostTest {
+		return lo.lowerDoWhile(s)
+	}
+	header := lo.newBlock()
+	after := lo.newBlock()
+	lo.cur.Term = Terminator{Kind: TermJump, Succs: []BlockID{header.ID}}
+	lo.cur = header
+	cond, err := lo.lowerCond(s.Cond)
+	if err != nil {
+		return err
+	}
+	// The condition may have been lowered across blocks only for bag
+	// sub-expressions, which stay in one block; header is still current.
+	body := lo.newBlock()
+	lo.cur = body
+	lo.loops = append(lo.loops, loopTargets{test: header.ID, after: after.ID})
+	err = lo.lowerStmts(s.Body)
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	if err != nil {
+		return err
+	}
+	lo.cur.Term = Terminator{Kind: TermJump, Succs: []BlockID{header.ID}}
+	header.Term = Terminator{Kind: TermBranch, Cond: cond, Succs: []BlockID{body.ID, after.ID}}
+	lo.cur = after
+	return nil
+}
+
+// lowerDoWhile gives the post-test loop a dedicated test block so that
+// continue can jump to the condition. Without break/continue in the body,
+// SimplifyCFG merges the test block back into the body.
+func (lo *lowerer) lowerDoWhile(s *lang.WhileStmt) error {
+	body := lo.newBlock()
+	test := lo.newBlock()
+	after := lo.newBlock()
+	lo.cur.Term = Terminator{Kind: TermJump, Succs: []BlockID{body.ID}}
+	lo.cur = body
+	lo.loops = append(lo.loops, loopTargets{test: test.ID, after: after.ID})
+	err := lo.lowerStmts(s.Body)
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	if err != nil {
+		return err
+	}
+	lo.cur.Term = Terminator{Kind: TermJump, Succs: []BlockID{test.ID}}
+	lo.cur = test
+	cond, err := lo.lowerCond(s.Cond)
+	if err != nil {
+		return err
+	}
+	lo.cur.Term = Terminator{Kind: TermBranch, Cond: cond, Succs: []BlockID{body.ID, after.ID}}
+	lo.cur = after
+	return nil
+}
+
+// lowerFor desugars `for v = from to lim { body }` into
+//
+//	v = from - 1
+//	$lim = lim                        // evaluated once
+//	while (v < $lim) { v = v + 1; body }
+//
+// Incrementing at the top of the body (rather than the bottom) makes
+// continue correct — it jumps to the loop test with the increment already
+// applied — and leaves v holding the last iterated value after the loop,
+// matching the reference interpreter.
+func (lo *lowerer) lowerFor(s *lang.ForStmt) error {
+	if err := lo.lowerAssign(s.Var, lang.Sub(s.From, lang.IntLit(1))); err != nil {
+		return err
+	}
+	limVar := lo.fresh("lim")
+	if err := lo.lowerAssign(limVar, s.To); err != nil {
+		return err
+	}
+	body := append([]lang.Stmt{
+		&lang.AssignStmt{Pos: s.Pos, Name: s.Var, RHS: lang.Add(lang.Var(s.Var), lang.IntLit(1))},
+	}, s.Body...)
+	loop := &lang.WhileStmt{
+		Pos:  s.Pos,
+		Cond: lang.Lt(lang.Var(s.Var), lang.Var(limVar)),
+		Body: body,
+	}
+	return lo.lowerWhile(loop)
+}
+
+// SimplifyCFG removes unreachable blocks and merges straight-line block
+// chains (A ending in an unconditional jump to B, where B's only
+// predecessor is A). It must run before SSA conversion (it does not update
+// phi instructions) and renumbers blocks.
+func SimplifyCFG(g *Graph) {
+	for {
+		merged := mergeChains(g)
+		removed := removeUnreachable(g)
+		if !merged && !removed {
+			return
+		}
+	}
+}
+
+func mergeChains(g *Graph) bool {
+	// Count predecessors.
+	npreds := make([]int, len(g.Blocks))
+	reach := reachable(g)
+	for _, b := range g.Blocks {
+		if !reach[b.ID] {
+			continue
+		}
+		for _, s := range b.Term.Succs {
+			npreds[s]++
+		}
+	}
+	changed := false
+	for _, a := range g.Blocks {
+		if !reach[a.ID] {
+			continue
+		}
+		for a.Term.Kind == TermJump {
+			bID := a.Term.Succs[0]
+			if bID == a.ID || npreds[bID] != 1 {
+				break
+			}
+			b := g.Blocks[bID]
+			a.Instrs = append(a.Instrs, b.Instrs...)
+			a.Term = b.Term
+			b.Instrs = nil
+			b.Term = Terminator{Kind: TermJump, Succs: []BlockID{a.ID}} // now unreachable
+			reach[bID] = false
+			changed = true
+		}
+	}
+	return changed
+}
+
+func reachable(g *Graph) []bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []BlockID{g.Entry()}
+	seen[g.Entry()] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range g.Blocks[id].Term.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func removeUnreachable(g *Graph) bool {
+	seen := reachable(g)
+	remap := make([]BlockID, len(g.Blocks))
+	var kept []*Block
+	for _, b := range g.Blocks {
+		if seen[b.ID] {
+			remap[b.ID] = BlockID(len(kept))
+			kept = append(kept, b)
+		} else {
+			remap[b.ID] = -1
+		}
+	}
+	if len(kept) == len(g.Blocks) {
+		return false
+	}
+	for _, b := range kept {
+		b.ID = remap[b.ID]
+		for i, s := range b.Term.Succs {
+			b.Term.Succs[i] = remap[s]
+		}
+	}
+	g.Blocks = kept
+	g.ComputePreds()
+	return true
+}

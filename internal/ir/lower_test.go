@@ -1,0 +1,354 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/testprog"
+)
+
+func lowerSrc(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := lang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := lang.Check(prog); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	g, err := Lower(prog)
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return g
+}
+
+func ssaSrc(t *testing.T, src string) *Graph {
+	t.Helper()
+	g := lowerSrc(t, src)
+	if err := ToSSA(g); err != nil {
+		t.Fatalf("ToSSA: %v", err)
+	}
+	return g
+}
+
+func TestLowerStraightLine(t *testing.T) {
+	g := lowerSrc(t, `
+visits = readFile("log")
+counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b)
+counts.writeFile("out")
+`)
+	if g.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d, want 1\n%s", g.NumBlocks(), g)
+	}
+	b := g.Block(0)
+	if b.Term.Kind != TermExit {
+		t.Fatalf("terminator = %v", b.Term)
+	}
+	// singleton("log"), readFile, map, reduceByKey, singleton("out"), write
+	kinds := []OpKind{OpSingleton, OpReadFile, OpMap, OpReduceByKey, OpSingleton, OpWriteFile}
+	if len(b.Instrs) != len(kinds) {
+		t.Fatalf("instrs = %d, want %d\n%s", len(b.Instrs), len(kinds), g)
+	}
+	for i, k := range kinds {
+		if b.Instrs[i].Kind != k {
+			t.Errorf("instr %d = %s, want %s", i, b.Instrs[i].Kind, k)
+		}
+	}
+	// The compound RHS is split; reduceByKey's instruction is renamed to
+	// the assignment target.
+	if b.Instrs[3].Var != "counts" {
+		t.Errorf("reduceByKey defines %q, want counts", b.Instrs[3].Var)
+	}
+	if b.Instrs[2].Var == "counts" {
+		t.Error("map instruction stole the assignment name")
+	}
+}
+
+func TestLowerCopyForPlainAssignment(t *testing.T) {
+	g := lowerSrc(t, `
+a = readFile("f")
+b = a
+`)
+	b0 := g.Block(0)
+	last := b0.Instrs[len(b0.Instrs)-1]
+	if last.Kind != OpCopy || last.Var != "b" || last.Args[0] != "a" {
+		t.Errorf("plain assignment lowered to %s, want b = copy(a)", last)
+	}
+}
+
+func TestLowerDoWhileShape(t *testing.T) {
+	g := lowerSrc(t, `
+day = 1
+do {
+  day = day + 1
+} while (day <= 3)
+`)
+	// Expect: entry (day=1) -> body (day=day+1, cond, branch body/after) -> after(exit)
+	if g.NumBlocks() != 3 {
+		t.Fatalf("blocks = %d, want 3\n%s", g.NumBlocks(), g)
+	}
+	body := g.Block(1)
+	if body.Term.Kind != TermBranch {
+		t.Fatalf("body terminator = %v", body.Term)
+	}
+	if body.Term.Succs[0] != body.ID {
+		t.Errorf("branch true target = b%d, want the body itself", body.Term.Succs[0])
+	}
+	// The condition variable must be defined in the branching block itself.
+	found := false
+	for _, in := range body.Instrs {
+		if in.Var == body.Term.Cond {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("condition %s not defined in branching block\n%s", body.Term.Cond, g)
+	}
+}
+
+func TestLowerWhileShape(t *testing.T) {
+	g := lowerSrc(t, `
+i = 0
+while (i < 3) {
+  i = i + 1
+}
+i2 = i + 1
+`)
+	// entry -> header(cond, branch) -> body -> header; after
+	if g.NumBlocks() != 4 {
+		t.Fatalf("blocks = %d, want 4\n%s", g.NumBlocks(), g)
+	}
+	header := g.Block(1)
+	if header.Term.Kind != TermBranch {
+		t.Fatalf("header term = %v\n%s", header.Term, g)
+	}
+	body := g.Block(BlockID(header.Term.Succs[0]))
+	if body.Term.Kind != TermJump || body.Term.Succs[0] != header.ID {
+		t.Errorf("body does not jump back to header: %v", body.Term)
+	}
+}
+
+func TestLowerIfShape(t *testing.T) {
+	g := lowerSrc(t, `
+a = readFile("f")
+n = only(a.count())
+if (n > 3) {
+  b = a.map(x => x)
+} else {
+  b = a.filter(x => true)
+}
+b.writeFile("out")
+`)
+	entry := g.Block(0)
+	if entry.Term.Kind != TermBranch {
+		t.Fatalf("entry term = %v\n%s", entry.Term, g)
+	}
+	thenB, elseB := g.Block(entry.Term.Succs[0]), g.Block(entry.Term.Succs[1])
+	if thenB.Term.Kind != TermJump || elseB.Term.Kind != TermJump {
+		t.Fatalf("branch targets do not rejoin:\n%s", g)
+	}
+	if thenB.Term.Succs[0] != elseB.Term.Succs[0] {
+		t.Fatalf("then and else join different blocks:\n%s", g)
+	}
+	join := g.Block(thenB.Term.Succs[0])
+	if join.Term.Kind != TermExit {
+		t.Errorf("join term = %v", join.Term)
+	}
+}
+
+func TestLowerIfWithoutElse(t *testing.T) {
+	g := lowerSrc(t, `
+x = 1
+if (x > 0) {
+  x = 2
+}
+y = x
+`)
+	entry := g.Block(0)
+	if entry.Term.Kind != TermBranch {
+		t.Fatalf("entry term = %v", entry.Term)
+	}
+	// False edge goes straight to the join block.
+	join := entry.Term.Succs[1]
+	thenB := g.Block(entry.Term.Succs[0])
+	if thenB.Term.Succs[0] != join {
+		t.Errorf("then does not rejoin the false target")
+	}
+}
+
+func TestLowerForDesugar(t *testing.T) {
+	g := lowerSrc(t, `
+for i = 1 to 3 {
+  x = newBag(i)
+  x.writeFile("f" + i)
+}
+`)
+	// Desugars to a while loop: 4 blocks (entry, header, body, after).
+	if g.NumBlocks() != 4 {
+		t.Fatalf("blocks = %d, want 4\n%s", g.NumBlocks(), g)
+	}
+	if err := ToSSA(g); err != nil {
+		t.Fatalf("ToSSA: %v", err)
+	}
+}
+
+func TestLowerConstantFolding(t *testing.T) {
+	g := lowerSrc(t, `x = 1 + 2 * 3`)
+	in := g.Block(0).Instrs[0]
+	if in.Kind != OpSingleton || !strings.Contains(in.String(), "7") {
+		t.Errorf("constant expression lowered to %s, want singleton(7)", in)
+	}
+}
+
+func TestLowerConditionUsesCombine(t *testing.T) {
+	g := lowerSrc(t, `
+day = 1
+do {
+  day = day + 1
+} while (day <= 3)
+`)
+	body := g.Block(1)
+	var cond *Instr
+	for _, in := range body.Instrs {
+		if in.Var == body.Term.Cond {
+			cond = in
+		}
+	}
+	if cond == nil || cond.Kind != OpCombine {
+		t.Fatalf("condition instr = %v, want combine", cond)
+	}
+	if len(cond.Args) != 1 || cond.Args[0] != "day" {
+		t.Errorf("condition args = %v, want [day]", cond.Args)
+	}
+}
+
+func TestLowerBareVarCondition(t *testing.T) {
+	g := lowerSrc(t, `
+flag = true
+if (flag) {
+  x = 1
+}
+`)
+	entry := g.Block(0)
+	var cond *Instr
+	for _, in := range entry.Instrs {
+		if in.Var == entry.Term.Cond {
+			cond = in
+		}
+	}
+	if cond == nil {
+		t.Fatalf("condition defined outside branching block\n%s", g)
+	}
+	if cond.Kind != OpCopy {
+		t.Errorf("bare-variable condition lowered to %s, want copy", cond.Kind)
+	}
+}
+
+func TestLowerOnlyInScalarExpr(t *testing.T) {
+	g := lowerSrc(t, `
+a = readFile("f")
+n = only(a.sum()) + 1
+`)
+	b := g.Block(0)
+	// singleton("f"), readFile, sum, combine
+	var combine *Instr
+	for _, in := range b.Instrs {
+		if in.Kind == OpCombine {
+			combine = in
+		}
+	}
+	if combine == nil {
+		t.Fatalf("no combine instr:\n%s", g)
+	}
+	if combine.Var != "n" || len(combine.Args) != 1 {
+		t.Errorf("combine = %s", combine)
+	}
+}
+
+func TestLowerScalarMultiVar(t *testing.T) {
+	g := lowerSrc(t, `
+a = 1
+b = 2
+c = a + b * a
+`)
+	b0 := g.Block(0)
+	last := b0.Instrs[len(b0.Instrs)-1]
+	if last.Kind != OpCombine || last.Var != "c" {
+		t.Fatalf("c lowered to %s", last)
+	}
+	// a appears twice in the expression but is bound once.
+	if len(last.Args) != 2 {
+		t.Errorf("combine args = %v, want 2 distinct inputs", last.Args)
+	}
+}
+
+func TestLowerCorpusValidates(t *testing.T) {
+	for _, c := range testprog.Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			g := lowerSrc(t, c.Src)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("validate: %v\n%s", err, g)
+			}
+		})
+	}
+}
+
+func TestSimplifyCFGRemovesUnreachable(t *testing.T) {
+	g := &Graph{}
+	b0 := &Block{ID: 0, Term: Terminator{Kind: TermExit}}
+	b1 := &Block{ID: 1, Term: Terminator{Kind: TermJump, Succs: []BlockID{0}}} // unreachable
+	g.Blocks = []*Block{b0, b1}
+	SimplifyCFG(g)
+	if g.NumBlocks() != 1 {
+		t.Fatalf("blocks after simplify = %d, want 1", g.NumBlocks())
+	}
+}
+
+func TestSimplifyCFGMergesChains(t *testing.T) {
+	mk := func(id BlockID, term Terminator, vars ...string) *Block {
+		b := &Block{ID: id, Term: term}
+		for _, v := range vars {
+			b.Instrs = append(b.Instrs, &Instr{Var: v, Kind: OpEmpty})
+		}
+		return b
+	}
+	g := &Graph{Blocks: []*Block{
+		mk(0, Terminator{Kind: TermJump, Succs: []BlockID{1}}, "a"),
+		mk(1, Terminator{Kind: TermJump, Succs: []BlockID{2}}, "b"),
+		mk(2, Terminator{Kind: TermExit}, "c"),
+	}}
+	SimplifyCFG(g)
+	if g.NumBlocks() != 1 {
+		t.Fatalf("blocks = %d, want 1\n%s", g.NumBlocks(), g)
+	}
+	if len(g.Block(0).Instrs) != 3 {
+		t.Fatalf("instrs = %d, want 3", len(g.Block(0).Instrs))
+	}
+}
+
+func TestValidateCatchesBrokenGraphs(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *Graph
+	}{
+		{"no blocks", &Graph{}},
+		{"jump arity", &Graph{Blocks: []*Block{{ID: 0, Term: Terminator{Kind: TermJump}}}}},
+		{"branch without cond", &Graph{Blocks: []*Block{{ID: 0, Term: Terminator{Kind: TermBranch, Succs: []BlockID{0, 0}}}}}},
+		{"succ out of range", &Graph{Blocks: []*Block{{ID: 0, Term: Terminator{Kind: TermJump, Succs: []BlockID{5}}}}}},
+		{"bad block id", &Graph{Blocks: []*Block{{ID: 3, Term: Terminator{Kind: TermExit}}}}},
+		{"udf missing", &Graph{Blocks: []*Block{{
+			ID:     0,
+			Instrs: []*Instr{{Var: "x", Kind: OpMap, Args: []string{"y"}}},
+			Term:   Terminator{Kind: TermExit},
+		}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.g.Validate(); err == nil {
+				t.Error("Validate accepted a broken graph")
+			}
+		})
+	}
+}

@@ -1,0 +1,165 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ToSSA converts the graph to pruned static single assignment form
+// (paper Sec. 4.2): every variable gets exactly one defining instruction,
+// and OpPhi instructions select among the definitions reaching a join from
+// different control-flow paths. Versioned names use the form "name.N".
+//
+// After ToSSA, g.InSSA is true and Validate additionally checks the single
+// assignment property.
+func ToSSA(g *Graph) error {
+	if g.InSSA {
+		return fmt.Errorf("ir: ToSSA called twice")
+	}
+	g.ComputePreds()
+	idom := Dominators(g)
+	df := DominanceFrontiers(g, idom)
+	liveIn := Liveness(g)
+	defBlocks := g.DefBlocks()
+
+	// Deterministic variable order.
+	vars := make([]string, 0, len(defBlocks))
+	for v := range defBlocks {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+
+	// Phi insertion at the iterated dominance frontier, pruned by liveness.
+	for _, v := range vars {
+		placed := make(map[BlockID]bool)
+		work := append([]BlockID{}, defBlocks[v]...)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, y := range df[b] {
+				if placed[y] || !liveIn[y][v] {
+					continue
+				}
+				placed[y] = true
+				blk := g.Blocks[y]
+				phi := &Instr{Var: v, Kind: OpPhi, Args: make([]string, len(blk.Preds))}
+				blk.Instrs = append([]*Instr{phi}, blk.Instrs...)
+				work = append(work, y)
+			}
+		}
+	}
+
+	// Renaming via dominator-tree walk.
+	rn := &renamer{
+		g:        g,
+		counter:  make(map[string]int),
+		stacks:   make(map[string][]string),
+		children: DomTreeChildren(g, idom),
+	}
+	if err := rn.rename(g.Entry()); err != nil {
+		return err
+	}
+	g.InSSA = true
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("ir: SSA conversion produced invalid graph: %w", err)
+	}
+	return nil
+}
+
+type renamer struct {
+	g        *Graph
+	counter  map[string]int
+	stacks   map[string][]string
+	children [][]BlockID
+}
+
+func (rn *renamer) push(orig string) string {
+	rn.counter[orig]++
+	name := fmt.Sprintf("%s.%d", orig, rn.counter[orig])
+	rn.stacks[orig] = append(rn.stacks[orig], name)
+	return name
+}
+
+func (rn *renamer) top(orig string) (string, bool) {
+	s := rn.stacks[orig]
+	if len(s) == 0 {
+		return "", false
+	}
+	return s[len(s)-1], true
+}
+
+func (rn *renamer) rename(id BlockID) error {
+	b := rn.g.Blocks[id]
+	npushed := make(map[string]int)
+
+	for _, in := range b.Instrs {
+		// Rewrite uses first (not for phis: their args are filled from the
+		// predecessors below).
+		if in.Kind != OpPhi {
+			for i, a := range in.Args {
+				cur, ok := rn.top(a)
+				if !ok {
+					return fmt.Errorf("ir: variable %s used in b%d without a dominating definition", a, id)
+				}
+				in.Args[i] = cur
+			}
+		}
+		orig := in.Var
+		in.Var = rn.push(orig)
+		npushed[orig]++
+	}
+	if b.Term.Kind == TermBranch {
+		cur, ok := rn.top(b.Term.Cond)
+		if !ok {
+			return fmt.Errorf("ir: condition %s in b%d without a dominating definition", b.Term.Cond, id)
+		}
+		b.Term.Cond = cur
+	}
+
+	// Fill phi operands of successors for the edges leaving this block.
+	for _, s := range b.Term.Succs {
+		succ := rn.g.Blocks[s]
+		for _, in := range succ.Instrs {
+			if in.Kind != OpPhi {
+				break // phis are at the front
+			}
+			orig := phiOrigName(in.Var)
+			for i, p := range succ.Preds {
+				if p != id || in.Args[i] != "" {
+					continue
+				}
+				cur, ok := rn.top(orig)
+				if !ok {
+					return fmt.Errorf("ir: phi for %s in b%d: no definition reaches the edge from b%d", orig, s, id)
+				}
+				in.Args[i] = cur
+			}
+		}
+	}
+
+	for _, c := range rn.children[id] {
+		if err := rn.rename(c); err != nil {
+			return err
+		}
+	}
+
+	for orig, n := range npushed {
+		rn.stacks[orig] = rn.stacks[orig][:len(rn.stacks[orig])-n]
+	}
+	return nil
+}
+
+// phiOrigName strips the SSA version suffix a renamed phi carries, giving
+// back the original variable name. Phi instructions are renamed when
+// visited, but successors' phis are filled using original names.
+func phiOrigName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// OrigName returns the source variable name underlying an SSA name
+// ("day.2" -> "day"). Synthetic temporaries keep their "$..." names.
+func OrigName(ssaName string) string { return phiOrigName(ssaName) }

@@ -1,0 +1,239 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/testprog"
+)
+
+func TestToSSASingleAssignment(t *testing.T) {
+	for _, c := range testprog.Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			g := ssaSrc(t, c.Src)
+			seen := make(map[string]bool)
+			for _, b := range g.Blocks {
+				for _, in := range b.Instrs {
+					if seen[in.Var] {
+						t.Errorf("%s assigned twice", in.Var)
+					}
+					seen[in.Var] = true
+				}
+			}
+		})
+	}
+}
+
+func TestToSSAUsesDominatedByDefs(t *testing.T) {
+	for _, c := range testprog.Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			g := ssaSrc(t, c.Src)
+			idom := Dominators(g)
+			defBlock := make(map[string]BlockID)
+			defIndex := make(map[string]int)
+			for _, b := range g.Blocks {
+				for i, in := range b.Instrs {
+					defBlock[in.Var] = b.ID
+					defIndex[in.Var] = i
+				}
+			}
+			for _, b := range g.Blocks {
+				for i, in := range b.Instrs {
+					if in.Kind == OpPhi {
+						// Phi operands must be defined somewhere (checked by
+						// Validate); dominance is per-edge, checked below.
+						continue
+					}
+					for _, a := range in.Args {
+						db := defBlock[a]
+						if db == b.ID {
+							if defIndex[a] >= i {
+								t.Errorf("b%d: %s uses %s defined later in the block", b.ID, in.Var, a)
+							}
+							continue
+						}
+						if !Dominates(idom, db, b.ID) {
+							t.Errorf("b%d: use of %s not dominated by its def in b%d", b.ID, a, db)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestToSSAPhiOperandsDominateIncomingEdges(t *testing.T) {
+	for _, c := range testprog.Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			g := ssaSrc(t, c.Src)
+			idom := Dominators(g)
+			defBlock := make(map[string]BlockID)
+			for _, b := range g.Blocks {
+				for _, in := range b.Instrs {
+					defBlock[in.Var] = b.ID
+				}
+			}
+			for _, b := range g.Blocks {
+				for _, in := range b.Instrs {
+					if in.Kind != OpPhi {
+						continue
+					}
+					for i, a := range in.Args {
+						pred := b.Preds[i]
+						if !Dominates(idom, defBlock[a], pred) {
+							t.Errorf("b%d: phi %s operand %s (def b%d) does not dominate pred b%d",
+								b.ID, in.Var, a, defBlock[a], pred)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestToSSAVisitCountStructure(t *testing.T) {
+	// The paper's running example (Fig. 3): the do-while body must contain
+	// phis for yesterdayCounts and day.
+	g := ssaSrc(t, `
+yesterdayCounts = empty()
+day = 1
+do {
+  visits = readFile("pageVisitLog" + day)
+  counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b)
+  if (day != 1) {
+    diffs = counts.join(yesterdayCounts).map(t => abs(t.1 - t.2))
+    diffs.sum().writeFile("diff" + day)
+  }
+  yesterdayCounts = counts
+  day = day + 1
+} while (day <= 365)
+`)
+	var phiVars []string
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == OpPhi {
+				phiVars = append(phiVars, OrigName(in.Var))
+			}
+		}
+	}
+	want := map[string]bool{"yesterdayCounts": false, "day": false}
+	for _, v := range phiVars {
+		if _, ok := want[v]; ok {
+			want[v] = true
+		}
+	}
+	for v, found := range want {
+		if !found {
+			t.Errorf("no phi for %s; phis: %v\n%s", v, phiVars, g)
+		}
+	}
+}
+
+func TestToSSAPassThroughPhi(t *testing.T) {
+	// If only one branch reassigns, the phi must merge the new and the old
+	// version.
+	g := ssaSrc(t, `
+x = 1
+flag = true
+if (flag) {
+  x = 2
+}
+y = x + 1
+`)
+	var phi *Instr
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == OpPhi && OrigName(in.Var) == "x" {
+				phi = in
+			}
+		}
+	}
+	if phi == nil {
+		t.Fatalf("no phi for x\n%s", g)
+	}
+	if len(phi.Args) != 2 {
+		t.Fatalf("phi args = %v", phi.Args)
+	}
+	if phi.Args[0] == phi.Args[1] {
+		t.Errorf("phi merges identical versions: %v", phi.Args)
+	}
+}
+
+func TestToSSANoPhiForSingleDef(t *testing.T) {
+	// A loop-invariant variable defined once needs no phi.
+	g := ssaSrc(t, `
+static = readFile("s")
+i = 0
+while (i < 3) {
+  z = static.map(x => x)
+  i = i + 1
+}
+`)
+	for _, b := range g.Blocks {
+		for _, in := range b.Instrs {
+			if in.Kind == OpPhi && OrigName(in.Var) == "static" {
+				t.Errorf("unnecessary phi for loop-invariant static\n%s", g)
+			}
+		}
+	}
+}
+
+func TestToSSATwiceFails(t *testing.T) {
+	g := ssaSrc(t, `x = 1`)
+	if err := ToSSA(g); err == nil {
+		t.Error("second ToSSA did not fail")
+	}
+}
+
+func TestOrigName(t *testing.T) {
+	cases := map[string]string{
+		"day.2":  "day",
+		"day":    "day",
+		"$t12.1": "$t12",
+		"a.b":    "a", // only the last dot is a version separator
+	}
+	for in, want := range cases {
+		if got := OrigName(in); got != want {
+			t.Errorf("OrigName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSSAConditionDefinedInBranchBlock(t *testing.T) {
+	// Runtime coordination requires every branch condition to be computed
+	// by an instruction in the branching block itself.
+	for _, c := range testprog.Cases() {
+		t.Run(c.Name, func(t *testing.T) {
+			g := ssaSrc(t, c.Src)
+			for _, b := range g.Blocks {
+				if b.Term.Kind != TermBranch {
+					continue
+				}
+				found := false
+				for _, in := range b.Instrs {
+					if in.Var == b.Term.Cond {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("b%d: condition %s not defined in the branching block\n%s", b.ID, b.Term.Cond, g)
+				}
+			}
+		})
+	}
+}
+
+func TestSSAStringRendering(t *testing.T) {
+	g := ssaSrc(t, `
+x = 1
+do {
+  x = x + 1
+} while (x <= 3)
+`)
+	s := g.String()
+	for _, want := range []string{"phi(", "branch", "singleton(1)", "preds"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("graph dump missing %q:\n%s", want, s)
+		}
+	}
+}

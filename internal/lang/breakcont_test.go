@@ -1,0 +1,145 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBreakContinue(t *testing.T) {
+	p := mustParse(t, `
+i = 0
+while (i < 10) {
+  i = i + 1
+  if (i == 3) {
+    continue
+  }
+  if (i > 7) {
+    break
+  }
+}
+`)
+	f := Format(p)
+	if !strings.Contains(f, "break\n") || !strings.Contains(f, "continue\n") {
+		t.Errorf("format lost break/continue:\n%s", f)
+	}
+	// Fixpoint.
+	p2, err := Parse(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Format(p2) != f {
+		t.Error("format not a fixpoint with break/continue")
+	}
+}
+
+func TestCheckBreakContinueRules(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"break outside loop", `break`, "outside a loop"},
+		{"continue outside loop", `x = 1
+continue`, "outside a loop"},
+		{"break in if outside loop", `x = 1
+if (x > 0) {
+  break
+}`, "outside a loop"},
+		{"unreachable after break", `i = 0
+while (i < 3) {
+  break
+  i = i + 1
+}`, "unreachable"},
+		{"unreachable after continue", `i = 0
+while (i < 3) {
+  i = i + 1
+  continue
+  i = i + 2
+}`, "unreachable"},
+		{"break ok", `i = 0
+while (i < 3) {
+  i = i + 1
+  if (i == 2) {
+    break
+  }
+}`, ""},
+		{"continue in do-while ok", `i = 0
+do {
+  i = i + 1
+  if (i == 2) {
+    continue
+  }
+  x = 1
+} while (i < 4)`, ""},
+		{"assignment after possible break not definite", `i = 0
+do {
+  i = i + 1
+  if (i == 1) {
+    break
+  }
+  y = 5
+} while (i < 3)
+z = y`, "used before assignment"},
+		{"assignment before break is definite in do-while", `i = 0
+do {
+  w = 7
+  i = i + 1
+  if (i == 1) {
+    break
+  }
+} while (i < 3)
+z = w`, "used before assignment"}, // conservative: any break voids the body's contribution
+		{"both branches terminate", `i = 0
+while (i < 3) {
+  if (i == 0) {
+    break
+  } else {
+    continue
+  }
+}`, ""},
+		{"code after fully-terminating if", `i = 0
+while (i < 3) {
+  if (i == 0) {
+    break
+  } else {
+    continue
+  }
+  i = i + 1
+}`, "unreachable"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := checkSrc(t, c.src)
+			if c.wantSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error = %v, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCheckBreakBindsInnermost(t *testing.T) {
+	// Break in the inner loop must not count as a jump of the outer
+	// do-while, whose body still contributes to definite assignment.
+	src := `
+i = 0
+do {
+  j = 0
+  while (j < 5) {
+    j = j + 1
+    if (j == 2) {
+      break
+    }
+  }
+  k = j
+  i = i + 1
+} while (i < 3)
+out = k
+`
+	if _, err := checkSrc(t, src); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,232 @@
+package lang
+
+import "github.com/mitos-project/mitos/internal/val"
+
+// This file provides a fluent builder API for constructing Program ASTs from
+// Go code — the second front end next to the script parser. It produces the
+// exact same AST the parser does, so everything downstream (Check, lowering,
+// SSA, the dataflow translator) is shared.
+//
+// Example:
+//
+//	b := lang.NewBuilder()
+//	b.Assign("day", lang.IntLit(1))
+//	b.DoWhile(func(body *lang.Builder) {
+//		body.Assign("visits", lang.ReadFile(lang.Concat(lang.StrLit("log"), lang.Var("day"))))
+//		body.Assign("day", lang.Add(lang.Var("day"), lang.IntLit(1)))
+//	}, lang.Leq(lang.Var("day"), lang.IntLit(365)))
+//	prog := b.Program()
+
+// Builder accumulates statements of a program or block.
+type Builder struct {
+	stmts []Stmt
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Program returns the accumulated statements as a Program.
+func (b *Builder) Program() *Program { return &Program{Stmts: b.stmts} }
+
+// Assign appends `name = rhs`.
+func (b *Builder) Assign(name string, rhs Expr) *Builder {
+	b.stmts = append(b.stmts, &AssignStmt{Name: name, RHS: rhs})
+	return b
+}
+
+// If appends an if statement; then and els populate the branches (els may
+// be nil for no else branch).
+func (b *Builder) If(cond Expr, then func(*Builder), els func(*Builder)) *Builder {
+	s := &IfStmt{Cond: cond}
+	tb := NewBuilder()
+	then(tb)
+	s.Then = tb.stmts
+	if els != nil {
+		eb := NewBuilder()
+		els(eb)
+		s.Else = eb.stmts
+	}
+	b.stmts = append(b.stmts, s)
+	return b
+}
+
+// While appends a pre-test loop.
+func (b *Builder) While(cond Expr, body func(*Builder)) *Builder {
+	bb := NewBuilder()
+	body(bb)
+	b.stmts = append(b.stmts, &WhileStmt{Cond: cond, Body: bb.stmts})
+	return b
+}
+
+// DoWhile appends a post-test loop: the body runs once before cond is
+// first evaluated.
+func (b *Builder) DoWhile(body func(*Builder), cond Expr) *Builder {
+	bb := NewBuilder()
+	body(bb)
+	b.stmts = append(b.stmts, &WhileStmt{Cond: cond, Body: bb.stmts, PostTest: true})
+	return b
+}
+
+// For appends counted-loop sugar over the inclusive range [from, to].
+func (b *Builder) For(name string, from, to Expr, body func(*Builder)) *Builder {
+	bb := NewBuilder()
+	body(bb)
+	b.stmts = append(b.stmts, &ForStmt{Var: name, From: from, To: to, Body: bb.stmts})
+	return b
+}
+
+// WriteFile appends a `bag.writeFile(name)` statement.
+func (b *Builder) WriteFile(bag, name Expr) *Builder {
+	b.stmts = append(b.stmts, &ExprStmt{X: &Method{Recv: bag, Name: "writeFile", Args: []Expr{name}}})
+	return b
+}
+
+// Expression constructors.
+
+// IntLit returns an integer literal expression.
+func IntLit(i int64) Expr { return &Lit{V: val.Int(i)} }
+
+// FloatLit returns a float literal expression.
+func FloatLit(f float64) Expr { return &Lit{V: val.Float(f)} }
+
+// StrLit returns a string literal expression.
+func StrLit(s string) Expr { return &Lit{V: val.Str(s)} }
+
+// BoolLit returns a boolean literal expression.
+func BoolLit(b bool) Expr { return &Lit{V: val.Bool(b)} }
+
+// LitOf returns a literal expression holding v.
+func LitOf(v val.Value) Expr { return &Lit{V: v} }
+
+// Var references the variable name.
+func Var(name string) Expr { return &Ident{Name: name} }
+
+func bin(op TokKind, x, y Expr) Expr { return &Binary{Op: op, X: x, Y: y} }
+
+// Add returns x + y (numeric addition or string concatenation).
+func Add(x, y Expr) Expr { return bin(TokPlus, x, y) }
+
+// Concat is Add under a name that reads better for strings.
+func Concat(x, y Expr) Expr { return bin(TokPlus, x, y) }
+
+// Sub returns x - y.
+func Sub(x, y Expr) Expr { return bin(TokMinus, x, y) }
+
+// Mul returns x * y.
+func Mul(x, y Expr) Expr { return bin(TokStar, x, y) }
+
+// Div returns x / y.
+func Div(x, y Expr) Expr { return bin(TokSlash, x, y) }
+
+// Mod returns x % y.
+func Mod(x, y Expr) Expr { return bin(TokPercent, x, y) }
+
+// Eq returns x == y.
+func Eq(x, y Expr) Expr { return bin(TokEq, x, y) }
+
+// Neq returns x != y.
+func Neq(x, y Expr) Expr { return bin(TokNeq, x, y) }
+
+// Lt returns x < y.
+func Lt(x, y Expr) Expr { return bin(TokLt, x, y) }
+
+// Leq returns x <= y.
+func Leq(x, y Expr) Expr { return bin(TokLeq, x, y) }
+
+// Gt returns x > y.
+func Gt(x, y Expr) Expr { return bin(TokGt, x, y) }
+
+// Geq returns x >= y.
+func Geq(x, y Expr) Expr { return bin(TokGeq, x, y) }
+
+// And returns x && y.
+func And(x, y Expr) Expr { return bin(TokAnd, x, y) }
+
+// Or returns x || y.
+func Or(x, y Expr) Expr { return bin(TokOr, x, y) }
+
+// Not returns !x.
+func Not(x Expr) Expr { return &Unary{Op: TokNot, X: x} }
+
+// Neg returns -x.
+func Neg(x Expr) Expr { return &Unary{Op: TokMinus, X: x} }
+
+// CallFn returns a builtin call fn(args...).
+func CallFn(fn string, args ...Expr) Expr { return &Call{Fn: fn, Args: args} }
+
+// ReadFile returns readFile(name): a bag read from the dataset store.
+func ReadFile(name Expr) Expr { return CallFn("readFile", name) }
+
+// NewBag returns newBag(x): a one-element bag holding the scalar x.
+func NewBag(x Expr) Expr { return CallFn("newBag", x) }
+
+// EmptyBag returns empty(): the empty bag.
+func EmptyBag() Expr { return CallFn("empty") }
+
+// Only returns only(b): the single element of a singleton bag, as a scalar.
+func Only(b Expr) Expr { return CallFn("only", b) }
+
+// Cond returns the eager ternary cond(c, a, b): a if c is true, else b.
+func Cond(c, a, b Expr) Expr { return CallFn("cond", c, a, b) }
+
+// TupleOf returns the tuple expression (elems...).
+func TupleOf(elems ...Expr) Expr { return &TupleExpr{Elems: elems} }
+
+// FieldOf returns x.index.
+func FieldOf(x Expr, index int) Expr { return &Field{X: x, Index: index} }
+
+// Fn returns a lambda with the given parameters and body.
+func Fn(params []string, body Expr) Expr { return &Lambda{Params: params, Body: body} }
+
+// Fn1 returns a single-parameter lambda.
+func Fn1(param string, body Expr) Expr { return Fn([]string{param}, body) }
+
+// Fn2 returns a two-parameter lambda.
+func Fn2(p1, p2 string, body Expr) Expr { return Fn([]string{p1, p2}, body) }
+
+// Native returns a native Go UDF expression usable wherever a lambda is.
+func Native(label string, arity int, fn func(args []val.Value) val.Value) Expr {
+	return &GoFunc{Label: label, Arity: arity, Fn: fn}
+}
+
+// Bag method helpers.
+
+func method(recv Expr, name string, args ...Expr) Expr {
+	return &Method{Recv: recv, Name: name, Args: args}
+}
+
+// MapBag returns recv.map(f).
+func MapBag(recv, f Expr) Expr { return method(recv, "map", f) }
+
+// FlatMapBag returns recv.flatMap(f). The UDF returns a tuple whose fields
+// are emitted as individual elements.
+func FlatMapBag(recv, f Expr) Expr { return method(recv, "flatMap", f) }
+
+// FilterBag returns recv.filter(p).
+func FilterBag(recv, p Expr) Expr { return method(recv, "filter", p) }
+
+// JoinBags returns a.join(b): pairs joined on their first field, producing
+// (key, leftValue, rightValue) triples.
+func JoinBags(a, b Expr) Expr { return method(a, "join", b) }
+
+// ReduceByKey returns recv.reduceByKey(f) over (key, value) pairs.
+func ReduceByKey(recv, f Expr) Expr { return method(recv, "reduceByKey", f) }
+
+// ReduceBag returns recv.reduce(f): a singleton bag with the fold of all
+// elements (empty input produces an empty bag).
+func ReduceBag(recv, f Expr) Expr { return method(recv, "reduce", f) }
+
+// SumBag returns recv.sum().
+func SumBag(recv Expr) Expr { return method(recv, "sum") }
+
+// CountBag returns recv.count().
+func CountBag(recv Expr) Expr { return method(recv, "count") }
+
+// DistinctBag returns recv.distinct().
+func DistinctBag(recv Expr) Expr { return method(recv, "distinct") }
+
+// UnionBags returns a.union(b).
+func UnionBags(a, b Expr) Expr { return method(a, "union", b) }
+
+// CrossBags returns a.cross(b): all (a, b) pairs.
+func CrossBags(a, b Expr) Expr { return method(a, "cross", b) }

@@ -1,0 +1,165 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func checkSrc(t *testing.T, src string) (*Info, error) {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return Check(p)
+}
+
+func TestCheckVisitCount(t *testing.T) {
+	if _, err := checkSrc(t, visitCountScript); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestCheckTypesInferred(t *testing.T) {
+	src := `b = readFile("f")
+n = only(b.count())
+m = b.map(x => (x, 1))
+`
+	p := mustParse(t, src)
+	info, err := Check(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b and m are bags, n is scalar.
+	rhs0 := p.Stmts[0].(*AssignStmt).RHS
+	rhs1 := p.Stmts[1].(*AssignStmt).RHS
+	rhs2 := p.Stmts[2].(*AssignStmt).RHS
+	if info.TypeOf(rhs0) != TypeBag {
+		t.Error("readFile not bag")
+	}
+	if info.TypeOf(rhs1) != TypeScalar {
+		t.Error("only(...) not scalar")
+	}
+	if info.TypeOf(rhs2) != TypeBag {
+		t.Error("map not bag")
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"use before assign", `x = y + 1`, "used before assignment"},
+		{"use before assign in branch", `if (true) { a = 1 }
+b = a`, "used before assignment"},
+		{"branch both assign ok", `if (true) { a = 1 } else { a = 2 }
+b = a`, ""},
+		{"type change", `x = 1
+x = readFile("f")`, "cannot reassign"},
+		{"bag in arithmetic", `b = readFile("f")
+x = b + 1`, "expected scalar"},
+		{"scalar as bag", `x = 1
+y = x.map(z => z)`, "expected bag"},
+		{"bag condition", `b = readFile("f")
+if (b) { x = 1 }`, "expected scalar"},
+		{"unknown function", `x = frobnicate(1)`, "unknown function"},
+		{"unknown method", `b = readFile("f")
+c = b.frob()`, "unknown bag operation"},
+		{"wrong builtin arity", `x = abs(1, 2)`, "expects 1 argument"},
+		{"wrong lambda arity", `b = readFile("f")
+c = b.map((x, y) => x)`, "must take 1 parameter"},
+		{"reduce needs two params", `b = readFile("f")
+c = b.reduce(x => x)`, "must take 2 parameter"},
+		{"lambda captures outer", `n = 5
+b = readFile("f")
+c = b.map(x => x + n)`, "UDFs may reference only their parameters"},
+		{"duplicate lambda params", `b = readFile("f")
+c = b.reduce((x, x) => x)`, "duplicate lambda parameter"},
+		{"lambda outside op", `f = x => x`, "only allowed as an argument"},
+		{"bare expression stmt", `x = 1
+x + 1`, "only writeFile"},
+		{"writeFile stmt ok", `b = readFile("f")
+b.writeFile("out")`, ""},
+		{"join arg must be bag", `b = readFile("f")
+c = b.join(1)`, "expected bag"},
+		{"sum takes no args", `b = readFile("f")
+c = b.sum(1)`, "expects no arguments"},
+		{"while body may not run", `x = 1
+while (x > 0) { y = 2; x = x - 1 }
+z = y`, "used before assignment"},
+		{"do-while body definitely runs", `x = 1
+do { y = 2; x = x - 1 } while (x > 0)
+z = y`, ""},
+		{"for var scalar", `for i = 1 to 3 { x = i }`, ""},
+		{"for bounds scalar", `b = readFile("f")
+for i = b to 3 { x = i }`, "expected scalar"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := checkSrc(t, c.src)
+			if c.wantSub == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.wantSub)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Fatalf("error = %q, want substring %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestCheckLambdaParamShadowsOuterVar(t *testing.T) {
+	// A lambda parameter may share a name with an outer bag variable; inside
+	// the lambda it is the scalar parameter.
+	src := `x = readFile("f")
+y = x.map(x => x + 1)
+z = x.filter(v => v > 0)
+`
+	if _, err := checkSrc(t, src); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestCheckNestedControlFlow(t *testing.T) {
+	src := `
+edges = readFile("edges")
+i = 0
+while (i < 3) {
+  j = 0
+  while (j < 2) {
+    if (j == 1) {
+      t = edges.map(e => e)
+    } else {
+      t = edges.filter(e => true)
+    }
+    u = t.count()
+    j = j + 1
+  }
+  i = i + 1
+}
+`
+	if _, err := checkSrc(t, src); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if TypeScalar.String() != "scalar" || TypeBag.String() != "bag" {
+		t.Error("Type.String broken")
+	}
+}
+
+func TestInfoTypeOfPanicsOnUnknown(t *testing.T) {
+	info := &Info{Types: map[Expr]Type{}}
+	defer func() {
+		if recover() == nil {
+			t.Error("TypeOf on unchecked expr did not panic")
+		}
+	}()
+	info.TypeOf(&Ident{Name: "x"})
+}

@@ -1,0 +1,211 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer turns source text into tokens. It is only used by the parser.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+var keywords = map[string]TokKind{
+	"if": TokIf, "else": TokElse, "while": TokWhile, "do": TokDo,
+	"for": TokFor, "to": TokTo, "true": TokTrue, "false": TokFalse,
+	"break": TokBreak, "continue": TokContinue,
+}
+
+func (l *lexer) pos() Pos { return Pos{Line: l.line, Col: l.col} }
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) peekByteAt(i int) byte {
+	if l.off+i >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+i]
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.off < len(l.src); i++ {
+		if l.src[l.off] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.off++
+	}
+}
+
+// next returns the next token, skipping whitespace and comments
+// (// to end of line).
+func (l *lexer) next() (Token, error) {
+	for {
+		c := l.peekByte()
+		switch {
+		case c == 0:
+			return Token{Kind: TokEOF, Pos: l.pos()}, nil
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.peekByte() != 0 && l.peekByte() != '\n' {
+				l.advance(1)
+			}
+		default:
+			return l.scanToken()
+		}
+	}
+}
+
+func (l *lexer) scanToken() (Token, error) {
+	pos := l.pos()
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.off
+		for isIdentPart(l.peekByte()) {
+			l.advance(1)
+		}
+		text := l.src[start:l.off]
+		if k, ok := keywords[text]; ok {
+			return Token{Kind: k, Text: text, Pos: pos}, nil
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}, nil
+	case c >= '0' && c <= '9':
+		return l.scanNumber(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	// Operators, longest match first.
+	two := ""
+	if l.off+1 < len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	switch two {
+	case "=>":
+		l.advance(2)
+		return Token{Kind: TokArrow, Text: two, Pos: pos}, nil
+	case "==":
+		l.advance(2)
+		return Token{Kind: TokEq, Text: two, Pos: pos}, nil
+	case "!=":
+		l.advance(2)
+		return Token{Kind: TokNeq, Text: two, Pos: pos}, nil
+	case "<=":
+		l.advance(2)
+		return Token{Kind: TokLeq, Text: two, Pos: pos}, nil
+	case ">=":
+		l.advance(2)
+		return Token{Kind: TokGeq, Text: two, Pos: pos}, nil
+	case "&&":
+		l.advance(2)
+		return Token{Kind: TokAnd, Text: two, Pos: pos}, nil
+	case "||":
+		l.advance(2)
+		return Token{Kind: TokOr, Text: two, Pos: pos}, nil
+	}
+	single := map[byte]TokKind{
+		'=': TokAssign, '(': TokLParen, ')': TokRParen, '{': TokLBrace,
+		'}': TokRBrace, ',': TokComma, '.': TokDot, '+': TokPlus,
+		'-': TokMinus, '*': TokStar, '/': TokSlash, '%': TokPercent,
+		'<': TokLt, '>': TokGt, '!': TokNot, ';': TokSemi,
+	}
+	if k, ok := single[c]; ok {
+		l.advance(1)
+		return Token{Kind: k, Text: string(c), Pos: pos}, nil
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.off:])
+	return Token{}, errf(pos, "unexpected character %q", r)
+}
+
+func (l *lexer) scanNumber(pos Pos) (Token, error) {
+	start := l.off
+	for isDigit(l.peekByte()) {
+		l.advance(1)
+	}
+	isFloat := false
+	if l.peekByte() == '.' && isDigit(l.peekByteAt(1)) {
+		isFloat = true
+		l.advance(1)
+		for isDigit(l.peekByte()) {
+			l.advance(1)
+		}
+	}
+	if e := l.peekByte(); e == 'e' || e == 'E' {
+		i := 1
+		if s := l.peekByteAt(1); s == '+' || s == '-' {
+			i = 2
+		}
+		if isDigit(l.peekByteAt(i)) {
+			isFloat = true
+			l.advance(i)
+			for isDigit(l.peekByte()) {
+				l.advance(1)
+			}
+		}
+	}
+	text := l.src[start:l.off]
+	kind := TokInt
+	if isFloat {
+		kind = TokFloat
+	}
+	return Token{Kind: kind, Text: text, Pos: pos}, nil
+}
+
+func (l *lexer) scanString(pos Pos) (Token, error) {
+	l.advance(1) // opening quote
+	var b strings.Builder
+	for {
+		c := l.peekByte()
+		switch c {
+		case 0, '\n':
+			return Token{}, errf(pos, "unterminated string literal")
+		case '"':
+			l.advance(1)
+			return Token{Kind: TokString, Text: b.String(), Pos: pos}, nil
+		case '\\':
+			esc := l.peekByteAt(1)
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return Token{}, errf(l.pos(), "unknown escape \\%c", esc)
+			}
+			l.advance(2)
+		default:
+			b.WriteByte(c)
+			l.advance(1)
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || isDigit(c)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,109 @@
+package lang
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	l := newLexer(src)
+	var toks []Token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks
+		}
+	}
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexAll(t, `x = a.map(y => (y, 1)) // comment
+while (x <= 365) { }`)
+	kinds := []TokKind{
+		TokIdent, TokAssign, TokIdent, TokDot, TokIdent, TokLParen,
+		TokIdent, TokArrow, TokLParen, TokIdent, TokComma, TokInt,
+		TokRParen, TokRParen,
+		TokWhile, TokLParen, TokIdent, TokLeq, TokInt, TokRParen,
+		TokLBrace, TokRBrace, TokEOF,
+	}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v (%q), want %v", i, toks[i].Kind, toks[i].Text, k)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokKind
+	}{
+		{"0", TokInt},
+		{"42", TokInt},
+		{"1.5", TokFloat},
+		{"2e10", TokFloat},
+		{"2.5e-3", TokFloat},
+		{"1E+2", TokFloat},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		if toks[0].Kind != c.kind || toks[0].Text != c.src {
+			t.Errorf("lex %q = %v %q, want %v", c.src, toks[0].Kind, toks[0].Text, c.kind)
+		}
+	}
+	// "1.x" must lex as Int, Dot, Ident (tuple field access syntax uses dot).
+	toks := lexAll(t, "v.0")
+	if toks[0].Kind != TokIdent || toks[1].Kind != TokDot || toks[2].Kind != TokInt {
+		t.Errorf("v.0 lexed as %v", toks)
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexAll(t, `"abc" "a\"b\n\t\\"`)
+	if toks[0].Text != "abc" {
+		t.Errorf("first string = %q", toks[0].Text)
+	}
+	if toks[1].Text != "a\"b\n\t\\" {
+		t.Errorf("escaped string = %q", toks[1].Text)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"bad \q escape"`, "a ~ b", "\"line\nbreak\""} {
+		l := newLexer(src)
+		var err error
+		for err == nil {
+			var tok Token
+			tok, err = l.next()
+			if err == nil && tok.Kind == TokEOF {
+				t.Errorf("lex %q: expected error, got EOF", src)
+				break
+			}
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexAll(t, "a\n  b")
+	if toks[0].Pos != (Pos{1, 1}) {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{2, 3}) {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestLexKeywordsVsIdents(t *testing.T) {
+	toks := lexAll(t, "if ifx while whiled do for to true false")
+	want := []TokKind{TokIf, TokIdent, TokWhile, TokIdent, TokDo, TokFor, TokTo, TokTrue, TokFalse, TokEOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}

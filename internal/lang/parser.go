@@ -1,0 +1,530 @@
+package lang
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// Parse parses Mitos script source into a Program AST. It does not perform
+// name resolution or type checking; see Check.
+func Parse(src string) (*Program, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for p.tok.Kind != TokEOF {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return &Program{Stmts: stmts}, nil
+}
+
+type parser struct {
+	lex  *lexer
+	tok  Token // current token
+	next Token // one token of lookahead
+}
+
+func (p *parser) advance() error {
+	p.tok = p.next
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.next = t
+	return nil
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if p.tok.Kind != k {
+		return Token{}, errf(p.tok.Pos, "expected %s, found %s", k, p.describe(p.tok))
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return Token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) describe(t Token) string {
+	switch t.Kind {
+	case TokIdent:
+		return "identifier '" + t.Text + "'"
+	case TokInt, TokFloat:
+		return "number " + t.Text
+	case TokString:
+		return "string literal"
+	default:
+		return t.Kind.String()
+	}
+}
+
+func (p *parser) skipSemis() error {
+	for p.tok.Kind == TokSemi {
+		if err := p.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	if err := p.skipSemis(); err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TokIf:
+		return p.parseIf()
+	case TokWhile:
+		return p.parseWhile()
+	case TokDo:
+		return p.parseDoWhile()
+	case TokFor:
+		return p.parseFor()
+	case TokBreak:
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.skipSemis(); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Pos: pos}, nil
+	case TokContinue:
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.skipSemis(); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Pos: pos}, nil
+	case TokIdent:
+		if p.next.Kind == TokAssign {
+			pos := p.tok.Pos
+			name := p.tok.Text
+			if err := p.advance(); err != nil { // ident
+				return nil, err
+			}
+			if err := p.advance(); err != nil { // '='
+				return nil, err
+			}
+			rhs, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.skipSemis(); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Pos: pos, Name: name, RHS: rhs}, nil
+		}
+		fallthrough
+	default:
+		pos := p.tok.Pos
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.skipSemis(); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{Pos: pos, X: x}, nil
+	}
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(TokLBrace); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for {
+		if err := p.skipSemis(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokRBrace {
+			break
+		}
+		if p.tok.Kind == TokEOF {
+			return nil, errf(p.tok.Pos, "unexpected end of input in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	if _, err := p.expect(TokRBrace); err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokIf); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els []Stmt
+	if p.tok.Kind == TokElse {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind == TokIf {
+			nested, err := p.parseIf()
+			if err != nil {
+				return nil, err
+			}
+			els = []Stmt{nested}
+		} else {
+			els, err = p.parseBlock()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &IfStmt{Pos: pos, Cond: cond, Then: then, Else: els}, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseDoWhile() (Stmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokDo); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokWhile); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: pos, Cond: cond, Body: body, PostTest: true}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokFor); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokAssign); err != nil {
+		return nil, err
+	}
+	from, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokTo); err != nil {
+		return nil, err
+	}
+	to, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &ForStmt{Pos: pos, Var: name.Text, From: from, To: to, Body: body}, nil
+}
+
+// Operator precedence, loosest first.
+var binPrec = map[TokKind]int{
+	TokOr:  1,
+	TokAnd: 2,
+	TokEq:  3, TokNeq: 3,
+	TokLt: 4, TokLeq: 4, TokGt: 4, TokGeq: 4,
+	TokPlus: 5, TokMinus: 5,
+	TokStar: 6, TokSlash: 6, TokPercent: 6,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.tok.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Pos: pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokMinus, TokNot:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Pos: pos, Op: op, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.Kind {
+		case TokInt:
+			idx, convErr := strconv.Atoi(p.tok.Text)
+			if convErr != nil || idx < 0 {
+				return nil, errf(p.tok.Pos, "invalid tuple field index %q", p.tok.Text)
+			}
+			pos := p.tok.Pos
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x = &Field{Pos: pos, X: x, Index: idx}
+		case TokFloat:
+			// Chained field access `t.0.1` lexes the `0.1` as one float
+			// token; split it back into two indices.
+			pos := p.tok.Pos
+			a, b, ok := strings.Cut(p.tok.Text, ".")
+			ia, errA := strconv.Atoi(a)
+			ib, errB := strconv.Atoi(b)
+			if !ok || errA != nil || errB != nil || ia < 0 || ib < 0 {
+				return nil, errf(pos, "invalid tuple field index %q", p.tok.Text)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x = &Field{Pos: pos, X: &Field{Pos: pos, X: x, Index: ia}, Index: ib}
+		case TokIdent:
+			name := p.tok.Text
+			pos := p.tok.Pos
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			x = &Method{Pos: pos, Recv: x, Name: name, Args: args}
+		default:
+			return nil, errf(p.tok.Pos, "expected field index or method name after '.', found %s", p.describe(p.tok))
+		}
+	}
+	return x, nil
+}
+
+func (p *parser) parseArgs() ([]Expr, error) {
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for p.tok.Kind != TokRParen {
+		a, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case TokInt:
+		i, err := strconv.ParseInt(p.tok.Text, 10, 64)
+		if err != nil {
+			return nil, errf(pos, "invalid integer literal %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Pos: pos, V: val.Int(i)}, nil
+	case TokFloat:
+		f, err := strconv.ParseFloat(p.tok.Text, 64)
+		if err != nil {
+			return nil, errf(pos, "invalid float literal %q", p.tok.Text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Pos: pos, V: val.Float(f)}, nil
+	case TokString:
+		s := p.tok.Text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Pos: pos, V: val.Str(s)}, nil
+	case TokTrue, TokFalse:
+		b := p.tok.Kind == TokTrue
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return &Lit{Pos: pos, V: val.Bool(b)}, nil
+	case TokIdent:
+		name := p.tok.Text
+		// Lambda with a single parameter: `x => body`.
+		if p.next.Kind == TokArrow {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			body, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Lambda{Pos: pos, Params: []string{name}, Body: body}, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Builtin call: `name(args)`.
+		if p.tok.Kind == TokLParen {
+			args, err := p.parseArgs()
+			if err != nil {
+				return nil, err
+			}
+			return &Call{Pos: pos, Fn: name, Args: args}, nil
+		}
+		return &Ident{Pos: pos, Name: name}, nil
+	case TokLParen:
+		return p.parseParenOrTupleOrLambda()
+	default:
+		return nil, errf(pos, "expected expression, found %s", p.describe(p.tok))
+	}
+}
+
+// parseParenOrTupleOrLambda disambiguates `(e)`, `(a, b, ...)` tuples, `()`
+// empty tuples, and `(a, b) => body` lambdas.
+func (p *parser) parseParenOrTupleOrLambda() (Expr, error) {
+	pos := p.tok.Pos
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var elems []Expr
+	for p.tok.Kind != TokRParen {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, e)
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	if p.tok.Kind == TokArrow {
+		params := make([]string, len(elems))
+		for i, e := range elems {
+			id, ok := e.(*Ident)
+			if !ok {
+				return nil, errf(e.ExprPos(), "lambda parameter must be an identifier")
+			}
+			params[i] = id.Name
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		body, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Lambda{Pos: pos, Params: params, Body: body}, nil
+	}
+	if len(elems) == 1 {
+		return elems[0], nil
+	}
+	return &TupleExpr{Pos: pos, Elems: elems}, nil
+}

@@ -1,0 +1,201 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// visitCountScript is the paper's running example (Sec. 2), including the
+// day-diff branch, in Mitos script syntax.
+const visitCountScript = `
+yesterdayCounts = empty()
+day = 1
+do {
+  visits = readFile("pageVisitLog" + day)
+  counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b)
+  if (day != 1) {
+    diffs = counts.join(yesterdayCounts).map(t => abs(t.1 - t.2))
+    diffs.sum().writeFile("diff" + day)
+  }
+  yesterdayCounts = counts
+  day = day + 1
+} while (day <= 365)
+`
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return p
+}
+
+func TestParseVisitCount(t *testing.T) {
+	p := mustParse(t, visitCountScript)
+	if len(p.Stmts) != 3 {
+		t.Fatalf("top-level statements = %d, want 3", len(p.Stmts))
+	}
+	loop, ok := p.Stmts[2].(*WhileStmt)
+	if !ok || !loop.PostTest {
+		t.Fatalf("third stmt = %T (posttest=%v), want do-while", p.Stmts[2], ok && loop.PostTest)
+	}
+	if len(loop.Body) != 5 {
+		t.Fatalf("loop body statements = %d, want 5", len(loop.Body))
+	}
+	ifs, ok := loop.Body[2].(*IfStmt)
+	if !ok {
+		t.Fatalf("loop body[2] = %T, want if", loop.Body[2])
+	}
+	if len(ifs.Then) != 2 || len(ifs.Else) != 0 {
+		t.Fatalf("if branches: then=%d else=%d", len(ifs.Then), len(ifs.Else))
+	}
+}
+
+// TestParseFormatRoundtrip checks Format(Parse(x)) reparses to the same
+// formatted text — a fixpoint property of the printer.
+func TestParseFormatRoundtrip(t *testing.T) {
+	sources := []string{
+		visitCountScript,
+		`x = 1 + 2 * 3`,
+		`x = (1 + 2) * 3`,
+		`b = a.map(x => x).filter(x => x > 0)`,
+		`r = a.join(b).reduceByKey((x, y) => min(x, y))`,
+		`x = -1
+y = !true
+z = a && b || !c`,
+		`for i = 1 to 10 {
+  s = s + i
+}`,
+		`if (a < b) {
+  x = 1
+} else if (a == b) {
+  x = 2
+} else {
+  x = 3
+}`,
+		`while (only(d.sum()) > 0.5) {
+  d = d.map(x => x / 2)
+}`,
+		`t = (1, "two", true)
+f = t.0 + t.2`,
+		`e = empty()
+n = newBag(7)
+c = a.cross(b).union(e).distinct().count()`,
+	}
+	for _, src := range sources {
+		p1 := mustParse(t, src)
+		f1 := Format(p1)
+		p2, err := Parse(f1)
+		if err != nil {
+			t.Errorf("reparse of formatted source failed: %v\nformatted:\n%s", err, f1)
+			continue
+		}
+		f2 := Format(p2)
+		if f1 != f2 {
+			t.Errorf("format not a fixpoint:\nfirst:\n%s\nsecond:\n%s", f1, f2)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	p := mustParse(t, "x = 1 + 2 * 3 == 7 && true")
+	got := Format(p)
+	want := "x = 1 + 2 * 3 == 7 && true\n"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+	// Explicit parens must survive where required.
+	p = mustParse(t, "x = (1 + 2) * 3")
+	if got := Format(p); got != "x = (1 + 2) * 3\n" {
+		t.Errorf("parens lost: %q", got)
+	}
+}
+
+func TestParseLambdas(t *testing.T) {
+	p := mustParse(t, `a = b.reduceByKey((x, y) => x + y)
+c = b.map(e => (e, 1))`)
+	a := p.Stmts[0].(*AssignStmt).RHS.(*Method)
+	l := a.Args[0].(*Lambda)
+	if len(l.Params) != 2 || l.Params[0] != "x" || l.Params[1] != "y" {
+		t.Errorf("two-param lambda params = %v", l.Params)
+	}
+	c := p.Stmts[1].(*AssignStmt).RHS.(*Method)
+	l1 := c.Args[0].(*Lambda)
+	if len(l1.Params) != 1 || l1.Params[0] != "e" {
+		t.Errorf("one-param lambda params = %v", l1.Params)
+	}
+	if _, ok := l1.Body.(*TupleExpr); !ok {
+		t.Errorf("lambda body = %T, want tuple", l1.Body)
+	}
+}
+
+func TestParseEmptyTuple(t *testing.T) {
+	p := mustParse(t, "x = ()")
+	tup, ok := p.Stmts[0].(*AssignStmt).RHS.(*TupleExpr)
+	if !ok || len(tup.Elems) != 0 {
+		t.Fatalf("RHS = %T, want empty tuple", p.Stmts[0].(*AssignStmt).RHS)
+	}
+}
+
+func TestParseSemicolons(t *testing.T) {
+	p := mustParse(t, "a = 1; b = 2;; c = a + b")
+	if len(p.Stmts) != 3 {
+		t.Fatalf("got %d stmts, want 3", len(p.Stmts))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{"x =", "expected expression"},
+		{"if x { }", "expected '('"},
+		{"if (x) y = 1", "expected '{'"},
+		{"while (x) {", "unexpected end of input"},
+		{"do { } until (x)", "expected 'while'"},
+		{"for 1 = 2 to 3 { }", "expected identifier"},
+		{"x = a.", "expected field index or method name"},
+		{"x = a.-1", "expected field index or method name"},
+		{"x = (a, 1) => a", "lambda parameter must be an identifier"},
+		{"x = 99999999999999999999", "invalid integer"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error", c.src)
+			continue
+		}
+		if c.wantSub != "" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParseErrorPositions(t *testing.T) {
+	_, err := Parse("a = 1\nb = @")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.HasPrefix(err.Error(), "2:5") {
+		t.Errorf("error position = %q, want prefix 2:5", err.Error())
+	}
+}
+
+func TestParseNestedLoops(t *testing.T) {
+	p := mustParse(t, `
+while (a < 10) {
+  x = readFile("f" + a)
+  while (b < 5) {
+    y = x.map(v => v)
+    z = x.join(y)
+    b = b + 1
+  }
+  a = a + 1
+}`)
+	outer := p.Stmts[0].(*WhileStmt)
+	if _, ok := outer.Body[1].(*WhileStmt); !ok {
+		t.Fatalf("inner stmt = %T, want nested while", outer.Body[1])
+	}
+}

@@ -1,0 +1,171 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a Program as canonical script source. Parsing the result
+// yields an equivalent AST (modulo positions); this is exercised by tests.
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, s := range p.Stmts {
+		formatStmt(&b, s, 0)
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func formatStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch s := s.(type) {
+	case *AssignStmt:
+		b.WriteString(s.Name)
+		b.WriteString(" = ")
+		formatExpr(b, s.RHS, 0)
+		b.WriteByte('\n')
+	case *IfStmt:
+		b.WriteString("if (")
+		formatExpr(b, s.Cond, 0)
+		b.WriteString(") {\n")
+		for _, t := range s.Then {
+			formatStmt(b, t, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}")
+		if len(s.Else) > 0 {
+			b.WriteString(" else {\n")
+			for _, t := range s.Else {
+				formatStmt(b, t, depth+1)
+			}
+			indent(b, depth)
+			b.WriteString("}")
+		}
+		b.WriteByte('\n')
+	case *WhileStmt:
+		if s.PostTest {
+			b.WriteString("do {\n")
+			for _, t := range s.Body {
+				formatStmt(b, t, depth+1)
+			}
+			indent(b, depth)
+			b.WriteString("} while (")
+			formatExpr(b, s.Cond, 0)
+			b.WriteString(")\n")
+		} else {
+			b.WriteString("while (")
+			formatExpr(b, s.Cond, 0)
+			b.WriteString(") {\n")
+			for _, t := range s.Body {
+				formatStmt(b, t, depth+1)
+			}
+			indent(b, depth)
+			b.WriteString("}\n")
+		}
+	case *ForStmt:
+		b.WriteString("for ")
+		b.WriteString(s.Var)
+		b.WriteString(" = ")
+		formatExpr(b, s.From, 0)
+		b.WriteString(" to ")
+		formatExpr(b, s.To, 0)
+		b.WriteString(" {\n")
+		for _, t := range s.Body {
+			formatStmt(b, t, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *ExprStmt:
+		formatExpr(b, s.X, 0)
+		b.WriteByte('\n')
+	case *BreakStmt:
+		b.WriteString("break\n")
+	case *ContinueStmt:
+		b.WriteString("continue\n")
+	default:
+		fmt.Fprintf(b, "<unknown stmt %T>\n", s)
+	}
+}
+
+var opText = map[TokKind]string{
+	TokPlus: "+", TokMinus: "-", TokStar: "*", TokSlash: "/", TokPercent: "%",
+	TokEq: "==", TokNeq: "!=", TokLt: "<", TokLeq: "<=", TokGt: ">",
+	TokGeq: ">=", TokAnd: "&&", TokOr: "||", TokNot: "!",
+}
+
+// formatExpr writes e; enclosing is the precedence of the parent operator
+// (0 for none) used to decide parenthesization.
+func formatExpr(b *strings.Builder, e Expr, enclosing int) {
+	switch e := e.(type) {
+	case *Lit:
+		b.WriteString(e.V.String())
+	case *Ident:
+		b.WriteString(e.Name)
+	case *Unary:
+		b.WriteString(opText[e.Op])
+		formatExpr(b, e.X, 7)
+	case *Binary:
+		prec := binPrec[e.Op]
+		if prec < enclosing {
+			b.WriteByte('(')
+		}
+		formatExpr(b, e.X, prec)
+		b.WriteByte(' ')
+		b.WriteString(opText[e.Op])
+		b.WriteByte(' ')
+		formatExpr(b, e.Y, prec+1)
+		if prec < enclosing {
+			b.WriteByte(')')
+		}
+	case *Call:
+		b.WriteString(e.Fn)
+		formatArgs(b, e.Args)
+	case *Method:
+		formatExpr(b, e.Recv, 8)
+		b.WriteByte('.')
+		b.WriteString(e.Name)
+		formatArgs(b, e.Args)
+	case *Lambda:
+		if len(e.Params) == 1 {
+			b.WriteString(e.Params[0])
+		} else {
+			b.WriteByte('(')
+			b.WriteString(strings.Join(e.Params, ", "))
+			b.WriteByte(')')
+		}
+		b.WriteString(" => ")
+		formatExpr(b, e.Body, 1)
+	case *TupleExpr:
+		b.WriteByte('(')
+		for i, el := range e.Elems {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			formatExpr(b, el, 0)
+		}
+		b.WriteByte(')')
+	case *Field:
+		formatExpr(b, e.X, 8)
+		fmt.Fprintf(b, ".%d", e.Index)
+	case *GoFunc:
+		fmt.Fprintf(b, "<native %s/%d>", e.Label, e.Arity)
+	default:
+		fmt.Fprintf(b, "<unknown expr %T>", e)
+	}
+}
+
+func formatArgs(b *strings.Builder, args []Expr) {
+	b.WriteByte('(')
+	for i, a := range args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		formatExpr(b, a, 0)
+	}
+	b.WriteByte(')')
+}

@@ -1,0 +1,110 @@
+// Package lang implements the imperative front end of Mitos: a small
+// data-analytics language with scalable collections ("bags") and ordinary
+// imperative control flow (while, do..while, for, if/else, arbitrarily
+// nested).
+//
+// The paper obtains the user program's abstract syntax tree through Scala
+// macros; here the equivalent information comes from parsing a script (see
+// Parse) or from the programmatic builder API (see builder.go), both of
+// which produce the same *Program AST that the compiler in internal/ir
+// consumes.
+package lang
+
+import "fmt"
+
+// TokKind enumerates lexical token kinds.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokInt
+	TokFloat
+	TokString
+	// Keywords.
+	TokIf
+	TokElse
+	TokWhile
+	TokDo
+	TokFor
+	TokTo
+	TokTrue
+	TokFalse
+	TokBreak
+	TokContinue
+	// Punctuation and operators.
+	TokAssign  // =
+	TokLParen  // (
+	TokRParen  // )
+	TokLBrace  // {
+	TokRBrace  // }
+	TokComma   // ,
+	TokDot     // .
+	TokArrow   // =>
+	TokPlus    // +
+	TokMinus   // -
+	TokStar    // *
+	TokSlash   // /
+	TokPercent // %
+	TokEq      // ==
+	TokNeq     // !=
+	TokLt      // <
+	TokLeq     // <=
+	TokGt      // >
+	TokGeq     // >=
+	TokAnd     // &&
+	TokOr      // ||
+	TokNot     // !
+	TokSemi    // ; (optional statement separator)
+)
+
+var tokNames = map[TokKind]string{
+	TokEOF: "end of input", TokIdent: "identifier", TokInt: "integer",
+	TokFloat: "float", TokString: "string",
+	TokIf: "'if'", TokElse: "'else'", TokWhile: "'while'", TokDo: "'do'",
+	TokFor: "'for'", TokTo: "'to'", TokTrue: "'true'", TokFalse: "'false'",
+	TokBreak: "'break'", TokContinue: "'continue'",
+	TokAssign: "'='", TokLParen: "'('", TokRParen: "')'", TokLBrace: "'{'",
+	TokRBrace: "'}'", TokComma: "','", TokDot: "'.'", TokArrow: "'=>'",
+	TokPlus: "'+'", TokMinus: "'-'", TokStar: "'*'", TokSlash: "'/'",
+	TokPercent: "'%'", TokEq: "'=='", TokNeq: "'!='", TokLt: "'<'",
+	TokLeq: "'<='", TokGt: "'>'", TokGeq: "'>='", TokAnd: "'&&'",
+	TokOr: "'||'", TokNot: "'!'", TokSemi: "';'",
+}
+
+// String returns a human-readable name for the token kind.
+func (k TokKind) String() string {
+	if s, ok := tokNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("TokKind(%d)", uint8(k))
+}
+
+// Pos is a source position (1-based line and column).
+type Pos struct {
+	Line, Col int
+}
+
+// String renders the position as "line:col".
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical token with its source text and position.
+type Token struct {
+	Kind TokKind
+	Text string // raw text for idents and literals
+	Pos  Pos
+}
+
+// Error is a front-end error carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,76 @@
+// Package naiadlike is a minimal timely-dataflow-style native loop used as
+// a comparator in the per-step-overhead microbenchmark (paper Fig. 7).
+//
+// It reproduces the coordination structure that gives Naiad its low
+// iteration overhead: there is no central per-step barrier and no job
+// launch; instead every worker advances its own pointstamp frontier and
+// broadcasts progress updates to its peers asynchronously. A worker starts
+// step t+1 as soon as it has received every peer's step-t exchange — the
+// decentralized equivalent of a barrier, paid at control-message cost.
+//
+// Only the loop skeleton is modelled (the microbenchmark runs a trivial
+// body); the full Mitos runtime in internal/core is the system under test.
+package naiadlike
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+)
+
+// Pointstamp is a (loop counter, worker) progress coordinate.
+type Pointstamp struct {
+	Step   int
+	Worker int
+}
+
+// Run executes steps iterations of a loop whose body is work(worker, step),
+// one worker per cluster machine. Workers exchange one message per peer per
+// step (the loop's data exchange) and advance when their frontier allows.
+// It returns the per-worker count of processed exchanges, for sanity
+// checking.
+func Run(cl *cluster.Cluster, steps int, work func(worker, step int)) ([]int, error) {
+	n := cl.Machines()
+	if steps < 0 {
+		return nil, fmt.Errorf("naiadlike: negative step count %d", steps)
+	}
+	// chans[w] receives pointstamped exchanges addressed to worker w.
+	chans := make([]chan Pointstamp, n)
+	for i := range chans {
+		chans[i] = make(chan Pointstamp, n*4)
+	}
+	processed := make([]int, n)
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// received[t%2] counts exchanges for the step parity, since a
+			// worker can be at most one step ahead of its peers.
+			received := [2]int{}
+			for t := 0; t < steps; t++ {
+				work(w, t)
+				// Broadcast this worker's step-t exchange to every peer
+				// (remote sends pay the control-message cost).
+				for peer := 0; peer < n; peer++ {
+					if peer == w {
+						received[t%2]++
+						continue
+					}
+					cl.CtrlSleep()
+					chans[peer] <- Pointstamp{Step: t, Worker: w}
+				}
+				// Advance the frontier: wait for all step-t exchanges.
+				for received[t%2] < n {
+					ps := <-chans[w]
+					received[ps.Step%2]++
+					processed[w]++
+				}
+				received[t%2] = 0
+			}
+		}(w)
+	}
+	wg.Wait()
+	return processed, nil
+}

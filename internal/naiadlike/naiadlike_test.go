@@ -1,0 +1,111 @@
+package naiadlike
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+)
+
+func TestRunAllWorkersAllSteps(t *testing.T) {
+	cl, err := cluster.New(cluster.FastConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const steps = 20
+	var total atomic.Int64
+	counts := make([]atomic.Int64, 4)
+	if _, err := Run(cl, steps, func(worker, step int) {
+		total.Add(1)
+		counts[worker].Add(1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 4*steps {
+		t.Errorf("total work = %d, want %d", total.Load(), 4*steps)
+	}
+	for w := range counts {
+		if counts[w].Load() != steps {
+			t.Errorf("worker %d ran %d steps", w, counts[w].Load())
+		}
+	}
+}
+
+func TestRunStepOrderPerWorker(t *testing.T) {
+	cl, err := cluster.New(cluster.FastConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	last := make([]int, 3)
+	for i := range last {
+		last[i] = -1
+	}
+	bad := atomic.Bool{}
+	if _, err := Run(cl, 15, func(worker, step int) {
+		if step != last[worker]+1 {
+			bad.Store(true)
+		}
+		last[worker] = step
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() {
+		t.Error("steps executed out of order within a worker")
+	}
+}
+
+func TestRunFrontierSkewBounded(t *testing.T) {
+	// No worker may run more than one step ahead of the slowest: worker 0
+	// is artificially slow; others must wait at the frontier.
+	cl, err := cluster.New(cluster.FastConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var cur [3]atomic.Int64
+	bad := atomic.Bool{}
+	if _, err := Run(cl, 10, func(worker, step int) {
+		cur[worker].Store(int64(step))
+		for w := range cur {
+			if d := int64(step) - cur[w].Load(); d > 2 || d < -2 {
+				bad.Store(true)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bad.Load() {
+		t.Error("frontier skew exceeded one exchange round")
+	}
+}
+
+func TestRunZeroSteps(t *testing.T) {
+	cl, err := cluster.New(cluster.FastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := Run(cl, 0, func(int, int) { t.Error("work ran") }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(cl, -1, func(int, int) {}); err == nil {
+		t.Error("negative steps accepted")
+	}
+}
+
+func TestRunSingleWorker(t *testing.T) {
+	cl, err := cluster.New(cluster.FastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	n := 0
+	if _, err := Run(cl, 7, func(worker, step int) { n++ }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Errorf("single worker ran %d steps", n)
+	}
+}

@@ -1,0 +1,32 @@
+// Package simtime provides an accurate short-duration sleep for the
+// simulation layers. time.Sleep routinely overshoots sub-millisecond
+// durations by the timer granularity (~100µs-1ms), which would distort the
+// cost model: systems paying many small coordination delays (Mitos control
+// broadcasts, network batches) would be charged far more than configured,
+// while systems paying few large delays (job launches) would not. Sleep
+// spins for short delays and delegates to time.Sleep for long ones.
+package simtime
+
+import (
+	"runtime"
+	"time"
+)
+
+// spinThreshold is the boundary below which Sleep busy-waits. Above it,
+// time.Sleep's relative error is small enough.
+const spinThreshold = time.Millisecond
+
+// Sleep pauses the calling goroutine for accurately d.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= spinThreshold {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,44 @@
+package simtime
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepZeroAndNegative(t *testing.T) {
+	start := time.Now()
+	Sleep(0)
+	Sleep(-time.Second)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("zero/negative sleep took real time")
+	}
+}
+
+func TestSleepShortDurationAccuracy(t *testing.T) {
+	// The whole point of the spin path: a 100µs sleep must not overshoot
+	// by an order of magnitude (time.Sleep regularly would).
+	const d = 100 * time.Microsecond
+	worst := time.Duration(0)
+	for i := 0; i < 20; i++ {
+		start := time.Now()
+		Sleep(d)
+		got := time.Since(start)
+		if got < d {
+			t.Fatalf("slept %v, want >= %v", got, d)
+		}
+		if got > worst {
+			worst = got
+		}
+	}
+	if worst > 20*d {
+		t.Errorf("worst-case overshoot %v for %v sleep", worst, d)
+	}
+}
+
+func TestSleepLongDelegates(t *testing.T) {
+	start := time.Now()
+	Sleep(2 * time.Millisecond)
+	if got := time.Since(start); got < 2*time.Millisecond {
+		t.Errorf("slept %v", got)
+	}
+}

@@ -1,0 +1,194 @@
+package sparklike
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/bag"
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+func newTestSession(t *testing.T, machines int) (*Session, *store.MemStore, *cluster.Cluster) {
+	t.Helper()
+	cl, err := cluster.New(cluster.FastConfig(machines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cl.Close)
+	st := store.NewMemStore()
+	return NewSession(cl, st), st, cl
+}
+
+func ints(ns ...int64) []val.Value {
+	out := make([]val.Value, len(ns))
+	for i, n := range ns {
+		out[i] = val.Int(n)
+	}
+	return out
+}
+
+func TestRDDPipeline(t *testing.T) {
+	sess, st, _ := newTestSession(t, 3)
+	st.WriteDataset("in", ints(1, 2, 3, 4))
+	got, err := sess.ReadFile("in").
+		Map(func(x val.Value) (val.Value, error) { return val.Int(x.AsInt() * x.AsInt()), nil }).
+		Filter(func(x val.Value) (bool, error) { return x.AsInt()%2 == 0, nil }).
+		FlatMap(func(x val.Value) ([]val.Value, error) { return []val.Value{x, x}, nil }).
+		Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bag.Equal(got, ints(4, 4, 16, 16)) {
+		t.Errorf("pipeline = %v", bag.Sorted(got))
+	}
+}
+
+func TestRDDKeyOps(t *testing.T) {
+	sess, _, _ := newTestSession(t, 2)
+	pairs := []val.Value{
+		val.Pair(val.Str("x"), val.Int(1)),
+		val.Pair(val.Str("y"), val.Int(5)),
+		val.Pair(val.Str("x"), val.Int(2)),
+	}
+	rbk := sess.Parallelize(pairs).ReduceByKey(func(a, b val.Value) (val.Value, error) {
+		return val.Int(a.AsInt() + b.AsInt()), nil
+	})
+	got, err := rbk.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []val.Value{val.Pair(val.Str("x"), val.Int(3)), val.Pair(val.Str("y"), val.Int(5))}
+	if !bag.Equal(got, want) {
+		t.Errorf("reduceByKey = %v", bag.Sorted(got))
+	}
+	types := sess.Parallelize([]val.Value{val.Pair(val.Str("x"), val.Str("T"))})
+	joined, err := rbk.Join(types).Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joined) != 1 || !joined[0].Equal(val.Tuple(val.Str("x"), val.Int(3), val.Str("T"))) {
+		t.Errorf("join = %v", joined)
+	}
+}
+
+func TestRDDDistinctUnionSum(t *testing.T) {
+	sess, _, _ := newTestSession(t, 2)
+	a := sess.Parallelize(ints(1, 1, 2))
+	b := sess.Parallelize(ints(2, 3))
+	got, err := a.Union(b).Distinct().Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bag.Equal(got, ints(1, 2, 3)) {
+		t.Errorf("distinct union = %v", bag.Sorted(got))
+	}
+	sum, err := a.Sum()
+	if err != nil || sum.AsInt() != 4 {
+		t.Errorf("sum = %v, %v", sum, err)
+	}
+}
+
+func TestActionsLaunchJobs(t *testing.T) {
+	sess, st, cl := newTestSession(t, 3)
+	st.WriteDataset("in", ints(1, 2, 3))
+	rdd := sess.ReadFile("in")
+	for i := 0; i < 4; i++ {
+		if _, err := rdd.Count(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.Stats().JobsLaunched; got != 4 {
+		t.Errorf("jobs launched = %d, want 4 (one per action)", got)
+	}
+}
+
+func TestStageCounting(t *testing.T) {
+	sess, st, cl := newTestSession(t, 2)
+	st.WriteDataset("in", []val.Value{val.Pair(val.Str("k"), val.Int(1))})
+	base := sess.ReadFile("in")
+	if base.stages != 1 {
+		t.Errorf("source stages = %d", base.stages)
+	}
+	rbk := base.ReduceByKey(func(a, b val.Value) (val.Value, error) { return a, nil })
+	if rbk.stages != 2 {
+		t.Errorf("reduceByKey stages = %d, want 2", rbk.stages)
+	}
+	joined := rbk.Join(base)
+	if joined.stages != 3 {
+		t.Errorf("join stages = %d, want 3", joined.stages)
+	}
+	before := cl.Stats().TasksDispatched
+	if _, err := joined.Count(); err != nil {
+		t.Fatal(err)
+	}
+	dispatched := cl.Stats().TasksDispatched - before
+	// 3 stages x 2 machines.
+	if dispatched != 6 {
+		t.Errorf("tasks dispatched = %d, want 6", dispatched)
+	}
+}
+
+func TestCacheAvoidsRecomputation(t *testing.T) {
+	sess, st, _ := newTestSession(t, 2)
+	st.WriteDataset("in", ints(1, 2, 3))
+	var evals atomic.Int64
+	rdd := sess.ReadFile("in").Map(func(x val.Value) (val.Value, error) {
+		evals.Add(1)
+		return x, nil
+	}).Cache()
+	if _, err := rdd.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rdd.Count(); err != nil {
+		t.Fatal(err)
+	}
+	if evals.Load() != 3 {
+		t.Errorf("map evaluated %d times, want 3 (cached after first action)", evals.Load())
+	}
+}
+
+func TestSaveAsFile(t *testing.T) {
+	sess, st, _ := newTestSession(t, 2)
+	st.WriteDataset("in", ints(5, 6))
+	if err := sess.ReadFile("in").SaveAsFile("out"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.ReadDataset("out")
+	if err != nil || !bag.Equal(got, ints(5, 6)) {
+		t.Errorf("saved = %v, %v", got, err)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	sess, st, _ := newTestSession(t, 2)
+	st.WriteDataset("in", ints(1))
+	_, err := sess.ReadFile("in").Map(func(val.Value) (val.Value, error) {
+		return val.Value{}, &store.NotFoundError{Name: "boom"}
+	}).Collect()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("map error = %v", err)
+	}
+	if _, err := sess.ReadFile("missing").Collect(); err == nil {
+		t.Error("missing dataset read succeeded")
+	}
+	_, err = sess.Parallelize(ints(1)).Join(sess.Parallelize(ints(2))).Collect()
+	if err == nil || !strings.Contains(err.Error(), "pairs") {
+		t.Errorf("join non-pairs error = %v", err)
+	}
+	_, err = sess.Parallelize([]val.Value{val.Str("s")}).Sum()
+	if err == nil {
+		t.Error("sum of strings succeeded")
+	}
+}
+
+func TestSetParallelism(t *testing.T) {
+	sess, _, _ := newTestSession(t, 4)
+	sess.SetParallelism(7)
+	got, err := sess.Parallelize(ints(1, 2, 3, 4, 5, 6, 7, 8)).Collect()
+	if err != nil || len(got) != 8 {
+		t.Errorf("collect after SetParallelism = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,87 @@
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+func TestMemStoreRoundtrip(t *testing.T) {
+	s := NewMemStore()
+	elems := []val.Value{val.Int(1), val.Str("a")}
+	if err := s.WriteDataset("d", elems); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ReadDataset("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !got[0].Equal(elems[0]) || !got[1].Equal(elems[1]) {
+		t.Errorf("roundtrip = %v", got)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	// Mutating the written slice or the read result must not affect the
+	// stored data.
+	s := NewMemStore()
+	elems := []val.Value{val.Int(1)}
+	s.WriteDataset("d", elems)
+	elems[0] = val.Int(99)
+	got, _ := s.ReadDataset("d")
+	if !got[0].Equal(val.Int(1)) {
+		t.Error("store aliases the writer's slice")
+	}
+	got[0] = val.Int(42)
+	again, _ := s.ReadDataset("d")
+	if !again[0].Equal(val.Int(1)) {
+		t.Error("store aliases the reader's slice")
+	}
+}
+
+func TestNotFoundError(t *testing.T) {
+	s := NewMemStore()
+	_, err := s.ReadDataset("missing")
+	var nf *NotFoundError
+	if !errors.As(err, &nf) || nf.Name != "missing" {
+		t.Errorf("err = %v", err)
+	}
+	if nf.Error() == "" {
+		t.Error("empty error message")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	s := NewMemStore()
+	for _, n := range []string{"c", "a", "b"} {
+		s.WriteDataset(n, nil)
+	}
+	names := s.Names()
+	if len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestConcurrentReadersWriters(t *testing.T) {
+	s := NewMemStore()
+	done := make(chan struct{}, 10)
+	for i := 0; i < 10; i++ {
+		go func(i int) {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 100; j++ {
+				if i%2 == 0 {
+					s.WriteDataset("d", []val.Value{val.Int(int64(j))})
+				} else {
+					s.ReadDataset("d")
+				}
+			}
+		}(i)
+	}
+	for i := 0; i < 10; i++ {
+		<-done
+	}
+}

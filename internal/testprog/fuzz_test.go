@@ -1,0 +1,75 @@
+package testprog
+
+import (
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+)
+
+func TestGenProgramWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		st := store.NewMemStore()
+		src, err := GenProgram(st, seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		if _, err := lang.Check(prog); err != nil {
+			t.Fatalf("seed %d: check: %v\n%s", seed, err, src)
+		}
+		// Formatting is a fixpoint even on generated programs.
+		f1 := lang.Format(prog)
+		prog2, err := lang.Parse(f1)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v\n%s", seed, err, f1)
+		}
+		if f2 := lang.Format(prog2); f1 != f2 {
+			t.Fatalf("seed %d: format not a fixpoint", seed)
+		}
+		if st.Len() == 0 {
+			t.Fatalf("seed %d: no input datasets seeded", seed)
+		}
+	}
+}
+
+func TestGenProgramDeterministic(t *testing.T) {
+	a, b := store.NewMemStore(), store.NewMemStore()
+	srcA, err := GenProgram(a, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcB, err := GenProgram(b, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srcA != srcB {
+		t.Error("same seed produced different programs")
+	}
+	if a.Len() != b.Len() {
+		t.Error("same seed produced different datasets")
+	}
+}
+
+func TestCorpusCasesAreDistinctAndComplete(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range Cases() {
+		if seen[c.Name] {
+			t.Errorf("duplicate case name %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Src == "" || c.Setup == nil {
+			t.Errorf("case %s incomplete", c.Name)
+		}
+		st := store.NewMemStore()
+		if err := c.Setup(st); err != nil {
+			t.Errorf("case %s setup: %v", c.Name, err)
+		}
+	}
+	if len(seen) < 14 {
+		t.Errorf("corpus has only %d cases", len(seen))
+	}
+}

@@ -1,0 +1,495 @@
+// Package testprog provides a corpus of imperative control-flow programs
+// plus deterministic input generators. The corpus is shared by the
+// differential tests of the compiler pipeline: the AST interpreter defines
+// ground truth, and the SSA interpreter, the distributed Mitos runtime
+// (in every pipelining/hoisting configuration), and the baselines must all
+// produce the same outputs.
+package testprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// Case is one corpus program with its input data.
+type Case struct {
+	Name string
+	Src  string
+	// Setup seeds the input datasets.
+	Setup func(st store.Store) error
+}
+
+// seedPages writes datasets name0..name<n-1>, each with m uniform page-ID
+// elements drawn from a universe of k pages.
+func seedPages(st store.Store, name string, n, m, k int, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	for day := 1; day <= n; day++ {
+		elems := make([]val.Value, m)
+		for i := range elems {
+			elems[i] = val.Str(fmt.Sprintf("page%d", r.Intn(k)))
+		}
+		if err := st.WriteDataset(fmt.Sprintf("%s%d", name, day), elems); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seedPairs writes a dataset of (key, value) pairs.
+func seedPairs(st store.Store, name string, n, keys int, seed int64) error {
+	r := rand.New(rand.NewSource(seed))
+	elems := make([]val.Value, n)
+	for i := range elems {
+		elems[i] = val.Pair(val.Str(fmt.Sprintf("page%d", r.Intn(keys))), val.Int(r.Int63n(100)))
+	}
+	return st.WriteDataset(name, elems)
+}
+
+// Cases returns the corpus. Programs cover: straight-line dataflow, the
+// paper's Visit Count in all three variants, nested loops with a
+// cross-level join (Fig. 4a), the phi-ordering hazard (Fig. 4b), if inside
+// loop, do-while, for sugar, zero-iteration loops, data-dependent exit
+// conditions via only(), and every bag operation.
+func Cases() []Case {
+	return []Case{
+		{
+			Name: "straightline",
+			Src: `
+visits = readFile("log1")
+counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b)
+counts.writeFile("counts")
+counts.count().writeFile("n")
+`,
+			Setup: func(st store.Store) error {
+				return seedPages(st, "log", 1, 200, 20, 1)
+			},
+		},
+		{
+			Name: "visitcount-basic",
+			Src: `
+for day = 1 to 6 {
+  visits = readFile("pageVisitLog" + day)
+  counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b)
+  counts.writeFile("counts" + day)
+}
+`,
+			Setup: func(st store.Store) error {
+				return seedPages(st, "pageVisitLog", 6, 120, 15, 2)
+			},
+		},
+		{
+			Name: "visitcount-diff",
+			Src: `
+yesterdayCounts = empty()
+day = 1
+do {
+  visits = readFile("pageVisitLog" + day)
+  counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b)
+  if (day != 1) {
+    diffs = counts.join(yesterdayCounts).map(t => abs(t.1 - t.2))
+    diffs.sum().writeFile("diff" + day)
+  }
+  yesterdayCounts = counts
+  day = day + 1
+} while (day <= 5)
+`,
+			Setup: func(st store.Store) error {
+				return seedPages(st, "pageVisitLog", 5, 150, 10, 3)
+			},
+		},
+		{
+			Name: "visitcount-pagetypes",
+			Src: `
+pageTypes = readFile("pageTypes")
+yesterdayCounts = empty()
+day = 1
+do {
+  rawVisits = readFile("pageVisitLog" + day)
+  tagged = rawVisits.map(x => (x, 1)).join(pageTypes)
+  visits = tagged.filter(t => t.2 == "article").map(t => t.0)
+  counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b)
+  if (day != 1) {
+    diffs = counts.join(yesterdayCounts).map(t => abs(t.1 - t.2))
+    diffs.sum().writeFile("diff" + day)
+  }
+  yesterdayCounts = counts
+  day = day + 1
+} while (day <= 4)
+`,
+			Setup: func(st store.Store) error {
+				if err := seedPages(st, "pageVisitLog", 4, 150, 12, 4); err != nil {
+					return err
+				}
+				types := make([]val.Value, 12)
+				for i := range types {
+					t := "article"
+					if i%3 == 0 {
+						t = "index"
+					}
+					types[i] = val.Pair(val.Str(fmt.Sprintf("page%d", i)), val.Str(t))
+				}
+				return st.WriteDataset("pageTypes", types)
+			},
+		},
+		{
+			Name: "nested-loop-join", // paper Fig. 4a: x from the outer loop joins y from the inner
+			Src: `
+i = 0
+while (i < 3) {
+  x = readFile("outer" + i).map(v => v)
+  j = 0
+  while (j < 2) {
+    y = readFile("inner" + i + "_" + j)
+    z = x.join(y)
+    z.count().writeFile("z" + i + "_" + j)
+    j = j + 1
+  }
+  i = i + 1
+}
+`,
+			Setup: func(st store.Store) error {
+				r := rand.New(rand.NewSource(5))
+				for i := 0; i < 3; i++ {
+					outer := make([]val.Value, 30)
+					for k := range outer {
+						outer[k] = val.Pair(val.Int(int64(r.Intn(8))), val.Str(fmt.Sprintf("o%d", k)))
+					}
+					if err := st.WriteDataset(fmt.Sprintf("outer%d", i), outer); err != nil {
+						return err
+					}
+					for j := 0; j < 2; j++ {
+						inner := make([]val.Value, 20)
+						for k := range inner {
+							inner[k] = val.Pair(val.Int(int64(r.Intn(8))), val.Str(fmt.Sprintf("i%d", k)))
+						}
+						if err := st.WriteDataset(fmt.Sprintf("inner%d_%d", i, j), inner); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "phi-hazard", // paper Fig. 4b: both branches define x and y; join after the phis
+			Src: `
+round = 0
+while (round < 4) {
+  if (round % 2 == 0) {
+    x = readFile("even").map(v => v)
+    y = readFile("evenY").map(v => v)
+  } else {
+    x = readFile("odd").map(v => v)
+    y = readFile("oddY").map(v => v)
+  }
+  z = x.join(y)
+  z.count().writeFile("zc" + round)
+  z.writeFile("z" + round)
+  round = round + 1
+}
+`,
+			Setup: func(st store.Store) error {
+				mk := func(name string, seed int64, n int) error {
+					return seedPairs(st, name, n, 6, seed)
+				}
+				if err := mk("even", 6, 25); err != nil {
+					return err
+				}
+				if err := mk("evenY", 7, 15); err != nil {
+					return err
+				}
+				if err := mk("odd", 8, 20); err != nil {
+					return err
+				}
+				return mk("oddY", 9, 10)
+			},
+		},
+		{
+			Name: "convergence-loop", // data-dependent exit via only()
+			Src: `
+vals = readFile("nums")
+rounds = 0
+while (only(vals.sum()) > 10 && rounds < 50) {
+  vals = vals.map(x => x / 2)
+  rounds = rounds + 1
+}
+vals.writeFile("final")
+newBag(rounds).writeFile("rounds")
+`,
+			Setup: func(st store.Store) error {
+				elems := []val.Value{val.Int(100), val.Int(200), val.Int(300), val.Int(55)}
+				return st.WriteDataset("nums", elems)
+			},
+		},
+		{
+			Name: "zero-iteration-loop",
+			Src: `
+acc = readFile("seed")
+i = 10
+while (i < 5) {
+  acc = acc.map(x => x + 1)
+  i = i + 1
+}
+acc.writeFile("out")
+`,
+			Setup: func(st store.Store) error {
+				return st.WriteDataset("seed", []val.Value{val.Int(1), val.Int(2)})
+			},
+		},
+		{
+			Name: "if-else-chain",
+			Src: `
+data = readFile("d")
+mode = only(data.count())
+if (mode < 2) {
+  r = data.map(x => x * 10)
+} else if (mode < 100) {
+  r = data.map(x => x + 1)
+} else {
+  r = data.filter(x => x > 0)
+}
+r.writeFile("r")
+`,
+			Setup: func(st store.Store) error {
+				elems := make([]val.Value, 10)
+				for i := range elems {
+					elems[i] = val.Int(int64(i - 3))
+				}
+				return st.WriteDataset("d", elems)
+			},
+		},
+		{
+			Name: "allops",
+			Src: `
+a = readFile("a")
+b = readFile("b")
+u = a.union(b)
+d = u.distinct()
+c = a.cross(b).count()
+fm = a.flatMap(x => (x, x + 1))
+r = fm.map(x => (x % 5, x)).reduceByKey((p, q) => max(p, q))
+m = r.reduce((p, q) => (min(p.0, q.0), p.1 + q.1))
+u.writeFile("u")
+d.writeFile("d")
+c.writeFile("c")
+r.writeFile("r")
+m.writeFile("m")
+`,
+			Setup: func(st store.Store) error {
+				av := make([]val.Value, 40)
+				bv := make([]val.Value, 30)
+				r := rand.New(rand.NewSource(10))
+				for i := range av {
+					av[i] = val.Int(r.Int63n(25))
+				}
+				for i := range bv {
+					bv[i] = val.Int(r.Int63n(25))
+				}
+				if err := st.WriteDataset("a", av); err != nil {
+					return err
+				}
+				return st.WriteDataset("b", bv)
+			},
+		},
+		{
+			Name: "pagerank-lite",
+			Src: `
+edges = readFile("edges")
+ranks = readFile("nodes").map(n => (n, 1.0))
+iter = 0
+while (iter < 5) {
+  contribs = edges.join(ranks).map(t => (t.1, t.2 * 0.85))
+  summed = contribs.reduceByKey((a, b) => a + b)
+  ranks = ranks.map(p => (p.0, 0.15)).union(summed).reduceByKey((a, b) => a + b)
+  iter = iter + 1
+}
+ranks.writeFile("ranks")
+`,
+			Setup: func(st store.Store) error {
+				nodes := []val.Value{val.Str("a"), val.Str("b"), val.Str("c"), val.Str("d")}
+				edges := []val.Value{
+					val.Pair(val.Str("a"), val.Str("b")),
+					val.Pair(val.Str("b"), val.Str("c")),
+					val.Pair(val.Str("c"), val.Str("a")),
+					val.Pair(val.Str("d"), val.Str("a")),
+					val.Pair(val.Str("a"), val.Str("c")),
+				}
+				if err := st.WriteDataset("nodes", nodes); err != nil {
+					return err
+				}
+				return st.WriteDataset("edges", edges)
+			},
+		},
+		{
+			Name: "nested-if-in-loop", // simulated-annealing-style branch inside loop
+			Src: `
+state = readFile("init")
+round = 1
+while (round <= 4) {
+  cand = state.cross(newBag(round)).map(t => t.0 + t.1)
+  if (only(cand.sum()) % 2 == 0) {
+    state = cand.map(x => x - 1)
+  } else {
+    if (round > 2) {
+      state = cand
+    }
+  }
+  round = round + 1
+}
+state.writeFile("state")
+`,
+			Setup: func(st store.Store) error {
+				return st.WriteDataset("init", []val.Value{val.Int(3), val.Int(8), val.Int(13)})
+			},
+		},
+		{
+			Name: "loop-invariant-hoist", // static build side: hoisting reuses the hash table
+			Src: `
+static = readFile("static")
+day = 1
+do {
+  dyn = readFile("dyn" + day)
+  j = static.join(dyn).map(t => (t.0, t.2 + len(t.1)))
+  j.writeFile("j" + day)
+  day = day + 1
+} while (day <= 4)
+`,
+			Setup: func(st store.Store) error {
+				stat := make([]val.Value, 10)
+				for i := range stat {
+					stat[i] = val.Pair(val.Str(fmt.Sprintf("page%d", i)), val.Str(fmt.Sprintf("type%d", i%3)))
+				}
+				if err := st.WriteDataset("static", stat); err != nil {
+					return err
+				}
+				r := rand.New(rand.NewSource(12))
+				for d := 1; d <= 4; d++ {
+					dyn := make([]val.Value, 25)
+					for i := range dyn {
+						dyn[i] = val.Pair(val.Str(fmt.Sprintf("page%d", r.Intn(10))), val.Int(r.Int63n(50)))
+					}
+					if err := st.WriteDataset(fmt.Sprintf("dyn%d", d), dyn); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "join-dynamic-build", // build side changes every step: hoisting must NOT reuse
+			Src: `
+static = readFile("static")
+day = 1
+do {
+  dyn = readFile("dyn" + day)
+  j = dyn.join(static).map(t => (t.0, t.1 + len(t.2)))
+  j.writeFile("jd" + day)
+  day = day + 1
+} while (day <= 3)
+`,
+			Setup: func(st store.Store) error {
+				stat := make([]val.Value, 8)
+				for i := range stat {
+					stat[i] = val.Pair(val.Str(fmt.Sprintf("page%d", i)), val.Str(fmt.Sprintf("t%d", i%2)))
+				}
+				if err := st.WriteDataset("static", stat); err != nil {
+					return err
+				}
+				r := rand.New(rand.NewSource(14))
+				for d := 1; d <= 3; d++ {
+					dyn := make([]val.Value, 20)
+					for i := range dyn {
+						dyn[i] = val.Pair(val.Str(fmt.Sprintf("page%d", r.Intn(8))), val.Int(r.Int63n(30)))
+					}
+					if err := st.WriteDataset(fmt.Sprintf("dyn%d", d), dyn); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "break-continue", // early exits through the uniform SSA machinery
+			Src: `
+data = readFile("nums")
+total = newBag(0)
+i = 0
+while (i < 100) {
+  i = i + 1
+  if (i % 3 == 0) {
+    continue
+  }
+  scaled = data.cross(newBag(i)).map(t => t.0 * t.1)
+  total = total.union(scaled.sum()).sum()
+  if (only(total.sum()) > 5000) {
+    break
+  }
+}
+total.writeFile("total")
+newBag(i).writeFile("rounds")
+`,
+			Setup: func(st store.Store) error {
+				return st.WriteDataset("nums", []val.Value{val.Int(3), val.Int(7), val.Int(11)})
+			},
+		},
+		{
+			Name: "break-in-nested-loop", // break binds to the innermost loop
+			Src: `
+acc = newBag(0)
+for i = 1 to 4 {
+  j = 0
+  do {
+    j = j + 1
+    if (j == i) {
+      break
+    }
+    acc = acc.union(newBag(i * 10 + j)).sum()
+  } while (j < 6)
+  acc = acc.union(newBag(i)).sum()
+}
+acc.writeFile("acc")
+`,
+			Setup: func(st store.Store) error { return nil },
+		},
+		{
+			Name: "triple-nested-loops",
+			Src: `
+total = newBag(0)
+i = 0
+while (i < 2) {
+  j = 0
+  while (j < 2) {
+    for k = 1 to 2 {
+      d = readFile("cell" + i + j + k)
+      total = total.union(d.sum()).sum()
+    }
+    j = j + 1
+  }
+  i = i + 1
+}
+total.writeFile("total")
+`,
+			Setup: func(st store.Store) error {
+				r := rand.New(rand.NewSource(13))
+				for i := 0; i < 2; i++ {
+					for j := 0; j < 2; j++ {
+						for k := 1; k <= 2; k++ {
+							elems := make([]val.Value, 5)
+							for e := range elems {
+								elems[e] = val.Int(r.Int63n(9))
+							}
+							name := fmt.Sprintf("cell%d%d%d", i, j, k)
+							if err := st.WriteDataset(name, elems); err != nil {
+								return err
+							}
+						}
+					}
+				}
+				return nil
+			},
+		},
+	}
+}

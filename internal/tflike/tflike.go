@@ -1,0 +1,103 @@
+// Package tflike is a minimal TensorFlow-style in-graph while loop used as
+// a comparator in the per-step-overhead microbenchmark (paper Fig. 7).
+//
+// Control flow is expressed with the classic dataflow primitives the paper
+// cites (Arvind's switch and merge, adopted by TensorFlow): a Merge node
+// admits either the loop-entry token or the back-edge token, the condition
+// node decides continuation, and a Switch node routes the token to the
+// body or to the exit. The loop runs inside a single executed graph — no
+// per-step job launches — and the body's work is dispatched to the cluster
+// machines in parallel per step.
+package tflike
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+)
+
+// Token is the value circulating through the while-loop graph.
+type Token struct {
+	Step int
+}
+
+// WhileLoop is a built while-loop graph, ready to Run.
+type WhileLoop struct {
+	cl   *cluster.Cluster
+	cond func(Token) bool
+	body func(worker int, t Token)
+}
+
+// NewWhileLoop builds the switch/merge loop graph: cond decides
+// continuation, body is executed per machine per step.
+func NewWhileLoop(cl *cluster.Cluster, cond func(Token) bool, body func(worker int, t Token)) *WhileLoop {
+	return &WhileLoop{cl: cl, cond: cond, body: body}
+}
+
+// Run executes the loop graph and returns the number of completed steps.
+// The graph nodes run as goroutines connected by channels: merge selects
+// between the entry edge and the back edge; switch routes by the condition
+// value. Control tokens between nodes on different machines pay the
+// control-message cost.
+func (w *WhileLoop) Run() (int, error) {
+	if w.cond == nil || w.body == nil {
+		return 0, fmt.Errorf("tflike: while loop needs cond and body")
+	}
+	entry := make(chan Token, 1)
+	backEdge := make(chan Token, 1)
+	mergeOut := make(chan Token)
+	switchBody := make(chan Token)
+	exit := make(chan int)
+
+	// Merge node: first the entry token, then back-edge tokens.
+	go func() {
+		t, ok := <-entry
+		for ok {
+			mergeOut <- t
+			t, ok = <-backEdge
+		}
+		close(mergeOut)
+	}()
+
+	// Switch node: routes by the condition pivot (a control decision —
+	// pays one control-message delivery like TF's control edges).
+	go func() {
+		steps := 0
+		for t := range mergeOut {
+			w.cl.CtrlSleep()
+			if !w.cond(t) {
+				// The body is idle here (tokens strictly alternate), so
+				// closing both loop channels shuts the graph down cleanly.
+				close(backEdge)
+				close(switchBody)
+				exit <- steps
+				return
+			}
+			steps++
+			switchBody <- t
+		}
+	}()
+
+	// Body: per step, run the work on every machine in parallel, then
+	// produce the next-iteration token on the back edge.
+	go func() {
+		for t := range switchBody {
+			var wg sync.WaitGroup
+			for m := 0; m < w.cl.Machines(); m++ {
+				wg.Add(1)
+				go func(m int) {
+					defer wg.Done()
+					w.body(m, t)
+				}(m)
+			}
+			wg.Wait()
+			w.cl.CtrlSleep() // NextIteration control edge
+			backEdge <- Token{Step: t.Step + 1}
+		}
+	}()
+
+	entry <- Token{Step: 0}
+	close(entry)
+	return <-exit, nil
+}

@@ -1,0 +1,98 @@
+package tflike
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+)
+
+func TestWhileLoopRunsSteps(t *testing.T) {
+	cl, err := cluster.New(cluster.FastConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var work atomic.Int64
+	loop := NewWhileLoop(cl,
+		func(tok Token) bool { return tok.Step < 12 },
+		func(worker int, tok Token) { work.Add(1) },
+	)
+	steps, err := loop.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != 12 {
+		t.Errorf("steps = %d, want 12", steps)
+	}
+	if work.Load() != 12*3 {
+		t.Errorf("work units = %d, want %d", work.Load(), 12*3)
+	}
+}
+
+func TestWhileLoopZeroIterations(t *testing.T) {
+	cl, err := cluster.New(cluster.FastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	loop := NewWhileLoop(cl,
+		func(Token) bool { return false },
+		func(int, Token) { t.Error("body ran") },
+	)
+	steps, err := loop.Run()
+	if err != nil || steps != 0 {
+		t.Errorf("steps = %d, err = %v", steps, err)
+	}
+}
+
+func TestWhileLoopTokenSteps(t *testing.T) {
+	cl, err := cluster.New(cluster.FastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var seen []int
+	loop := NewWhileLoop(cl,
+		func(tok Token) bool { return tok.Step < 4 },
+		func(worker int, tok Token) { seen = append(seen, tok.Step) },
+	)
+	if _, err := loop.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range seen {
+		if s != i {
+			t.Errorf("step %d token = %d", i, s)
+		}
+	}
+}
+
+func TestWhileLoopValidation(t *testing.T) {
+	cl, err := cluster.New(cluster.FastConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := NewWhileLoop(cl, nil, nil).Run(); err == nil {
+		t.Error("nil cond/body accepted")
+	}
+}
+
+func TestWhileLoopReusableAcrossRuns(t *testing.T) {
+	// Each Run builds a fresh graph; running many loops back to back must
+	// not leak goroutines or deadlock.
+	cl, err := cluster.New(cluster.FastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := 0; i < 50; i++ {
+		loop := NewWhileLoop(cl,
+			func(tok Token) bool { return tok.Step < 3 },
+			func(int, Token) {},
+		)
+		if steps, err := loop.Run(); err != nil || steps != 3 {
+			t.Fatalf("run %d: steps=%d err=%v", i, steps, err)
+		}
+	}
+}

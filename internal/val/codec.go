@@ -1,0 +1,136 @@
+package val
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// AppendBinary appends the compact binary encoding of v to dst and returns
+// the extended slice. The encoding is self-delimiting: a kind tag byte
+// followed by a kind-specific payload (varints for ints and lengths, raw
+// IEEE bits for floats, raw bytes for strings, recursively encoded fields
+// for tuples).
+func AppendBinary(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindInt:
+		dst = binary.AppendVarint(dst, int64(v.num))
+	case KindFloat:
+		dst = binary.BigEndian.AppendUint64(dst, v.num)
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.str)))
+		dst = append(dst, v.str...)
+	case KindBool:
+		dst = append(dst, byte(v.num))
+	case KindTuple:
+		dst = binary.AppendUvarint(dst, uint64(len(v.tup)))
+		for _, f := range v.tup {
+			dst = AppendBinary(dst, f)
+		}
+	}
+	return dst
+}
+
+// DecodeBinary decodes one Value from the front of buf, returning the value
+// and the number of bytes consumed. It returns an error for truncated or
+// malformed input.
+func DecodeBinary(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Value{}, 0, fmt.Errorf("val: decode: empty buffer")
+	}
+	kind := Kind(buf[0])
+	n := 1
+	switch kind {
+	case KindInvalid:
+		return Value{kind: KindInvalid}, n, nil
+	case KindInt:
+		i, sz := binary.Varint(buf[n:])
+		if sz <= 0 {
+			return Value{}, 0, fmt.Errorf("val: decode: bad int varint")
+		}
+		return Int(i), n + sz, nil
+	case KindFloat:
+		if len(buf) < n+8 {
+			return Value{}, 0, fmt.Errorf("val: decode: truncated float")
+		}
+		bits := binary.BigEndian.Uint64(buf[n:])
+		return Float(math.Float64frombits(bits)), n + 8, nil
+	case KindString:
+		l, sz := binary.Uvarint(buf[n:])
+		if sz <= 0 {
+			return Value{}, 0, fmt.Errorf("val: decode: bad string length")
+		}
+		n += sz
+		if uint64(len(buf)-n) < l {
+			return Value{}, 0, fmt.Errorf("val: decode: truncated string")
+		}
+		return Str(string(buf[n : n+int(l)])), n + int(l), nil
+	case KindBool:
+		if len(buf) < n+1 {
+			return Value{}, 0, fmt.Errorf("val: decode: truncated bool")
+		}
+		return Bool(buf[n] != 0), n + 1, nil
+	case KindTuple:
+		l, sz := binary.Uvarint(buf[n:])
+		if sz <= 0 {
+			return Value{}, 0, fmt.Errorf("val: decode: bad tuple length")
+		}
+		n += sz
+		if l > uint64(len(buf)) {
+			return Value{}, 0, fmt.Errorf("val: decode: tuple length %d exceeds buffer", l)
+		}
+		fields := make([]Value, 0, l)
+		for i := uint64(0); i < l; i++ {
+			f, used, err := DecodeBinary(buf[n:])
+			if err != nil {
+				return Value{}, 0, fmt.Errorf("val: decode: tuple field %d: %w", i, err)
+			}
+			fields = append(fields, f)
+			n += used
+		}
+		return Tuple(fields...), n, nil
+	default:
+		return Value{}, 0, fmt.Errorf("val: decode: unknown kind tag %d", buf[0])
+	}
+}
+
+// EncodedSize returns the number of bytes AppendBinary would produce for v.
+// It is used by the cluster simulator to model network transfer volume
+// without materializing the encoding.
+func EncodedSize(v Value) int {
+	n := 1
+	switch v.kind {
+	case KindInt:
+		n += varintLen(int64(v.num))
+	case KindFloat:
+		n += 8
+	case KindString:
+		n += uvarintLen(uint64(len(v.str))) + len(v.str)
+	case KindBool:
+		n++
+	case KindTuple:
+		n += uvarintLen(uint64(len(v.tup)))
+		for _, f := range v.tup {
+			n += EncodedSize(f)
+		}
+	}
+	return n
+}
+
+func varintLen(x int64) int {
+	ux := uint64(x) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return uvarintLen(ux)
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}

@@ -1,0 +1,93 @@
+package val
+
+// Map is a hash map keyed by Value, used by key-based operators
+// (join builds, reduceByKey groups, distinct sets). It handles hash
+// collisions by chaining on Equal. The zero Map is ready to use.
+type Map[T any] struct {
+	buckets map[uint64][]entry[T]
+	n       int
+}
+
+type entry[T any] struct {
+	key Value
+	val T
+}
+
+// NewMap returns an empty Map with capacity hint n.
+func NewMap[T any](n int) *Map[T] {
+	return &Map[T]{buckets: make(map[uint64][]entry[T], n)}
+}
+
+func (m *Map[T]) init() {
+	if m.buckets == nil {
+		m.buckets = make(map[uint64][]entry[T])
+	}
+}
+
+// Get returns the value stored under key, and whether it was present.
+func (m *Map[T]) Get(key Value) (T, bool) {
+	var zero T
+	if m.buckets == nil {
+		return zero, false
+	}
+	for _, e := range m.buckets[key.Hash()] {
+		if e.key.Equal(key) {
+			return e.val, true
+		}
+	}
+	return zero, false
+}
+
+// Put stores v under key, replacing any previous value.
+func (m *Map[T]) Put(key Value, v T) {
+	m.init()
+	h := key.Hash()
+	bucket := m.buckets[h]
+	for i, e := range bucket {
+		if e.key.Equal(key) {
+			bucket[i].val = v
+			return
+		}
+	}
+	m.buckets[h] = append(bucket, entry[T]{key: key, val: v})
+	m.n++
+}
+
+// Update applies f to the value stored under key (or the zero value if
+// absent) and stores the result. It reports whether the key was present.
+func (m *Map[T]) Update(key Value, f func(old T, present bool) T) bool {
+	m.init()
+	h := key.Hash()
+	bucket := m.buckets[h]
+	for i, e := range bucket {
+		if e.key.Equal(key) {
+			bucket[i].val = f(e.val, true)
+			return true
+		}
+	}
+	var zero T
+	m.buckets[h] = append(bucket, entry[T]{key: key, val: f(zero, false)})
+	m.n++
+	return false
+}
+
+// Len returns the number of keys in the map.
+func (m *Map[T]) Len() int { return m.n }
+
+// Range calls f for every key/value pair until f returns false.
+// Iteration order is unspecified.
+func (m *Map[T]) Range(f func(key Value, v T) bool) {
+	for _, bucket := range m.buckets {
+		for _, e := range bucket {
+			if !f(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
+
+// Reset removes all entries but keeps allocated buckets for reuse.
+func (m *Map[T]) Reset() {
+	clear(m.buckets)
+	m.n = 0
+}

@@ -1,0 +1,144 @@
+package val
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapBasic(t *testing.T) {
+	m := NewMap[int](4)
+	if _, ok := m.Get(Str("a")); ok {
+		t.Error("empty map Get returned present")
+	}
+	m.Put(Str("a"), 1)
+	m.Put(Str("b"), 2)
+	m.Put(Str("a"), 3) // replace
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Get(Str("a")); !ok || v != 3 {
+		t.Errorf("Get(a) = %d,%t", v, ok)
+	}
+	if v, ok := m.Get(Str("b")); !ok || v != 2 {
+		t.Errorf("Get(b) = %d,%t", v, ok)
+	}
+}
+
+func TestMapZeroValueUsable(t *testing.T) {
+	var m Map[string]
+	if _, ok := m.Get(Int(1)); ok {
+		t.Error("zero map Get returned present")
+	}
+	m.Put(Int(1), "x")
+	if v, ok := m.Get(Int(1)); !ok || v != "x" {
+		t.Error("zero map Put/Get broken")
+	}
+}
+
+func TestMapUpdate(t *testing.T) {
+	var m Map[int64]
+	add := func(d int64) func(int64, bool) int64 {
+		return func(old int64, _ bool) int64 { return old + d }
+	}
+	if present := m.Update(Str("k"), add(5)); present {
+		t.Error("Update on absent key reported present")
+	}
+	if present := m.Update(Str("k"), add(7)); !present {
+		t.Error("Update on present key reported absent")
+	}
+	if v, _ := m.Get(Str("k")); v != 12 {
+		t.Errorf("value = %d, want 12", v)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d", m.Len())
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	var m Map[int]
+	for i := 0; i < 10; i++ {
+		m.Put(Int(int64(i)), i*i)
+	}
+	sum := 0
+	m.Range(func(k Value, v int) bool {
+		sum += v
+		return true
+	})
+	want := 0
+	for i := 0; i < 10; i++ {
+		want += i * i
+	}
+	if sum != want {
+		t.Errorf("sum over Range = %d, want %d", sum, want)
+	}
+	// Early stop.
+	count := 0
+	m.Range(func(Value, int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Errorf("early-stop Range visited %d", count)
+	}
+}
+
+func TestMapReset(t *testing.T) {
+	var m Map[int]
+	m.Put(Int(1), 1)
+	m.Reset()
+	if m.Len() != 0 {
+		t.Errorf("Len after Reset = %d", m.Len())
+	}
+	if _, ok := m.Get(Int(1)); ok {
+		t.Error("Get after Reset returned present")
+	}
+	m.Put(Int(2), 2)
+	if v, ok := m.Get(Int(2)); !ok || v != 2 {
+		t.Error("map unusable after Reset")
+	}
+}
+
+func TestMapTupleKeysAndCollisions(t *testing.T) {
+	var m Map[int]
+	// Many structurally distinct tuple keys.
+	for i := 0; i < 200; i++ {
+		m.Put(Tuple(Int(int64(i%10)), Int(int64(i/10))), i)
+	}
+	if m.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", m.Len())
+	}
+	for i := 0; i < 200; i++ {
+		v, ok := m.Get(Tuple(Int(int64(i%10)), Int(int64(i/10))))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%t", i, v, ok)
+		}
+	}
+}
+
+func TestQuickMapMatchesGoMap(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		var m Map[int64]
+		ref := make(map[int64]int64)
+		for i := 0; i < 100; i++ {
+			k := r.Int63n(30)
+			v := r.Int63()
+			m.Put(Int(k), v)
+			ref[k] = v
+		}
+		if m.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := m.Get(Int(k))
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

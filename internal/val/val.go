@@ -1,0 +1,339 @@
+// Package val implements the dynamic value system shared by the Mitos
+// script language and the dataflow engine.
+//
+// Elements of a bag are Values: 64-bit integers, 64-bit floats, strings,
+// booleans, or tuples of Values. Values are immutable once constructed and
+// are safe to share between goroutines. The package also provides a total
+// order, a stable hash (used by the shuffle partitioner), and a compact
+// binary codec used when elements cross simulated machine boundaries.
+package val
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The possible kinds of a Value. KindInvalid is the zero Value's kind.
+const (
+	KindInvalid Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindTuple
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInvalid:
+		return "invalid"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	case KindTuple:
+		return "tuple"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed immutable value.
+//
+// The zero Value is invalid; use the constructors. Values are small
+// (a word-sized header plus payload) and are passed by value.
+type Value struct {
+	kind Kind
+	num  uint64 // int64 bits, float64 bits, or 0/1 for bool
+	str  string
+	tup  []Value
+}
+
+// Int returns an integer Value.
+func Int(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
+
+// Float returns a floating-point Value.
+func Float(f float64) Value { return Value{kind: KindFloat, num: math.Float64bits(f)} }
+
+// Str returns a string Value.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// Bool returns a boolean Value.
+func Bool(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Tuple returns a tuple Value holding the given fields. The slice is not
+// copied; the caller must not mutate it afterwards.
+func Tuple(fields ...Value) Value { return Value{kind: KindTuple, tup: fields} }
+
+// Pair returns a two-field tuple. It is the shape produced by map-to-pair
+// operations and consumed by reduceByKey and join.
+func Pair(k, v Value) Value { return Tuple(k, v) }
+
+// Kind reports the dynamic type of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether v was produced by a constructor (not the zero Value).
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsInt returns the integer payload. It panics if v is not an int.
+func (v Value) AsInt() int64 {
+	v.mustBe(KindInt)
+	return int64(v.num)
+}
+
+// AsFloat returns the float payload. It panics if v is not a float.
+func (v Value) AsFloat() float64 {
+	v.mustBe(KindFloat)
+	return math.Float64frombits(v.num)
+}
+
+// AsNumber returns the numeric payload of an int or float as float64.
+// It panics for other kinds.
+func (v Value) AsNumber() float64 {
+	switch v.kind {
+	case KindInt:
+		return float64(int64(v.num))
+	case KindFloat:
+		return math.Float64frombits(v.num)
+	default:
+		panic(fmt.Sprintf("val: AsNumber on %s value", v.kind))
+	}
+}
+
+// AsStr returns the string payload. It panics if v is not a string.
+func (v Value) AsStr() string {
+	v.mustBe(KindString)
+	return v.str
+}
+
+// AsBool returns the boolean payload. It panics if v is not a bool.
+func (v Value) AsBool() bool {
+	v.mustBe(KindBool)
+	return v.num != 0
+}
+
+// Fields returns the tuple payload. It panics if v is not a tuple.
+// The returned slice must not be mutated.
+func (v Value) Fields() []Value {
+	v.mustBe(KindTuple)
+	return v.tup
+}
+
+// Len returns the number of fields of a tuple. It panics if v is not a tuple.
+func (v Value) Len() int {
+	v.mustBe(KindTuple)
+	return len(v.tup)
+}
+
+// Field returns field i of a tuple. It panics if v is not a tuple or i is
+// out of range.
+func (v Value) Field(i int) Value {
+	v.mustBe(KindTuple)
+	return v.tup[i]
+}
+
+func (v Value) mustBe(k Kind) {
+	if v.kind != k {
+		panic(fmt.Sprintf("val: %s value used as %s", v.kind, k))
+	}
+}
+
+// Equal reports whether v and w are structurally equal. Values of different
+// kinds are never equal (ints and floats are distinct even when numerically
+// equal).
+func (v Value) Equal(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	switch v.kind {
+	case KindInt, KindBool, KindFloat:
+		return v.num == w.num
+	case KindString:
+		return v.str == w.str
+	case KindTuple:
+		if len(v.tup) != len(w.tup) {
+			return false
+		}
+		for i := range v.tup {
+			if !v.tup[i].Equal(w.tup[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true // two invalid values are equal
+	}
+}
+
+// Compare returns -1, 0, or +1 ordering v relative to w. The order is total:
+// values are ordered first by kind, then by payload. Tuples compare
+// lexicographically; floats compare by IEEE order with NaN greatest.
+func (v Value) Compare(w Value) int {
+	if v.kind != w.kind {
+		if v.kind < w.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindInt:
+		return cmpInt64(int64(v.num), int64(w.num))
+	case KindBool:
+		return cmpUint64(v.num, w.num)
+	case KindFloat:
+		return cmpFloat(math.Float64frombits(v.num), math.Float64frombits(w.num))
+	case KindString:
+		return strings.Compare(v.str, w.str)
+	case KindTuple:
+		n := min(len(v.tup), len(w.tup))
+		for i := 0; i < n; i++ {
+			if c := v.tup[i].Compare(w.tup[i]); c != 0 {
+				return c
+			}
+		}
+		return cmpInt64(int64(len(v.tup)), int64(len(w.tup)))
+	default:
+		return 0
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpUint64(a, b uint64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	an, bn := math.IsNaN(a), math.IsNaN(b)
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return 1
+	case bn:
+		return -1
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// fnv-1a constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns a stable 64-bit hash of v, suitable for partitioning.
+// Equal values hash equally on every machine and in every process.
+func (v Value) Hash() uint64 {
+	return v.hash(fnvOffset)
+}
+
+func (v Value) hash(h uint64) uint64 {
+	h = (h ^ uint64(v.kind)) * fnvPrime
+	switch v.kind {
+	case KindInt, KindBool, KindFloat:
+		for shift := 0; shift < 64; shift += 8 {
+			h = (h ^ (v.num >> shift & 0xff)) * fnvPrime
+		}
+	case KindString:
+		for i := 0; i < len(v.str); i++ {
+			h = (h ^ uint64(v.str[i])) * fnvPrime
+		}
+	case KindTuple:
+		for _, f := range v.tup {
+			h = f.hash(h)
+		}
+	}
+	return h
+}
+
+// AsPair returns the two fields of a (key, value) pair without the
+// per-field kind checks — the fast path for join and reduceByKey inner
+// loops. ok is false when v is not a 2-tuple.
+func (v Value) AsPair() (k, val Value, ok bool) {
+	if v.kind != KindTuple || len(v.tup) != 2 {
+		return Value{}, Value{}, false
+	}
+	return v.tup[0], v.tup[1], true
+}
+
+// Key returns the field used for key-based operations: the first field for
+// tuples, and the value itself otherwise.
+func (v Value) Key() Value {
+	if v.kind == KindTuple && len(v.tup) > 0 {
+		return v.tup[0]
+	}
+	return v
+}
+
+// String renders v in a script-literal-like syntax, e.g. `(1, "a", true)`.
+func (v Value) String() string {
+	var b strings.Builder
+	v.format(&b)
+	return b.String()
+}
+
+func (v Value) format(b *strings.Builder) {
+	switch v.kind {
+	case KindInvalid:
+		b.WriteString("<invalid>")
+	case KindInt:
+		b.WriteString(strconv.FormatInt(int64(v.num), 10))
+	case KindFloat:
+		b.WriteString(strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64))
+	case KindString:
+		b.WriteString(strconv.Quote(v.str))
+	case KindBool:
+		if v.num != 0 {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case KindTuple:
+		b.WriteByte('(')
+		for i, f := range v.tup {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			f.format(b)
+		}
+		b.WriteByte(')')
+	}
+}

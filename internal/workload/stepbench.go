@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/flinklike"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/naiadlike"
+	"github.com/mitos-project/mitos/internal/sparklike"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/tflike"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// This file implements the iteration-step-overhead microbenchmark of
+// Fig. 7: a simple loop with minimal data processing per step, run on all
+// six systems. The benchmark harness divides the measured duration by the
+// step count.
+
+// StepLoopScript is the Mitos microbenchmark program.
+func StepLoopScript(steps int) string {
+	return fmt.Sprintf(`x = 0
+while (x < %d) {
+  x = x + 1
+}
+newBag(x).writeFile("out")
+`, steps)
+}
+
+// StepMitos runs the microbenchmark loop on the Mitos runtime.
+func StepMitos(cl *cluster.Cluster, st store.Store, steps int, opts core.Options) error {
+	prog, err := lang.Parse(StepLoopScript(steps))
+	if err != nil {
+		return err
+	}
+	if _, err := lang.Check(prog); err != nil {
+		return err
+	}
+	g, err := ir.CompileToSSA(prog)
+	if err != nil {
+		return err
+	}
+	_, err = core.Execute(g, st, cl, opts)
+	return err
+}
+
+// StepSpark launches one tiny job per iteration step.
+func StepSpark(cl *cluster.Cluster, st store.Store, steps int) error {
+	sess := sparklike.NewSession(cl, st)
+	for i := 0; i < steps; i++ {
+		n, err := sess.Parallelize([]val.Value{val.Int(int64(i))}).
+			Map(func(x val.Value) (val.Value, error) { return val.Int(x.AsInt() + 1), nil }).
+			Count()
+		if err != nil {
+			return err
+		}
+		if n != 1 {
+			return fmt.Errorf("workload: step %d count = %d", i, n)
+		}
+	}
+	return nil
+}
+
+// StepFlinkSeparateJobs launches one flinklike environment (job) per step.
+func StepFlinkSeparateJobs(cl *cluster.Cluster, st store.Store, steps int) error {
+	for i := 0; i < steps; i++ {
+		env := flinklike.NewEnv(cl, st)
+		n, err := env.FromSlice([]val.Value{val.Int(int64(i))}).
+			Map(func(x val.Value) (val.Value, error) { return val.Int(x.AsInt() + 1), nil }).
+			Count()
+		if err != nil {
+			return err
+		}
+		if n != 1 {
+			return fmt.Errorf("workload: step %d count = %d", i, n)
+		}
+	}
+	return nil
+}
+
+// StepFlinkNative runs the loop as one native iteration.
+func StepFlinkNative(cl *cluster.Cluster, st store.Store, steps int, env *flinklike.Env) error {
+	if env == nil {
+		env = flinklike.NewEnv(cl, st)
+	}
+	initial := env.FromSlice([]val.Value{val.Int(0)})
+	out, err := env.Iterate(initial, steps, func(step int, in *flinklike.DataSet) (*flinklike.DataSet, error) {
+		return in.Map(func(x val.Value) (val.Value, error) { return val.Int(x.AsInt() + 1), nil }), nil
+	})
+	if err != nil {
+		return err
+	}
+	elems, err := out.Collect()
+	if err != nil {
+		return err
+	}
+	if len(elems) != 1 || elems[0].AsInt() != int64(steps) {
+		return fmt.Errorf("workload: flink native loop result %v", elems)
+	}
+	return nil
+}
+
+// StepNaiad runs the loop on the timely-style comparator.
+func StepNaiad(cl *cluster.Cluster, steps int) error {
+	counters := make([]int64, cl.Machines())
+	_, err := naiadlike.Run(cl, steps, func(worker, step int) {
+		counters[worker]++
+	})
+	if err != nil {
+		return err
+	}
+	for w, c := range counters {
+		if c != int64(steps) {
+			return fmt.Errorf("workload: naiad worker %d ran %d steps, want %d", w, c, steps)
+		}
+	}
+	return nil
+}
+
+// StepTF runs the loop on the switch/merge comparator.
+func StepTF(cl *cluster.Cluster, steps int) error {
+	counters := make([]int64, cl.Machines())
+	loop := tflike.NewWhileLoop(cl,
+		func(t tflike.Token) bool { return t.Step < steps },
+		func(worker int, t tflike.Token) { counters[worker]++ },
+	)
+	ran, err := loop.Run()
+	if err != nil {
+		return err
+	}
+	if ran != steps {
+		return fmt.Errorf("workload: tf loop ran %d steps, want %d", ran, steps)
+	}
+	return nil
+}

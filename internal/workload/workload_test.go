@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/bag"
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+)
+
+// groundTruth runs the Mitos script through the AST interpreter.
+func groundTruth(t *testing.T, spec VisitCountSpec) *store.MemStore {
+	t.Helper()
+	st := store.NewMemStore()
+	if err := spec.Generate(st); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lang.Parse(spec.Script())
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, spec.Script())
+	}
+	if err := ir.RunAST(prog, st); err != nil {
+		t.Fatalf("AST interpreter: %v", err)
+	}
+	return st
+}
+
+func freshStore(t *testing.T, spec VisitCountSpec) *store.MemStore {
+	t.Helper()
+	st := store.NewMemStore()
+	if err := spec.Generate(st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func diffOutputs(t *testing.T, want, got *store.MemStore) {
+	t.Helper()
+	for _, name := range want.Names() {
+		we, _ := want.ReadDataset(name)
+		ge, err := got.ReadDataset(name)
+		if err != nil {
+			t.Errorf("dataset %q missing: %v", name, err)
+			continue
+		}
+		if !bag.Equal(we, ge) {
+			t.Errorf("dataset %q differs:\n want %v\n got  %v", name, bag.Sorted(we), bag.Sorted(ge))
+		}
+	}
+}
+
+var specs = []VisitCountSpec{
+	{Days: 4, VisitsPerDay: 60, Pages: 10, Seed: 21},
+	{Days: 5, VisitsPerDay: 80, Pages: 12, WithDiff: true, Seed: 22},
+	{Days: 4, VisitsPerDay: 70, Pages: 9, WithDiff: true, WithPageTypes: true, Seed: 23},
+	{Days: 3, VisitsPerDay: 50, Pages: 8, WithPageTypes: true, PageTypesSize: 20, Seed: 24},
+}
+
+// TestAllSystemsAgree checks that every system produces identical outputs
+// for every Visit Count variant — the cross-system correctness requirement
+// behind all the paper's performance comparisons.
+func TestAllSystemsAgree(t *testing.T) {
+	for si, spec := range specs {
+		spec := spec
+		want := groundTruth(t, spec)
+		runners := []struct {
+			name string
+			run  func(st *store.MemStore, cl *cluster.Cluster) error
+		}{
+			{"mitos", func(st *store.MemStore, cl *cluster.Cluster) error {
+				_, err := RunMitos(spec, st, cl, core.DefaultOptions())
+				return err
+			}},
+			{"mitos-nopipe-nohoist", func(st *store.MemStore, cl *cluster.Cluster) error {
+				_, err := RunMitos(spec, st, cl, core.Options{})
+				return err
+			}},
+			{"spark", RunSparkAdapter(spec)},
+			{"flink-native", func(st *store.MemStore, cl *cluster.Cluster) error {
+				return RunFlinkNative(spec, st, cl, nil)
+			}},
+			{"flink-separate", func(st *store.MemStore, cl *cluster.Cluster) error {
+				return RunFlinkSeparateJobs(spec, st, cl)
+			}},
+		}
+		for _, r := range runners {
+			t.Run(fmt.Sprintf("spec%d/%s", si, r.name), func(t *testing.T) {
+				t.Parallel()
+				cl, err := cluster.New(cluster.FastConfig(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer cl.Close()
+				st := freshStore(t, spec)
+				if err := r.run(st, cl); err != nil {
+					t.Fatalf("%s: %v", r.name, err)
+				}
+				diffOutputs(t, want, st)
+			})
+		}
+	}
+}
+
+// RunSparkAdapter adapts RunSpark to the test runner signature.
+func RunSparkAdapter(spec VisitCountSpec) func(st *store.MemStore, cl *cluster.Cluster) error {
+	return func(st *store.MemStore, cl *cluster.Cluster) error {
+		return RunSpark(spec, st, cl)
+	}
+}
+
+func TestSparkLaunchesJobPerStep(t *testing.T) {
+	spec := specs[1] // with diff: one action per day from day 2, plus day-1 materialization
+	cl, err := cluster.New(cluster.FastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st := freshStore(t, spec)
+	if err := RunSpark(spec, st, cl); err != nil {
+		t.Fatal(err)
+	}
+	jobs := cl.Stats().JobsLaunched
+	if jobs < int64(spec.Days) {
+		t.Errorf("Spark launched %d jobs for %d days, want >= one per day", jobs, spec.Days)
+	}
+}
+
+func TestFlinkNativeLaunchesOneJob(t *testing.T) {
+	spec := specs[1]
+	cl, err := cluster.New(cluster.FastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st := freshStore(t, spec)
+	if err := RunFlinkNative(spec, st, cl, nil); err != nil {
+		t.Fatal(err)
+	}
+	stats := cl.Stats()
+	if stats.JobsLaunched != 1 {
+		t.Errorf("Flink native launched %d jobs, want 1", stats.JobsLaunched)
+	}
+	if stats.Barriers < int64(spec.Days) {
+		t.Errorf("Flink native ran %d barriers for %d supersteps", stats.Barriers, spec.Days)
+	}
+}
+
+func TestMitosLaunchesNoPerStepJobs(t *testing.T) {
+	spec := specs[1]
+	cl, err := cluster.New(cluster.FastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st := freshStore(t, spec)
+	if _, err := RunMitos(spec, st, cl, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	stats := cl.Stats()
+	if stats.JobsLaunched != 0 {
+		t.Errorf("Mitos launched %d cluster jobs (the dataflow job is one submission, not per-step)", stats.JobsLaunched)
+	}
+	if stats.Barriers != 0 {
+		t.Errorf("pipelined Mitos ran %d barriers, want 0", stats.Barriers)
+	}
+	if stats.CtrlMessages == 0 {
+		t.Error("Mitos sent no control messages; the CFM broadcast is not wired")
+	}
+}
+
+func TestMitosNonPipelinedUsesBarriers(t *testing.T) {
+	spec := specs[0]
+	cl, err := cluster.New(cluster.FastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st := freshStore(t, spec)
+	opts := core.Options{Pipelining: false, Hoisting: true}
+	if _, err := RunMitos(spec, st, cl, opts); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stats().Barriers == 0 {
+		t.Error("non-pipelined Mitos ran no barriers")
+	}
+}
+
+func TestStepBenchesAllSystems(t *testing.T) {
+	const steps = 5
+	cl, err := cluster.New(cluster.FastConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"mitos", func() error {
+			return StepMitos(cl, store.NewMemStore(), steps, core.DefaultOptions())
+		}},
+		{"spark", func() error { return StepSpark(cl, store.NewMemStore(), steps) }},
+		{"flink-separate", func() error { return StepFlinkSeparateJobs(cl, store.NewMemStore(), steps) }},
+		{"flink-native", func() error { return StepFlinkNative(cl, store.NewMemStore(), steps, nil) }},
+		{"naiad", func() error { return StepNaiad(cl, steps) }},
+		{"tf", func() error { return StepTF(cl, steps) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := c.run(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestStepMitosWritesResult(t *testing.T) {
+	cl, err := cluster.New(cluster.FastConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	st := store.NewMemStore()
+	if err := StepMitos(cl, st, 7, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	out, err := st.ReadDataset("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].AsInt() != 7 {
+		t.Errorf("out = %v, want [7]", out)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := specs[2]
+	a, b := store.NewMemStore(), store.NewMemStore()
+	if err := spec.Generate(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Generate(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range a.Names() {
+		ae, _ := a.ReadDataset(name)
+		be, err := b.ReadDataset(name)
+		if err != nil || !bag.Equal(ae, be) {
+			t.Errorf("dataset %q not deterministic", name)
+		}
+	}
+}
+
+func TestScriptCompiles(t *testing.T) {
+	for si, spec := range specs {
+		if _, err := spec.CompileMitos(); err != nil {
+			t.Errorf("spec %d script does not compile: %v\n%s", si, err, spec.Script())
+		}
+	}
+}

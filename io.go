@@ -1,0 +1,101 @@
+package mitos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// ReadTextDataset parses a text dataset: one element per line. A line
+// holds either a single literal (integer, float, true/false, or a bare
+// string) or a comma-separated tuple of such literals, e.g.
+//
+//	page7
+//	page7,3
+//	a,1.5,true
+//
+// Quoting is not needed: a field that does not parse as a number or bool
+// is a string.
+func ReadTextDataset(r io.Reader) ([]Value, error) {
+	var out []Value
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) == 1 {
+			out = append(out, parseField(fields[0]))
+			continue
+		}
+		tup := make([]Value, len(fields))
+		for i, f := range fields {
+			tup[i] = parseField(f)
+		}
+		out = append(out, val.Tuple(tup...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mitos: reading dataset: %w", err)
+	}
+	return out, nil
+}
+
+func parseField(s string) Value {
+	s = strings.TrimSpace(s)
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return val.Int(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return val.Float(f)
+	}
+	switch s {
+	case "true":
+		return val.Bool(true)
+	case "false":
+		return val.Bool(false)
+	}
+	return val.Str(s)
+}
+
+// WriteTextDataset writes elements in the format ReadTextDataset parses.
+// Nested tuples are flattened one level; deeper nesting falls back to the
+// display syntax.
+func WriteTextDataset(w io.Writer, elems []Value) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range elems {
+		if e.Kind() == val.KindTuple {
+			for i, f := range e.Fields() {
+				if i > 0 {
+					if _, err := bw.WriteString(","); err != nil {
+						return err
+					}
+				}
+				if _, err := bw.WriteString(fieldText(f)); err != nil {
+					return err
+				}
+			}
+		} else if _, err := bw.WriteString(fieldText(e)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func fieldText(v Value) string {
+	if v.Kind() == val.KindString {
+		return v.AsStr()
+	}
+	return lang.Render(v)
+}

@@ -1,0 +1,188 @@
+// Package mitos is a Go implementation of Mitos (Gévay et al., ICDE 2021:
+// "Efficient Control Flow in Dataflow Systems: When Ease-of-Use Meets High
+// Performance"): a dataflow system in which control flow is written with
+// ordinary imperative constructs (while, do..while, for, if) and still
+// executes as a single cyclic distributed dataflow job.
+//
+// A program is written either in Mitos script —
+//
+//	yesterdayCounts = empty()
+//	day = 1
+//	do {
+//	  visits = readFile("pageVisitLog" + day)
+//	  counts = visits.map(x => (x, 1)).reduceByKey((a, b) => a + b)
+//	  if (day != 1) {
+//	    diffs = counts.join(yesterdayCounts).map(t => abs(t.1 - t.2))
+//	    diffs.sum().writeFile("diff" + day)
+//	  }
+//	  yesterdayCounts = counts
+//	  day = day + 1
+//	} while (day <= 365)
+//
+// — or with the programmatic Builder API. Compile turns it into an
+// SSA-based intermediate representation and plans a single dataflow job;
+// Run executes that job on a simulated multi-machine cluster with
+// distributed control-flow coordination, loop pipelining, and
+// loop-invariant hoisting.
+package mitos
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/dfs"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+)
+
+// Store is the dataset storage interface programs read from and write to.
+type Store = store.Store
+
+// NewMemStore returns a simple in-memory store.
+func NewMemStore() *store.MemStore { return store.NewMemStore() }
+
+// DFSConfig tunes the block-based partitioned store.
+type DFSConfig = dfs.Config
+
+// NewDFS returns the HDFS-like block-based partitioned store. It is the
+// recommended store for benchmarks: reads are partitioned across worker
+// instances and dataset opens pay a metadata latency.
+func NewDFS(cfg DFSConfig) *dfs.Store { return dfs.New(cfg) }
+
+// ClusterConfig tunes the simulated cluster (machine count, scheduling,
+// barrier, control-message and network delays).
+type ClusterConfig = cluster.Config
+
+// Config configures an execution.
+type Config struct {
+	// Machines is the simulated cluster size (default 4). Ignored when
+	// Cluster is set.
+	Machines int
+	// Cluster overrides the full cluster configuration. Leave nil for
+	// zero-delay coordination (functional testing); use
+	// DefaultClusterConfig for calibrated benchmark delays.
+	Cluster *ClusterConfig
+	// Parallelism is the data-parallel operator instance count
+	// (default: one per machine).
+	Parallelism int
+	// DisablePipelining turns off loop pipelining (steps stop overlapping).
+	DisablePipelining bool
+	// DisableHoisting turns off loop-invariant hoisting (join build sides
+	// are rebuilt every iteration step).
+	DisableHoisting bool
+	// BatchSize overrides the engine transfer batch size.
+	BatchSize int
+}
+
+// DefaultClusterConfig returns the calibrated cluster delays used by the
+// benchmark harness.
+func DefaultClusterConfig(machines int) ClusterConfig {
+	return cluster.DefaultConfig(machines)
+}
+
+// Result reports what an execution did.
+type Result struct {
+	// Steps is the execution path length (basic-block visits).
+	Steps int
+	// Duration is the wall-clock job time.
+	Duration time.Duration
+	// ElementsSent and RemoteBatches are engine transfer counters.
+	ElementsSent  int64
+	RemoteBatches int64
+}
+
+// Program is a compiled Mitos program.
+type Program struct {
+	ast *lang.Program
+	ssa *ir.Graph
+}
+
+// Compile parses, checks, lowers, and SSA-converts a Mitos script.
+func Compile(src string) (*Program, error) {
+	ast, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return CompileAST(ast)
+}
+
+// CompileAST compiles a program built with the Builder API.
+func CompileAST(ast *lang.Program) (*Program, error) {
+	if _, err := lang.Check(ast); err != nil {
+		return nil, err
+	}
+	g, err := ir.CompileToSSA(ast)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{ast: ast, ssa: g}, nil
+}
+
+// Source returns the program's canonical script source.
+func (p *Program) Source() string { return lang.Format(p.ast) }
+
+// SSA returns the program's SSA form as text (one basic block per
+// paragraph, as in the paper's Fig. 3a).
+func (p *Program) SSA() string { return p.ssa.String() }
+
+// Dot returns the planned dataflow job as a Graphviz digraph in the style
+// of the paper's Fig. 3b. parallelism follows the same default as Run.
+func (p *Program) Dot(parallelism int) (string, error) {
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	plan, err := core.BuildPlan(p.ssa, parallelism)
+	if err != nil {
+		return "", err
+	}
+	return plan.Dot(), nil
+}
+
+// Run executes the program as a single distributed dataflow job against st.
+func (p *Program) Run(st Store, cfg Config) (*Result, error) {
+	clCfg := cluster.FastConfig(max(cfg.Machines, 1))
+	if cfg.Machines == 0 && cfg.Cluster == nil {
+		clCfg = cluster.FastConfig(4)
+	}
+	if cfg.Cluster != nil {
+		clCfg = *cfg.Cluster
+	}
+	cl, err := cluster.New(clCfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	res, err := core.Execute(p.ssa, st, cl, core.Options{
+		Parallelism: cfg.Parallelism,
+		Pipelining:  !cfg.DisablePipelining,
+		Hoisting:    !cfg.DisableHoisting,
+		BatchSize:   cfg.BatchSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Steps:         res.Steps,
+		Duration:      res.Duration,
+		ElementsSent:  res.Job.ElementsSent,
+		RemoteBatches: res.Job.RemoteBatches,
+	}, nil
+}
+
+// RunSequential executes the program with the sequential reference
+// interpreter — no cluster, no parallelism. Useful for debugging programs
+// and as ground truth in tests.
+func (p *Program) RunSequential(st Store) error {
+	return ir.RunAST(p.ast, st)
+}
+
+// Validate re-checks the compiled program's structural invariants.
+func (p *Program) Validate() error {
+	if p.ssa == nil {
+		return fmt.Errorf("mitos: program not compiled")
+	}
+	return p.ssa.Validate()
+}

@@ -1,0 +1,60 @@
+package mitos
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/mitos-project/mitos/internal/ir"
+)
+
+// LoopReport describes a compiled program's loop structure and where the
+// loop-invariant hoisting optimization applies. It is derived from the SSA
+// form's natural-loop analysis and is useful for understanding why a
+// program does (or does not) benefit from hoisting.
+type LoopReport struct {
+	// Loops is the number of natural loops, and MaxDepth the deepest
+	// nesting level (1 = a top-level loop).
+	Loops    int
+	MaxDepth int
+	// HoistedJoins names the variables computed by joins whose build side
+	// is loop-invariant: their hash tables are built once per loop rather
+	// than once per iteration step.
+	HoistedJoins []string
+	// InvariantInputs counts dataflow edges that carry a loop-invariant
+	// value into a loop (including the hoisted join builds).
+	InvariantInputs int
+}
+
+// String renders the report in one paragraph.
+func (r LoopReport) String() string {
+	if r.Loops == 0 {
+		return "no loops"
+	}
+	s := fmt.Sprintf("%d loop(s), max nesting depth %d, %d loop-invariant input(s)",
+		r.Loops, r.MaxDepth, r.InvariantInputs)
+	if len(r.HoistedJoins) > 0 {
+		s += fmt.Sprintf("; hoisted join build(s): %s", strings.Join(r.HoistedJoins, ", "))
+	}
+	return s
+}
+
+// AnalyzeLoops reports the program's loop structure and hoisting
+// opportunities.
+func (p *Program) AnalyzeLoops() LoopReport {
+	loops := ir.AnalyzeLoops(p.ssa)
+	r := LoopReport{Loops: len(loops.Loops)}
+	for _, lp := range loops.Loops {
+		if lp.Depth > r.MaxDepth {
+			r.MaxDepth = lp.Depth
+		}
+	}
+	seen := map[string]bool{}
+	for _, e := range ir.FindInvariantEdges(p.ssa, loops) {
+		r.InvariantInputs++
+		if e.HoistableJoinBuild && !seen[e.Consumer.Var] {
+			seen[e.Consumer.Var] = true
+			r.HoistedJoins = append(r.HoistedJoins, ir.OrigName(e.Consumer.Var))
+		}
+	}
+	return r
+}
