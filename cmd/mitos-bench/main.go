@@ -1,7 +1,7 @@
 // mitos-bench regenerates the paper's evaluation figures on the simulated
 // cluster and prints one table per figure.
 //
-//	mitos-bench [-quick] [-reps N] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|all]
+//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|all]
 package main
 
 import (
@@ -16,8 +16,9 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink workloads for a fast run")
 	reps := flag.Int("reps", 1, "measurements averaged per cell (paper: 3)")
 	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<fig>.json per figure (medians, reps, engine counters)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: mitos-bench [-quick] [-reps N] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|all]\n")
+		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|all]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -34,34 +35,45 @@ func main() {
 		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
 		"ablation": experiments.AblationGrid,
 	}
+	var tables []*experiments.Table
 	if which == "all" {
-		tables, err := experiments.All(o)
+		var err error
+		tables, err = experiments.All(o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mitos-bench: %v\n", err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			if *csv {
-				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
-			} else {
-				fmt.Println(t.Format())
-			}
-		}
-		return
-	}
-	f, ok := table[which]
-	if !ok {
-		flag.Usage()
-		os.Exit(2)
-	}
-	t, err := f(o)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mitos-bench: %v\n", err)
-		os.Exit(1)
-	}
-	if *csv {
-		fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
 	} else {
-		fmt.Println(t.Format())
+		f, ok := table[which]
+		if !ok {
+			flag.Usage()
+			os.Exit(2)
+		}
+		t, err := f(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mitos-bench: %v\n", err)
+			os.Exit(1)
+		}
+		tables = []*experiments.Table{t}
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+		} else {
+			fmt.Println(t.Format())
+		}
+		if *jsonOut {
+			b, err := t.JSON(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mitos-bench: %v\n", err)
+				os.Exit(1)
+			}
+			name := "BENCH_" + t.Key + ".json"
+			if err := os.WriteFile(name, b, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "mitos-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", name)
+		}
 	}
 }

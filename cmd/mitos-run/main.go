@@ -26,6 +26,8 @@ func main() {
 	seq := flag.Bool("seq", false, "run with the sequential reference interpreter")
 	dataDir := flag.String("data", "", "directory of input datasets (*.txt)")
 	outDir := flag.String("out", "", "directory to write result datasets to")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+	metrics := flag.Bool("metrics", false, "print the engine metrics snapshot after the run")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mitos-run [flags] script.mitos")
 		flag.PrintDefaults()
@@ -36,13 +38,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *machines, *parallelism, *noPipe, *noHoist, *seq, *dataDir, *outDir); err != nil {
+	if err := run(flag.Arg(0), *machines, *parallelism, *noPipe, *noHoist, *seq, *dataDir, *outDir, *traceFile, *metrics); err != nil {
 		fmt.Fprintf(os.Stderr, "mitos-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool, dataDir, outDir string) error {
+func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool, dataDir, outDir, traceFile string, metrics bool) error {
 	src, err := os.ReadFile(scriptPath)
 	if err != nil {
 		return err
@@ -80,22 +82,49 @@ func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool
 	}
 
 	if seq {
+		if traceFile != "" || metrics {
+			fmt.Fprintln(os.Stderr, "mitos-run: note: -trace and -metrics observe the distributed engine; ignored with -seq")
+		}
 		if err := prog.RunSequential(st); err != nil {
 			return err
 		}
 		fmt.Println("sequential run complete")
 	} else {
+		var observer *mitos.Observer
+		if traceFile != "" {
+			observer = mitos.NewTracingObserver()
+		} else if metrics {
+			observer = mitos.NewObserver()
+		}
 		res, err := prog.Run(st, mitos.Config{
 			Machines:          machines,
 			Parallelism:       parallelism,
 			DisablePipelining: noPipe,
 			DisableHoisting:   noHoist,
+			Observer:          observer,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("run complete: %d basic-block visits, %v, %d elements transferred\n",
 			res.Steps, res.Duration.Round(0), res.ElementsSent)
+		if traceFile != "" {
+			f, err := os.Create(traceFile)
+			if err != nil {
+				return err
+			}
+			err = mitos.WriteTrace(observer, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Printf("wrote trace to %s (open in chrome://tracing or Perfetto)\n", traceFile)
+		}
+		if metrics {
+			fmt.Print(res.Report.String())
+		}
 	}
 
 	if outDir != "" {

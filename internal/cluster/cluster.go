@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/mitos-project/mitos/internal/obs"
 	"github.com/mitos-project/mitos/internal/simtime"
 )
 
@@ -83,6 +84,15 @@ type Cluster struct {
 	barriers        atomic.Int64
 	ctrlMessages    atomic.Int64
 
+	// Observability handles; nil (no-op) until SetObserver.
+	trc          *obs.Tracer
+	obsLaunches  *obs.Counter
+	obsTasks     *obs.Counter
+	obsBarriers  *obs.Counter
+	obsCtrl      *obs.Counter
+	launchHist   *obs.Histogram
+	barrierHist  *obs.Histogram
+
 	mu     sync.Mutex
 	closed bool
 }
@@ -133,6 +143,25 @@ func (c *Cluster) Close() {
 	c.wg.Wait()
 }
 
+// SetObserver attaches an observer to the cluster's coordination paths
+// (job launches, barriers, control messages). Call before running jobs; a
+// nil observer keeps instrumentation disabled.
+func (c *Cluster) SetObserver(o *obs.Observer) {
+	reg := o.Reg()
+	c.trc = o.Trc()
+	c.obsLaunches = reg.Counter(obs.MachineDriver, "cluster", "jobs_launched")
+	c.obsTasks = reg.Counter(obs.MachineDriver, "cluster", "tasks_dispatched")
+	c.obsBarriers = reg.Counter(obs.MachineDriver, "cluster", "barriers")
+	c.obsCtrl = reg.Counter(obs.MachineDriver, "cluster", "ctrl_messages")
+	c.launchHist = reg.Histogram(obs.MachineDriver, "cluster", "job_launch")
+	c.barrierHist = reg.Histogram(obs.MachineDriver, "cluster", "barrier")
+	c.trc.NameProcess(c.DriverPID(), "driver")
+}
+
+// DriverPID is the trace process ID of the driver/coordinator timeline,
+// one past the last machine.
+func (c *Cluster) DriverPID() int { return c.cfg.Machines }
+
 // Machines returns the number of simulated machines.
 func (c *Cluster) Machines() int { return c.cfg.Machines }
 
@@ -166,22 +195,33 @@ func (c *Cluster) dispatch(m int, delay time.Duration) {
 // centralized scheduling bottleneck that makes Spark-style per-step job
 // launches degrade as machines are added.
 func (c *Cluster) LaunchJob() {
+	start := c.trc.Clock()
+	t0 := nowIf(c.launchHist)
 	simtime.Sleep(c.cfg.JobBase)
 	for m := 0; m < c.cfg.Machines; m++ {
 		c.dispatch(m, c.cfg.SchedDelay)
 	}
 	c.jobsLaunched.Add(1)
 	c.tasksDispatched.Add(int64(c.cfg.Machines))
+	c.obsLaunches.Inc()
+	c.obsTasks.Add(int64(c.cfg.Machines))
+	if c.launchHist != nil {
+		c.launchHist.Observe(time.Since(t0))
+	}
+	c.trc.Span("sched", "job_launch", c.DriverPID(), 0, start, nil)
 }
 
 // ScheduleStage models dispatching one additional stage's task wave
 // (without the driver-side job planning cost): Spark-style execution pays
 // it once per shuffle boundary within a job.
 func (c *Cluster) ScheduleStage() {
+	start := c.trc.Clock()
 	for m := 0; m < c.cfg.Machines; m++ {
 		c.dispatch(m, c.cfg.SchedDelay)
 	}
 	c.tasksDispatched.Add(int64(c.cfg.Machines))
+	c.obsTasks.Add(int64(c.cfg.Machines))
+	c.trc.Span("sched", "stage", c.DriverPID(), 0, start, nil)
 }
 
 // Barrier models a superstep barrier coordinated by a central job
@@ -189,10 +229,17 @@ func (c *Cluster) ScheduleStage() {
 // coordinator — so barrier cost grows with the machine count, as the
 // paper's per-step overheads do.
 func (c *Cluster) Barrier() {
+	start := c.trc.Clock()
+	t0 := nowIf(c.barrierHist)
 	for m := 0; m < c.cfg.Machines; m++ {
 		c.dispatch(m, c.cfg.BarrierDelay)
 	}
 	c.barriers.Add(1)
+	c.obsBarriers.Inc()
+	if c.barrierHist != nil {
+		c.barrierHist.Observe(time.Since(t0))
+	}
+	c.trc.Span("sched", "barrier", c.DriverPID(), 0, start, nil)
 }
 
 // CtrlSleep models the cost of delivering one asynchronous control-plane
@@ -201,6 +248,16 @@ func (c *Cluster) Barrier() {
 func (c *Cluster) CtrlSleep() {
 	simtime.Sleep(c.cfg.CtrlDelay)
 	c.ctrlMessages.Add(1)
+	c.obsCtrl.Inc()
+}
+
+// nowIf reads the clock only when a histogram is attached, keeping the
+// disabled path free of time.Now calls.
+func nowIf(h *obs.Histogram) time.Time {
+	if h == nil {
+		return time.Time{}
+	}
+	return time.Now()
 }
 
 // NetSleep models the latency of one cross-machine data batch. It is

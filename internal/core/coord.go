@@ -5,6 +5,7 @@ import (
 
 	"github.com/mitos-project/mitos/internal/dataflow"
 	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/obs"
 )
 
 // The control-flow manager (paper Sec. 5.2.1): condition operators report
@@ -46,10 +47,30 @@ type coordinator struct {
 
 	// Steps counts the path length for stats.
 	steps int
+
+	// Observability handles; nil (no-op) unless the run has an observer.
+	// bcast has one counter per machine: the per-machine control-flow
+	// managers each receive every path extension, so an N-position run
+	// records exactly N broadcasts on every machine.
+	trc       *obs.Tracer
+	driverPID int
+	bcast     []*obs.Counter
+	pathLen   *obs.Gauge
 }
 
 func newCoordinator(rt *runtime, job *dataflow.Job) *coordinator {
-	return &coordinator{rt: rt, job: job}
+	c := &coordinator{rt: rt, job: job}
+	if rt.obs != nil {
+		reg := rt.obs.Reg()
+		c.trc = rt.obs.Trc()
+		c.driverPID = rt.cl.DriverPID()
+		c.bcast = make([]*obs.Counter, rt.cl.Machines())
+		for m := range c.bcast {
+			c.bcast[m] = reg.Counter(m, "cfm", "broadcasts")
+		}
+		c.pathLen = reg.Gauge(obs.MachineDriver, "cfm", "path_len")
+	}
+	return c
 }
 
 // run drives the job. When the execution path is complete and every
@@ -97,6 +118,7 @@ func (c *coordinator) append(b ir.BlockID) {
 	c.path = append(c.path, b)
 	c.completed = append(c.completed, 0)
 	c.steps++
+	c.pathLen.Set(int64(len(c.path)))
 	c.advanceDone()
 }
 
@@ -179,6 +201,13 @@ func (c *coordinator) broadcastAllowed() {
 		// of the dataflow edges).
 		for m := 0; m < c.rt.cl.Machines(); m++ {
 			c.rt.cl.CtrlSleep()
+			if c.bcast != nil {
+				c.bcast[m].Inc()
+			}
+		}
+		if c.trc != nil {
+			c.trc.Instant("cfm", "broadcast", c.driverPID, 0,
+				map[string]any{"pos": pos, "block": int(c.path[pos-1]), "final": final})
 		}
 		c.job.Broadcast(pathUpdate{pos: pos, block: c.path[pos-1], final: final})
 		c.nBroadcast = next

@@ -8,6 +8,7 @@ import (
 	"github.com/mitos-project/mitos/internal/cluster"
 	"github.com/mitos-project/mitos/internal/dataflow"
 	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/obs"
 	"github.com/mitos-project/mitos/internal/store"
 )
 
@@ -23,6 +24,10 @@ type Options struct {
 	Hoisting bool
 	// BatchSize overrides the engine's transfer batch size (0 = default).
 	BatchSize int
+	// Obs attaches an observability collector (metrics and optionally
+	// tracing) to every layer of the execution. Nil disables
+	// instrumentation; the disabled path costs one pointer check per site.
+	Obs *obs.Observer
 }
 
 // DefaultOptions enables both optimizations, as Mitos runs in the paper.
@@ -55,6 +60,7 @@ type runtime struct {
 	store  store.Store
 	cl     *cluster.Cluster
 	opts   Options
+	obs    *obs.Observer
 	events chan coordEvent
 
 	joinBuilds  atomic.Int64
@@ -94,7 +100,15 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 		store:  st,
 		cl:     cl,
 		opts:   opts,
+		obs:    opts.Obs,
 		events: make(chan coordEvent, 4096),
+	}
+	if opts.Obs != nil {
+		cl.SetObserver(opts.Obs)
+		// Stores that can account their own I/O (internal/dfs) join in.
+		if so, ok := st.(interface{ SetObserver(*obs.Observer) }); ok {
+			so.SetObserver(opts.Obs)
+		}
 	}
 
 	// Translate the plan into a dataflow job: one vertex per SSA
@@ -117,6 +131,7 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 	if err != nil {
 		return nil, err
 	}
+	job.Observe(opts.Obs)
 	start := time.Now()
 	if err := job.Start(); err != nil {
 		return nil, err

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/mitos-project/mitos/internal/dataflow"
 	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/obs"
 	"github.com/mitos-project/mitos/internal/val"
 )
 
@@ -44,6 +46,15 @@ type host struct {
 	// build state was built from (-1 when none), and the cached hash table.
 	cachedBuildPos int
 	cachedBuild    *val.Map[[]val.Value]
+
+	// Observability handles; nil (no-op) unless the run has an observer.
+	trc        *obs.Tracer
+	machine    int
+	lane       int
+	bagsOut    *obs.Counter
+	decisions  *obs.Counter
+	joinBuilds *obs.Counter
+	joinReuses *obs.Counter
 }
 
 type inputBuf struct {
@@ -78,6 +89,8 @@ type outputRun struct {
 	count    int64
 	emitted  val.Value // last singleton emitted (condition capture)
 	nEmitted int64
+
+	traceStart time.Duration // tracer clock at startOutput (tracing only)
 }
 
 func newHost(rt *runtime, op *PlanOp, inst int) *host {
@@ -98,6 +111,21 @@ func newHost(rt *runtime, op *PlanOp, inst int) *host {
 // Open implements dataflow.Vertex.
 func (h *host) Open(ctx *dataflow.Context) error {
 	h.ctx = ctx
+	if o := ctx.Observer(); o != nil {
+		reg := o.Reg()
+		name := h.op.Instr.Var
+		h.trc = o.Trc()
+		h.machine = ctx.Machine()
+		h.lane = ctx.Lane()
+		h.bagsOut = reg.Counter(h.machine, name, "bags_out")
+		if h.op.IsCondition {
+			h.decisions = reg.Counter(h.machine, name, "decisions")
+		}
+		if h.op.Instr.Kind == ir.OpJoin {
+			h.joinBuilds = reg.Counter(h.machine, name, "join_builds")
+			h.joinReuses = reg.Counter(h.machine, name, "join_build_reuses")
+		}
+	}
 	return nil
 }
 
@@ -255,6 +283,9 @@ func (h *host) startOutput(pos int) error {
 			run.inPos[i] = p
 		}
 	}
+	if h.trc != nil {
+		run.traceStart = h.trc.Clock()
+	}
 	h.cur = run
 	return h.beginKind(run)
 }
@@ -279,12 +310,24 @@ func (h *host) finishOutput() error {
 	run := h.cur
 	h.cur = nil
 	h.ctx.EmitEOB(dataflow.Tag(run.pos))
+	h.bagsOut.Inc()
+	if h.trc != nil {
+		// One span per output bag: the bag identifier is (operator,
+		// path position), exactly the paper's Sec. 5 naming scheme.
+		h.trc.Span("bag", h.op.Instr.Var, h.machine, h.lane, run.traceStart,
+			map[string]any{"pos": run.pos, "elements": run.nEmitted})
+	}
 	if h.op.IsCondition {
 		if run.nEmitted != 1 {
 			return fmt.Errorf("core: condition %s produced %d elements, want 1", h.op.Instr.Var, run.nEmitted)
 		}
 		if run.emitted.Kind() != val.KindBool {
 			return fmt.Errorf("core: condition %s is %s, want bool", h.op.Instr.Var, run.emitted.Kind())
+		}
+		h.decisions.Inc()
+		if h.trc != nil {
+			h.trc.Instant("cfm", "decision", h.machine, h.lane,
+				map[string]any{"pos": run.pos, "branch": run.emitted.AsBool()})
 		}
 		h.rt.events <- coordEvent{kind: evDecision, pos: run.pos, branch: run.emitted.AsBool()}
 	}

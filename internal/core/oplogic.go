@@ -19,6 +19,11 @@ func (h *host) beginKind(run *outputRun) error {
 			run.build = h.cachedBuild
 			run.slotDone[0] = true
 			run.phase = 1
+			h.joinReuses.Inc()
+			if h.trc != nil {
+				h.trc.Instant("hoist", "build_reuse", h.machine, h.lane,
+					map[string]any{"pos": run.pos, "build_pos": run.inPos[0]})
+			}
 		} else {
 			run.build = val.NewMap[[]val.Value](16)
 		}
@@ -163,6 +168,7 @@ func (h *host) pumpJoin(run *outputRun) (bool, error) {
 		run.slotDone[0] = true
 		run.phase = 1
 		h.rt.joinBuilds.Add(1)
+		h.joinBuilds.Inc()
 		if h.rt.opts.Hoisting {
 			h.cachedBuild = run.build
 			h.cachedBuildPos = run.inPos[0]

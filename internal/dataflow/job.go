@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/obs"
 )
 
 // DefaultBatchSize is the number of elements buffered per (edge, receiver)
@@ -19,6 +20,7 @@ type Job struct {
 	graph     *Graph
 	cl        *cluster.Cluster
 	batchSize int
+	obs       *obs.Observer
 
 	insts [][]*instance // [op][instance]
 
@@ -49,8 +51,9 @@ func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
 		batchSize = DefaultBatchSize
 	}
 	j := &Job{graph: g, cl: cl, batchSize: batchSize}
-	// Create instances.
+	// Create instances. Each gets a job-unique lane, the trace thread ID.
 	j.insts = make([][]*instance, len(g.ops))
+	lane := 0
 	for _, op := range g.ops {
 		insts := make([]*instance, op.Parallelism)
 		for i := range insts {
@@ -59,8 +62,10 @@ func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
 				op:      op,
 				idx:     i,
 				machine: cl.Place(i),
+				lane:    lane,
 				mbox:    newMailbox(),
 			}
+			lane++
 		}
 		j.insts[op.ID] = insts
 	}
@@ -90,6 +95,37 @@ func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
 	}
 	return j, nil
 }
+
+// Observe attaches an observer to the job. Must be called before Start.
+// A nil observer (the default) keeps all instrumentation disabled at the
+// cost of one pointer check per recording site.
+func (j *Job) Observe(o *obs.Observer) {
+	j.obs = o
+	if o == nil {
+		return
+	}
+	reg, trc := o.Reg(), o.Trc()
+	for m := 0; m < j.cl.Machines(); m++ {
+		trc.NameProcess(m, fmt.Sprintf("machine %d", m))
+	}
+	for _, insts := range j.insts {
+		for _, in := range insts {
+			name := in.op.Name
+			in.trc = trc
+			in.elemsIn = reg.Counter(in.machine, name, "elements_in")
+			in.elemsOut = reg.Counter(in.machine, name, "elements_out")
+			in.batchesIn = reg.Counter(in.machine, name, "batches_in")
+			in.batchesOut = reg.Counter(in.machine, name, "batches_out")
+			in.remoteOut = reg.Counter(in.machine, name, "remote_batches_out")
+			in.ctrlIn = reg.Counter(in.machine, name, "ctrl_events_in")
+			in.mboxHWM = reg.Gauge(in.machine, name, "mailbox_hwm")
+			trc.NameThread(in.machine, in.lane, fmt.Sprintf("%s[%d]", name, in.idx))
+		}
+	}
+}
+
+// Observer returns the job's observer (nil when observability is off).
+func (j *Job) Observer() *obs.Observer { return j.obs }
 
 // Stats returns a snapshot of the job's transfer counters.
 func (j *Job) Stats() JobStats {
@@ -175,12 +211,24 @@ type instance struct {
 	op      *Op
 	idx     int
 	machine int
+	lane    int // job-unique trace thread ID
 	mbox    *mailbox
 	vertex  Vertex
 	ctx     *Context
 
 	outs      []*outEdge
 	producers []int // per input slot: number of producer instances feeding this instance
+
+	// Observability handles; nil (and therefore no-ops) unless Job.Observe
+	// was called.
+	trc        *obs.Tracer
+	elemsIn    *obs.Counter
+	elemsOut   *obs.Counter
+	batchesIn  *obs.Counter
+	batchesOut *obs.Counter
+	remoteOut  *obs.Counter
+	ctrlIn     *obs.Counter
+	mboxHWM    *obs.Gauge
 }
 
 func (in *instance) ensureInputs(n int) {
@@ -206,10 +254,13 @@ func (in *instance) loop() {
 		var err error
 		switch env.kind {
 		case envData:
+			in.elemsIn.Add(int64(len(env.batch)))
+			in.batchesIn.Inc()
 			err = in.vertex.OnBatch(env.input, env.from, env.batch)
 		case envEOB:
 			err = in.vertex.OnEOB(env.input, env.from, env.tag)
 		case envControl:
+			in.ctrlIn.Inc()
 			err = in.vertex.OnControl(env.ctrl)
 		}
 		if err != nil {
@@ -217,6 +268,7 @@ func (in *instance) loop() {
 			break
 		}
 	}
+	in.mboxHWM.Max(int64(in.mbox.highWater()))
 	if err := in.vertex.Close(); err != nil {
 		in.job.fail(fmt.Errorf("dataflow: close %s[%d]: %w", in.op.Name, in.idx, err))
 	}
@@ -237,6 +289,13 @@ func (c *Context) Parallelism() int { return c.inst.op.Parallelism }
 // Machine returns the simulated machine this instance is placed on.
 func (c *Context) Machine() int { return c.inst.machine }
 
+// Lane returns the job-unique trace thread ID of this instance, for
+// attributing higher-layer trace events to the same timeline row.
+func (c *Context) Lane() int { return c.inst.lane }
+
+// Observer returns the job's observer (nil when observability is off).
+func (c *Context) Observer() *obs.Observer { return c.inst.job.obs }
+
 // NumProducers returns how many physical producer instances feed the given
 // input slot of this instance — the number of OnEOB calls to expect per bag.
 func (c *Context) NumProducers(input int) int {
@@ -255,6 +314,7 @@ func (c *Context) NumInputs() int { return len(c.inst.producers) }
 func (c *Context) Emit(e Element) {
 	in := c.inst
 	in.job.elementsSent.Add(1)
+	in.elemsOut.Inc()
 	for _, oe := range in.outs {
 		switch oe.part {
 		case PartForward:
@@ -296,8 +356,14 @@ func (c *Context) flush(oe *outEdge, target int) {
 	oe.bufs[target] = nil
 	tgt := oe.targets[target]
 	c.inst.job.batchesSent.Add(1)
+	c.inst.batchesOut.Inc()
 	if tgt.machine != c.inst.machine {
 		c.inst.job.remoteBatches.Add(1)
+		c.inst.remoteOut.Inc()
+		if c.inst.trc != nil {
+			c.inst.trc.Instant("net", "shuffle_batch", c.inst.machine, c.inst.lane,
+				map[string]any{"to": tgt.machine, "op": tgt.op.Name, "elements": len(buf)})
+		}
 		c.inst.job.cl.NetSleep()
 	}
 	tgt.mbox.put(envelope{kind: envData, input: oe.input, from: c.inst.idx, batch: buf})

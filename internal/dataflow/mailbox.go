@@ -12,6 +12,10 @@ type mailbox struct {
 	cond   *sync.Cond
 	queue  []envelope
 	closed bool
+	// hwm is the high-water mark of queue depth, the evidence behind the
+	// "memory stays bounded in practice" claim above; exposed through obs
+	// as the per-instance mailbox_hwm gauge.
+	hwm int
 }
 
 type envKind uint8
@@ -42,6 +46,9 @@ func (m *mailbox) put(e envelope) {
 	m.mu.Lock()
 	if !m.closed {
 		m.queue = append(m.queue, e)
+		if len(m.queue) > m.hwm {
+			m.hwm = len(m.queue)
+		}
 		m.cond.Signal()
 	}
 	m.mu.Unlock()
@@ -65,6 +72,13 @@ func (m *mailbox) take() (envelope, bool) {
 		m.queue = nil // reset backing array when drained
 	}
 	return e, true
+}
+
+// highWater returns the largest queue depth observed so far.
+func (m *mailbox) highWater() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hwm
 }
 
 // close wakes the consumer; remaining envelopes are still delivered.

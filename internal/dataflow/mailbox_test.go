@@ -1,0 +1,85 @@
+package dataflow
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMailboxPutTakeCloseOrdering pins the mailbox contract: FIFO delivery,
+// close still delivers buffered envelopes, puts after close are dropped,
+// and take reports ok=false only once closed and drained.
+func TestMailboxPutTakeCloseOrdering(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 3; i++ {
+		m.put(envelope{kind: envData, input: i})
+	}
+	m.close()
+	m.put(envelope{kind: envData, input: 99}) // dropped: after close
+
+	for i := 0; i < 3; i++ {
+		e, ok := m.take()
+		if !ok {
+			t.Fatalf("take %d: closed before drained", i)
+		}
+		if e.input != i {
+			t.Fatalf("take %d: got input %d, want %d (FIFO violated)", i, e.input, i)
+		}
+	}
+	if _, ok := m.take(); ok {
+		t.Fatal("take after drain of a closed mailbox returned ok=true")
+	}
+	if _, ok := m.take(); ok {
+		t.Fatal("repeated take after close returned ok=true")
+	}
+}
+
+// TestMailboxTakeBlocksUntilPut checks the consumer blocks on an empty open
+// mailbox and wakes on put.
+func TestMailboxTakeBlocksUntilPut(t *testing.T) {
+	m := newMailbox()
+	got := make(chan envelope, 1)
+	go func() {
+		e, ok := m.take()
+		if !ok {
+			t.Error("take returned ok=false on an open mailbox")
+		}
+		got <- e
+	}()
+	select {
+	case <-got:
+		t.Fatal("take returned before any put")
+	case <-time.After(10 * time.Millisecond):
+	}
+	m.put(envelope{kind: envControl, input: 7})
+	select {
+	case e := <-got:
+		if e.input != 7 {
+			t.Fatalf("got input %d, want 7", e.input)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("take did not wake after put")
+	}
+}
+
+// TestMailboxHighWater checks the queue-depth high-water mark: it tracks
+// the maximum backlog, not the current depth, and ignores post-close puts.
+func TestMailboxHighWater(t *testing.T) {
+	m := newMailbox()
+	if hw := m.highWater(); hw != 0 {
+		t.Fatalf("initial highWater = %d, want 0", hw)
+	}
+	m.put(envelope{})
+	m.put(envelope{})
+	m.put(envelope{})
+	m.take()
+	m.take()
+	m.put(envelope{}) // depth back to 2, below the high-water mark of 3
+	if hw := m.highWater(); hw != 3 {
+		t.Fatalf("highWater = %d, want 3", hw)
+	}
+	m.close()
+	m.put(envelope{}) // dropped, must not count
+	if hw := m.highWater(); hw != 3 {
+		t.Fatalf("highWater after close = %d, want 3", hw)
+	}
+}

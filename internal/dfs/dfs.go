@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/mitos-project/mitos/internal/obs"
 	"github.com/mitos-project/mitos/internal/simtime"
 	"github.com/mitos-project/mitos/internal/store"
 	"github.com/mitos-project/mitos/internal/val"
@@ -34,16 +35,27 @@ type Store struct {
 	mu   sync.RWMutex
 	sets map[string][][]val.Value // dataset -> blocks
 
-	opens      atomic.Int64
-	blocksRead atomic.Int64
-	bytesRead  atomic.Int64
+	opens         atomic.Int64
+	blocksRead    atomic.Int64
+	bytesRead     atomic.Int64
+	blocksWritten atomic.Int64
+	bytesWritten  atomic.Int64
+
+	// Observability handles; nil (no-op) until SetObserver.
+	obsOpens   *obs.Counter
+	obsBlkRead *obs.Counter
+	obsBRead   *obs.Counter
+	obsBlkWr   *obs.Counter
+	obsBWr     *obs.Counter
 }
 
 // Stats reports access counters.
 type Stats struct {
-	Opens      int64
-	BlocksRead int64
-	BytesRead  int64
+	Opens         int64
+	BlocksRead    int64
+	BytesRead     int64
+	BlocksWritten int64
+	BytesWritten  int64
 }
 
 // New creates an empty store.
@@ -57,30 +69,53 @@ func New(cfg Config) *Store {
 // Stats returns a snapshot of the access counters.
 func (s *Store) Stats() Stats {
 	return Stats{
-		Opens:      s.opens.Load(),
-		BlocksRead: s.blocksRead.Load(),
-		BytesRead:  s.bytesRead.Load(),
+		Opens:         s.opens.Load(),
+		BlocksRead:    s.blocksRead.Load(),
+		BytesRead:     s.bytesRead.Load(),
+		BlocksWritten: s.blocksWritten.Load(),
+		BytesWritten:  s.bytesWritten.Load(),
 	}
+}
+
+// SetObserver mirrors the store's access counters into an observability
+// registry under the "dfs" component (the store has no machine placement,
+// so samples land on the driver). A nil observer disables mirroring.
+func (s *Store) SetObserver(o *obs.Observer) {
+	reg := o.Reg()
+	s.obsOpens = reg.Counter(obs.MachineDriver, "dfs", "opens")
+	s.obsBlkRead = reg.Counter(obs.MachineDriver, "dfs", "blocks_read")
+	s.obsBRead = reg.Counter(obs.MachineDriver, "dfs", "bytes_read")
+	s.obsBlkWr = reg.Counter(obs.MachineDriver, "dfs", "blocks_written")
+	s.obsBWr = reg.Counter(obs.MachineDriver, "dfs", "bytes_written")
 }
 
 // WriteDataset splits elems into blocks and replaces the named dataset.
 func (s *Store) WriteDataset(name string, elems []val.Value) error {
 	var blocks [][]val.Value
+	var bytes int64
 	for i := 0; i < len(elems); i += s.cfg.BlockSize {
 		end := min(i+s.cfg.BlockSize, len(elems))
 		block := make([]val.Value, end-i)
 		copy(block, elems[i:end])
 		blocks = append(blocks, block)
 	}
+	for _, e := range elems {
+		bytes += int64(val.EncodedSize(e))
+	}
 	s.mu.Lock()
 	s.sets[name] = blocks
 	s.mu.Unlock()
+	s.blocksWritten.Add(int64(len(blocks)))
+	s.bytesWritten.Add(bytes)
+	s.obsBlkWr.Add(int64(len(blocks)))
+	s.obsBWr.Add(bytes)
 	return nil
 }
 
 func (s *Store) open(name string) ([][]val.Value, error) {
 	simtime.Sleep(s.cfg.OpenDelay)
 	s.opens.Add(1)
+	s.obsOpens.Inc()
 	s.mu.RLock()
 	blocks, ok := s.sets[name]
 	s.mu.RUnlock()
@@ -99,6 +134,8 @@ func (s *Store) account(blocks [][]val.Value) {
 		}
 	}
 	s.bytesRead.Add(bytes)
+	s.obsBlkRead.Add(int64(len(blocks)))
+	s.obsBRead.Add(bytes)
 }
 
 // ReadDataset returns all elements of the named dataset.

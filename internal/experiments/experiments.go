@@ -12,7 +12,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -46,12 +48,37 @@ func (o Options) reps() int {
 
 // Cell is one measured table cell.
 type Cell struct {
+	// Seconds is the mean over reps (the number the formatted tables show).
 	Seconds float64
-	Skipped bool // measurement intentionally skipped (e.g. Spark at huge scale)
+	// Median is the median over reps — the robust statistic the JSON
+	// benchmark-trajectory format reports.
+	Median float64
+	// Reps holds every individual measurement, in run order.
+	Reps []float64
+	// Counters are key engine coordination counters from the last rep
+	// (job launches, barriers, control messages, DFS blocks read), the
+	// mechanism-level evidence behind the timing.
+	Counters map[string]int64
+	Skipped  bool // measurement intentionally skipped (e.g. Spark at huge scale)
+}
+
+// Scaled returns the cell with all timings multiplied by f (used to turn
+// whole-loop durations into per-step overheads).
+func (c Cell) Scaled(f float64) Cell {
+	out := c
+	out.Seconds *= f
+	out.Median *= f
+	out.Reps = make([]float64, len(c.Reps))
+	for i, r := range c.Reps {
+		out.Reps[i] = r * f
+	}
+	return out
 }
 
 // Table is one figure's results: rows = x-axis points, columns = systems.
 type Table struct {
+	// Key is the figure's identifier ("fig7"), used for BENCH_<Key>.json.
+	Key     string
 	Title   string
 	XAxis   string
 	Columns []string
@@ -116,24 +143,120 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// measure averages reps runs of f, each on a fresh cluster and store.
-func measure(machines int, reps int, f func(cl *cluster.Cluster, st store.Store) error) (float64, error) {
-	var total time.Duration
+// benchCell is the per-measurement record of the JSON benchmark format.
+type benchCell struct {
+	System   string           `json:"system"`
+	MeanS    float64          `json:"mean_s"`
+	MedianS  float64          `json:"median_s"`
+	RepsS    []float64        `json:"reps_s,omitempty"`
+	Skipped  bool             `json:"skipped,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+}
+
+// benchRow groups one x-axis point's measurements.
+type benchRow struct {
+	X     string      `json:"x"`
+	Cells []benchCell `json:"cells"`
+}
+
+// benchFile is the BENCH_<fig>.json document: the repo's benchmark
+// trajectory format. One file per figure; medians over reps are the
+// headline statistic, engine counters the mechanism-level evidence.
+type benchFile struct {
+	Figure  string     `json:"figure"`
+	Title   string     `json:"title"`
+	XAxis   string     `json:"xaxis"`
+	Columns []string   `json:"columns"`
+	Quick   bool       `json:"quick"`
+	Reps    int        `json:"reps"`
+	Rows    []benchRow `json:"rows"`
+}
+
+// JSON renders the table in the BENCH_<Key>.json benchmark trajectory
+// format (indented, trailing newline).
+func (t *Table) JSON(o Options) ([]byte, error) {
+	bf := benchFile{
+		Figure:  t.Key,
+		Title:   t.Title,
+		XAxis:   t.XAxis,
+		Columns: t.Columns,
+		Quick:   o.Quick,
+		Reps:    o.reps(),
+	}
+	for r, xl := range t.XLabels {
+		row := benchRow{X: xl}
+		for c, col := range t.Columns {
+			cell := t.Cells[r][c]
+			row.Cells = append(row.Cells, benchCell{
+				System:   col,
+				MeanS:    cell.Seconds,
+				MedianS:  cell.Median,
+				RepsS:    cell.Reps,
+				Skipped:  cell.Skipped,
+				Counters: cell.Counters,
+			})
+		}
+		bf.Rows = append(bf.Rows, row)
+	}
+	b, err := json.MarshalIndent(&bf, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// measure runs f reps times, each on a fresh cluster and store, and
+// returns a cell with the mean, the median, every individual measurement,
+// and the engine coordination counters of the last rep.
+func measure(machines int, reps int, f func(cl *cluster.Cluster, st store.Store) error) (Cell, error) {
+	var cell Cell
 	for i := 0; i < reps; i++ {
 		cl, err := cluster.New(cluster.DefaultConfig(machines))
 		if err != nil {
-			return 0, err
+			return Cell{}, err
 		}
 		st := dfs.New(dfs.Config{BlockSize: 2048, OpenDelay: 200 * time.Microsecond})
 		start := time.Now()
 		err = f(cl, st)
-		total += time.Since(start)
+		elapsed := time.Since(start)
+		clStats := cl.Stats()
+		dfsStats := st.Stats()
 		cl.Close()
 		if err != nil {
-			return 0, err
+			return Cell{}, err
+		}
+		cell.Reps = append(cell.Reps, elapsed.Seconds())
+		cell.Counters = map[string]int64{
+			"jobs_launched":    clStats.JobsLaunched,
+			"tasks_dispatched": clStats.TasksDispatched,
+			"barriers":         clStats.Barriers,
+			"ctrl_messages":    clStats.CtrlMessages,
+			"dfs_opens":        dfsStats.Opens,
+			"dfs_blocks_read":  dfsStats.BlocksRead,
+			"dfs_bytes_read":   dfsStats.BytesRead,
 		}
 	}
-	return total.Seconds() / float64(reps), nil
+	var total float64
+	for _, r := range cell.Reps {
+		total += r
+	}
+	cell.Seconds = total / float64(len(cell.Reps))
+	cell.Median = median(cell.Reps)
+	return cell, nil
+}
+
+// median returns the median of xs (mean of the middle two for even sizes).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
 }
 
 // mitosOpts returns the default optimized configuration.
@@ -149,6 +272,7 @@ func Fig1(o Options) (*Table, error) {
 	}
 	const machines = 24
 	t := &Table{
+		Key:     "fig1",
 		Title:   "Fig 1: Visit Count, imperative (Spark) vs functional (Flink) control flow, 24 machines",
 		XAxis:   "task",
 		Columns: []string{"Spark", "Flink"},
@@ -174,7 +298,7 @@ func Fig1(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.Cells = [][]Cell{{{Seconds: spark}, {Seconds: flink}}}
+	t.Cells = [][]Cell{{spark, flink}}
 	return t, nil
 }
 
@@ -196,6 +320,7 @@ func Fig5(o Options) (*Table, error) {
 		spec.Days, spec.VisitsPerDay = 8, 500
 	}
 	t := &Table{
+		Key:     "fig5",
 		Title:   "Fig 5: Strong scaling for Visit Count",
 		XAxis:   "machines",
 		Columns: []string{"Spark", "Flink", "Mitos"},
@@ -229,7 +354,7 @@ func visitCountRow(o Options, spec workload.VisitCountSpec, machines int, withSp
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, Cell{Seconds: s})
+			row = append(row, s)
 		}
 	}
 	f, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
@@ -243,7 +368,7 @@ func visitCountRow(o Options, spec workload.VisitCountSpec, machines int, withSp
 	if err != nil {
 		return nil, err
 	}
-	row = append(row, Cell{Seconds: f})
+	row = append(row, f)
 	m, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
 		if err := spec.Generate(st); err != nil {
 			return err
@@ -254,7 +379,7 @@ func visitCountRow(o Options, spec workload.VisitCountSpec, machines int, withSp
 	if err != nil {
 		return nil, err
 	}
-	row = append(row, Cell{Seconds: m})
+	row = append(row, m)
 	return row, nil
 }
 
@@ -271,6 +396,7 @@ func Fig6(o Options) (*Table, error) {
 		days = 6
 	}
 	t := &Table{
+		Key:     "fig6",
 		Title:   "Fig 6: Visit Count (with pageTypes) when varying the input size",
 		XAxis:   "visits/day",
 		Columns: []string{"Spark", "Flink", "Mitos"},
@@ -307,6 +433,7 @@ func Fig7(o Options) (*Table, error) {
 		machines = []int{1, 5, 9}
 	}
 	t := &Table{
+		Key:     "fig7",
 		Title:   "Fig 7: Per-step overhead (seconds per step)",
 		XAxis:   "machines",
 		Columns: []string{"Spark", "FlinkSepJobs", "FlinkNative", "TensorFlow", "Naiad", "Mitos"},
@@ -332,7 +459,7 @@ func Fig7(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, Cell{Seconds: s / float64(steps)})
+			row = append(row, s.Scaled(1/float64(steps)))
 		}
 		t.XLabels = append(t.XLabels, fmt.Sprint(m))
 		t.Cells = append(t.Cells, row)
@@ -355,6 +482,7 @@ func Fig8(o Options) (*Table, error) {
 		days, visits = 5, 400
 	}
 	t := &Table{
+		Key:     "fig8",
 		Title:   "Fig 8: Varying the loop-invariant (pageTypes) dataset size",
 		XAxis:   "pageTypes",
 		Columns: []string{"Spark", "Flink", "Mitos w/o hoist", "Mitos"},
@@ -374,7 +502,7 @@ func Fig8(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, Cell{Seconds: s})
+		row = append(row, s)
 		f, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
 			if err := spec.Generate(st); err != nil {
 				return err
@@ -386,7 +514,7 @@ func Fig8(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, Cell{Seconds: f})
+		row = append(row, f)
 		noHoist, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
 			if err := spec.Generate(st); err != nil {
 				return err
@@ -399,7 +527,7 @@ func Fig8(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, Cell{Seconds: noHoist})
+		row = append(row, noHoist)
 		m, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
 			if err := spec.Generate(st); err != nil {
 				return err
@@ -410,7 +538,7 @@ func Fig8(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		row = append(row, Cell{Seconds: m})
+		row = append(row, m)
 		t.XLabels = append(t.XLabels, fmt.Sprint(sz))
 		t.Cells = append(t.Cells, row)
 	}
@@ -427,6 +555,7 @@ func Fig9(o Options) (*Table, error) {
 		spec.Days, spec.VisitsPerDay = 8, 500
 	}
 	t := &Table{
+		Key:     "fig9",
 		Title:   "Fig 9: Loop pipelining with varying machine count",
 		XAxis:   "machines",
 		Columns: []string{"Mitos (not pipelined)", "Mitos"},
@@ -446,7 +575,7 @@ func Fig9(o Options) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, Cell{Seconds: s})
+			row = append(row, s)
 		}
 		t.XLabels = append(t.XLabels, fmt.Sprint(m))
 		t.Cells = append(t.Cells, row)
@@ -467,6 +596,7 @@ func AblationGrid(o Options) (*Table, error) {
 	}
 	const machines = 8
 	t := &Table{
+		Key:     "ablation",
 		Title:   "Ablation: pipelining x hoisting on Visit Count with pageTypes",
 		XAxis:   "config",
 		Columns: []string{"seconds"},
@@ -491,7 +621,7 @@ func AblationGrid(o Options) (*Table, error) {
 			return nil, err
 		}
 		t.XLabels = append(t.XLabels, cfg.label)
-		t.Cells = append(t.Cells, []Cell{{Seconds: s}})
+		t.Cells = append(t.Cells, []Cell{s})
 	}
 	return t, nil
 }

@@ -20,6 +20,11 @@ type Interp struct {
 	// Trace, if non-nil, receives the sequence of executed block IDs — the
 	// "execution path" of the paper's coordination mechanism.
 	Trace *[]BlockID
+	// OpCounts, if non-nil, accumulates per-instruction produced element
+	// counts (SSA variable -> total elements over the whole run). The
+	// distributed runtime's per-operator elements_out metrics must match
+	// these ground-truth counts; obs integration tests diff the two.
+	OpCounts map[string]int64
 }
 
 // Run executes the SSA graph g against the interpreter's store.
@@ -48,6 +53,9 @@ func (it *Interp) Run(g *Graph) error {
 				return fmt.Errorf("ir: b%d: %s: %w", b.ID, in, err)
 			}
 			env[in.Var] = out
+			if it.OpCounts != nil {
+				it.OpCounts[in.Var] += int64(len(out))
+			}
 		}
 		switch b.Term.Kind {
 		case TermExit:

@@ -1,0 +1,368 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Key identifies one metric instrument: which simulated machine it was
+// recorded on (MachineDriver for driver/global components), which component
+// or operator recorded it, and the metric name.
+type Key struct {
+	Machine int
+	Op      string
+	Name    string
+}
+
+// MachineDriver is the Machine value for instruments that belong to the
+// driver or to a component without machine placement (coordinator, DFS
+// name node, cluster scheduler).
+const MachineDriver = -1
+
+func (k Key) String() string {
+	m := "driver"
+	if k.Machine >= 0 {
+		m = fmt.Sprintf("m%d", k.Machine)
+	}
+	return fmt.Sprintf("%s/%s/%s", m, k.Op, k.Name)
+}
+
+// Registry holds the instruments of one execution. Handles returned by
+// Counter, Gauge, and Histogram are cached by callers on their hot paths;
+// the map lookup only happens at instrument-creation time. All methods are
+// safe for concurrent use, and all methods on a nil *Registry return nil
+// handles, whose recording methods are no-ops — the disabled path costs one
+// pointer check.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[Key]*Counter
+	gauges   map[Key]*Gauge
+	hists    map[Key]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[Key]*Counter),
+		gauges:   make(map[Key]*Gauge),
+		hists:    make(map[Key]*Histogram),
+	}
+}
+
+// Counter returns the monotonic counter for key, creating it on first use.
+func (r *Registry) Counter(machine int, op, name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	k := Key{machine, op, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[k]
+	if c == nil {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge for key, creating it on first use.
+func (r *Registry) Gauge(machine int, op, name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	k := Key{machine, op, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[k]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns the duration histogram for key, creating it on first use.
+func (r *Registry) Histogram(machine int, op, name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	k := Key{machine, op, name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[k]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[k] = h
+	}
+	return h
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil handle.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil handle.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value with a high-water-mark helper.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v. No-op on a nil handle.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Max raises the gauge to v if v exceeds the current value (a lock-free
+// high-water mark). No-op on a nil handle.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of exponential duration buckets: bucket i holds
+// observations in [2^i, 2^(i+1)) microseconds, with the first and last
+// buckets catching underflow and overflow. 32 buckets cover ~1µs to ~35min.
+const histBuckets = 32
+
+// Histogram is a time-bucketed duration histogram with power-of-two
+// microsecond buckets.
+type Histogram struct {
+	count   atomic.Int64
+	sumNano atomic.Int64
+	maxNano atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration. No-op on a nil handle.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+	for {
+		cur := h.maxNano.Load()
+		if int64(d) <= cur || h.maxNano.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+	us := d.Microseconds()
+	b := 0
+	for us > 1 && b < histBuckets-1 {
+		us >>= 1
+		b++
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistStats is a histogram snapshot.
+type HistStats struct {
+	Count int64
+	Sum   time.Duration
+	Max   time.Duration
+	// Buckets[i] counts observations in [2^i, 2^(i+1)) microseconds.
+	Buckets [histBuckets]int64
+}
+
+// Mean returns the mean observed duration (0 when empty).
+func (s HistStats) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / time.Duration(s.Count)
+}
+
+// Stats returns a snapshot of the histogram (zero value on a nil handle).
+func (h *Histogram) Stats() HistStats {
+	var s HistStats
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = time.Duration(h.sumNano.Load())
+	s.Max = time.Duration(h.maxNano.Load())
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Sample is one counter or gauge reading in a snapshot.
+type Sample struct {
+	Key
+	Value int64
+}
+
+// HistSample is one histogram reading in a snapshot.
+type HistSample struct {
+	Key
+	HistStats
+}
+
+// Snapshot is a point-in-time copy of every instrument, sorted by key. It
+// is the mitos.RunReport payload.
+type Snapshot struct {
+	Counters   []Sample
+	Gauges     []Sample
+	Histograms []HistSample
+}
+
+// Snapshot copies the registry's current values. Nil-safe (returns an empty
+// snapshot).
+func (r *Registry) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		s.Counters = append(s.Counters, Sample{k, c.Value()})
+	}
+	for k, g := range r.gauges {
+		s.Gauges = append(s.Gauges, Sample{k, g.Value()})
+	}
+	for k, h := range r.hists {
+		s.Histograms = append(s.Histograms, HistSample{k, h.Stats()})
+	}
+	sortSamples(s.Counters)
+	sortSamples(s.Gauges)
+	sort.Slice(s.Histograms, func(i, j int) bool { return keyLess(s.Histograms[i].Key, s.Histograms[j].Key) })
+	return s
+}
+
+func sortSamples(ss []Sample) {
+	sort.Slice(ss, func(i, j int) bool { return keyLess(ss[i].Key, ss[j].Key) })
+}
+
+func keyLess(a, b Key) bool {
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	if a.Name != b.Name {
+		return a.Name < b.Name
+	}
+	return a.Machine < b.Machine
+}
+
+// Counter returns the snapshotted value of one exact counter key.
+func (s *Snapshot) Counter(machine int, op, name string) int64 {
+	for _, c := range s.Counters {
+		if c.Machine == machine && c.Op == op && c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the snapshotted value of one exact gauge key.
+func (s *Snapshot) Gauge(machine int, op, name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Machine == machine && g.Op == op && g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Total sums every counter with the given metric name across machines and
+// operators.
+func (s *Snapshot) Total(name string) int64 {
+	var t int64
+	for _, c := range s.Counters {
+		if c.Name == name {
+			t += c.Value
+		}
+	}
+	return t
+}
+
+// TotalFor sums the named counter across machines for one operator.
+func (s *Snapshot) TotalFor(op, name string) int64 {
+	var t int64
+	for _, c := range s.Counters {
+		if c.Op == op && c.Name == name {
+			t += c.Value
+		}
+	}
+	return t
+}
+
+// PerMachine returns machine -> summed value for the named counter.
+func (s *Snapshot) PerMachine(name string) map[int]int64 {
+	out := make(map[int]int64)
+	for _, c := range s.Counters {
+		if c.Name == name {
+			out[c.Machine] += c.Value
+		}
+	}
+	return out
+}
+
+// PerOp returns operator -> summed value for the named counter.
+func (s *Snapshot) PerOp(name string) map[string]int64 {
+	out := make(map[string]int64)
+	for _, c := range s.Counters {
+		if c.Name == name {
+			out[c.Op] += c.Value
+		}
+	}
+	return out
+}
+
+// String renders the snapshot as an aligned table for CLI output.
+func (s *Snapshot) String() string {
+	var b strings.Builder
+	write := func(kind string, samples []Sample) {
+		for _, c := range samples {
+			fmt.Fprintf(&b, "%-8s %-40s %12d\n", kind, c.Key, c.Value)
+		}
+	}
+	write("counter", s.Counters)
+	write("gauge", s.Gauges)
+	for _, h := range s.Histograms {
+		fmt.Fprintf(&b, "%-8s %-40s %12d  mean=%v max=%v\n",
+			"hist", h.Key, h.Count, h.Mean().Round(time.Microsecond), h.Max.Round(time.Microsecond))
+	}
+	return b.String()
+}

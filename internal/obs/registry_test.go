@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter(0, "map_1", "elements_out")
+	c.Add(3)
+	c.Inc()
+	if got := c.Value(); got != 4 {
+		t.Fatalf("counter = %d, want 4", got)
+	}
+	// Same key returns the same instrument.
+	if r.Counter(0, "map_1", "elements_out") != c {
+		t.Fatal("same key returned a different counter")
+	}
+	if r.Counter(1, "map_1", "elements_out") == c {
+		t.Fatal("different machine returned the same counter")
+	}
+
+	g := r.Gauge(2, "map_1", "mailbox_hwm")
+	g.Max(5)
+	g.Max(3) // lower: ignored
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge hwm = %d, want 5", got)
+	}
+	g.Set(1)
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge after Set = %d, want 1", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var o *Observer
+	var r *Registry
+	// All of these must be no-ops, not panics.
+	o.Reg().Counter(0, "x", "y").Add(1)
+	o.Trc().Instant("c", "n", 0, 0, nil)
+	r.Counter(0, "x", "y").Inc()
+	r.Gauge(0, "x", "y").Max(9)
+	r.Histogram(0, "x", "y").Observe(time.Millisecond)
+	if v := r.Counter(0, "x", "y").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	s := o.Snapshot()
+	if len(s.Counters) != 0 || s.Total("y") != 0 {
+		t.Fatal("nil observer snapshot not empty")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(MachineDriver, "cluster", "barrier")
+	h.Observe(3 * time.Microsecond)   // bucket [2,4)us -> index 1
+	h.Observe(100 * time.Microsecond) // [64,128)us -> index 6
+	h.Observe(100 * time.Microsecond)
+	s := h.Stats()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.Sum != 203*time.Microsecond {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	if s.Max != 100*time.Microsecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.Buckets[1] != 1 || s.Buckets[6] != 2 {
+		t.Fatalf("buckets = %v", s.Buckets)
+	}
+	if got := s.Mean(); got <= 0 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestSnapshotQueries(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(0, "cfm", "broadcasts").Add(10)
+	r.Counter(1, "cfm", "broadcasts").Add(10)
+	r.Counter(0, "join_1", "elements_out").Add(7)
+	r.Counter(1, "join_1", "elements_out").Add(5)
+	r.Gauge(0, "map_1", "mailbox_hwm").Max(3)
+	s := r.Snapshot()
+
+	if got := s.Total("broadcasts"); got != 20 {
+		t.Fatalf("Total(broadcasts) = %d, want 20", got)
+	}
+	if got := s.TotalFor("join_1", "elements_out"); got != 12 {
+		t.Fatalf("TotalFor = %d, want 12", got)
+	}
+	if got := s.Counter(1, "join_1", "elements_out"); got != 5 {
+		t.Fatalf("Counter = %d, want 5", got)
+	}
+	if got := s.Gauge(0, "map_1", "mailbox_hwm"); got != 3 {
+		t.Fatalf("Gauge = %d, want 3", got)
+	}
+	pm := s.PerMachine("broadcasts")
+	if pm[0] != 10 || pm[1] != 10 {
+		t.Fatalf("PerMachine = %v", pm)
+	}
+	po := s.PerOp("elements_out")
+	if po["join_1"] != 12 {
+		t.Fatalf("PerOp = %v", po)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	// Deterministic order: sorted by (op, name, machine).
+	for i := 1; i < len(s.Counters); i++ {
+		if keyLess(s.Counters[i].Key, s.Counters[i-1].Key) {
+			t.Fatalf("snapshot not sorted at %d: %v", i, s.Counters)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter(0, "op", "n")
+			g := r.Gauge(0, "op", "hwm")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Max(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter(0, "op", "n").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Gauge(0, "op", "hwm").Value(); got != 999 {
+		t.Fatalf("gauge = %d, want 999", got)
+	}
+}

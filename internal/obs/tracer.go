@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer records timeline events for one execution and exports them in the
+// Chrome trace_event JSON format, viewable in chrome://tracing or Perfetto.
+// Process IDs are simulated machines (plus a "driver" process), thread IDs
+// are operator-instance lanes. All recording methods are safe for
+// concurrent use and are no-ops on a nil *Tracer, so instrumented code
+// pays one pointer check when tracing is disabled.
+type Tracer struct {
+	t0 time.Time
+
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// TraceEvent is one Chrome trace_event record. Timestamps and durations
+// are microseconds, as the format requires.
+type TraceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns a tracer whose clock starts now.
+func NewTracer() *Tracer {
+	return &Tracer{t0: time.Now()}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Clock returns the current trace timestamp. On a nil tracer it returns 0
+// without reading the system clock.
+func (t *Tracer) Clock() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.t0)
+}
+
+func (t *Tracer) add(ev TraceEvent) {
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Instant records a zero-duration event on (pid, tid). args may be nil.
+func (t *Tracer) Instant(cat, name string, pid, tid int, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{
+		Name: name, Cat: cat, Phase: "i", Scope: "t",
+		TS: us(t.Clock()), PID: pid, TID: tid, Args: args,
+	})
+}
+
+// Span records a complete event that started at the Clock value start and
+// ends now. args may be nil.
+func (t *Tracer) Span(cat, name string, pid, tid int, start time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	end := t.Clock()
+	if end < start {
+		end = start
+	}
+	t.add(TraceEvent{
+		Name: name, Cat: cat, Phase: "X",
+		TS: us(start), Dur: us(end - start), PID: pid, TID: tid, Args: args,
+	})
+}
+
+// NameProcess attaches a display name to a trace process (machine).
+func (t *Tracer) NameProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{
+		Name: "process_name", Phase: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// NameThread attaches a display name to a trace thread (operator lane).
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.add(TraceEvent{
+		Name: "thread_name", Phase: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Len returns the number of recorded events (0 on a nil tracer).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Events returns a copy of the recorded events (nil on a nil tracer).
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// traceFile is the JSON object form of the trace_event format.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON writes the whole trace as a Chrome trace_event JSON object.
+// On a nil tracer it writes an empty (still valid) trace.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	f := traceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	if t != nil {
+		t.mu.Lock()
+		f.TraceEvents = append(f.TraceEvents, t.events...)
+		t.mu.Unlock()
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }

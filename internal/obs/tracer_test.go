@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTracerJSONRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(0, "machine 0")
+	tr.NameThread(0, 1, "join_1[0]")
+	start := tr.Clock()
+	time.Sleep(time.Millisecond)
+	tr.Span("bag", "join_1", 0, 1, start, map[string]any{"pos": 3})
+	tr.Instant("cfm", "broadcast", 2, 0, map[string]any{"pos": 4})
+
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(f.TraceEvents) != 4 {
+		t.Fatalf("decoded %d events, want 4", len(f.TraceEvents))
+	}
+	span := f.TraceEvents[2]
+	if span.Phase != "X" || span.Name != "join_1" || span.PID != 0 || span.TID != 1 {
+		t.Fatalf("span event = %+v", span)
+	}
+	if span.Dur < 900 { // slept 1ms; durations are microseconds
+		t.Fatalf("span dur = %v µs, want >= 900", span.Dur)
+	}
+	if span.Args["pos"].(float64) != 3 {
+		t.Fatalf("span args = %v", span.Args)
+	}
+	inst := f.TraceEvents[3]
+	if inst.Phase != "i" || inst.PID != 2 {
+		t.Fatalf("instant event = %+v", inst)
+	}
+}
+
+func TestNilTracerWritesValidEmptyTrace(t *testing.T) {
+	var tr *Tracer
+	tr.Span("c", "n", 0, 0, tr.Clock(), nil)
+	tr.NameProcess(0, "x")
+	if tr.Enabled() || tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil tracer recorded something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("empty trace invalid: %v", err)
+	}
+	if evs, ok := f["traceEvents"].([]any); !ok || len(evs) != 0 {
+		t.Fatalf("traceEvents = %v", f["traceEvents"])
+	}
+}
+
+func TestSpanClampsNegativeDuration(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("c", "n", 0, 0, tr.Clock()+time.Hour, nil)
+	evs := tr.Events()
+	if len(evs) != 1 || evs[0].Dur != 0 {
+		t.Fatalf("events = %+v", evs)
+	}
+}

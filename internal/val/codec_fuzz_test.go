@@ -1,0 +1,72 @@
+package val
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzBinaryRoundTrip feeds arbitrary bytes to DecodeBinary and checks the
+// codec's invariants on every successfully decoded value:
+//
+//   - re-encoding the value and decoding again yields an Equal value that
+//     consumes the whole re-encoding (value-level round trip; byte-level
+//     equality with the input is NOT required, since varints and bools
+//     accept non-canonical encodings),
+//   - EncodedSize agrees with the bytes AppendBinary actually produces,
+//   - the encoding is self-delimiting: every strict prefix of a canonical
+//     encoding must fail to decode rather than yield a value.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	seed := []Value{
+		Int(0), Int(-1), Int(1 << 40), Int(math.MinInt64),
+		Float(0), Float(-3.25), Float(math.NaN()), Float(math.Inf(-1)),
+		Str(""), Str("hello"), Str("héllo, wörld"),
+		Bool(true), Bool(false),
+		Tuple(),
+		Tuple(Int(7), Str("x")),
+		Tuple(Tuple(Bool(true), Float(2.5)), Str("nested"), Int(-9)),
+	}
+	for _, v := range seed {
+		f.Add(AppendBinary(nil, v))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Add([]byte{byte(KindString), 0x80}) // truncated length varint
+	f.Add([]byte{byte(KindTuple), 0x02, byte(KindInt)})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v1, n1, err := DecodeBinary(data)
+		if err != nil {
+			return // malformed input is allowed to fail; it must not panic
+		}
+		if n1 <= 0 || n1 > len(data) {
+			t.Fatalf("consumed %d bytes of %d", n1, len(data))
+		}
+
+		enc := AppendBinary(nil, v1)
+		if got, want := len(enc), EncodedSize(v1); got != want {
+			t.Fatalf("EncodedSize=%d but AppendBinary produced %d bytes for %v", want, got, v1)
+		}
+		v2, n2, err := DecodeBinary(enc)
+		if err != nil {
+			t.Fatalf("re-decode of %v failed: %v (enc=%x)", v1, err, enc)
+		}
+		if n2 != len(enc) {
+			t.Fatalf("re-decode consumed %d of %d bytes (enc=%x)", n2, len(enc), enc)
+		}
+		if !v2.Equal(v1) {
+			t.Fatalf("round trip changed value: %v -> %v", v1, v2)
+		}
+		if !bytes.Equal(AppendBinary(nil, v2), enc) {
+			t.Fatalf("canonical encoding unstable for %v", v1)
+		}
+
+		// Self-delimiting: no strict prefix of the canonical encoding may
+		// decode to a value.
+		for i := 0; i < len(enc); i++ {
+			if _, _, err := DecodeBinary(enc[:i]); err == nil {
+				t.Fatalf("strict prefix enc[:%d]=%x of %v decoded without error", i, enc[:i], v1)
+			}
+		}
+	})
+}

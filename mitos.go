@@ -75,6 +75,10 @@ type Config struct {
 	DisableHoisting bool
 	// BatchSize overrides the engine transfer batch size.
 	BatchSize int
+	// Observer, when non-nil, collects engine-wide metrics (and a
+	// timeline trace if created with NewTracingObserver) during Run. The
+	// metrics snapshot is returned in Result.Report.
+	Observer *Observer
 }
 
 // DefaultClusterConfig returns the calibrated cluster delays used by the
@@ -92,6 +96,9 @@ type Result struct {
 	// ElementsSent and RemoteBatches are engine transfer counters.
 	ElementsSent  int64
 	RemoteBatches int64
+	// Report is the metrics snapshot taken at the end of the run; nil
+	// unless Config.Observer was set.
+	Report *RunReport
 }
 
 // Program is a compiled Mitos program.
@@ -160,16 +167,21 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		Pipelining:  !cfg.DisablePipelining,
 		Hoisting:    !cfg.DisableHoisting,
 		BatchSize:   cfg.BatchSize,
+		Obs:         cfg.Observer,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Result{
+	out := &Result{
 		Steps:         res.Steps,
 		Duration:      res.Duration,
 		ElementsSent:  res.Job.ElementsSent,
 		RemoteBatches: res.Job.RemoteBatches,
-	}, nil
+	}
+	if cfg.Observer != nil {
+		out.Report = cfg.Observer.Snapshot()
+	}
+	return out, nil
 }
 
 // RunSequential executes the program with the sequential reference
