@@ -17,13 +17,14 @@ func main() {
 	reps := flag.Int("reps", 1, "measurements averaged per cell (paper: 3)")
 	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<fig>.json per figure (medians, reps, engine counters)")
+	bandwidth := flag.Int("bandwidth", 0, "simulated cross-machine bandwidth in MiB/s (0: default 1 GiB/s)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|all]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	o := experiments.Options{Quick: *quick, Reps: *reps}
+	o := experiments.Options{Quick: *quick, Reps: *reps, BandwidthMiBps: *bandwidth}
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)

@@ -46,6 +46,10 @@ type Config struct {
 	CtrlDelay time.Duration
 	// NetDelay is the latency added to one cross-machine data batch.
 	NetDelay time.Duration
+	// Bandwidth is the cross-machine link bandwidth in bytes per second.
+	// A remote batch of n encoded bytes costs NetDelay + n/Bandwidth;
+	// zero means infinite bandwidth (latency only).
+	Bandwidth int64
 }
 
 // DefaultConfig returns the calibrated defaults used by the benchmark
@@ -58,6 +62,7 @@ func DefaultConfig(machines int) Config {
 		BarrierDelay: 200 * time.Microsecond,
 		CtrlDelay:    20 * time.Microsecond,
 		NetDelay:     50 * time.Microsecond,
+		Bandwidth:    1 << 30, // Gigabit Ethernet scaled like the delays
 	}
 }
 
@@ -83,6 +88,8 @@ type Cluster struct {
 	tasksDispatched atomic.Int64
 	barriers        atomic.Int64
 	ctrlMessages    atomic.Int64
+	netBatches      atomic.Int64
+	netBytes        atomic.Int64
 
 	// Observability handles; nil (no-op) until SetObserver.
 	trc          *obs.Tracer
@@ -93,7 +100,10 @@ type Cluster struct {
 	launchHist   *obs.Histogram
 	barrierHist  *obs.Histogram
 
-	mu     sync.Mutex
+	// mu guards closed. dispatch holds the read side across its channel
+	// send so that Close (write side) cannot close a scheduler channel
+	// between the closed-check and the send.
+	mu     sync.RWMutex
 	closed bool
 }
 
@@ -104,6 +114,10 @@ type Stats struct {
 	TasksDispatched int64
 	Barriers        int64
 	CtrlMessages    int64
+	// NetBatches and NetBytes count cross-machine data batches and their
+	// encoded payload bytes, as charged through NetSleepBytes.
+	NetBatches int64
+	NetBytes   int64
 }
 
 // New starts the per-machine scheduler goroutines.
@@ -175,6 +189,8 @@ func (c *Cluster) Stats() Stats {
 		TasksDispatched: c.tasksDispatched.Load(),
 		Barriers:        c.barriers.Load(),
 		CtrlMessages:    c.ctrlMessages.Load(),
+		NetBatches:      c.netBatches.Load(),
+		NetBytes:        c.netBytes.Load(),
 	}
 }
 
@@ -183,10 +199,18 @@ func (c *Cluster) Place(instance int) int {
 	return instance % c.cfg.Machines
 }
 
-// dispatch sends one request to machine m and waits for completion.
+// dispatch sends one request to machine m and waits for completion. A
+// dispatch racing Close is a no-op: the closed flag is checked (and the
+// send performed) under the read lock Close excludes.
 func (c *Cluster) dispatch(m int, delay time.Duration) {
 	done := make(chan struct{})
+	c.mu.RLock()
+	if c.closed {
+		c.mu.RUnlock()
+		return
+	}
 	c.scheds[m] <- schedReq{delay: delay, done: done}
+	c.mu.RUnlock()
 	<-done
 }
 
@@ -260,11 +284,24 @@ func nowIf(h *obs.Histogram) time.Time {
 	return time.Now()
 }
 
-// NetSleep models the latency of one cross-machine data batch. It is
-// called on the sender's path for batches between instances placed on
-// different machines.
+// NetSleep models the latency of one cross-machine data batch whose size
+// is unknown (or irrelevant): it charges NetDelay only.
 func (c *Cluster) NetSleep() {
-	simtime.Sleep(c.cfg.NetDelay)
+	c.NetSleepBytes(0)
+}
+
+// NetSleepBytes models the cost of one cross-machine data batch of n
+// encoded bytes: NetDelay plus the bandwidth term n/Bandwidth. The
+// dataflow transport's sender goroutines call it off the emit hot path;
+// the baseline systems charge it inline, as their engines do.
+func (c *Cluster) NetSleepBytes(n int) {
+	d := c.cfg.NetDelay
+	if c.cfg.Bandwidth > 0 && n > 0 {
+		d += time.Duration(int64(n) * int64(time.Second) / c.cfg.Bandwidth)
+	}
+	c.netBatches.Add(1)
+	c.netBytes.Add(int64(n))
+	simtime.Sleep(d)
 }
 
 // Remote reports whether two instances are placed on different machines.

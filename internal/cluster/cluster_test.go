@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync"
 	"testing"
 	"time"
 )
@@ -83,6 +84,81 @@ func TestConfigAccessor(t *testing.T) {
 	defer cl.Close()
 	if cl.Config().Machines != 5 || cl.Config().SchedDelay != cfg.SchedDelay {
 		t.Error("Config roundtrip broken")
+	}
+}
+
+// TestCloseRace checks that coordination calls racing Close are no-ops
+// rather than "send on closed channel" panics: the closed flag is checked
+// under the lock that Close holds while closing the scheduler channels.
+func TestCloseRace(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		cl, err := New(FastConfig(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				<-start
+				switch w % 3 {
+				case 0:
+					cl.LaunchJob()
+				case 1:
+					cl.Barrier()
+				default:
+					cl.ScheduleStage()
+				}
+			}(w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			cl.Close()
+		}()
+		close(start)
+		wg.Wait()
+		cl.Close()
+	}
+}
+
+func TestNetSleepBytes(t *testing.T) {
+	cfg := FastConfig(2)
+	cfg.Bandwidth = 1 << 30 // 1 GiB/s
+	cl, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const n = 4 << 20 // 4 MiB -> ~3.9ms at 1 GiB/s
+	start := time.Now()
+	cl.NetSleepBytes(n)
+	elapsed := time.Since(start)
+	wantMin := time.Duration(int64(n) * int64(time.Second) / cfg.Bandwidth)
+	if elapsed < wantMin {
+		t.Errorf("NetSleepBytes(%d) took %v, want >= bandwidth term %v", n, elapsed, wantMin)
+	}
+	cl.NetSleep() // latency-only path still counts a batch
+	st := cl.Stats()
+	if st.NetBatches != 2 {
+		t.Errorf("NetBatches = %d, want 2", st.NetBatches)
+	}
+	if st.NetBytes != n {
+		t.Errorf("NetBytes = %d, want %d", st.NetBytes, n)
+	}
+	// Zero bandwidth means latency only: must not divide by zero.
+	cfg2 := FastConfig(2)
+	cl2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	cl2.NetSleepBytes(123)
+	if st := cl2.Stats(); st.NetBytes != 123 {
+		t.Errorf("NetBytes = %d, want 123", st.NetBytes)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/mitos-project/mitos/internal/cluster"
 	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/val"
 )
 
 // DefaultBatchSize is the number of elements buffered per (edge, receiver)
@@ -23,15 +24,26 @@ type Job struct {
 	obs       *obs.Observer
 
 	insts [][]*instance // [op][instance]
+	tr    *transport    // nil on single-machine clusters
 
-	wg      sync.WaitGroup
-	stopped atomic.Bool
-	errOnce sync.Once
-	err     error
+	// batchPool recycles batch buffers: remote batches are serialized at
+	// flush, so their element slices return to the pool immediately and
+	// the emit path stays allocation-free in steady state. (Local batches
+	// move to the receiver and are replaced from the pool's New.)
+	batchPool sync.Pool
 
-	elementsSent  atomic.Int64
-	batchesSent   atomic.Int64
-	remoteBatches atomic.Int64
+	wg         sync.WaitGroup
+	stopped    atomic.Bool
+	errOnce    sync.Once
+	err        error
+	finishOnce sync.Once
+
+	elementsSent   atomic.Int64
+	batchesSent    atomic.Int64
+	remoteBatches  atomic.Int64
+	bytesSent      atomic.Int64
+	bytesReceived  atomic.Int64
+	mailboxDropped atomic.Int64
 }
 
 // JobStats reports transfer counters for the experiment harness.
@@ -39,6 +51,15 @@ type JobStats struct {
 	ElementsSent  int64
 	BatchesSent   int64
 	RemoteBatches int64
+	// BytesSent and BytesReceived are the encoded sizes of remote batches
+	// as serialized through the val codec — measured on the wire format,
+	// not estimated. They agree after a clean run.
+	BytesSent     int64
+	BytesReceived int64
+	// MailboxDropped counts envelopes delivered to already-closed
+	// mailboxes (finalized by Wait). Zero on a clean run; nonzero values
+	// expose shutdown races that used to be silent.
+	MailboxDropped int64
 }
 
 // NewJob plans the physical execution of g on cl. batchSize <= 0 selects
@@ -51,6 +72,10 @@ func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
 		batchSize = DefaultBatchSize
 	}
 	j := &Job{graph: g, cl: cl, batchSize: batchSize}
+	j.batchPool.New = func() any {
+		b := make([]Element, 0, batchSize)
+		return &b
+	}
 	// Create instances. Each gets a job-unique lane, the trace thread ID.
 	j.insts = make([][]*instance, len(g.ops))
 	lane := 0
@@ -117,8 +142,11 @@ func (j *Job) Observe(o *obs.Observer) {
 			in.batchesIn = reg.Counter(in.machine, name, "batches_in")
 			in.batchesOut = reg.Counter(in.machine, name, "batches_out")
 			in.remoteOut = reg.Counter(in.machine, name, "remote_batches_out")
+			in.bytesOut = reg.Counter(in.machine, name, "bytes_sent")
+			in.bytesIn = reg.Counter(in.machine, name, "bytes_received")
 			in.ctrlIn = reg.Counter(in.machine, name, "ctrl_events_in")
 			in.mboxHWM = reg.Gauge(in.machine, name, "mailbox_hwm")
+			in.mboxDropped = reg.Counter(in.machine, name, "mailbox_dropped")
 			trc.NameThread(in.machine, in.lane, fmt.Sprintf("%s[%d]", name, in.idx))
 		}
 	}
@@ -128,11 +156,15 @@ func (j *Job) Observe(o *obs.Observer) {
 func (j *Job) Observer() *obs.Observer { return j.obs }
 
 // Stats returns a snapshot of the job's transfer counters.
+// MailboxDropped is finalized by Wait.
 func (j *Job) Stats() JobStats {
 	return JobStats{
-		ElementsSent:  j.elementsSent.Load(),
-		BatchesSent:   j.batchesSent.Load(),
-		RemoteBatches: j.remoteBatches.Load(),
+		ElementsSent:   j.elementsSent.Load(),
+		BatchesSent:    j.batchesSent.Load(),
+		RemoteBatches:  j.remoteBatches.Load(),
+		BytesSent:      j.bytesSent.Load(),
+		BytesReceived:  j.bytesReceived.Load(),
+		MailboxDropped: j.mailboxDropped.Load(),
 	}
 }
 
@@ -151,6 +183,9 @@ func (j *Job) Start() error {
 				return fmt.Errorf("dataflow: open %s[%d]: %w", in.op.Name, in.idx, err)
 			}
 		}
+	}
+	if j.cl.Machines() > 1 {
+		j.tr = newTransport(j, j.cl.Machines())
 	}
 	for _, insts := range j.insts {
 		for _, in := range insts {
@@ -172,36 +207,73 @@ func (j *Job) Broadcast(ev any) {
 	}
 }
 
-// Send delivers a control event to one specific instance.
+// Send delivers a control event to one specific instance. An out-of-range
+// target fails the job with a descriptive error instead of panicking.
 func (j *Job) Send(op OpID, inst int, ev any) {
+	if int(op) < 0 || int(op) >= len(j.insts) || inst < 0 || inst >= len(j.insts[op]) {
+		j.fail(fmt.Errorf("dataflow: Send to unknown instance: op %d instance %d (job has %d ops)",
+			op, inst, len(j.insts)))
+		return
+	}
 	j.insts[op][inst].mbox.put(envelope{kind: envControl, ctrl: ev})
 }
 
 // Stop ends the job. Pending mailbox contents are still delivered before
-// vertices close. err records the reason (nil for normal completion).
+// vertices close. err records the reason (nil for normal completion); a
+// Stop after the job already stopped is a no-op, so a late non-nil err
+// cannot turn a completed run into a failed one.
 func (j *Job) Stop(err error) {
+	j.stop(err, err == nil)
+}
+
+func (j *Job) stop(err error, quiesce bool) {
+	if !j.stopped.CompareAndSwap(false, true) {
+		return
+	}
 	if err != nil {
 		j.errOnce.Do(func() { j.err = err })
 	}
-	if j.stopped.CompareAndSwap(false, true) {
-		for _, insts := range j.insts {
-			for _, in := range insts {
-				in.mbox.close()
-			}
+	// On a clean stop, let in-flight remote envelopes land before the
+	// mailboxes close: they carry data/EOBs consumers may still buffer
+	// (e.g. trailing EOBs broadcast past a consumer's last output), and
+	// dropping them would misreport a clean run in mailbox_dropped. On
+	// failure, close immediately — drops are then counted, not silent.
+	if quiesce && j.tr != nil {
+		j.tr.quiesce()
+	}
+	for _, insts := range j.insts {
+		for _, in := range insts {
+			in.mbox.close()
 		}
 	}
 }
 
-// fail records the first error and stops the job.
+// fail records the first error and stops the job without draining the
+// transport.
 func (j *Job) fail(err error) {
 	j.errOnce.Do(func() { j.err = err })
-	j.Stop(nil)
+	j.stop(nil, false)
 }
 
-// Wait blocks until all instance loops have exited and returns the first
-// error (nil for clean completion).
+// Wait blocks until all instance loops have exited, shuts down the
+// transport, finalizes the drop counters, and returns the first error (nil
+// for clean completion).
 func (j *Job) Wait() error {
 	j.wg.Wait()
+	j.finishOnce.Do(func() {
+		if j.tr != nil {
+			j.tr.close()
+			j.tr.wait()
+		}
+		for _, insts := range j.insts {
+			for _, in := range insts {
+				if d := in.mbox.droppedCount(); d > 0 {
+					j.mailboxDropped.Add(d)
+					in.mboxDropped.Add(d)
+				}
+			}
+		}
+	})
 	return j.err
 }
 
@@ -221,14 +293,17 @@ type instance struct {
 
 	// Observability handles; nil (and therefore no-ops) unless Job.Observe
 	// was called.
-	trc        *obs.Tracer
-	elemsIn    *obs.Counter
-	elemsOut   *obs.Counter
-	batchesIn  *obs.Counter
-	batchesOut *obs.Counter
-	remoteOut  *obs.Counter
-	ctrlIn     *obs.Counter
-	mboxHWM    *obs.Gauge
+	trc         *obs.Tracer
+	elemsIn     *obs.Counter
+	elemsOut    *obs.Counter
+	batchesIn   *obs.Counter
+	batchesOut  *obs.Counter
+	remoteOut   *obs.Counter
+	bytesOut    *obs.Counter
+	bytesIn     *obs.Counter
+	ctrlIn      *obs.Counter
+	mboxHWM     *obs.Gauge
+	mboxDropped *obs.Counter
 }
 
 func (in *instance) ensureInputs(n int) {
@@ -337,10 +412,11 @@ func (c *Context) Emit(e Element) {
 
 func (c *Context) buffer(oe *outEdge, target int, e Element) {
 	if oe.bufs[target] == nil {
-		// Ownership of the slice moves to the receiver at flush, so a
-		// fresh buffer is allocated per batch — at full capacity up front
-		// to avoid repeated append growth in the hot path.
-		oe.bufs[target] = make([]Element, 0, c.inst.job.batchSize)
+		// Local batches move to the receiver at flush; remote batches are
+		// serialized at flush and their buffer recycled. Either way the
+		// next batch starts from the pool, at full batch capacity, so the
+		// hot path never grows a slice.
+		oe.bufs[target] = *(c.inst.job.batchPool.Get().(*[]Element))
 	}
 	oe.bufs[target] = append(oe.bufs[target], e)
 	if len(oe.bufs[target]) >= c.inst.job.batchSize {
@@ -354,19 +430,38 @@ func (c *Context) flush(oe *outEdge, target int) {
 		return
 	}
 	oe.bufs[target] = nil
+	in := c.inst
 	tgt := oe.targets[target]
-	c.inst.job.batchesSent.Add(1)
-	c.inst.batchesOut.Inc()
-	if tgt.machine != c.inst.machine {
-		c.inst.job.remoteBatches.Add(1)
-		c.inst.remoteOut.Inc()
-		if c.inst.trc != nil {
-			c.inst.trc.Instant("net", "shuffle_batch", c.inst.machine, c.inst.lane,
-				map[string]any{"to": tgt.machine, "op": tgt.op.Name, "elements": len(buf)})
+	in.job.batchesSent.Add(1)
+	in.batchesOut.Inc()
+	if tgt.machine != in.machine {
+		// Remote: serialize through the val codec and hand the frame to
+		// the transport — the network cost is paid asynchronously by the
+		// machine pair's sender goroutine, so the emit path returns as
+		// soon as the batch is encoded.
+		payload := encodeBatch(val.GetScratch(), buf)
+		nbytes := int64(len(payload))
+		in.job.remoteBatches.Add(1)
+		in.job.bytesSent.Add(nbytes)
+		in.remoteOut.Inc()
+		in.bytesOut.Add(nbytes)
+		if in.trc != nil {
+			in.trc.Instant("net", "shuffle_batch", in.machine, in.lane,
+				map[string]any{"to": tgt.machine, "op": tgt.op.Name, "elements": len(buf), "bytes": nbytes})
 		}
-		c.inst.job.cl.NetSleep()
+		in.job.tr.send(frame{
+			sender: in, target: tgt, kind: envData,
+			input: oe.input, from: in.idx,
+			payload: payload, count: len(buf),
+		})
+		for i := range buf {
+			buf[i] = Element{} // release value references before pooling
+		}
+		buf = buf[:0]
+		in.job.batchPool.Put(&buf)
+		return
 	}
-	tgt.mbox.put(envelope{kind: envData, input: oe.input, from: c.inst.idx, batch: buf})
+	tgt.mbox.put(envelope{kind: envData, input: oe.input, from: in.idx, batch: buf})
 }
 
 // Flush pushes out all buffered batches on all edges.
@@ -404,7 +499,14 @@ func (c *Context) EmitEOB(tag Tag) {
 func (c *Context) sendEOB(oe *outEdge, target int, tag Tag) {
 	tgt := oe.targets[target]
 	if tgt.machine != c.inst.machine {
-		c.inst.job.cl.NetSleep()
+		// EOB envelopes ride the same egress queue as the data they
+		// terminate, preserving the per-(producer, consumer, input) order
+		// the bag protocol depends on.
+		c.inst.job.tr.send(frame{
+			sender: c.inst, target: tgt, kind: envEOB,
+			input: oe.input, from: c.inst.idx, tag: tag,
+		})
+		return
 	}
 	tgt.mbox.put(envelope{kind: envEOB, input: oe.input, from: c.inst.idx, tag: tag})
 }

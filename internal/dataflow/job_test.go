@@ -426,10 +426,11 @@ func TestJobStopIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	job.Stop(nil)
-	job.Stop(fmt.Errorf("late")) // must not override nil outcome after stop
-	if err := job.Wait(); err == nil {
-		// Stop(err) records the first non-nil error even if called second;
-		// accept either outcome but ensure no panic and Wait returns.
-		return
+	job.Stop(fmt.Errorf("late")) // must not override the clean outcome
+	if err := job.Wait(); err != nil {
+		t.Errorf("Wait after clean stop + late Stop(err) = %v, want nil", err)
+	}
+	if d := job.Stats().MailboxDropped; d != 0 {
+		t.Errorf("MailboxDropped = %d after clean stop, want 0", d)
 	}
 }

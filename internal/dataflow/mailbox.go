@@ -16,6 +16,11 @@ type mailbox struct {
 	// "memory stays bounded in practice" claim above; exposed through obs
 	// as the per-instance mailbox_hwm gauge.
 	hwm int
+	// dropped counts envelopes put after close. On a clean run nothing is
+	// dropped (Stop quiesces the transport first); a nonzero count is the
+	// fingerprint of a shutdown race, surfaced as JobStats.MailboxDropped
+	// and the per-instance mailbox_dropped counter.
+	dropped int64
 }
 
 type envKind uint8
@@ -41,7 +46,8 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// put enqueues an envelope. It never blocks. Puts after close are dropped.
+// put enqueues an envelope. It never blocks. Puts after close are dropped
+// and counted.
 func (m *mailbox) put(e envelope) {
 	m.mu.Lock()
 	if !m.closed {
@@ -50,6 +56,8 @@ func (m *mailbox) put(e envelope) {
 			m.hwm = len(m.queue)
 		}
 		m.cond.Signal()
+	} else {
+		m.dropped++
 	}
 	m.mu.Unlock()
 }
@@ -79,6 +87,13 @@ func (m *mailbox) highWater() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.hwm
+}
+
+// droppedCount returns the number of envelopes dropped after close.
+func (m *mailbox) droppedCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dropped
 }
 
 // close wakes the consumer; remaining envelopes are still delivered.

@@ -37,6 +37,19 @@ type Options struct {
 	Quick bool
 	// Reps is the number of measurements averaged per cell (paper: 3).
 	Reps int
+	// BandwidthMiBps overrides the simulated cross-machine bandwidth in
+	// MiB/s (0 keeps cluster.DefaultConfig's 1 GiB/s).
+	BandwidthMiBps int
+}
+
+// clusterConfig returns the calibrated cluster configuration with the
+// options' bandwidth override applied.
+func (o Options) clusterConfig(machines int) cluster.Config {
+	cfg := cluster.DefaultConfig(machines)
+	if o.BandwidthMiBps > 0 {
+		cfg.Bandwidth = int64(o.BandwidthMiBps) << 20
+	}
+	return cfg
 }
 
 func (o Options) reps() int {
@@ -208,10 +221,10 @@ func (t *Table) JSON(o Options) ([]byte, error) {
 // measure runs f reps times, each on a fresh cluster and store, and
 // returns a cell with the mean, the median, every individual measurement,
 // and the engine coordination counters of the last rep.
-func measure(machines int, reps int, f func(cl *cluster.Cluster, st store.Store) error) (Cell, error) {
+func measure(o Options, machines int, f func(cl *cluster.Cluster, st store.Store) error) (Cell, error) {
 	var cell Cell
-	for i := 0; i < reps; i++ {
-		cl, err := cluster.New(cluster.DefaultConfig(machines))
+	for i := 0; i < o.reps(); i++ {
+		cl, err := cluster.New(o.clusterConfig(machines))
 		if err != nil {
 			return Cell{}, err
 		}
@@ -231,6 +244,8 @@ func measure(machines int, reps int, f func(cl *cluster.Cluster, st store.Store)
 			"tasks_dispatched": clStats.TasksDispatched,
 			"barriers":         clStats.Barriers,
 			"ctrl_messages":    clStats.CtrlMessages,
+			"net_batches":      clStats.NetBatches,
+			"net_bytes":        clStats.NetBytes,
 			"dfs_opens":        dfsStats.Opens,
 			"dfs_blocks_read":  dfsStats.BlocksRead,
 			"dfs_bytes_read":   dfsStats.BytesRead,
@@ -278,7 +293,7 @@ func Fig1(o Options) (*Table, error) {
 		Columns: []string{"Spark", "Flink"},
 		XLabels: []string{fmt.Sprintf("%d days", spec.Days)},
 	}
-	spark, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+	spark, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 		if err := spec.Generate(st); err != nil {
 			return err
 		}
@@ -287,7 +302,7 @@ func Fig1(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	flink, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+	flink, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 		if err := spec.Generate(st); err != nil {
 			return err
 		}
@@ -345,7 +360,7 @@ func visitCountRow(o Options, spec workload.VisitCountSpec, machines int, withSp
 		if sparkSkipped {
 			row = append(row, Cell{Skipped: true})
 		} else {
-			s, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+			s, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 				if err := spec.Generate(st); err != nil {
 					return err
 				}
@@ -357,7 +372,7 @@ func visitCountRow(o Options, spec workload.VisitCountSpec, machines int, withSp
 			row = append(row, s)
 		}
 	}
-	f, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+	f, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 		if err := spec.Generate(st); err != nil {
 			return err
 		}
@@ -369,7 +384,7 @@ func visitCountRow(o Options, spec workload.VisitCountSpec, machines int, withSp
 		return nil, err
 	}
 	row = append(row, f)
-	m, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+	m, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 		if err := spec.Generate(st); err != nil {
 			return err
 		}
@@ -455,7 +470,7 @@ func Fig7(o Options) (*Table, error) {
 		}
 		var row []Cell
 		for _, run := range runs {
-			s, err := measure(m, o.reps(), run)
+			s, err := measure(o, m, run)
 			if err != nil {
 				return nil, err
 			}
@@ -493,7 +508,7 @@ func Fig8(o Options) (*Table, error) {
 			WithDiff: true, WithPageTypes: true, PageTypesSize: sz, Seed: 8,
 		}
 		var row []Cell
-		s, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+		s, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 			if err := spec.Generate(st); err != nil {
 				return err
 			}
@@ -503,7 +518,7 @@ func Fig8(o Options) (*Table, error) {
 			return nil, err
 		}
 		row = append(row, s)
-		f, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+		f, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 			if err := spec.Generate(st); err != nil {
 				return err
 			}
@@ -515,7 +530,7 @@ func Fig8(o Options) (*Table, error) {
 			return nil, err
 		}
 		row = append(row, f)
-		noHoist, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+		noHoist, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 			if err := spec.Generate(st); err != nil {
 				return err
 			}
@@ -528,7 +543,7 @@ func Fig8(o Options) (*Table, error) {
 			return nil, err
 		}
 		row = append(row, noHoist)
-		m, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+		m, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 			if err := spec.Generate(st); err != nil {
 				return err
 			}
@@ -565,7 +580,7 @@ func Fig9(o Options) (*Table, error) {
 		for _, pipelined := range []bool{false, true} {
 			opts := mitosOpts()
 			opts.Pipelining = pipelined
-			s, err := measure(m, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+			s, err := measure(o, m, func(cl *cluster.Cluster, st store.Store) error {
 				if err := spec.Generate(st); err != nil {
 					return err
 				}
@@ -610,7 +625,7 @@ func AblationGrid(o Options) (*Table, error) {
 		{"pipeline only", true, false},
 		{"both", true, true},
 	} {
-		s, err := measure(machines, o.reps(), func(cl *cluster.Cluster, st store.Store) error {
+		s, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
 			if err := spec.Generate(st); err != nil {
 				return err
 			}

@@ -217,8 +217,14 @@ func (d *DataSet) shuffleByKey() *DataSet {
 					continue
 				}
 				if e.cl.Place(src) != e.cl.Place(dst) {
+					// Latency + bandwidth per batch of up to 128 elements.
 					for sent := 0; sent < len(local[dst]); sent += 128 {
-						e.cl.NetSleep()
+						end := min(sent+128, len(local[dst]))
+						bytes := 0
+						for _, x := range local[dst][sent:end] {
+							bytes += val.EncodedSize(x)
+						}
+						e.cl.NetSleepBytes(bytes)
 					}
 				}
 				out[dst] = append(out[dst], local[dst]...)

@@ -218,9 +218,15 @@ func (r *RDD) shuffle(keyOf func(val.Value) uint64) *RDD {
 						continue
 					}
 					if s.cl.Place(src) != s.cl.Place(dst) {
-						// One latency charge per transferred batch.
+						// One latency + bandwidth charge per transferred
+						// batch of up to 128 elements.
 						for sent := 0; sent < len(local[dst]); sent += 128 {
-							s.cl.NetSleep()
+							end := min(sent+128, len(local[dst]))
+							bytes := 0
+							for _, x := range local[dst][sent:end] {
+								bytes += val.EncodedSize(x)
+							}
+							s.cl.NetSleepBytes(bytes)
 						}
 					}
 					mu.Lock()

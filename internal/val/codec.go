@@ -4,7 +4,25 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
+
+// scratchPool recycles encode buffers across AppendBinary call sites so
+// that hot paths (the dataflow transport serializes every remote batch)
+// stay allocation-free once buffers have grown to their working size.
+var scratchPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+// GetScratch returns a zero-length encode buffer from the pool, retaining
+// whatever capacity a previous user grew it to. Return it with PutScratch.
+func GetScratch() []byte {
+	return (*scratchPool.Get().(*[]byte))[:0]
+}
+
+// PutScratch returns an encode buffer to the pool. The caller must not use
+// b afterwards.
+func PutScratch(b []byte) {
+	scratchPool.Put(&b)
+}
 
 // AppendBinary appends the compact binary encoding of v to dst and returns
 // the extended slice. The encoding is self-delimiting: a kind tag byte

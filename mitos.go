@@ -96,6 +96,11 @@ type Result struct {
 	// ElementsSent and RemoteBatches are engine transfer counters.
 	ElementsSent  int64
 	RemoteBatches int64
+	// BytesSent and BytesReceived measure cross-machine traffic as the
+	// encoded size of every remote batch serialized through the value
+	// codec (they agree after a clean run).
+	BytesSent     int64
+	BytesReceived int64
 	// Report is the metrics snapshot taken at the end of the run; nil
 	// unless Config.Observer was set.
 	Report *RunReport
@@ -177,6 +182,8 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		Duration:      res.Duration,
 		ElementsSent:  res.Job.ElementsSent,
 		RemoteBatches: res.Job.RemoteBatches,
+		BytesSent:     res.Job.BytesSent,
+		BytesReceived: res.Job.BytesReceived,
 	}
 	if cfg.Observer != nil {
 		out.Report = cfg.Observer.Snapshot()

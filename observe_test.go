@@ -38,10 +38,24 @@ func TestObserverDifferentialCounts(t *testing.T) {
 	st := NewMemStore()
 	obsTestInput(t, st)
 	o := NewObserver()
-	if _, err := p.Run(st, Config{Machines: 3, Observer: o}); err != nil {
+	res, err := p.Run(st, Config{Machines: 3, Observer: o})
+	if err != nil {
 		t.Fatal(err)
 	}
 	snap := o.Snapshot()
+
+	// A clean completion must not have raced its own shutdown: no envelope
+	// may have been dropped into a closed mailbox, and every byte the
+	// transport sent must have been received.
+	if got := snap.Total("mailbox_dropped"); got != 0 {
+		t.Errorf("mailbox_dropped = %d on clean completion, want 0", got)
+	}
+	if res.BytesSent != res.BytesReceived {
+		t.Errorf("BytesSent = %d != BytesReceived = %d on clean completion", res.BytesSent, res.BytesReceived)
+	}
+	if res.BytesSent == 0 {
+		t.Error("no remote bytes recorded on a 3-machine run")
+	}
 
 	nonzero := 0
 	for v, want := range counts {
@@ -153,6 +167,9 @@ func TestControlFlowCounters(t *testing.T) {
 			}
 			if got := snap.Total("barriers"); got != wantBarriers {
 				t.Errorf("barriers = %d, want %d", got, wantBarriers)
+			}
+			if got := snap.Total("mailbox_dropped"); got != 0 {
+				t.Errorf("mailbox_dropped = %d on clean completion, want 0", got)
 			}
 		})
 	}
