@@ -1,7 +1,7 @@
 // mitos-bench regenerates the paper's evaluation figures on the simulated
 // cluster and prints one table per figure.
 //
-//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|all]
+//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|all]
 package main
 
 import (
@@ -18,13 +18,18 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<fig>.json per figure (medians, reps, engine counters)")
 	bandwidth := flag.Int("bandwidth", 0, "simulated cross-machine bandwidth in MiB/s (0: default 1 GiB/s)")
+	combine := flag.String("combine", "on", "map-side combiners in Mitos runs: on|off (ablation)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|all]")
+		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|all]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	o := experiments.Options{Quick: *quick, Reps: *reps, BandwidthMiBps: *bandwidth}
+	if *combine != "on" && *combine != "off" {
+		fmt.Fprintf(os.Stderr, "mitos-bench: -combine must be on or off, got %q\n", *combine)
+		os.Exit(2)
+	}
+	o := experiments.Options{Quick: *quick, Reps: *reps, BandwidthMiBps: *bandwidth, NoCombine: *combine == "off"}
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
@@ -34,7 +39,7 @@ func main() {
 		"fig1": experiments.Fig1, "fig5": experiments.Fig5,
 		"fig6": experiments.Fig6, "fig7": experiments.Fig7,
 		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
-		"ablation": experiments.AblationGrid,
+		"ablation": experiments.AblationGrid, "combine": experiments.Combine,
 	}
 	var tables []*experiments.Table
 	if which == "all" {

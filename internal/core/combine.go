@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/mitos-project/mitos/internal/dataflow"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// Map-side combiners: a plan-rewrite stage that runs after
+// choosePartitionings and inserts a synthetic partial-aggregation operator
+// on the producer side of every expensive edge —
+//
+//   - reduceByKey: a per-instance combiner partially reduces by key
+//     locally, so only the combined pairs cross the PartShuffleKey edge;
+//   - distinct: a per-instance local dedup in front of PartShuffleVal;
+//   - sum/count/reduce: full-parallelism partial instances, so the Par=1
+//     finalizer merges P partials instead of N elements across PartGather.
+//
+// The combiner runs in the producer's basic block with the producer's
+// parallelism and is fed by a forward edge, which keeps it on the
+// producer's machine (instances with equal index share a placement): the
+// shrunk output pays the network cost, the raw input never does. Because
+// the combiner sits in the producer's block, the finalizer's longest-prefix
+// input-bag selection (paper Sec. 5.2.3) chooses exactly the positions it
+// chose before the rewrite, and the combiner's own selection from the
+// producer is the identity — so control-flow coordination, loop
+// pipelining, and hoisting semantics are unchanged. Combiner state is
+// per output bag (one outputRun per bag identifier) and flushed when the
+// input bag's EOBs are in, never across bags.
+
+// SynthKind classifies synthetic plan operators.
+type SynthKind uint8
+
+// The synthetic operator kinds.
+const (
+	SynthNone SynthKind = iota
+	// SynthCombineByKey partially reduces (key, value) pairs per producer
+	// instance ahead of a reduceByKey shuffle.
+	SynthCombineByKey
+	// SynthLocalDistinct drops local duplicates ahead of a distinct shuffle.
+	SynthLocalDistinct
+	// SynthPartialSum, SynthPartialCount, and SynthPartialReduce fold each
+	// producer instance's elements into at most one partial ahead of a
+	// gather; the finalizer merges the partials.
+	SynthPartialSum
+	SynthPartialCount
+	SynthPartialReduce
+)
+
+// String names the synthetic kind.
+func (k SynthKind) String() string {
+	switch k {
+	case SynthNone:
+		return "none"
+	case SynthCombineByKey:
+		return "combineByKey"
+	case SynthLocalDistinct:
+		return "localDistinct"
+	case SynthPartialSum:
+		return "partialSum"
+	case SynthPartialCount:
+		return "partialCount"
+	case SynthPartialReduce:
+		return "partialReduce"
+	default:
+		return fmt.Sprintf("SynthKind(%d)", uint8(k))
+	}
+}
+
+// InsertCombiners rewrites the plan in place, inserting map-side combiners
+// ahead of every aggregation edge that benefits, and returns how many were
+// inserted. It must run after BuildPlan (parallelism and partitionings
+// decided) and before ExecutePlan; calling it again is a no-op.
+func (p *Plan) InsertCombiners() int {
+	inserted := 0
+	for _, op := range p.Ops[:len(p.Ops):len(p.Ops)] {
+		if op.Synth != SynthNone {
+			continue // a combiner never feeds another combiner
+		}
+		var kind SynthKind
+		switch op.Instr.Kind {
+		case ir.OpReduceByKey:
+			kind = SynthCombineByKey
+		case ir.OpDistinct:
+			kind = SynthLocalDistinct
+		case ir.OpSum:
+			kind = SynthPartialSum
+		case ir.OpCount:
+			kind = SynthPartialCount
+		case ir.OpReduce:
+			kind = SynthPartialReduce
+		default:
+			continue
+		}
+		in := &op.Inputs[0]
+		if in.Producer.Synth != SynthNone || in.Combined {
+			continue // already rewritten
+		}
+		switch kind {
+		case SynthPartialSum, SynthPartialCount, SynthPartialReduce:
+			// Partial folds only pay off where a gather funnels a parallel
+			// producer into the Par=1 finalizer; a forward edge from a
+			// singleton producer has nothing to combine.
+			if in.Part != dataflow.PartGather {
+				continue
+			}
+		default:
+			// Key/value shuffles: with one producer and one consumer
+			// instance the edge is instance-local, and the combiner would
+			// duplicate the finalizer's hashing for no byte savings.
+			if in.Producer.Par == 1 && op.Par == 1 {
+				continue
+			}
+		}
+		prod := in.Producer
+		comb := &PlanOp{
+			ID: len(p.Ops),
+			// The synthetic instruction reuses the consumer's kind and UDF;
+			// the original SSA instruction is never mutated (IR graphs are
+			// shared across executions).
+			Instr: &ir.Instr{
+				Var:  op.Instr.Var + ".combine",
+				Kind: op.Instr.Kind,
+				Args: []string{prod.Instr.Var},
+				F:    op.Instr.F,
+			},
+			Block:  prod.Block,
+			Par:    prod.Par,
+			Synth:  kind,
+			Inputs: []PlanInput{{Producer: prod, Part: dataflow.PartForward}},
+		}
+		p.Ops = append(p.Ops, comb)
+		// Combiner instances report bag completions like any host, so they
+		// count toward the coordinator's per-block completion target.
+		p.InstancesPerBlock[comb.Block] += comb.Par
+		in.Producer = comb
+		in.Combined = true
+		inserted++
+	}
+	return inserted
+}
+
+// countCombineIn accounts elements entering a combiner.
+func (h *host) countCombineIn(n int64) {
+	if n == 0 {
+		return
+	}
+	h.rt.combineIn.Add(n)
+	h.combineIn.Add(n)
+}
+
+// countCombineOut accounts the elements a combiner forwarded for one bag.
+func (h *host) countCombineOut(n int64) {
+	if n == 0 {
+		return
+	}
+	h.rt.combineOut.Add(n)
+	h.combineOut.Add(n)
+}
+
+// pumpPartial dispatches the synthetic operator kinds; pump calls it for
+// every host whose op is synthetic.
+func (h *host) pumpPartial(run *outputRun) (bool, error) {
+	switch h.op.Synth {
+	case SynthCombineByKey:
+		return h.pumpPartialReduceByKey(run)
+	case SynthLocalDistinct:
+		return h.pumpPartialDistinct(run)
+	case SynthPartialSum, SynthPartialCount, SynthPartialReduce:
+		return h.pumpPartialFold(run)
+	default:
+		return false, fmt.Errorf("core: %s: no runtime logic for synthetic %s", h.op.Instr.Var, h.op.Synth)
+	}
+}
+
+// pumpPartialReduceByKey folds this instance's slice of the input bag by
+// key and emits one combined pair per key once the bag is complete. The
+// consumer reduceByKey then merges combined pairs with the same UDF — which
+// therefore must be associative and commutative, exactly the contract
+// reduceByKey already imposes on a distributed runtime.
+func (h *host) pumpPartialReduceByKey(run *outputRun) (bool, error) {
+	elems := h.drainSlot(run, 0)
+	h.countCombineIn(int64(len(elems)))
+	var udfErr error
+	for _, x := range elems {
+		k, v, err := pairParts(x, h.op.Instr.Var)
+		if err != nil {
+			return false, err
+		}
+		run.hash.Update(k, func(old val.Value, present bool) val.Value {
+			if !present {
+				return v
+			}
+			y, err := h.op.Instr.F.Call(old, v)
+			if err != nil && udfErr == nil {
+				udfErr = err
+			}
+			return y
+		})
+		if udfErr != nil {
+			return false, fmt.Errorf("core: %s: %w", h.op.Instr.Var, udfErr)
+		}
+	}
+	if !h.slotExhausted(run, 0) {
+		return false, nil
+	}
+	run.hash.Range(func(k, v val.Value) bool {
+		h.emit(run, val.Pair(k, v))
+		return true
+	})
+	run.slotDone[0] = true
+	h.countCombineOut(run.nEmitted)
+	return true, nil
+}
+
+// pumpPartialDistinct streams first occurrences immediately (preserving the
+// pipelining distinct itself has); later duplicates die here instead of
+// crossing the shuffle.
+func (h *host) pumpPartialDistinct(run *outputRun) (bool, error) {
+	elems := h.drainSlot(run, 0)
+	h.countCombineIn(int64(len(elems)))
+	for _, x := range elems {
+		if _, seen := run.distinct.Get(x); !seen {
+			run.distinct.Put(x, struct{}{})
+			h.emit(run, x)
+		}
+	}
+	if !h.slotExhausted(run, 0) {
+		return false, nil
+	}
+	run.slotDone[0] = true
+	h.countCombineOut(run.nEmitted)
+	return true, nil
+}
+
+// pumpPartialFold folds this instance's slice of the input bag into at most
+// one partial for the gathered aggregates. An instance that saw no elements
+// emits nothing, so the finalizer's result for an all-empty bag (0, 0, or
+// no element) is identical to the uncombined run's.
+func (h *host) pumpPartialFold(run *outputRun) (bool, error) {
+	elems := h.drainSlot(run, 0)
+	h.countCombineIn(int64(len(elems)))
+	for _, x := range elems {
+		switch h.op.Synth {
+		case SynthPartialSum:
+			run.count++
+			switch x.Kind() {
+			case val.KindInt:
+				run.sumInt += x.AsInt()
+			case val.KindFloat:
+				run.sumIsF = true
+				run.sumFloat += x.AsFloat()
+			default:
+				return false, fmt.Errorf("core: %s: sum of %s element", h.op.Instr.Var, x.Kind())
+			}
+		case SynthPartialCount:
+			run.count++
+		case SynthPartialReduce:
+			if !run.accSet {
+				run.acc, run.accSet = x, true
+			} else {
+				y, err := h.op.Instr.F.Call(run.acc, x)
+				if err != nil {
+					return false, fmt.Errorf("core: %s: %w", h.op.Instr.Var, err)
+				}
+				run.acc = y
+			}
+		}
+	}
+	if !h.slotExhausted(run, 0) {
+		return false, nil
+	}
+	switch h.op.Synth {
+	case SynthPartialSum:
+		if run.count > 0 {
+			if run.sumIsF {
+				h.emit(run, val.Float(run.sumFloat+float64(run.sumInt)))
+			} else {
+				h.emit(run, val.Int(run.sumInt))
+			}
+		}
+	case SynthPartialCount:
+		if run.count > 0 {
+			h.emit(run, val.Int(run.count))
+		}
+	case SynthPartialReduce:
+		if run.accSet {
+			h.emit(run, run.acc)
+		}
+	}
+	run.slotDone[0] = true
+	h.countCombineOut(run.nEmitted)
+	return true, nil
+}

@@ -10,8 +10,8 @@ import (
 // Dot renders the plan as a Graphviz digraph in the style of the paper's
 // Fig. 3b: basic blocks are dashed clusters, singleton-producing (wrapped
 // scalar) operators have thin borders, phi operators are filled black,
-// condition operators are filled blue, and cross-block (conditional) edges
-// are dashed.
+// condition operators are filled blue, synthetic map-side combiners are
+// filled orange, and cross-block (conditional) edges are dashed.
 func (p *Plan) Dot() string {
 	var b strings.Builder
 	b.WriteString("digraph mitos {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
@@ -26,8 +26,14 @@ func (p *Plan) Dot() string {
 		}
 		fmt.Fprintf(&b, "  subgraph cluster_b%d {\n    label=\"b%d\";\n    style=dashed;\n", blk.ID, blk.ID)
 		for _, op := range ops {
-			attrs := []string{fmt.Sprintf("label=%q", fmt.Sprintf("%s\\n%s par=%d", op.Instr.Var, op.Instr.Kind, op.Par))}
+			kind := op.Instr.Kind.String()
+			if op.Synth != SynthNone {
+				kind = op.Synth.String()
+			}
+			attrs := []string{fmt.Sprintf("label=%q", fmt.Sprintf("%s\\n%s par=%d", op.Instr.Var, kind, op.Par))}
 			switch {
+			case op.Synth != SynthNone:
+				attrs = append(attrs, "style=filled", "fillcolor=orange")
 			case op.Instr.Kind == ir.OpPhi:
 				attrs = append(attrs, "style=filled", "fillcolor=black", "fontcolor=white")
 			case op.IsCondition:

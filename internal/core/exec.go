@@ -22,6 +22,10 @@ type Options struct {
 	// Hoisting reuses loop-invariant join build state across iteration
 	// steps (paper Sec. 5.3, Fig. 8 ablates it).
 	Hoisting bool
+	// Combiners inserts map-side partial aggregation ahead of shuffle and
+	// gather edges (plan rewrite; see InsertCombiners). Savings multiply by
+	// the iteration count, since Mitos re-runs these shuffles every step.
+	Combiners bool
 	// BatchSize overrides the engine's transfer batch size (0 = default).
 	BatchSize int
 	// Obs attaches an observability collector (metrics and optionally
@@ -30,9 +34,10 @@ type Options struct {
 	Obs *obs.Observer
 }
 
-// DefaultOptions enables both optimizations, as Mitos runs in the paper.
+// DefaultOptions enables every optimization: pipelining and hoisting as
+// Mitos runs in the paper, plus map-side combiners.
 func DefaultOptions() Options {
-	return Options{Pipelining: true, Hoisting: true}
+	return Options{Pipelining: true, Hoisting: true, Combiners: true}
 }
 
 // Result reports what one execution did.
@@ -49,6 +54,11 @@ type Result struct {
 	// instance held at once — the garbage-collection rule of Sec. 5.2.4
 	// keeps it bounded regardless of the iteration count.
 	MaxBufferedBags int64
+	// CombineIn and CombineOut count elements entering and leaving map-side
+	// combiners; their ratio is the local aggregation factor, and the
+	// difference is the element traffic the shuffles were spared.
+	CombineIn  int64
+	CombineOut int64
 	// Job reports engine transfer counters.
 	Job dataflow.JobStats
 }
@@ -65,6 +75,8 @@ type runtime struct {
 
 	joinBuilds  atomic.Int64
 	maxBuffered atomic.Int64
+	combineIn   atomic.Int64
+	combineOut  atomic.Int64
 }
 
 // noteBuffered records a high-water mark of buffered input bags.
@@ -89,11 +101,16 @@ func Execute(g *ir.Graph, st store.Store, cl *cluster.Cluster, opts Options) (*R
 	if err != nil {
 		return nil, err
 	}
+	if opts.Combiners {
+		plan.InsertCombiners()
+	}
 	return ExecutePlan(plan, st, cl, opts)
 }
 
 // ExecutePlan runs an already-built plan (Execute builds one from an SSA
-// graph). The plan's parallelism must match opts.
+// graph). The plan's parallelism must match opts; plan rewrites
+// (InsertCombiners) are the caller's responsibility — Execute applies them
+// per opts before calling here.
 func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) (*Result, error) {
 	rt := &runtime{
 		plan:   plan,
@@ -156,6 +173,8 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 		Duration:        time.Since(start),
 		JoinBuilds:      rt.joinBuilds.Load(),
 		MaxBufferedBags: rt.maxBuffered.Load(),
+		CombineIn:       rt.combineIn.Load(),
+		CombineOut:      rt.combineOut.Load(),
 		Job:             job.Stats(),
 	}, nil
 }

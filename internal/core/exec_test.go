@@ -73,20 +73,24 @@ func TestExecuteMatchesGroundTruth(t *testing.T) {
 		machines   int
 		pipelining bool
 		hoisting   bool
+		combiners  bool
 	}{
-		{1, true, true},
-		{2, true, true},
-		{4, true, true},
-		{4, false, true},
-		{4, true, false},
-		{4, false, false},
-		{3, true, true},
+		{1, true, true, false},
+		{2, true, true, false},
+		{4, true, true, false},
+		{4, false, true, false},
+		{4, true, false, false},
+		{4, false, false, false},
+		{3, true, true, false},
+		{4, true, true, true},
+		{2, false, true, true},
+		{3, true, false, true},
 	}
 	for _, c := range testprog.Cases() {
 		g := compile(t, c.Src)
 		want := groundTruth(t, c)
 		for _, cfg := range configs {
-			name := fmt.Sprintf("%s/m%d_pipe%t_hoist%t", c.Name, cfg.machines, cfg.pipelining, cfg.hoisting)
+			name := fmt.Sprintf("%s/m%d_pipe%t_hoist%t_comb%t", c.Name, cfg.machines, cfg.pipelining, cfg.hoisting, cfg.combiners)
 			t.Run(name, func(t *testing.T) {
 				t.Parallel()
 				cl, err := cluster.New(cluster.FastConfig(cfg.machines))
@@ -101,6 +105,7 @@ func TestExecuteMatchesGroundTruth(t *testing.T) {
 				res, err := Execute(g, st, cl, Options{
 					Pipelining: cfg.pipelining,
 					Hoisting:   cfg.hoisting,
+					Combiners:  cfg.combiners,
 				})
 				if err != nil {
 					t.Fatalf("Execute: %v", err)

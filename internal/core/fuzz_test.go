@@ -49,6 +49,7 @@ func TestFuzzDifferential(t *testing.T) {
 			opts := Options{
 				Pipelining: seed%2 == 0,
 				Hoisting:   seed%3 != 0,
+				Combiners:  seed%4 >= 2,
 			}
 			cl, err := cluster.New(cluster.FastConfig(machines))
 			if err != nil {

@@ -55,6 +55,8 @@ type host struct {
 	decisions  *obs.Counter
 	joinBuilds *obs.Counter
 	joinReuses *obs.Counter
+	combineIn  *obs.Counter
+	combineOut *obs.Counter
 }
 
 type inputBuf struct {
@@ -124,6 +126,10 @@ func (h *host) Open(ctx *dataflow.Context) error {
 		if h.op.Instr.Kind == ir.OpJoin {
 			h.joinBuilds = reg.Counter(h.machine, name, "join_builds")
 			h.joinReuses = reg.Counter(h.machine, name, "join_build_reuses")
+		}
+		if h.op.Synth != SynthNone {
+			h.combineIn = reg.Counter(h.machine, name, "combine_in")
+			h.combineOut = reg.Counter(h.machine, name, "combine_out")
 		}
 	}
 	return nil

@@ -13,6 +13,16 @@ import (
 // input bag is the same as for the previous output, the cached hash table
 // is reused instead of being rebuilt (paper Sec. 5.3).
 func (h *host) beginKind(run *outputRun) error {
+	switch h.op.Synth {
+	case SynthCombineByKey:
+		run.hash = val.NewMap[val.Value](16)
+		return nil
+	case SynthLocalDistinct:
+		run.distinct = val.NewMap[struct{}](16)
+		return nil
+	case SynthPartialSum, SynthPartialCount, SynthPartialReduce:
+		return nil
+	}
 	switch h.op.Instr.Kind {
 	case ir.OpJoin:
 		if h.rt.opts.Hoisting && h.cachedBuild != nil && h.cachedBuildPos == run.inPos[0] {
@@ -43,6 +53,9 @@ func (h *host) beginKind(run *outputRun) error {
 // and slotDone flags.
 func (h *host) pump() (bool, error) {
 	run := h.cur
+	if h.op.Synth != SynthNone {
+		return h.pumpPartial(run)
+	}
 	k := h.op.Instr.Kind
 	switch k {
 	case ir.OpSingleton:
@@ -274,7 +287,13 @@ func (h *host) pumpAggregate(run *outputRun) (bool, error) {
 				return false, fmt.Errorf("core: %s: sum of %s element", h.op.Instr.Var, x.Kind())
 			}
 		case ir.OpCount:
-			run.count++
+			if h.op.Inputs[0].Combined {
+				// The input holds per-instance partial counts, not raw
+				// elements: merge by summing.
+				run.count += x.AsInt()
+			} else {
+				run.count++
+			}
 		case ir.OpDistinct:
 			if _, seen := run.distinct.Get(x); !seen {
 				run.distinct.Put(x, struct{}{})

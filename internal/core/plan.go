@@ -35,7 +35,10 @@ type PlanOp struct {
 	// IsCondition marks the operator whose singleton bool output drives its
 	// block's branch terminator.
 	IsCondition bool
-	Inputs      []PlanInput
+	// Synth marks synthetic operators inserted by plan rewrites (map-side
+	// combiners); SynthNone for operators that mirror an SSA instruction.
+	Synth  SynthKind
+	Inputs []PlanInput
 }
 
 // PlanInput describes one logical input slot.
@@ -47,6 +50,10 @@ type PlanInput struct {
 	// PredBlock is, for phi inputs only, the predecessor block whose
 	// incoming control-flow edge selects this slot.
 	PredBlock ir.BlockID
+	// Combined marks an input fed by a synthetic partial-aggregation
+	// operator instead of raw elements. Finalizers whose merge differs from
+	// their element-wise logic (count) dispatch on it.
+	Combined bool
 }
 
 // BuildPlan plans the dataflow job for an SSA graph. parallelism is the
@@ -229,9 +236,16 @@ func (p *Plan) String() string {
 		if op.IsCondition {
 			s += " cond"
 		}
+		if op.Synth != SynthNone {
+			s += " " + op.Synth.String()
+		}
 		s += " " + op.Instr.String()
 		for i, in := range op.Inputs {
-			s += fmt.Sprintf(" [in%d<-op%d %s]", i, in.Producer.ID, in.Part)
+			s += fmt.Sprintf(" [in%d<-op%d %s", i, in.Producer.ID, in.Part)
+			if in.Combined {
+				s += " combined"
+			}
+			s += "]"
 		}
 		s += "\n"
 	}

@@ -1,0 +1,109 @@
+package dataflow
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// These benchmarks exercise the engine's per-element hot path —
+// Context.Emit partitioning, batch buffering, flush, and (on multi-machine
+// configurations) codec serialization and the transport — end to end
+// through a running job. With the pooled batch buffers, the local forward
+// path must be allocation-free in steady state.
+
+// benchSource emits the broadcast count of elements, cycling through 8
+// prebuilt keyed pairs so no values are constructed on the emit path.
+type benchSource struct {
+	baseVertex
+	vals [8]val.Value
+}
+
+func (v *benchSource) Open(ctx *Context) error {
+	v.ctx = ctx
+	for i := range v.vals {
+		v.vals[i] = val.Pair(val.Int(int64(i)), val.Int(1))
+	}
+	return nil
+}
+
+func (v *benchSource) OnControl(ev any) error {
+	n, ok := ev.(int)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		v.ctx.Emit(Element{Tag: 1, Val: v.vals[i&7]})
+	}
+	v.ctx.EmitEOB(1)
+	return nil
+}
+
+// benchSink discards data and closes done when every instance has one EOB
+// per producer.
+type benchSink struct {
+	baseVertex
+	eobs     int
+	finished *atomic.Int64
+	insts    int64
+	done     chan struct{}
+}
+
+func (v *benchSink) OnEOB(input, from int, tag Tag) error {
+	v.eobs++
+	if v.eobs == v.ctx.NumProducers(0) {
+		if v.finished.Add(1) == v.insts {
+			close(v.done)
+		}
+	}
+	return nil
+}
+
+func benchEmit(b *testing.B, machines int, part Partitioning) {
+	const par = 4
+	cl, err := cluster.New(cluster.FastConfig(machines))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	g := &Graph{}
+	done := make(chan struct{})
+	var finished atomic.Int64
+	receivers := int64(par)
+	if part == PartGather {
+		receivers = 1 // gather routes everything to instance 0
+	}
+	src := g.AddOp("src", par, func(int) Vertex { return &benchSource{} })
+	snk := g.AddOp("sink", par, func(int) Vertex {
+		return &benchSink{finished: &finished, insts: receivers, done: done}
+	})
+	g.Connect(src, snk, 0, part)
+	j, err := NewJob(g, cl, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := j.Start(); err != nil {
+		b.Fatal(err)
+	}
+	perInst := b.N/par + 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	j.Broadcast(perInst)
+	<-done
+	b.StopTimer()
+	j.Stop(nil)
+	if err := j.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkEmitForwardLocal(b *testing.B)    { benchEmit(b, 1, PartForward) }
+func BenchmarkEmitShuffleKeyLocal(b *testing.B) { benchEmit(b, 1, PartShuffleKey) }
+func BenchmarkEmitBroadcastLocal(b *testing.B)  { benchEmit(b, 1, PartBroadcast) }
+
+// The 2-machine variants include codec encode/decode and the simulated
+// transport for the ~half of the traffic that crosses machines.
+func BenchmarkEmitShuffleKeyRemote(b *testing.B) { benchEmit(b, 2, PartShuffleKey) }
+func BenchmarkEmitGatherRemote(b *testing.B)     { benchEmit(b, 2, PartGather) }

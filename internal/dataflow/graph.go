@@ -79,7 +79,9 @@ type Vertex interface {
 	// Open is called once, before any other callback.
 	Open(ctx *Context) error
 	// OnBatch delivers data elements arriving on logical input slot input
-	// from physical producer instance from.
+	// from physical producer instance from. The batch slice is recycled as
+	// soon as OnBatch returns: implementations may retain the Values inside
+	// but must not retain the slice itself.
 	OnBatch(input int, from int, batch []Element) error
 	// OnEOB signals that producer instance from will send no more elements
 	// of bag tag on input.

@@ -277,6 +277,21 @@ func (j *Job) Wait() error {
 	return j.err
 }
 
+// recycleBatch clears a delivered batch and returns its buffer to the
+// pool. Undersized buffers (from historic or foreign allocations) are left
+// to the garbage collector so every pool entry keeps full batch capacity.
+func (j *Job) recycleBatch(b []Element) {
+	if cap(b) < j.batchSize {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = Element{} // release value references while pooled
+	}
+	b = b[:0]
+	j.batchPool.Put(&b)
+}
+
 // instance is one physical operator instance.
 type instance struct {
 	job     *Job
@@ -332,6 +347,10 @@ func (in *instance) loop() {
 			in.elemsIn.Add(int64(len(env.batch)))
 			in.batchesIn.Inc()
 			err = in.vertex.OnBatch(env.input, env.from, env.batch)
+			// OnBatch must not retain the slice (Vertex contract), so the
+			// buffer goes straight back to the pool: the emit path and the
+			// remote decode path both draw from it, closing the cycle.
+			in.job.recycleBatch(env.batch)
 		case envEOB:
 			err = in.vertex.OnEOB(env.input, env.from, env.tag)
 		case envControl:

@@ -186,7 +186,9 @@ func (t *transport) deliver(f frame) {
 	j.cl.NetSleepBytes(len(f.payload))
 	env := envelope{kind: f.kind, input: f.input, from: f.from, tag: f.tag}
 	if f.kind == envData {
-		batch, err := decodeBatch(f.payload, f.count)
+		// Decode into a pooled buffer so the consumer's loop can recycle
+		// the batch after OnBatch returns, same as local batches.
+		batch, err := decodeBatch(*j.batchPool.Get().(*[]Element), f.payload, f.count)
 		if err != nil {
 			j.fail(fmt.Errorf("dataflow: transport %s[%d] -> %s[%d]: %w",
 				f.sender.op.Name, f.sender.idx, f.target.op.Name, f.target.idx, err))
@@ -225,10 +227,10 @@ func encodeBatch(dst []byte, batch []Element) []byte {
 	return dst
 }
 
-// decodeBatch decodes exactly count elements from buf, rejecting trailing
-// garbage.
-func decodeBatch(buf []byte, count int) ([]Element, error) {
-	batch := make([]Element, 0, count)
+// decodeBatch appends exactly count elements decoded from buf to dst,
+// rejecting trailing garbage.
+func decodeBatch(dst []Element, buf []byte, count int) ([]Element, error) {
+	batch := dst
 	for i := 0; i < count; i++ {
 		tag, n := binary.Varint(buf)
 		if n <= 0 {

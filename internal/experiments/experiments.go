@@ -40,6 +40,9 @@ type Options struct {
 	// BandwidthMiBps overrides the simulated cross-machine bandwidth in
 	// MiB/s (0 keeps cluster.DefaultConfig's 1 GiB/s).
 	BandwidthMiBps int
+	// NoCombine disables the map-side combiner plan rewrite in every Mitos
+	// run (the -combine=off ablation).
+	NoCombine bool
 }
 
 // clusterConfig returns the calibrated cluster configuration with the
@@ -274,8 +277,13 @@ func median(xs []float64) float64 {
 	return (s[len(s)/2-1] + s[len(s)/2]) / 2
 }
 
-// mitosOpts returns the default optimized configuration.
-func mitosOpts() core.Options { return core.DefaultOptions() }
+// mitosOpts returns the optimized configuration, minus whatever the
+// options ablate.
+func (o Options) mitosOpts() core.Options {
+	opts := core.DefaultOptions()
+	opts.Combiners = !o.NoCombine
+	return opts
+}
 
 // Fig1 reproduces the motivation experiment: Visit Count (with day diffs)
 // on Spark vs Flink native iterations at 24 machines. The paper measures
@@ -388,7 +396,7 @@ func visitCountRow(o Options, spec workload.VisitCountSpec, machines int, withSp
 		if err := spec.Generate(st); err != nil {
 			return err
 		}
-		_, err := workload.RunMitos(spec, st, cl, mitosOpts())
+		_, err := workload.RunMitos(spec, st, cl, o.mitosOpts())
 		return err
 	})
 	if err != nil {
@@ -465,7 +473,7 @@ func Fig7(o Options) (*Table, error) {
 			func(cl *cluster.Cluster, st store.Store) error { return workload.StepTF(cl, steps) },
 			func(cl *cluster.Cluster, st store.Store) error { return workload.StepNaiad(cl, steps) },
 			func(cl *cluster.Cluster, st store.Store) error {
-				return workload.StepMitos(cl, st, steps, mitosOpts())
+				return workload.StepMitos(cl, st, steps, o.mitosOpts())
 			},
 		}
 		var row []Cell
@@ -534,7 +542,7 @@ func Fig8(o Options) (*Table, error) {
 			if err := spec.Generate(st); err != nil {
 				return err
 			}
-			opts := mitosOpts()
+			opts := o.mitosOpts()
 			opts.Hoisting = false
 			_, err := workload.RunMitos(spec, st, cl, opts)
 			return err
@@ -547,7 +555,7 @@ func Fig8(o Options) (*Table, error) {
 			if err := spec.Generate(st); err != nil {
 				return err
 			}
-			_, err := workload.RunMitos(spec, st, cl, mitosOpts())
+			_, err := workload.RunMitos(spec, st, cl, o.mitosOpts())
 			return err
 		})
 		if err != nil {
@@ -578,7 +586,7 @@ func Fig9(o Options) (*Table, error) {
 	for _, m := range machineSweep(o) {
 		var row []Cell
 		for _, pipelined := range []bool{false, true} {
-			opts := mitosOpts()
+			opts := o.mitosOpts()
 			opts.Pipelining = pipelined
 			s, err := measure(o, m, func(cl *cluster.Cluster, st store.Store) error {
 				if err := spec.Generate(st); err != nil {
@@ -629,7 +637,9 @@ func AblationGrid(o Options) (*Table, error) {
 			if err := spec.Generate(st); err != nil {
 				return err
 			}
-			_, err := workload.RunMitos(spec, st, cl, core.Options{Pipelining: cfg.pipe, Hoisting: cfg.hoist})
+			opts := o.mitosOpts()
+			opts.Pipelining, opts.Hoisting = cfg.pipe, cfg.hoist
+			_, err := workload.RunMitos(spec, st, cl, opts)
 			return err
 		})
 		if err != nil {
@@ -641,9 +651,66 @@ func AblationGrid(o Options) (*Table, error) {
 	return t, nil
 }
 
+// Combine is an extension beyond the paper: the map-side combiner ablation
+// on Visit Count (with day diffs). The interesting columns are the engine
+// counters — with combiners on, the reduceByKey shuffles carry per-instance
+// partials instead of raw (page, 1) pairs, so bytes_sent collapses while
+// the output stays identical; combine_in/combine_out give the local
+// aggregation factor directly. (The pageTypes variant is deliberately not
+// used here: its join already hash-partitions by page key, which makes the
+// downstream reduceByKey shuffle key-local and byte-free either way — see
+// TestCombinersShrinkReduceByKeyShuffles.)
+func Combine(o Options) (*Table, error) {
+	spec := workload.VisitCountSpec{
+		Days: 15, VisitsPerDay: 3000, Pages: 60,
+		WithDiff: true, Seed: 11,
+	}
+	if o.Quick {
+		spec.Days, spec.VisitsPerDay = 5, 600
+	}
+	const machines = 8
+	t := &Table{
+		Key:     "combine",
+		Title:   "Combiner ablation: map-side partial aggregation on Visit Count (with day diffs)",
+		XAxis:   "config",
+		Columns: []string{"seconds"},
+	}
+	for _, cfg := range []struct {
+		label string
+		on    bool
+	}{
+		{"combine off", false},
+		{"combine on", true},
+	} {
+		opts := o.mitosOpts()
+		opts.Combiners = cfg.on
+		var last *core.Result
+		s, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
+			if err := spec.Generate(st); err != nil {
+				return err
+			}
+			res, err := workload.RunMitos(spec, st, cl, opts)
+			last = res
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Byte-level evidence from the last rep's job, present in both rows
+		// so the off/on ratio can be read straight out of the JSON.
+		s.Counters["elements_sent"] = last.Job.ElementsSent
+		s.Counters["bytes_sent"] = last.Job.BytesSent
+		s.Counters["combine_in"] = last.CombineIn
+		s.Counters["combine_out"] = last.CombineOut
+		t.XLabels = append(t.XLabels, cfg.label)
+		t.Cells = append(t.Cells, []Cell{s})
+	}
+	return t, nil
+}
+
 // All runs every experiment in figure order.
 func All(o Options) ([]*Table, error) {
-	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid}
+	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine}
 	var out []*Table
 	for _, f := range funcs {
 		t, err := f(o)

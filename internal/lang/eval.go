@@ -281,15 +281,19 @@ func evalCall(e *Call, env Env) (val.Value, error) {
 		return val.Int(int64(len(args[0].AsStr()))), nil
 	case "min", "max":
 		x, y := args[0], args[1]
-		if !isNumeric(x) || !isNumeric(y) {
-			return val.Value{}, errf(e.Pos, "%s on %s and %s values", e.Fn, x.Kind(), y.Kind())
-		}
 		c := 0
 		switch {
-		case x.AsNumber() < y.AsNumber():
-			c = -1
-		case x.AsNumber() > y.AsNumber():
-			c = 1
+		case x.Kind() == val.KindString && y.Kind() == val.KindString:
+			c = strings.Compare(x.AsStr(), y.AsStr())
+		case isNumeric(x) && isNumeric(y):
+			switch {
+			case x.AsNumber() < y.AsNumber():
+				c = -1
+			case x.AsNumber() > y.AsNumber():
+				c = 1
+			}
+		default:
+			return val.Value{}, errf(e.Pos, "%s on %s and %s values", e.Fn, x.Kind(), y.Kind())
 		}
 		if (e.Fn == "min") == (c <= 0) {
 			return x, nil

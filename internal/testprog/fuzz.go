@@ -135,7 +135,7 @@ func (g *progGen) genBagAssign(depth int) {
 	src := g.anyBag()
 	src2 := g.anyBag()
 	scal := g.anyScalar()
-	kind := g.r.Intn(8)
+	kind := g.r.Intn(9)
 	target := g.bagTarget(depth)
 	switch kind {
 	case 0:
@@ -156,6 +156,12 @@ func (g *progGen) genBagAssign(depth int) {
 	case 6:
 		// Cross with a singleton scalar, then restore the pair shape.
 		g.emit("%s = %s.cross(newBag(%s)).map(t => (t.0.0, t.0.1 + t.1))", target, src, scal)
+	case 7:
+		// Global reduce to a singleton pair bag. Both folds are associative
+		// and commutative, so the result is independent of fold order —
+		// required for any distributed reduce, exercised hardest by the
+		// partial-aggregation rewrite.
+		g.emit("%s = %s.reduce((a, c) => (min(a.0, c.0), a.1 + c.1))", target, src)
 	default:
 		g.emit("%s = %s.map(t => (t.0, t.1 * 2)).reduceByKey((a, c) => max(a, c))", target, src)
 	}

@@ -1,0 +1,124 @@
+package val
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The hot loop of every shuffle and combiner is Hash, Map.Update, and the
+// codec; these benchmarks guard their per-element cost and allocation
+// behavior (Hash and Update must be allocation-free, codec encode must be
+// amortized-free thanks to the scratch pool).
+
+func BenchmarkHash(b *testing.B) {
+	cases := []struct {
+		name string
+		v    Value
+	}{
+		{"int", Int(1234567)},
+		{"string", Str("page17.example.com/index")},
+		{"pair", Pair(Str("k17"), Int(42))},
+		{"nested", Pair(Pair(Str("k3"), Int(9)), Pair(Int(-1), Str("v")))},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			var sink uint64
+			for i := 0; i < b.N; i++ {
+				sink ^= c.v.Hash()
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkMapUpdate is the combiner inner loop: fold one element into the
+// running per-key state. 64 keys keeps everything cache-resident, isolating
+// the hash+probe+closure cost.
+func BenchmarkMapUpdate(b *testing.B) {
+	keys := make([]Value, 64)
+	for i := range keys {
+		keys[i] = Str(fmt.Sprintf("page%d", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	m := NewMap[Value](len(keys))
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		m.Update(k, func(old Value, present bool) Value {
+			if !present {
+				return Int(1)
+			}
+			return Int(old.AsInt() + 1)
+		})
+	}
+}
+
+func BenchmarkCodecEncode(b *testing.B) {
+	cases := []struct {
+		name string
+		v    Value
+	}{
+		{"int", Int(123456789)},
+		{"pair", Pair(Str("page17"), Int(42))},
+		{"nested", Pair(Pair(Str("k3"), Int(9)), Pair(Int(-1), Str("value")))},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			buf := GetScratch()
+			defer PutScratch(buf)
+			for i := 0; i < b.N; i++ {
+				buf = AppendBinary(buf[:0], c.v)
+			}
+		})
+	}
+}
+
+func BenchmarkCodecDecode(b *testing.B) {
+	cases := []struct {
+		name string
+		v    Value
+	}{
+		{"int", Int(123456789)},
+		{"pair", Pair(Str("page17"), Int(42))},
+		{"nested", Pair(Pair(Str("k3"), Int(9)), Pair(Int(-1), Str("value")))},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			buf := AppendBinary(nil, c.v)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := DecodeBinary(buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCodecRoundtripBatch(b *testing.B) {
+	// A full 128-element batch, the engine's default transfer unit.
+	elems := make([]Value, 128)
+	for i := range elems {
+		elems[i] = Pair(Str(fmt.Sprintf("page%d", i%8)), Int(int64(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := GetScratch()
+		for _, v := range elems {
+			buf = AppendBinary(buf, v)
+		}
+		rest := buf
+		for len(rest) > 0 {
+			_, n, err := DecodeBinary(rest)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rest = rest[n:]
+		}
+		PutScratch(buf)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"github.com/mitos-project/mitos/internal/core"
 	"github.com/mitos-project/mitos/internal/ir"
 	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/obs"
 	"github.com/mitos-project/mitos/internal/store"
 )
 
@@ -260,5 +261,90 @@ func TestScriptCompiles(t *testing.T) {
 		if _, err := spec.CompileMitos(); err != nil {
 			t.Errorf("spec %d script does not compile: %v\n%s", si, err, spec.Script())
 		}
+	}
+}
+
+// TestCombinersShrinkReduceByKeyShuffles is the headline byte-level claim
+// of the map-side combiner rewrite: on Visit Count across multiple
+// machines, the bytes crossing machines on the reduceByKey shuffle edges
+// drop by at least 2x while the outputs stay identical. The pageTypes
+// variant is the interesting negative control: there the join has already
+// hash-partitioned the data by page key, so the reduceByKey shuffle is
+// key-local and byte-free with or without combiners — the test pins both
+// facts.
+func TestCombinersShrinkReduceByKeyShuffles(t *testing.T) {
+	const machines = 4
+	run := func(spec VisitCountSpec, combine bool) (rbkBytes, jobBytes int64) {
+		t.Helper()
+		want := groundTruth(t, spec)
+		// The operators whose emissions cross the reduceByKey shuffle edges:
+		// without the rewrite the raw producers, with it the combiners.
+		g, err := spec.CompileMitos()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := core.BuildPlan(g, machines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if combine {
+			plan.InsertCombiners()
+		}
+		producers := make(map[string]bool)
+		for _, op := range plan.Ops {
+			if op.Synth == core.SynthNone && op.Instr.Kind == ir.OpReduceByKey {
+				producers[op.Inputs[0].Producer.Instr.Var] = true
+			}
+		}
+		if len(producers) == 0 {
+			t.Fatal("no reduceByKey shuffle edges in the Visit Count plan")
+		}
+
+		ob := obs.New()
+		opts := core.DefaultOptions()
+		opts.Combiners = combine
+		opts.Obs = ob
+		cl, err := cluster.New(cluster.FastConfig(machines))
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := freshStore(t, spec)
+		res, err := RunMitos(spec, st, cl, opts)
+		if err != nil {
+			cl.Close()
+			t.Fatalf("RunMitos(combine=%t): %v", combine, err)
+		}
+		cl.Close()
+		diffOutputs(t, want, st)
+		snap := ob.Snapshot()
+		for name := range producers {
+			rbkBytes += snap.TotalFor(name, "bytes_sent")
+		}
+		return rbkBytes, res.Job.BytesSent
+	}
+
+	plain := VisitCountSpec{Days: 4, VisitsPerDay: 2000, Pages: 40, WithDiff: true, Seed: 25}
+	offRbk, offJob := run(plain, false)
+	onRbk, onJob := run(plain, true)
+	if onRbk == 0 {
+		t.Fatal("no remote bytes on the combined reduceByKey edges; shuffle not exercised")
+	}
+	if offRbk < 2*onRbk {
+		t.Errorf("reduceByKey shuffle bytes: off=%d on=%d, want at least a 2x drop", offRbk, onRbk)
+	}
+	if offJob < 2*onJob {
+		t.Errorf("whole-job remote bytes: off=%d on=%d, want at least a 2x drop", offJob, onJob)
+	}
+	t.Logf("plain: rbk shuffle bytes off=%d on=%d (%.1fx), job bytes off=%d on=%d (%.1fx)",
+		offRbk, onRbk, float64(offRbk)/float64(onRbk), offJob, onJob, float64(offJob)/float64(onJob))
+
+	pt := VisitCountSpec{Days: 4, VisitsPerDay: 2000, Pages: 40, WithDiff: true, WithPageTypes: true, Seed: 25}
+	ptOffRbk, ptOffJob := run(pt, false)
+	ptOnRbk, ptOnJob := run(pt, true)
+	if ptOffRbk != 0 || ptOnRbk != 0 {
+		t.Errorf("pageTypes reduceByKey shuffle bytes: off=%d on=%d, want 0 (join already key-partitions)", ptOffRbk, ptOnRbk)
+	}
+	if ptOnJob > ptOffJob {
+		t.Errorf("pageTypes whole-job remote bytes regressed with combiners: off=%d on=%d", ptOffJob, ptOnJob)
 	}
 }

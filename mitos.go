@@ -73,6 +73,10 @@ type Config struct {
 	// DisableHoisting turns off loop-invariant hoisting (join build sides
 	// are rebuilt every iteration step).
 	DisableHoisting bool
+	// DisableCombiners turns off the map-side combiner plan rewrite
+	// (shuffles and gathers carry raw elements instead of per-instance
+	// partial aggregates).
+	DisableCombiners bool
 	// BatchSize overrides the engine transfer batch size.
 	BatchSize int
 	// Observer, when non-nil, collects engine-wide metrics (and a
@@ -101,6 +105,11 @@ type Result struct {
 	// codec (they agree after a clean run).
 	BytesSent     int64
 	BytesReceived int64
+	// CombineIn and CombineOut count elements entering and leaving map-side
+	// combiners; their ratio is the local aggregation factor. Zero when
+	// DisableCombiners is set.
+	CombineIn  int64
+	CombineOut int64
 	// Report is the metrics snapshot taken at the end of the run; nil
 	// unless Config.Observer was set.
 	Report *RunReport
@@ -150,6 +159,7 @@ func (p *Program) Dot(parallelism int) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	plan.InsertCombiners()
 	return plan.Dot(), nil
 }
 
@@ -171,6 +181,7 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		Parallelism: cfg.Parallelism,
 		Pipelining:  !cfg.DisablePipelining,
 		Hoisting:    !cfg.DisableHoisting,
+		Combiners:   !cfg.DisableCombiners,
 		BatchSize:   cfg.BatchSize,
 		Obs:         cfg.Observer,
 	})
@@ -184,6 +195,8 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		RemoteBatches: res.Job.RemoteBatches,
 		BytesSent:     res.Job.BytesSent,
 		BytesReceived: res.Job.BytesReceived,
+		CombineIn:     res.CombineIn,
+		CombineOut:    res.CombineOut,
 	}
 	if cfg.Observer != nil {
 		out.Report = cfg.Observer.Snapshot()
