@@ -1,7 +1,11 @@
 // mitos-bench regenerates the paper's evaluation figures on the simulated
 // cluster and prints one table per figure.
 //
-//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|all]
+//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|critpath|all]
+//
+// With -http, a live introspection server runs for the duration of the
+// sweep: every Mitos execution registers under /jobs, and /metrics serves
+// the accumulated engine metrics in Prometheus exposition format.
 package main
 
 import (
@@ -10,6 +14,8 @@ import (
 	"os"
 
 	"github.com/mitos-project/mitos/internal/experiments"
+	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/obs/httpserve"
 )
 
 func main() {
@@ -19,8 +25,9 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write BENCH_<fig>.json per figure (medians, reps, engine counters)")
 	bandwidth := flag.Int("bandwidth", 0, "simulated cross-machine bandwidth in MiB/s (0: default 1 GiB/s)")
 	combine := flag.String("combine", "on", "map-side combiners in Mitos runs: on|off (ablation)")
+	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /jobs) on this address for the duration of the sweep")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|all]")
+		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|critpath|all]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -30,6 +37,17 @@ func main() {
 		os.Exit(2)
 	}
 	o := experiments.Options{Quick: *quick, Reps: *reps, BandwidthMiBps: *bandwidth, NoCombine: *combine == "off"}
+	if *httpAddr != "" {
+		o.Obs = obs.New()
+		srv, err := httpserve.Serve(*httpAddr, o.Obs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mitos-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		o.HTTP = srv
+		fmt.Printf("introspection server listening on http://%s\n", srv.Addr())
+	}
 	which := "all"
 	if flag.NArg() > 0 {
 		which = flag.Arg(0)
@@ -40,6 +58,7 @@ func main() {
 		"fig6": experiments.Fig6, "fig7": experiments.Fig7,
 		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
 		"ablation": experiments.AblationGrid, "combine": experiments.Combine,
+		"critpath": experiments.CritPath,
 	}
 	var tables []*experiments.Table
 	if which == "all" {

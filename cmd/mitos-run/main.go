@@ -1,19 +1,28 @@
 // mitos-run compiles and executes a Mitos script against text datasets.
 //
-//	mitos-run [-machines N] [-seq] [-data DIR] [-out DIR] script.mitos
+//	mitos-run [-machines N] [-seq] [-data DIR] [-out DIR] [-http ADDR] script.mitos
 //
 // Every "*.txt" file in -data becomes an input dataset named after the
 // file (without extension); one element per line, comma-separated tuple
 // fields (see mitos.ReadTextDataset). After the run, every dataset in the
 // store is written to -out as "<name>.txt".
+//
+// With -http, a live introspection server runs on ADDR for the whole
+// process lifetime: /metrics (Prometheus), /jobs/{id} (live dataflow
+// graph), /lineage, /criticalpath, /debug/pprof. Lineage tracking is
+// enabled, the critical-path summary is printed after the run, and the
+// process keeps serving until interrupted so the finished run can be
+// inspected post-mortem.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"github.com/mitos-project/mitos"
 )
@@ -28,6 +37,7 @@ func main() {
 	outDir := flag.String("out", "", "directory to write result datasets to")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 	metrics := flag.Bool("metrics", false, "print the engine metrics snapshot after the run")
+	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /jobs, /lineage, /criticalpath) on this address until interrupted")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mitos-run [flags] script.mitos")
 		flag.PrintDefaults()
@@ -38,13 +48,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(flag.Arg(0), *machines, *parallelism, *noPipe, *noHoist, *seq, *dataDir, *outDir, *traceFile, *metrics); err != nil {
+	if err := run(flag.Arg(0), *machines, *parallelism, *noPipe, *noHoist, *seq, *dataDir, *outDir, *traceFile, *metrics, *httpAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "mitos-run: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool, dataDir, outDir, traceFile string, metrics bool) error {
+func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool, dataDir, outDir, traceFile string, metrics bool, httpAddr string) error {
 	src, err := os.ReadFile(scriptPath)
 	if err != nil {
 		return err
@@ -81,9 +91,10 @@ func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool
 		}
 	}
 
+	var srv *mitos.IntrospectionServer
 	if seq {
-		if traceFile != "" || metrics {
-			fmt.Fprintln(os.Stderr, "mitos-run: note: -trace and -metrics observe the distributed engine; ignored with -seq")
+		if traceFile != "" || metrics || httpAddr != "" {
+			fmt.Fprintln(os.Stderr, "mitos-run: note: -trace, -metrics and -http observe the distributed engine; ignored with -seq")
 		}
 		if err := prog.RunSequential(st); err != nil {
 			return err
@@ -93,8 +104,17 @@ func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool
 		var observer *mitos.Observer
 		if traceFile != "" {
 			observer = mitos.NewTracingObserver()
-		} else if metrics {
+		} else if metrics || httpAddr != "" {
 			observer = mitos.NewObserver()
+		}
+		if httpAddr != "" {
+			observer.EnableLineage()
+			srv, err = mitos.ServeIntrospection(httpAddr, observer)
+			if err != nil {
+				return err
+			}
+			defer srv.Close()
+			fmt.Printf("introspection server listening on http://%s\n", srv.Addr())
 		}
 		res, err := prog.Run(st, mitos.Config{
 			Machines:          machines,
@@ -102,12 +122,16 @@ func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool
 			DisablePipelining: noPipe,
 			DisableHoisting:   noHoist,
 			Observer:          observer,
+			HTTP:              srv,
 		})
 		if err != nil {
 			return err
 		}
 		fmt.Printf("run complete: %d basic-block visits, %v, %d elements transferred\n",
 			res.Steps, res.Duration.Round(0), res.ElementsSent)
+		if res.CriticalPath != nil {
+			fmt.Print(res.CriticalPath.String())
+		}
 		if traceFile != "" {
 			f, err := os.Create(traceFile)
 			if err != nil {
@@ -149,6 +173,13 @@ func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool
 			}
 		}
 		fmt.Printf("wrote %d datasets to %s\n", len(st.Names()), outDir)
+	}
+
+	if srv != nil {
+		fmt.Printf("serving introspection on http://%s until interrupted (Ctrl-C)\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 	return nil
 }

@@ -82,6 +82,7 @@ type schedReq struct {
 type Cluster struct {
 	cfg    Config
 	scheds []chan schedReq
+	schedq []atomic.Int64 // per-machine queued-request depth
 	wg     sync.WaitGroup
 
 	jobsLaunched    atomic.Int64
@@ -91,14 +92,18 @@ type Cluster struct {
 	netBatches      atomic.Int64
 	netBytes        atomic.Int64
 
-	// Observability handles; nil (no-op) until SetObserver.
-	trc          *obs.Tracer
-	obsLaunches  *obs.Counter
-	obsTasks     *obs.Counter
-	obsBarriers  *obs.Counter
-	obsCtrl      *obs.Counter
-	launchHist   *obs.Histogram
-	barrierHist  *obs.Histogram
+	// Observability handles; nil (no-op) until SetObserver. The per-machine
+	// scheduler-queue gauges are read by scheduler goroutines, which only
+	// touch them after receiving a request sent after SetObserver — the
+	// channel transfer orders the writes.
+	trc         *obs.Tracer
+	obsLaunches *obs.Counter
+	obsTasks    *obs.Counter
+	obsBarriers *obs.Counter
+	obsCtrl     *obs.Counter
+	launchHist  *obs.Histogram
+	barrierHist *obs.Histogram
+	obsSchedQ   []*obs.Gauge
 
 	// mu guards closed. dispatch holds the read side across its channel
 	// send so that Close (write side) cannot close a scheduler channel
@@ -125,18 +130,24 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Machines <= 0 {
 		return nil, fmt.Errorf("cluster: need at least one machine, got %d", cfg.Machines)
 	}
-	c := &Cluster{cfg: cfg, scheds: make([]chan schedReq, cfg.Machines)}
+	c := &Cluster{
+		cfg:       cfg,
+		scheds:    make([]chan schedReq, cfg.Machines),
+		schedq:    make([]atomic.Int64, cfg.Machines),
+		obsSchedQ: make([]*obs.Gauge, cfg.Machines),
+	}
 	for i := range c.scheds {
 		ch := make(chan schedReq, 64)
 		c.scheds[i] = ch
 		c.wg.Add(1)
-		go func() {
+		go func(m int) {
 			defer c.wg.Done()
 			for req := range ch {
 				simtime.Sleep(req.delay)
+				c.obsSchedQ[m].Set(c.schedq[m].Add(-1))
 				close(req.done)
 			}
-		}()
+		}(i)
 	}
 	return c, nil
 }
@@ -169,6 +180,9 @@ func (c *Cluster) SetObserver(o *obs.Observer) {
 	c.obsCtrl = reg.Counter(obs.MachineDriver, "cluster", "ctrl_messages")
 	c.launchHist = reg.Histogram(obs.MachineDriver, "cluster", "job_launch")
 	c.barrierHist = reg.Histogram(obs.MachineDriver, "cluster", "barrier")
+	for m := range c.obsSchedQ {
+		c.obsSchedQ[m] = reg.Gauge(m, "cluster", "schedq_depth")
+	}
 	c.trc.NameProcess(c.DriverPID(), "driver")
 }
 
@@ -209,6 +223,7 @@ func (c *Cluster) dispatch(m int, delay time.Duration) {
 		c.mu.RUnlock()
 		return
 	}
+	c.obsSchedQ[m].Set(c.schedq[m].Add(1))
 	c.scheds[m] <- schedReq{delay: delay, done: done}
 	c.mu.RUnlock()
 	<-done

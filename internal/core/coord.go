@@ -2,10 +2,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/mitos-project/mitos/internal/dataflow"
 	"github.com/mitos-project/mitos/internal/ir"
 	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/obs/lineage"
 )
 
 // The control-flow manager (paper Sec. 5.2.1): condition operators report
@@ -56,6 +58,15 @@ type coordinator struct {
 	driverPID int
 	bcast     []*obs.Counter
 	pathLen   *obs.Gauge
+
+	// Lineage recording (nil when off): per-position decider bags for the
+	// critical-path analyzer. condVar maps a branch block to its condition
+	// operator; curDecider is the condition bag whose decision produced the
+	// positions currently being appended (zero on the entry jump chain).
+	lin        *lineage.Tracker
+	condVar    map[ir.BlockID]string
+	curDecider lineage.BagID
+	decidedBy  []lineage.BagID // parallel to path
 }
 
 func newCoordinator(rt *runtime, job *dataflow.Job) *coordinator {
@@ -69,6 +80,14 @@ func newCoordinator(rt *runtime, job *dataflow.Job) *coordinator {
 			c.bcast[m] = reg.Counter(m, "cfm", "broadcasts")
 		}
 		c.pathLen = reg.Gauge(obs.MachineDriver, "cfm", "path_len")
+		if c.lin = rt.obs.Lin(); c.lin != nil {
+			c.condVar = make(map[ir.BlockID]string)
+			for _, op := range rt.plan.Ops {
+				if op.IsCondition {
+					c.condVar[op.Block] = op.Instr.Var
+				}
+			}
+		}
 	}
 	return c
 }
@@ -119,6 +138,9 @@ func (c *coordinator) append(b ir.BlockID) {
 	c.completed = append(c.completed, 0)
 	c.steps++
 	c.pathLen.Set(int64(len(c.path)))
+	if c.lin != nil {
+		c.decidedBy = append(c.decidedBy, c.curDecider)
+	}
 	c.advanceDone()
 }
 
@@ -145,6 +167,9 @@ func (c *coordinator) onDecision(pos int, branch bool) error {
 	blk := c.rt.plan.IR.Blocks[c.path[pos-1]]
 	if blk.Term.Kind != ir.TermBranch {
 		return fmt.Errorf("core: decision for non-branch block b%d", blk.ID)
+	}
+	if c.lin != nil {
+		c.curDecider = lineage.BagID{Op: c.condVar[blk.ID], Pos: pos}
 	}
 	if branch {
 		c.append(blk.Term.Succs[0])
@@ -187,11 +212,18 @@ func (c *coordinator) advanceDone() {
 func (c *coordinator) broadcastAllowed() {
 	for c.nBroadcast < len(c.path) {
 		next := c.nBroadcast + 1
+		var barrier time.Duration
 		if !c.rt.opts.Pipelining && next > 1 {
 			if c.doneUpTo < next-1 {
 				return
 			}
-			c.rt.cl.Barrier()
+			if c.lin != nil {
+				t0 := time.Now()
+				c.rt.cl.Barrier()
+				barrier = time.Since(t0)
+			} else {
+				c.rt.cl.Barrier()
+			}
 		}
 		pos := next
 		final := c.pathFinal && pos == len(c.path) &&
@@ -210,6 +242,9 @@ func (c *coordinator) broadcastAllowed() {
 				map[string]any{"pos": pos, "block": int(c.path[pos-1]), "final": final})
 		}
 		c.job.Broadcast(pathUpdate{pos: pos, block: c.path[pos-1], final: final})
+		if c.lin != nil {
+			c.lin.Broadcast(pos, int(c.path[pos-1]), final, c.decidedBy[pos-1], barrier)
+		}
 		c.nBroadcast = next
 	}
 }

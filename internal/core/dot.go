@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/obs"
 )
 
 // Dot renders the plan as a Graphviz digraph in the style of the paper's
@@ -12,7 +13,15 @@ import (
 // scalar) operators have thin borders, phi operators are filled black,
 // condition operators are filled blue, synthetic map-side combiners are
 // filled orange, and cross-block (conditional) edges are dashed.
-func (p *Plan) Dot() string {
+func (p *Plan) Dot() string { return p.dot(nil) }
+
+// DotLive renders the same digraph with each operator annotated with its
+// live counters from snap (elements in/out, bags produced) — the
+// introspection server's /jobs/{id}/dot payload. A nil or empty snapshot
+// degrades to the plain rendering.
+func (p *Plan) DotLive(snap *obs.Snapshot) string { return p.dot(snap) }
+
+func (p *Plan) dot(snap *obs.Snapshot) string {
 	var b strings.Builder
 	b.WriteString("digraph mitos {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
 	byBlock := make(map[ir.BlockID][]*PlanOp)
@@ -30,7 +39,15 @@ func (p *Plan) Dot() string {
 			if op.Synth != SynthNone {
 				kind = op.Synth.String()
 			}
-			attrs := []string{fmt.Sprintf("label=%q", fmt.Sprintf("%s\\n%s par=%d", op.Instr.Var, kind, op.Par))}
+			label := fmt.Sprintf("%s\\n%s par=%d", op.Instr.Var, kind, op.Par)
+			if snap != nil {
+				name := op.Instr.Var
+				label += fmt.Sprintf("\\nin=%d out=%d bags=%d",
+					snap.TotalFor(name, "elements_in"),
+					snap.TotalFor(name, "elements_out"),
+					snap.TotalFor(name, "bags_out"))
+			}
+			attrs := []string{fmt.Sprintf("label=%q", label)}
 			switch {
 			case op.Synth != SynthNone:
 				attrs = append(attrs, "style=filled", "fillcolor=orange")

@@ -9,6 +9,7 @@ import (
 	"github.com/mitos-project/mitos/internal/dataflow"
 	"github.com/mitos-project/mitos/internal/ir"
 	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/obs/httpserve"
 	"github.com/mitos-project/mitos/internal/store"
 )
 
@@ -29,9 +30,14 @@ type Options struct {
 	// BatchSize overrides the engine's transfer batch size (0 = default).
 	BatchSize int
 	// Obs attaches an observability collector (metrics and optionally
-	// tracing) to every layer of the execution. Nil disables
-	// instrumentation; the disabled path costs one pointer check per site.
+	// tracing or bag lineage) to every layer of the execution. Nil
+	// disables instrumentation; the disabled path costs one pointer check
+	// per site.
 	Obs *obs.Observer
+	// HTTP registers the execution with a live introspection server
+	// (/jobs, /jobs/{id}, /jobs/{id}/dot) and enables the per-edge queue
+	// depth sampling those endpoints report. Nil disables registration.
+	HTTP *httpserve.Server
 }
 
 // DefaultOptions enables every optimization: pipelining and hoisting as
@@ -149,9 +155,18 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 		return nil, err
 	}
 	job.Observe(opts.Obs)
+	if opts.HTTP != nil {
+		job.EnableIntrospection()
+	}
+	opts.Obs.Lin().Begin()
 	start := time.Now()
 	if err := job.Start(); err != nil {
 		return nil, err
+	}
+	var jv *jobView
+	if opts.HTTP != nil {
+		jv = &jobView{rt: rt, job: job, started: start}
+		opts.HTTP.Register(jv)
 	}
 
 	coord := newCoordinator(rt, job)
@@ -165,6 +180,9 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 	err = job.Wait()
 	close(stop)
 	<-coordDone
+	if jv != nil {
+		jv.finish(err)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: execution failed: %w", err)
 	}

@@ -2,11 +2,13 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/mitos-project/mitos/internal/dataflow"
 	"github.com/mitos-project/mitos/internal/ir"
 	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/obs/lineage"
 	"github.com/mitos-project/mitos/internal/val"
 )
 
@@ -49,6 +51,7 @@ type host struct {
 
 	// Observability handles; nil (no-op) unless the run has an observer.
 	trc        *obs.Tracer
+	lin        *lineage.Tracker
 	machine    int
 	lane       int
 	bagsOut    *obs.Counter
@@ -57,6 +60,12 @@ type host struct {
 	joinReuses *obs.Counter
 	combineIn  *obs.Counter
 	combineOut *obs.Counter
+
+	// Live progress for Job.Introspect, maintained unconditionally (one
+	// atomic store per bag, not per element) and read concurrently by the
+	// introspection server.
+	curPos   atomic.Int64
+	bagsDone atomic.Int64
 }
 
 type inputBuf struct {
@@ -117,6 +126,7 @@ func (h *host) Open(ctx *dataflow.Context) error {
 		reg := o.Reg()
 		name := h.op.Instr.Var
 		h.trc = o.Trc()
+		h.lin = o.Lin()
 		h.machine = ctx.Machine()
 		h.lane = ctx.Lane()
 		h.bagsOut = reg.Counter(h.machine, name, "bags_out")
@@ -193,7 +203,16 @@ func (h *host) OnEOB(input, from int, tag dataflow.Tag) error {
 		return fmt.Errorf("core: %s input %d: too many EOBs for bag %d", h.op.Instr.Var, input, pos)
 	}
 	b.complete = b.eobs == h.ctx.NumProducers(input)
+	if b.complete && h.lin != nil {
+		h.lin.Delivered(h.op.Inputs[input].Producer.Instr.Var, pos, h.op.Instr.Var)
+	}
 	return h.progress()
+}
+
+// BagProgress implements dataflow.Progresser: the path position of the bag
+// currently being produced and the number of output bags finished so far.
+func (h *host) BagProgress() (cur, done int64) {
+	return h.curPos.Load(), h.bagsDone.Load()
 }
 
 // progress advances the host state machine: schedule newly visible output
@@ -292,6 +311,19 @@ func (h *host) startOutput(pos int) error {
 	if h.trc != nil {
 		run.traceStart = h.trc.Clock()
 	}
+	h.curPos.Store(int64(pos))
+	if h.lin != nil {
+		// Record provenance: the input bag IDs this output bag reads. The
+		// selection is deterministic across instances (same path, same
+		// longest-prefix rule), so the first instance to open wins.
+		ins := make([]lineage.BagID, 0, len(h.op.Inputs))
+		for i, in := range h.op.Inputs {
+			if run.inPos[i] > 0 {
+				ins = append(ins, lineage.BagID{Op: in.Producer.Instr.Var, Pos: run.inPos[i]})
+			}
+		}
+		h.lin.BagOpen(h.op.Instr.Var, pos, int(h.op.Block), ins)
+	}
 	h.cur = run
 	return h.beginKind(run)
 }
@@ -317,6 +349,10 @@ func (h *host) finishOutput() error {
 	h.cur = nil
 	h.ctx.EmitEOB(dataflow.Tag(run.pos))
 	h.bagsOut.Inc()
+	h.bagsDone.Add(1)
+	if h.lin != nil {
+		h.lin.BagClose(h.op.Instr.Var, run.pos, run.nEmitted)
+	}
 	if h.trc != nil {
 		// One span per output bag: the bag identifier is (operator,
 		// path position), exactly the paper's Sec. 5 naming scheme.

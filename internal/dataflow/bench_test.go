@@ -84,6 +84,10 @@ func benchEmit(b *testing.B, machines int, part Partitioning) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	// The production engine always calls Observe; a nil observer is the
+	// instrumentation-off contract these benchmarks guard (one pointer
+	// check per site, no allocations).
+	j.Observe(nil)
 	if err := j.Start(); err != nil {
 		b.Fatal(err)
 	}
@@ -107,3 +111,22 @@ func BenchmarkEmitBroadcastLocal(b *testing.B)  { benchEmit(b, 1, PartBroadcast)
 // transport for the ~half of the traffic that crosses machines.
 func BenchmarkEmitShuffleKeyRemote(b *testing.B) { benchEmit(b, 2, PartShuffleKey) }
 func BenchmarkEmitGatherRemote(b *testing.B)     { benchEmit(b, 2, PartGather) }
+
+// BenchmarkEmitNilObserver pins the observability contract on the emit hot
+// path: with a nil observer — no metrics, no lineage tracking, no
+// introspection depth counters — the local forward path must stay
+// allocation-free, paying one pointer check per hook.
+func BenchmarkEmitNilObserver(b *testing.B) { benchEmit(b, 1, PartForward) }
+
+// TestEmitNilObserverAllocFree enforces BenchmarkEmitNilObserver's
+// 0 allocs/op as a test, so the guard runs on every plain `go test` (the
+// -short and -race runs skip it: race instrumentation allocates).
+func TestEmitNilObserverAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is not meaningful under -short/-race runs")
+	}
+	res := testing.Benchmark(BenchmarkEmitNilObserver)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("emit hot path with nil observer allocates %d allocs/op, want 0", a)
+	}
+}

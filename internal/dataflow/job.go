@@ -7,6 +7,7 @@ import (
 
 	"github.com/mitos-project/mitos/internal/cluster"
 	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/obs/lineage"
 	"github.com/mitos-project/mitos/internal/val"
 )
 
@@ -137,6 +138,7 @@ func (j *Job) Observe(o *obs.Observer) {
 		for _, in := range insts {
 			name := in.op.Name
 			in.trc = trc
+			in.lin = o.Lin()
 			in.elemsIn = reg.Counter(in.machine, name, "elements_in")
 			in.elemsOut = reg.Counter(in.machine, name, "elements_out")
 			in.batchesIn = reg.Counter(in.machine, name, "batches_in")
@@ -309,6 +311,7 @@ type instance struct {
 	// Observability handles; nil (and therefore no-ops) unless Job.Observe
 	// was called.
 	trc         *obs.Tracer
+	lin         *lineage.Tracker
 	elemsIn     *obs.Counter
 	elemsOut    *obs.Counter
 	batchesIn   *obs.Counter
@@ -332,6 +335,10 @@ type outEdge struct {
 	input   int
 	targets []*instance
 	bufs    [][]Element
+	// depth counts buffered-but-unflushed elements on this edge; nil (and
+	// therefore unmaintained, one pointer check per element) unless
+	// Job.EnableIntrospection was called.
+	depth *atomic.Int64
 }
 
 func (in *instance) loop() {
@@ -438,6 +445,9 @@ func (c *Context) buffer(oe *outEdge, target int, e Element) {
 		oe.bufs[target] = *(c.inst.job.batchPool.Get().(*[]Element))
 	}
 	oe.bufs[target] = append(oe.bufs[target], e)
+	if oe.depth != nil {
+		oe.depth.Add(1)
+	}
 	if len(oe.bufs[target]) >= c.inst.job.batchSize {
 		c.flush(oe, target)
 	}
@@ -453,6 +463,9 @@ func (c *Context) flush(oe *outEdge, target int) {
 	tgt := oe.targets[target]
 	in.job.batchesSent.Add(1)
 	in.batchesOut.Inc()
+	if oe.depth != nil {
+		oe.depth.Add(-int64(len(buf)))
+	}
 	if tgt.machine != in.machine {
 		// Remote: serialize through the val codec and hand the frame to
 		// the transport — the network cost is paid asynchronously by the
@@ -464,6 +477,12 @@ func (c *Context) flush(oe *outEdge, target int) {
 		in.job.bytesSent.Add(nbytes)
 		in.remoteOut.Inc()
 		in.bytesOut.Add(nbytes)
+		if in.lin != nil {
+			// Hosts emit one bag at a time and flush at end-of-bag, so a
+			// batch carries a single bag tag: charge its encoded size to
+			// that bag's lineage record.
+			in.lin.BagBytes(in.op.Name, int(buf[0].Tag), nbytes)
+		}
 		if in.trc != nil {
 			in.trc.Instant("net", "shuffle_batch", in.machine, in.lane,
 				map[string]any{"to": tgt.machine, "op": tgt.op.Name, "elements": len(buf), "bytes": nbytes})

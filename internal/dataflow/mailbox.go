@@ -89,6 +89,14 @@ func (m *mailbox) highWater() int {
 	return m.hwm
 }
 
+// depth returns the current queue depth. Safe to call from any goroutine;
+// the introspection sampler uses it on live jobs.
+func (m *mailbox) depth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
 // droppedCount returns the number of envelopes dropped after close.
 func (m *mailbox) droppedCount() int64 {
 	m.mu.Lock()

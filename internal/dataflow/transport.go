@@ -88,6 +88,14 @@ func (e *egress) take() (frame, bool) {
 	return f, true
 }
 
+// depth returns the current frame backlog. Safe to call from any
+// goroutine; the introspection sampler uses it on live jobs.
+func (e *egress) depth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
 func (e *egress) close() {
 	e.mu.Lock()
 	e.closed = true

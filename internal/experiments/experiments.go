@@ -22,6 +22,9 @@ import (
 	"github.com/mitos-project/mitos/internal/core"
 	"github.com/mitos-project/mitos/internal/dfs"
 	"github.com/mitos-project/mitos/internal/flinklike"
+	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/obs/httpserve"
+	"github.com/mitos-project/mitos/internal/obs/lineage"
 	"github.com/mitos-project/mitos/internal/store"
 	"github.com/mitos-project/mitos/internal/workload"
 )
@@ -43,6 +46,13 @@ type Options struct {
 	// NoCombine disables the map-side combiner plan rewrite in every Mitos
 	// run (the -combine=off ablation).
 	NoCombine bool
+	// Obs attaches a shared observer to every Mitos run, and HTTP
+	// registers each run with a live introspection server — mitos-bench
+	// -http wires both so /metrics and /jobs reflect the sweep as it runs.
+	// (CritPath substitutes its own per-run lineage observers; its runs
+	// still register with HTTP.)
+	Obs  *obs.Observer
+	HTTP *httpserve.Server
 }
 
 // clusterConfig returns the calibrated cluster configuration with the
@@ -282,6 +292,8 @@ func median(xs []float64) float64 {
 func (o Options) mitosOpts() core.Options {
 	opts := core.DefaultOptions()
 	opts.Combiners = !o.NoCombine
+	opts.Obs = o.Obs
+	opts.HTTP = o.HTTP
 	return opts
 }
 
@@ -708,9 +720,112 @@ func Combine(o Options) (*Table, error) {
 	return t, nil
 }
 
+// CritPath is an extension beyond the paper enabled by bag-lineage
+// tracking: per-iteration-step critical-path analysis of Visit Count (with
+// day diffs) with pipelining off and on. Each column's headline number is
+// the pipelining overlap — the wall-clock time during which at least two
+// execution-path steps had bags in flight simultaneously — so the delta
+// between the columns measures directly what Fig. 9 infers from end-to-end
+// times. The "total" row carries the whole-run attribution (compute /
+// shuffle / barrier / pipeline-stall nanoseconds and the attributed
+// fraction) in its counters; the per-step rows carry the same breakdown
+// per execution-path position.
+func CritPath(o Options) (*Table, error) {
+	spec := workload.VisitCountSpec{Days: 12, VisitsPerDay: 2000, Pages: 200, WithDiff: true, Seed: 12}
+	if o.Quick {
+		spec.Days, spec.VisitsPerDay = 5, 400
+	}
+	const machines = 8
+	t := &Table{
+		Key:     "critpath",
+		Title:   "Critical path: lineage-attributed step latency and pipelining overlap on Visit Count",
+		XAxis:   "step",
+		Columns: []string{"Mitos (not pipelined)", "Mitos"},
+	}
+	var cols [][]Cell // [column][row]: "total" first, then one row per step
+	for _, pipelined := range []bool{false, true} {
+		opts := o.mitosOpts()
+		opts.Pipelining = pipelined
+		var cp *lineage.CriticalPath
+		cell, err := measure(o, machines, func(cl *cluster.Cluster, st store.Store) error {
+			if err := spec.Generate(st); err != nil {
+				return err
+			}
+			// A fresh lineage tracker per rep: the analysis must see one
+			// run's bags, not an accumulation over reps.
+			obsv := obs.New().EnableLineage()
+			opts.Obs = obsv
+			_, err := workload.RunMitos(spec, st, cl, opts)
+			if err == nil {
+				cp = lineage.Analyze(obsv.Lin().Snapshot())
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The total row's headline is the overlap; Reps keeps the measured
+		// wall times and Counters gains the whole-run attribution, both
+		// from the last rep (whose lineage cp analyzed).
+		total := cell
+		total.Seconds = cp.OverlapSum.Seconds()
+		total.Median = total.Seconds
+		for k, v := range map[string]int64{
+			"wall_ns":             int64(cp.Wall),
+			"compute_ns":          int64(cp.Compute),
+			"shuffle_ns":          int64(cp.Shuffle),
+			"barrier_ns":          int64(cp.Barrier),
+			"stall_ns":            int64(cp.Stall),
+			"attributed_ns":       int64(cp.Attributed),
+			"span_ns":             int64(cp.SpanSum),
+			"overlap_ns":          int64(cp.OverlapSum),
+			"attributed_permille": int64(1000 * cp.AttributedFraction),
+			"steps":               int64(len(cp.Steps)),
+		} {
+			total.Counters[k] = v
+		}
+		col := []Cell{total}
+		for _, st := range cp.Steps {
+			col = append(col, Cell{
+				Seconds: st.Overlap.Seconds(),
+				Median:  st.Overlap.Seconds(),
+				Counters: map[string]int64{
+					"block":      int64(st.Block),
+					"iter":       int64(st.Iter),
+					"bags":       int64(st.Bags),
+					"elements":   st.Elements,
+					"bytes":      st.Bytes,
+					"span_ns":    int64(st.Span),
+					"overlap_ns": int64(st.Overlap),
+					"compute_ns": int64(st.Compute),
+					"shuffle_ns": int64(st.Shuffle),
+					"barrier_ns": int64(st.Barrier),
+					"stall_ns":   int64(st.Stall),
+				},
+			})
+		}
+		cols = append(cols, col)
+	}
+	// Both runs execute the same decision sequence, so the execution paths
+	// (and step counts) match; guard with min anyway.
+	rows := len(cols[0])
+	if len(cols[1]) < rows {
+		rows = len(cols[1])
+	}
+	for r := 0; r < rows; r++ {
+		if r == 0 {
+			t.XLabels = append(t.XLabels, "total")
+		} else {
+			t.XLabels = append(t.XLabels, fmt.Sprint(r))
+		}
+		t.Cells = append(t.Cells, []Cell{cols[0][r], cols[1][r]})
+	}
+	return t, nil
+}
+
 // All runs every experiment in figure order.
 func All(o Options) ([]*Table, error) {
-	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine}
+	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine, CritPath}
 	var out []*Table
 	for _, f := range funcs {
 		t, err := f(o)

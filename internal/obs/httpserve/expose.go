@@ -1,0 +1,133 @@
+package httpserve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/mitos-project/mitos/internal/obs"
+)
+
+// Prometheus text exposition (format version 0.0.4) of an obs snapshot.
+//
+// Every (machine, op, metric) key becomes one labeled series of the metric
+// named "mitos_<metric>": the machine is the machine="m0"/"driver" label
+// and the operator the op label. Histograms are exposed in seconds as
+// cumulative _bucket/_sum/_count series with the registry's power-of-two
+// microsecond bucket bounds, plus one engine-wide summary per histogram
+// metric ("mitos_<metric>_seconds_agg"), merged across keys with
+// HistStats.Merge.
+
+// metricName sanitizes a metric name into the Prometheus name charset
+// [a-zA-Z0-9_:], prefixed with "mitos_".
+func metricName(name string) string {
+	var b strings.Builder
+	b.WriteString("mitos_")
+	for _, r := range name {
+		// The "mitos_" prefix guarantees a valid first character, so
+		// digits are fine anywhere in the remainder.
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+func machineLabel(m int) string {
+	if m < 0 {
+		return "driver"
+	}
+	return fmt.Sprintf("m%d", m)
+}
+
+func labels(k obs.Key) string {
+	return fmt.Sprintf(`machine="%s",op="%s"`, machineLabel(k.Machine), escapeLabel(k.Op))
+}
+
+// bucketBound returns the upper bound of registry bucket i in seconds:
+// bucket i holds [2^i, 2^(i+1)) microseconds.
+func bucketBound(i int) float64 {
+	return float64(uint64(1)<<(i+1)) / 1e6
+}
+
+// WriteMetrics writes the snapshot in Prometheus text exposition format.
+func WriteMetrics(w io.Writer, s *obs.Snapshot) {
+	writeSamples(w, "counter", s.Counters)
+	writeSamples(w, "gauge", s.Gauges)
+
+	// Group histogram samples by metric name, preserving snapshot order
+	// (sorted by op, then name, then machine) within each group.
+	groups := make(map[string][]obs.HistSample)
+	var names []string
+	for _, h := range s.Histograms {
+		if _, seen := groups[h.Name]; !seen {
+			names = append(names, h.Name)
+		}
+		groups[h.Name] = append(groups[h.Name], h)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := metricName(name) + "_seconds"
+		fmt.Fprintf(w, "# HELP %s Duration histogram of %s per (machine,op).\n", base, name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", base)
+		for _, h := range groups[name] {
+			ls := labels(h.Key)
+			cum := int64(0)
+			for i, c := range h.Buckets {
+				cum += c
+				// Sparse cumulative buckets: emit a bound only when its
+				// cumulative count changes (plus +Inf below). Valid
+				// exposition, and it keeps 32-bucket histograms readable.
+				if c != 0 {
+					fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", base, ls, bucketBound(i), cum)
+				}
+			}
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", base, ls, h.Count)
+			fmt.Fprintf(w, "%s_sum{%s} %g\n", base, ls, h.Sum.Seconds())
+			fmt.Fprintf(w, "%s_count{%s} %d\n", base, ls, h.Count)
+		}
+		// Engine-wide merged summary across all keys of this metric.
+		agg := s.HistTotal(name)
+		fmt.Fprintf(w, "# HELP %s_agg Engine-wide merge of %s across machines and ops.\n", base, name)
+		fmt.Fprintf(w, "# TYPE %s_agg summary\n", base)
+		fmt.Fprintf(w, "%s_agg_sum %g\n", base, agg.Sum.Seconds())
+		fmt.Fprintf(w, "%s_agg_count %d\n", base, agg.Count)
+	}
+}
+
+func writeSamples(w io.Writer, typ string, samples []obs.Sample) {
+	// Snapshot samples are sorted by (op, name, machine); regroup by name
+	// so each metric gets exactly one HELP/TYPE header.
+	groups := make(map[string][]obs.Sample)
+	var names []string
+	for _, c := range samples {
+		if _, seen := groups[c.Name]; !seen {
+			names = append(names, c.Name)
+		}
+		groups[c.Name] = append(groups[c.Name], c)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		mn := metricName(name)
+		fmt.Fprintf(w, "# HELP %s Engine %s %s per (machine,op).\n", mn, typ, name)
+		fmt.Fprintf(w, "# TYPE %s %s\n", mn, typ)
+		for _, c := range groups[name] {
+			fmt.Fprintf(w, "%s{%s} %d\n", mn, labels(c.Key), c.Value)
+		}
+	}
+}

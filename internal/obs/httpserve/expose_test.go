@@ -1,0 +1,356 @@
+package httpserve
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/obs"
+)
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// promFamily is one parsed metric family (HELP/TYPE plus its samples).
+type promFamily struct {
+	typ     string
+	help    bool
+	samples []promSample
+}
+
+// isValidMetricName enforces the exposition-format name charset.
+func isValidMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// parseLabels parses `k="v",k2="v2"` with the format's escape rules
+// (backslash, newline, double quote), failing the test on any malformed
+// construct.
+func parseLabels(t *testing.T, line, s string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 || !isValidMetricName(s[:eq]) {
+			t.Fatalf("bad label name in %q (line %q)", s, line)
+		}
+		name := s[:eq]
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			t.Fatalf("label %s not quoted (line %q)", name, line)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					t.Fatalf("dangling escape (line %q)", line)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					t.Fatalf("bad escape \\%c (line %q)", s[i], line)
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				s = s[i+1:]
+				break
+			}
+			if c == '\n' {
+				t.Fatalf("raw newline inside label value (line %q)", line)
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			t.Fatalf("unterminated label value (line %q)", line)
+		}
+		if _, dup := out[name]; dup {
+			t.Fatalf("duplicate label %s (line %q)", name, line)
+		}
+		out[name] = val.String()
+		if len(s) > 0 {
+			if s[0] != ',' {
+				t.Fatalf("expected ',' between labels (line %q)", line)
+			}
+			s = s[1:]
+		}
+	}
+	return out
+}
+
+// parseExposition strictly parses Prometheus text exposition format 0.0.4:
+// every sample must follow its family's TYPE line, names must be in the
+// legal charset, histogram families may only contain _bucket/_sum/_count
+// series, and summaries only _sum/_count.
+func parseExposition(t *testing.T, text string) map[string]*promFamily {
+	t.Helper()
+	fams := map[string]*promFamily{}
+	cur := ""
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Fatalf("line %d: malformed comment %q", ln+1, line)
+			}
+			name := parts[2]
+			if !isValidMetricName(name) {
+				t.Fatalf("line %d: bad metric name %q", ln+1, name)
+			}
+			if parts[1] == "HELP" {
+				if fams[name] != nil {
+					t.Fatalf("line %d: duplicate HELP for %s", ln+1, name)
+				}
+				fams[name] = &promFamily{help: true}
+				continue
+			}
+			f := fams[name]
+			if f == nil || !f.help {
+				t.Fatalf("line %d: TYPE %s without preceding HELP", ln+1, name)
+			}
+			if f.typ != "" {
+				t.Fatalf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: bad type %q", ln+1, parts[3])
+			}
+			f.typ = parts[3]
+			cur = name
+			continue
+		}
+		// Sample line: name[{labels}] value
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("line %d: unbalanced braces %q", ln+1, line)
+			}
+			rest = line[i+1 : j]
+			line = line[:i] + " " + strings.TrimSpace(line[j+1:])
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("line %d: want `name value`, got %q", ln+1, line)
+		}
+		name := fields[0]
+		if !isValidMetricName(name) {
+			t.Fatalf("line %d: bad sample name %q", ln+1, name)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, fields[1], err)
+		}
+		f := fams[cur]
+		if f == nil {
+			t.Fatalf("line %d: sample %s before any TYPE", ln+1, name)
+		}
+		okNames := map[string]bool{cur: true}
+		switch f.typ {
+		case "histogram":
+			okNames = map[string]bool{cur + "_bucket": true, cur + "_sum": true, cur + "_count": true}
+		case "summary":
+			okNames = map[string]bool{cur: true, cur + "_sum": true, cur + "_count": true}
+		}
+		if !okNames[name] {
+			t.Fatalf("line %d: sample %s does not belong to family %s (%s)", ln+1, name, cur, f.typ)
+		}
+		labels := parseLabels(t, line, rest)
+		if f.typ == "histogram" && name == cur+"_bucket" {
+			if _, ok := labels["le"]; !ok {
+				t.Fatalf("line %d: histogram bucket without le label", ln+1)
+			}
+		}
+		f.samples = append(f.samples, promSample{name: name, labels: labels, value: v})
+	}
+	return fams
+}
+
+// seriesValue finds the one sample of a family matching name and labels.
+func seriesValue(t *testing.T, f *promFamily, name string, labels map[string]string) float64 {
+	t.Helper()
+	var found []float64
+	for _, s := range f.samples {
+		if s.name != name {
+			continue
+		}
+		match := true
+		for k, v := range labels {
+			if s.labels[k] != v {
+				match = false
+			}
+		}
+		if match && len(s.labels) == len(labels) {
+			found = append(found, s.value)
+		}
+	}
+	if len(found) != 1 {
+		t.Fatalf("series %s%v: found %d matches, want 1", name, labels, len(found))
+	}
+	return found[0]
+}
+
+// TestWriteMetricsRoundTrip feeds adversarial metric and operator names
+// through WriteMetrics and re-parses the exposition with the strict parser,
+// checking sanitization, escaping, and exact value round-trips.
+func TestWriteMetricsRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	evilOp := "op\"x\\y\nz" // quote, backslash, newline in a label value
+	r.Counter(0, "map_1", "elements_in").Add(42)
+	r.Counter(1, "map_1", "elements_in").Add(8)
+	r.Counter(obs.MachineDriver, evilOp, "weird metric-name!").Add(3)
+	r.Gauge(2, "reduce_1", "mailbox_hwm").Set(17)
+	h := r.Histogram(0, "join_1", "probe")
+	h.Observe(3 * time.Microsecond)   // bucket [2,4)us
+	h.Observe(100 * time.Microsecond) // bucket [64,128)us
+	h.Observe(100 * time.Microsecond)
+	r.Histogram(1, "join_1", "probe").Observe(time.Millisecond)
+
+	var b strings.Builder
+	WriteMetrics(&b, r.Snapshot())
+	fams := parseExposition(t, b.String())
+
+	// Counter with a sanitized name and escaped label value.
+	weird := fams["mitos_weird_metric_name_"]
+	if weird == nil || weird.typ != "counter" {
+		t.Fatalf("sanitized counter family missing: %v", fams)
+	}
+	if v := seriesValue(t, weird, "mitos_weird_metric_name_",
+		map[string]string{"machine": "driver", "op": evilOp}); v != 3 {
+		t.Fatalf("escaped-label counter = %v, want 3", v)
+	}
+
+	ein := fams["mitos_elements_in"]
+	if ein == nil || ein.typ != "counter" || len(ein.samples) != 2 {
+		t.Fatalf("elements_in family = %+v", ein)
+	}
+	if v := seriesValue(t, ein, "mitos_elements_in", map[string]string{"machine": "m0", "op": "map_1"}); v != 42 {
+		t.Fatalf("m0 elements_in = %v", v)
+	}
+
+	if v := seriesValue(t, fams["mitos_mailbox_hwm"], "mitos_mailbox_hwm",
+		map[string]string{"machine": "m2", "op": "reduce_1"}); v != 17 {
+		t.Fatalf("gauge = %v", v)
+	}
+
+	// Histogram: cumulative buckets, +Inf == _count, _sum in seconds.
+	ph := fams["mitos_probe_seconds"]
+	if ph == nil || ph.typ != "histogram" {
+		t.Fatal("probe histogram family missing")
+	}
+	m0 := map[string]string{"machine": "m0", "op": "join_1"}
+	if v := seriesValue(t, ph, "mitos_probe_seconds_count", m0); v != 3 {
+		t.Fatalf("histogram count = %v", v)
+	}
+	if v := seriesValue(t, ph, "mitos_probe_seconds_sum", m0); math.Abs(v-203e-6) > 1e-12 {
+		t.Fatalf("histogram sum = %v, want 203µs", v)
+	}
+	// Bucket [2,4)µs has le=4e-06 cumulative 1; [64,128)µs le=0.000128
+	// cumulative 3; +Inf = 3. Cumulative counts never decrease.
+	withLE := func(le string) map[string]string {
+		l := map[string]string{"le": le}
+		for k, v := range m0 {
+			l[k] = v
+		}
+		return l
+	}
+	if v := seriesValue(t, ph, "mitos_probe_seconds_bucket", withLE("4e-06")); v != 1 {
+		t.Fatalf("le=4e-06 bucket = %v, want 1", v)
+	}
+	if v := seriesValue(t, ph, "mitos_probe_seconds_bucket", withLE("0.000128")); v != 3 {
+		t.Fatalf("le=0.000128 bucket = %v, want 3", v)
+	}
+	if v := seriesValue(t, ph, "mitos_probe_seconds_bucket", withLE("+Inf")); v != 3 {
+		t.Fatalf("+Inf bucket = %v, want 3", v)
+	}
+	prevByKey := map[string]float64{}
+	for _, s := range ph.samples {
+		if s.name != "mitos_probe_seconds_bucket" {
+			continue
+		}
+		key := s.labels["machine"] + "/" + s.labels["op"]
+		if s.value < prevByKey[key] {
+			t.Fatalf("bucket series for %s not cumulative: %v after %v", key, s.value, prevByKey[key])
+		}
+		prevByKey[key] = s.value
+	}
+
+	// Engine-wide merged summary across both machines.
+	agg := fams["mitos_probe_seconds_agg"]
+	if agg == nil || agg.typ != "summary" {
+		t.Fatal("probe _agg summary family missing")
+	}
+	if v := seriesValue(t, agg, "mitos_probe_seconds_agg_count", map[string]string{}); v != 4 {
+		t.Fatalf("agg count = %v, want 4", v)
+	}
+	if v := seriesValue(t, agg, "mitos_probe_seconds_agg_sum", map[string]string{}); math.Abs(v-1203e-6) > 1e-12 {
+		t.Fatalf("agg sum = %v, want 1203µs", v)
+	}
+}
+
+// TestMetricNameSanitization pins the name mapping.
+func TestMetricNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"elements_in":  "mitos_elements_in",
+		"weird name!":  "mitos_weird_name_",
+		"0starts":      "mitos_0starts",
+		"a:b":          "mitos_a:b",
+		"héllo":        "mitos_h_llo",
+		"path_len":     "mitos_path_len",
+		"UPPER_case-x": "mitos_UPPER_case_x",
+	}
+	for in, want := range cases {
+		if got := metricName(in); got != want {
+			t.Fatalf("metricName(%q) = %q, want %q", in, got, want)
+		}
+		if !isValidMetricName(metricName(in)) {
+			t.Fatalf("metricName(%q) = %q is not a legal name", in, metricName(in))
+		}
+	}
+}
+
+// TestBucketBounds pins the bucket-to-seconds mapping against the
+// registry's contract (bucket i = [2^i, 2^(i+1)) microseconds).
+func TestBucketBounds(t *testing.T) {
+	if got := bucketBound(0); got != 2e-6 {
+		t.Fatalf("bucket 0 bound = %v, want 2µs", got)
+	}
+	if got := bucketBound(9); got != 1024e-6 {
+		t.Fatalf("bucket 9 bound = %v, want 1024µs", got)
+	}
+	for i := 1; i < 32; i++ {
+		if bucketBound(i) != 2*bucketBound(i-1) {
+			t.Fatalf("bucket bounds not doubling at %d", i)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/obs/lineage"
+)
+
+type fakeJob struct{ state string }
+
+func (f *fakeJob) Name() string { return "fake" }
+func (f *fakeJob) Status() *JobStatus {
+	return &JobStatus{State: f.state, Steps: 7, Ops: []OpStatus{{Name: "map_1", Kind: "map"}}}
+}
+func (f *fakeJob) Dot() string { return "digraph mitos {\n}\n" }
+
+func get(t *testing.T, h http.Handler, path string) (int, string, http.Header) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, _ := io.ReadAll(res.Body)
+	return res.StatusCode, string(body), res.Header
+}
+
+// TestServerEndpoints exercises every route of the introspection server,
+// including the 404 paths, against an observer with lineage.
+func TestServerEndpoints(t *testing.T) {
+	o := obs.New().EnableLineage()
+	o.Reg().Counter(0, "map_1", "elements_in").Add(5)
+	lin := o.Lin()
+	lin.Begin()
+	lin.Broadcast(1, 0, false, lineage.BagID{}, 0)
+	lin.BagOpen("map_1", 1, 0, nil)
+	lin.BagClose("map_1", 1, 9)
+
+	s := NewHandler(o)
+	if s.Addr() != "" {
+		t.Fatalf("handler-only server has addr %q", s.Addr())
+	}
+	if s.Observer() != o {
+		t.Fatal("Observer() mismatch")
+	}
+	if id := s.Register(&fakeJob{state: "running"}); id != 1 {
+		t.Fatalf("first job id = %d, want 1", id)
+	}
+	if id := s.Register(&fakeJob{state: "done"}); id != 2 {
+		t.Fatalf("second job id = %d, want 2", id)
+	}
+
+	// Index lists the endpoints.
+	code, body, _ := get(t, s, "/")
+	if code != 200 || !strings.Contains(body, "/criticalpath") {
+		t.Fatalf("index: %d %q", code, body)
+	}
+	if code, _, _ := get(t, s, "/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+
+	// /metrics parses as strict exposition and carries the counter.
+	code, body, hdr := get(t, s, "/metrics")
+	if code != 200 || !strings.HasPrefix(hdr.Get("Content-Type"), "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics: %d %q", code, hdr.Get("Content-Type"))
+	}
+	fams := parseExposition(t, body)
+	if v := seriesValue(t, fams["mitos_elements_in"], "mitos_elements_in",
+		map[string]string{"machine": "m0", "op": "map_1"}); v != 5 {
+		t.Fatalf("/metrics counter = %v", v)
+	}
+
+	// /jobs lists both registered executions.
+	code, body, _ = get(t, s, "/jobs")
+	if code != 200 {
+		t.Fatalf("/jobs = %d", code)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal([]byte(body), &rows); err != nil || len(rows) != 2 {
+		t.Fatalf("/jobs body %q: %v", body, err)
+	}
+	if rows[1]["state"] != "done" || rows[1]["id"] != float64(2) {
+		t.Fatalf("/jobs row = %v", rows[1])
+	}
+
+	// /jobs/{id} fills in id and name.
+	code, body, _ = get(t, s, "/jobs/1")
+	var st JobStatus
+	if code != 200 {
+		t.Fatalf("/jobs/1 = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != 1 || st.Name != "fake" || st.State != "running" || st.Steps != 7 || len(st.Ops) != 1 {
+		t.Fatalf("/jobs/1 = %+v", st)
+	}
+	for _, bad := range []string{"/jobs/0", "/jobs/3", "/jobs/x", "/jobs/1x"} {
+		if code, _, _ := get(t, s, bad); code != 404 {
+			t.Fatalf("%s = %d, want 404", bad, code)
+		}
+	}
+
+	// /jobs/{id}/dot serves graphviz.
+	code, body, hdr = get(t, s, "/jobs/2/dot")
+	if code != 200 || !strings.HasPrefix(body, "digraph") ||
+		!strings.HasPrefix(hdr.Get("Content-Type"), "text/vnd.graphviz") {
+		t.Fatalf("/jobs/2/dot: %d %q %q", code, hdr.Get("Content-Type"), body)
+	}
+	if code, _, _ := get(t, s, "/jobs/9/dot"); code != 404 {
+		t.Fatal("dot for unknown job not 404")
+	}
+
+	// /lineage lists bag IDs and positions.
+	code, body, _ = get(t, s, "/lineage")
+	if code != 200 {
+		t.Fatalf("/lineage = %d", code)
+	}
+	var linBody struct {
+		Bags      []string           `json:"bags"`
+		Positions []lineage.Position `json:"positions"`
+	}
+	if err := json.Unmarshal([]byte(body), &linBody); err != nil {
+		t.Fatal(err)
+	}
+	if len(linBody.Bags) != 1 || linBody.Bags[0] != "map_1@1" || len(linBody.Positions) != 1 {
+		t.Fatalf("/lineage = %+v", linBody)
+	}
+
+	// /lineage/{bagid} round-trips the record; malformed and unknown 404.
+	code, body, _ = get(t, s, "/lineage/map_1@1")
+	var bag lineage.Bag
+	if code != 200 {
+		t.Fatalf("/lineage/map_1@1 = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &bag); err != nil {
+		t.Fatal(err)
+	}
+	if bag.ID.Op != "map_1" || bag.Elements != 9 {
+		t.Fatalf("bag = %+v", bag)
+	}
+	for _, bad := range []string{"/lineage/garbage", "/lineage/x@0", "/lineage/nosuch@3"} {
+		if code, _, _ := get(t, s, bad); code != 404 {
+			t.Fatalf("%s = %d, want 404", bad, code)
+		}
+	}
+
+	// /criticalpath returns an analysis of the tracked lineage.
+	code, body, _ = get(t, s, "/criticalpath")
+	if code != 200 {
+		t.Fatalf("/criticalpath = %d", code)
+	}
+	var cp lineage.CriticalPath
+	if err := json.Unmarshal([]byte(body), &cp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cp.Steps) != 1 || cp.Steps[0].Pos != 1 {
+		t.Fatalf("criticalpath steps = %+v", cp.Steps)
+	}
+
+	// pprof is mounted.
+	if code, _, _ := get(t, s, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+}
+
+// TestServerLineageOff: the lineage endpoints 404 with a clear message when
+// the observer has no tracker (and with no observer at all).
+func TestServerLineageOff(t *testing.T) {
+	s := NewHandler(obs.New())
+	for _, path := range []string{"/lineage", "/lineage/x@1", "/criticalpath"} {
+		code, body, _ := get(t, s, path)
+		if code != 404 || !strings.Contains(body, "lineage tracking is off") {
+			t.Fatalf("%s = %d %q", path, code, body)
+		}
+	}
+	// A nil observer serves empty metrics rather than crashing.
+	s = NewHandler(nil)
+	if code, _, _ := get(t, s, "/metrics"); code != 200 {
+		t.Fatalf("/metrics with nil observer = %d", code)
+	}
+	if code, _, _ := get(t, s, "/criticalpath"); code != 404 {
+		t.Fatal("criticalpath with nil observer not 404")
+	}
+}
+
+// TestServeListens starts a real listener on an ephemeral port and talks to
+// it over TCP.
+func TestServeListens(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", obs.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Addr() == "" {
+		t.Fatal("no listening address")
+	}
+	cli := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cli.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /metrics = %d", resp.StatusCode)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Get("http://" + s.Addr() + "/metrics"); err == nil {
+		t.Fatal("server still reachable after Close")
+	}
+}

@@ -1,0 +1,368 @@
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Segment kinds: where a slice of critical-path wall time went.
+const (
+	// KindCompute: an operator was producing the bag (open → close).
+	KindCompute = "compute"
+	// KindShuffle: the bag's critical input had closed at its producer but
+	// was still in flight to the consumer (serialization, transport,
+	// mailbox delivery).
+	KindShuffle = "shuffle"
+	// KindBarrier: the coordinator was inside a superstep barrier before
+	// broadcasting the position (non-pipelined runs only).
+	KindBarrier = "barrier"
+	// KindStall: the input (or the control broadcast) was ready but the
+	// consumer had not opened the bag yet — the host was busy with earlier
+	// positions or the control message was still propagating. With
+	// pipelining this is where cross-step overlap hides latency; without
+	// it, stalls are the serialization cost the paper's Fig. 5/6 measure.
+	KindStall = "stall"
+)
+
+// Segment is one attributed slice of the critical path.
+type Segment struct {
+	Kind  string        `json:"kind"`
+	Bag   BagID         `json:"bag"`
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+}
+
+// StepStats aggregates one execution-path position: its bags, its live
+// span across all operator instances, how much of that span overlapped
+// other steps' spans (loop pipelining at work), and the critical-path time
+// attributed to it by category.
+type StepStats struct {
+	Pos      int   `json:"pos"`
+	Block    int   `json:"block"`
+	Iter     int   `json:"iter"`
+	Bags     int   `json:"bags"`
+	Elements int64 `json:"elements"`
+	Bytes    int64 `json:"bytes"`
+	// Start/End bound the step's span: earliest bag open to latest bag
+	// close at this position. Span = End - Start.
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+	Span  time.Duration `json:"span_ns"`
+	// Overlap is the part of the span during which at least one other
+	// step's span was also active.
+	Overlap time.Duration `json:"overlap_ns"`
+	// Critical-path attribution for segments anchored at this position.
+	Compute time.Duration `json:"compute_ns"`
+	Shuffle time.Duration `json:"shuffle_ns"`
+	Barrier time.Duration `json:"barrier_ns"`
+	Stall   time.Duration `json:"stall_ns"`
+}
+
+// CriticalPath is the result of analyzing a run's lineage DAG: the chain of
+// bags that determined the run's length, with every nanosecond of it
+// attributed to compute, shuffle, barrier, or pipeline-stall time.
+type CriticalPath struct {
+	// Wall is the tracker time from Begin to the last bag close.
+	Wall time.Duration `json:"wall_ns"`
+	// Category totals over the chain; Attributed is their sum.
+	Compute    time.Duration `json:"compute_ns"`
+	Shuffle    time.Duration `json:"shuffle_ns"`
+	Barrier    time.Duration `json:"barrier_ns"`
+	Stall      time.Duration `json:"stall_ns"`
+	Attributed time.Duration `json:"attributed_ns"`
+	// AttributedFraction is Attributed/Wall (1.0 = every moment of the run
+	// is explained by the chain).
+	AttributedFraction float64 `json:"attributed_fraction"`
+	// SpanSum and OverlapSum total the per-step spans and overlaps; their
+	// ratio measures how much loop pipelining actually overlapped steps.
+	SpanSum    time.Duration `json:"span_sum_ns"`
+	OverlapSum time.Duration `json:"overlap_sum_ns"`
+	Steps      []StepStats   `json:"steps"`
+	// Chain is the critical chain in execution order (oldest first).
+	Chain []Segment `json:"chain"`
+}
+
+// Analyze walks the lineage DAG backwards from the last bag to close and
+// attributes the run's wall time.
+//
+// At each chain bag it finds the critical input — the input bag whose
+// delivery to this consumer completed last. Time from that delivery to the
+// bag's close is compute; time the input spent in flight after its
+// producer closed it is shuffle. If the consumer opened the bag only after
+// the input had already arrived, the gap is a stall, minus any
+// superstep-barrier time the coordinator paid before broadcasting the
+// position (attributed as barrier). Source bags (no inputs) chain through
+// the coordinator: the broadcast that unlocked their position was decided
+// by a condition bag at an earlier position, and the walk continues there.
+// Every segment is clamped so time strictly decreases; the walk terminates
+// at the run's first position.
+func Analyze(s *Snapshot) *CriticalPath {
+	cp := &CriticalPath{}
+	if s == nil || len(s.Bags) == 0 {
+		return cp
+	}
+	byID := make(map[BagID]*Bag, len(s.Bags))
+	for i := range s.Bags {
+		byID[s.Bags[i].ID] = &s.Bags[i]
+	}
+	cp.Steps = buildSteps(s)
+	stepAt := make(map[int]*StepStats, len(cp.Steps))
+	for i := range cp.Steps {
+		stepAt[cp.Steps[i].Pos] = &cp.Steps[i]
+		cp.SpanSum += cp.Steps[i].Span
+		cp.OverlapSum += cp.Steps[i].Overlap
+	}
+
+	// Last bag to close ends the run.
+	last := &s.Bags[0]
+	for i := range s.Bags {
+		if s.Bags[i].ClosedAt > last.ClosedAt {
+			last = &s.Bags[i]
+		}
+	}
+	cp.Wall = last.ClosedAt
+
+	seg := func(kind string, bag *Bag, from, to time.Duration) {
+		if from < 0 {
+			from = 0
+		}
+		if to <= from {
+			return
+		}
+		d := to - from
+		cp.Chain = append(cp.Chain, Segment{Kind: kind, Bag: bag.ID, Start: from, End: to})
+		cp.Attributed += d
+		st := stepAt[bag.ID.Pos]
+		switch kind {
+		case KindCompute:
+			cp.Compute += d
+			if st != nil {
+				st.Compute += d
+			}
+		case KindShuffle:
+			cp.Shuffle += d
+			if st != nil {
+				st.Shuffle += d
+			}
+		case KindBarrier:
+			cp.Barrier += d
+			if st != nil {
+				st.Barrier += d
+			}
+		case KindStall:
+			cp.Stall += d
+			if st != nil {
+				st.Stall += d
+			}
+		}
+	}
+
+	t := last.ClosedAt
+	cur := last
+	for guard := 0; cur != nil && t > 0 && guard < 4*len(s.Bags)+16; guard++ {
+		open := cur.OpenedAt
+		if open > t {
+			open = t
+		}
+		// Critical input: latest-arriving delivery to this consumer.
+		var crit *Bag
+		arr := time.Duration(-1)
+		for _, inID := range cur.Inputs {
+			in := byID[inID]
+			if in == nil {
+				continue
+			}
+			a, ok := in.DeliveredTo(cur.ID.Op)
+			if !ok {
+				a = in.ClosedAt
+			}
+			if a > arr {
+				arr, crit = a, in
+			}
+		}
+		p := s.Position(cur.ID.Pos)
+		if crit == nil {
+			// Source bag: its position's broadcast gated it.
+			seg(KindCompute, cur, open, t)
+			b := p.BroadcastAt
+			if b > open {
+				b = open
+			}
+			seg(KindStall, cur, b, open)
+			bar := p.Barrier
+			if bar > b {
+				bar = b
+			}
+			seg(KindBarrier, cur, b-bar, b)
+			b -= bar
+			if !p.DecidedBy.IsZero() {
+				if dec := byID[p.DecidedBy]; dec != nil && dec.ClosedAt < b {
+					seg(KindStall, cur, dec.ClosedAt, b) // control-plane latency
+					t, cur = dec.ClosedAt, dec
+					continue
+				}
+			}
+			seg(KindStall, cur, 0, b) // startup before the first broadcast
+			break
+		}
+		if arr > t {
+			arr = t
+		}
+		if arr >= open {
+			// The consumer was waiting for (or streaming) this input.
+			seg(KindCompute, cur, arr, t)
+			end := arr
+			if crit.ClosedAt < end {
+				seg(KindShuffle, cur, crit.ClosedAt, end)
+				end = crit.ClosedAt
+			}
+			t, cur = end, crit
+			continue
+		}
+		// The input arrived before the consumer even opened the bag:
+		// the gap is barrier + stall, not data-plane time.
+		seg(KindCompute, cur, open, t)
+		b := p.BroadcastAt
+		if b > arr && b <= open {
+			seg(KindStall, cur, b, open)
+			bar := p.Barrier
+			if bar > b-arr {
+				bar = b - arr
+			}
+			seg(KindBarrier, cur, b-bar, b)
+			seg(KindStall, cur, arr, b-bar)
+		} else {
+			seg(KindStall, cur, arr, open)
+		}
+		if crit.ClosedAt < arr {
+			seg(KindShuffle, cur, crit.ClosedAt, arr)
+			t = crit.ClosedAt
+		} else {
+			t = arr
+		}
+		cur = crit
+	}
+
+	if cp.Wall > 0 {
+		cp.AttributedFraction = float64(cp.Attributed) / float64(cp.Wall)
+	}
+	// Chain was built newest-first; present it in execution order.
+	for i, j := 0, len(cp.Chain)-1; i < j; i, j = i+1, j-1 {
+		cp.Chain[i], cp.Chain[j] = cp.Chain[j], cp.Chain[i]
+	}
+	return cp
+}
+
+// buildSteps aggregates bags per path position and computes span overlaps.
+func buildSteps(s *Snapshot) []StepStats {
+	byPos := make(map[int]*StepStats)
+	var order []int
+	for i := range s.Bags {
+		b := &s.Bags[i]
+		st := byPos[b.ID.Pos]
+		if st == nil {
+			st = &StepStats{Pos: b.ID.Pos, Block: b.Block, Iter: b.Iter, Start: b.OpenedAt, End: b.ClosedAt}
+			byPos[b.ID.Pos] = st
+			order = append(order, b.ID.Pos)
+		}
+		if b.OpenedAt < st.Start {
+			st.Start = b.OpenedAt
+		}
+		if b.ClosedAt > st.End {
+			st.End = b.ClosedAt
+		}
+		st.Bags++
+		st.Elements += b.Elements
+		st.Bytes += b.Bytes
+	}
+	sort.Ints(order)
+	steps := make([]StepStats, 0, len(order))
+	for _, pos := range order {
+		st := byPos[pos]
+		if p := s.Position(pos); p.Block >= 0 {
+			st.Block = p.Block
+		}
+		st.Span = st.End - st.Start
+		steps = append(steps, *st)
+	}
+	overlaps(steps)
+	return steps
+}
+
+// overlaps fills Overlap: for each step, the part of its span during which
+// at least one other step's span was active, via an elementary-interval
+// sweep over all span boundaries.
+func overlaps(steps []StepStats) {
+	if len(steps) < 2 {
+		return
+	}
+	pts := make([]time.Duration, 0, 2*len(steps))
+	for _, st := range steps {
+		pts = append(pts, st.Start, st.End)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	for k := 0; k+1 < len(pts); k++ {
+		a, b := pts[k], pts[k+1]
+		if b <= a {
+			continue
+		}
+		active := make([]int, 0, 4)
+		for i := range steps {
+			if steps[i].Start < b && steps[i].End > a {
+				active = append(active, i)
+			}
+		}
+		if len(active) >= 2 {
+			for _, i := range active {
+				steps[i].Overlap += b - a
+			}
+		}
+	}
+}
+
+// String renders a human-readable summary: category totals plus the
+// heaviest steps.
+func (cp *CriticalPath) String() string {
+	var b strings.Builder
+	pct := func(d time.Duration) float64 {
+		if cp.Wall == 0 {
+			return 0
+		}
+		return 100 * float64(d) / float64(cp.Wall)
+	}
+	fmt.Fprintf(&b, "critical path: wall %v, attributed %.1f%%\n",
+		cp.Wall.Round(time.Microsecond), 100*cp.AttributedFraction)
+	fmt.Fprintf(&b, "  compute %8v (%5.1f%%)\n", cp.Compute.Round(time.Microsecond), pct(cp.Compute))
+	fmt.Fprintf(&b, "  shuffle %8v (%5.1f%%)\n", cp.Shuffle.Round(time.Microsecond), pct(cp.Shuffle))
+	fmt.Fprintf(&b, "  barrier %8v (%5.1f%%)\n", cp.Barrier.Round(time.Microsecond), pct(cp.Barrier))
+	fmt.Fprintf(&b, "  stall   %8v (%5.1f%%)\n", cp.Stall.Round(time.Microsecond), pct(cp.Stall))
+	if cp.SpanSum > 0 {
+		fmt.Fprintf(&b, "  step spans %v, overlapped %v (%.1f%% pipelined)\n",
+			cp.SpanSum.Round(time.Microsecond), cp.OverlapSum.Round(time.Microsecond),
+			100*float64(cp.OverlapSum)/float64(cp.SpanSum))
+	}
+	// Heaviest steps by attributed critical-path time.
+	idx := make([]int, len(cp.Steps))
+	for i := range idx {
+		idx[i] = i
+	}
+	attr := func(st StepStats) time.Duration { return st.Compute + st.Shuffle + st.Barrier + st.Stall }
+	sort.Slice(idx, func(i, j int) bool { return attr(cp.Steps[idx[i]]) > attr(cp.Steps[idx[j]]) })
+	n := len(idx)
+	if n > 8 {
+		n = 8
+	}
+	for _, i := range idx[:n] {
+		st := cp.Steps[i]
+		if attr(st) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  step %3d (block %d, iter %d): compute %v shuffle %v barrier %v stall %v\n",
+			st.Pos, st.Block, st.Iter,
+			st.Compute.Round(time.Microsecond), st.Shuffle.Round(time.Microsecond),
+			st.Barrier.Round(time.Microsecond), st.Stall.Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,215 @@
+package lineage
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+const ms = time.Millisecond
+
+// TestAnalyzeSimpleChain checks the attribution against a hand-computed
+// two-bag chain: a source producing for 10ms, a 2ms in-flight tail after
+// the source closed, and a consumer computing for 8ms after the delivery.
+func TestAnalyzeSimpleChain(t *testing.T) {
+	s := &Snapshot{
+		Positions: []Position{{Pos: 1, Block: 0}},
+		Bags: []Bag{
+			{
+				ID: BagID{Op: "src", Pos: 1}, Block: 0,
+				OpenedAt: 0, ClosedAt: 10 * ms, Opens: 1, Closes: 1,
+				Deliveries: []Delivery{{Consumer: "cons", At: 12 * ms}},
+			},
+			{
+				ID: BagID{Op: "cons", Pos: 1}, Block: 0,
+				Inputs:   []BagID{{Op: "src", Pos: 1}},
+				OpenedAt: 0, ClosedAt: 20 * ms, Opens: 1, Closes: 1,
+			},
+		},
+	}
+	cp := Analyze(s)
+	if cp.Wall != 20*ms {
+		t.Fatalf("wall = %v, want 20ms", cp.Wall)
+	}
+	if cp.Compute != 18*ms || cp.Shuffle != 2*ms || cp.Barrier != 0 || cp.Stall != 0 {
+		t.Fatalf("attribution = compute %v shuffle %v barrier %v stall %v; want 18ms/2ms/0/0",
+			cp.Compute, cp.Shuffle, cp.Barrier, cp.Stall)
+	}
+	if cp.Attributed != cp.Compute+cp.Shuffle+cp.Barrier+cp.Stall {
+		t.Fatalf("attributed %v != category sum", cp.Attributed)
+	}
+	if cp.AttributedFraction != 1 {
+		t.Fatalf("attributed fraction = %v, want 1", cp.AttributedFraction)
+	}
+	// Chain is in execution order and contiguous over [0, wall].
+	if len(cp.Chain) == 0 || cp.Chain[0].Start != 0 || cp.Chain[len(cp.Chain)-1].End != cp.Wall {
+		t.Fatalf("chain does not cover [0, wall]: %+v", cp.Chain)
+	}
+	for i := 1; i < len(cp.Chain); i++ {
+		if cp.Chain[i].Start != cp.Chain[i-1].End {
+			t.Fatalf("chain has a gap between %+v and %+v", cp.Chain[i-1], cp.Chain[i])
+		}
+	}
+}
+
+// TestAnalyzeBarrierAndControlStall checks the source-bag rule: a bag with
+// no inputs chains through the coordinator's broadcast (its barrier time)
+// and the condition bag that decided its position.
+func TestAnalyzeBarrierAndControlStall(t *testing.T) {
+	s := &Snapshot{
+		Positions: []Position{
+			{Pos: 1, Block: 0},
+			{Pos: 2, Block: 1, BroadcastAt: 50 * ms, Barrier: 5 * ms,
+				DecidedBy: BagID{Op: "cond", Pos: 1}},
+		},
+		Bags: []Bag{
+			{
+				ID: BagID{Op: "cond", Pos: 1}, Block: 0,
+				OpenedAt: 0, ClosedAt: 30 * ms, Opens: 1, Closes: 1,
+			},
+			{
+				ID: BagID{Op: "src", Pos: 2}, Block: 1,
+				OpenedAt: 60 * ms, ClosedAt: 70 * ms, Opens: 1, Closes: 1,
+			},
+		},
+	}
+	cp := Analyze(s)
+	if cp.Wall != 70*ms {
+		t.Fatalf("wall = %v, want 70ms", cp.Wall)
+	}
+	// Hand-computed: compute 10ms (src) + 30ms (cond) = 40ms; stall
+	// broadcast→open 10ms + control latency 15ms = 25ms; barrier 5ms.
+	if cp.Compute != 40*ms || cp.Stall != 25*ms || cp.Barrier != 5*ms || cp.Shuffle != 0 {
+		t.Fatalf("attribution = compute %v shuffle %v barrier %v stall %v; want 40ms/0/5ms/25ms",
+			cp.Compute, cp.Shuffle, cp.Barrier, cp.Stall)
+	}
+	if cp.AttributedFraction != 1 {
+		t.Fatalf("attributed fraction = %v, want 1", cp.AttributedFraction)
+	}
+	// The barrier lands on the step whose position paid it.
+	var st2 *StepStats
+	for i := range cp.Steps {
+		if cp.Steps[i].Pos == 2 {
+			st2 = &cp.Steps[i]
+		}
+	}
+	if st2 == nil || st2.Barrier != 5*ms {
+		t.Fatalf("step 2 barrier attribution = %+v, want 5ms", st2)
+	}
+}
+
+// TestAnalyzeEarlyArrivalStall checks the consumer-side stall rule: when
+// the critical input arrived before the consumer opened the bag, the gap is
+// stall (the host was busy with earlier positions), not shuffle.
+func TestAnalyzeEarlyArrivalStall(t *testing.T) {
+	s := &Snapshot{
+		Positions: []Position{{Pos: 1, Block: 0}, {Pos: 2, Block: 1}},
+		Bags: []Bag{
+			{
+				ID: BagID{Op: "src", Pos: 1}, Block: 0,
+				OpenedAt: 0, ClosedAt: 10 * ms, Opens: 1, Closes: 1,
+				Deliveries: []Delivery{{Consumer: "cons", At: 11 * ms}},
+			},
+			{
+				ID: BagID{Op: "cons", Pos: 2}, Block: 1,
+				Inputs:   []BagID{{Op: "src", Pos: 1}},
+				OpenedAt: 25 * ms, ClosedAt: 40 * ms, Opens: 1, Closes: 1,
+			},
+		},
+	}
+	cp := Analyze(s)
+	// compute: [25,40] cons + [0,10] src = 25ms; stall: [11,25] = 14ms;
+	// shuffle: [10,11] = 1ms.
+	if cp.Compute != 25*ms || cp.Stall != 14*ms || cp.Shuffle != 1*ms || cp.Barrier != 0 {
+		t.Fatalf("attribution = compute %v shuffle %v barrier %v stall %v; want 25ms/1ms/0/14ms",
+			cp.Compute, cp.Shuffle, cp.Barrier, cp.Stall)
+	}
+	if cp.AttributedFraction != 1 {
+		t.Fatalf("attributed fraction = %v, want 1", cp.AttributedFraction)
+	}
+}
+
+// TestOverlapSweep checks the elementary-interval overlap computation on a
+// hand-computed arrangement.
+func TestOverlapSweep(t *testing.T) {
+	s := &Snapshot{
+		Positions: []Position{{Pos: 1, Block: 0}, {Pos: 2, Block: 0}, {Pos: 3, Block: 0}},
+		Bags: []Bag{
+			{ID: BagID{Op: "a", Pos: 1}, OpenedAt: 0, ClosedAt: 10 * ms},
+			{ID: BagID{Op: "a", Pos: 2}, OpenedAt: 5 * ms, ClosedAt: 15 * ms},
+			{ID: BagID{Op: "a", Pos: 3}, OpenedAt: 20 * ms, ClosedAt: 30 * ms},
+		},
+	}
+	steps := buildSteps(s)
+	want := []time.Duration{5 * ms, 5 * ms, 0}
+	for i, st := range steps {
+		if st.Overlap != want[i] {
+			t.Fatalf("step %d overlap = %v, want %v", st.Pos, st.Overlap, want[i])
+		}
+		if st.Span != 10*ms {
+			t.Fatalf("step %d span = %v, want 10ms", st.Pos, st.Span)
+		}
+	}
+}
+
+// TestOverlapOracle cross-checks the sweep against a brute-force
+// per-millisecond oracle on random integer-millisecond spans.
+func TestOverlapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(8)
+		s := &Snapshot{}
+		type span struct{ a, b int }
+		spans := make([]span, n)
+		for i := 0; i < n; i++ {
+			a := rng.Intn(50)
+			b := a + 1 + rng.Intn(30)
+			spans[i] = span{a, b}
+			s.Bags = append(s.Bags, Bag{
+				ID:       BagID{Op: "x", Pos: i + 1},
+				OpenedAt: time.Duration(a) * ms, ClosedAt: time.Duration(b) * ms,
+			})
+			s.Positions = append(s.Positions, Position{Pos: i + 1, Block: 0})
+		}
+		steps := buildSteps(s)
+		for i, st := range steps {
+			var oracle time.Duration
+			for cell := spans[i].a; cell < spans[i].b; cell++ {
+				active := 0
+				for _, sp := range spans {
+					if sp.a <= cell && cell < sp.b {
+						active++
+					}
+				}
+				if active >= 2 {
+					oracle += ms
+				}
+			}
+			if st.Overlap != oracle {
+				t.Fatalf("trial %d step %d: overlap = %v, oracle %v (spans %v)",
+					trial, st.Pos, st.Overlap, oracle, spans)
+			}
+		}
+	}
+}
+
+// TestAnalyzeTerminates guards the walk's cycle protection: a malformed
+// snapshot whose bags form an input cycle must not loop forever, and every
+// attribution must stay within [0, wall].
+func TestAnalyzeTerminates(t *testing.T) {
+	s := &Snapshot{
+		Positions: []Position{{Pos: 1, Block: 0}},
+		Bags: []Bag{
+			{ID: BagID{Op: "a", Pos: 1}, Inputs: []BagID{{Op: "b", Pos: 1}},
+				OpenedAt: 0, ClosedAt: 10 * ms,
+				Deliveries: []Delivery{{Consumer: "b", At: 10 * ms}}},
+			{ID: BagID{Op: "b", Pos: 1}, Inputs: []BagID{{Op: "a", Pos: 1}},
+				OpenedAt: 0, ClosedAt: 10 * ms,
+				Deliveries: []Delivery{{Consumer: "a", At: 10 * ms}}},
+		},
+	}
+	cp := Analyze(s) // must return
+	if cp.Attributed < 0 || cp.Attributed > cp.Wall+time.Nanosecond {
+		t.Fatalf("attributed %v outside [0, wall=%v]", cp.Attributed, cp.Wall)
+	}
+}

@@ -1,0 +1,330 @@
+// Package lineage tracks bag provenance during a run and analyzes the
+// resulting lineage DAG after it.
+//
+// Mitos coordinates control flow through bag identifiers: every logical bag
+// is named by (operator, execution-path position), and every operator
+// instance can decide locally which input bags a given output bag is built
+// from. That same identifier scheme makes provenance tracking nearly free —
+// the engine already knows, at bag-open time, exactly which input bag IDs
+// the new bag reads. The Tracker records that DAG together with open/close
+// timestamps, element/byte counts, per-consumer delivery-completion times,
+// and the coordinator's per-position broadcast/barrier timeline. Analyze
+// then walks the DAG backwards from the last bag to close and attributes
+// the run's wall time to compute, shuffle, barrier, and pipeline-stall
+// segments (see critpath.go).
+//
+// Like the rest of the obs tree, the package is engine-independent (std-lib
+// only) and every recording method is nil-safe: a nil *Tracker disables
+// tracking at the cost of one pointer check, so hot paths cache the handle
+// and guard with `if lin != nil`.
+package lineage
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// BagID names one logical bag: the SSA variable of the operator that
+// produced it, and the 1-based execution-path position of the basic-block
+// visit it belongs to. This is the paper's bag identifier — the repo
+// realizes the "execution path prefix" half as the prefix length.
+type BagID struct {
+	Op  string `json:"op"`
+	Pos int    `json:"pos"`
+}
+
+func (id BagID) String() string { return fmt.Sprintf("%s@%d", id.Op, id.Pos) }
+
+// IsZero reports whether id is the zero identifier (no bag).
+func (id BagID) IsZero() bool { return id.Op == "" && id.Pos == 0 }
+
+// ParseBagID parses the "op@pos" form produced by BagID.String.
+func ParseBagID(s string) (BagID, error) {
+	i := strings.LastIndexByte(s, '@')
+	if i <= 0 || i == len(s)-1 {
+		return BagID{}, fmt.Errorf("lineage: bag id %q is not of the form op@pos", s)
+	}
+	pos, err := strconv.Atoi(s[i+1:])
+	if err != nil || pos <= 0 {
+		return BagID{}, fmt.Errorf("lineage: bag id %q has a bad position", s)
+	}
+	return BagID{Op: s[:i], Pos: pos}, nil
+}
+
+// Delivery records when one consumer operator finished receiving a bag
+// (its last end-of-bag marker from the last producer instance arrived).
+type Delivery struct {
+	Consumer string        `json:"consumer"`
+	At       time.Duration `json:"at_ns"`
+}
+
+// Bag is the lineage record of one logical bag, aggregated over the
+// producing operator's instances. All times are offsets from Tracker.Begin.
+type Bag struct {
+	ID BagID `json:"id"`
+	// Block is the basic block of the bag's path position.
+	Block int `json:"block"`
+	// Iter is the 0-based iteration index: how many earlier path positions
+	// visited the same block. Together (Block, Iter) is the bag's
+	// iteration-step vector in a single-loop program.
+	Iter int `json:"iter"`
+	// Inputs is the bag's provenance: the input bag IDs selected by the
+	// producing operator at open time (deterministic across instances).
+	Inputs []BagID `json:"inputs,omitempty"`
+	// OpenedAt is the earliest instance open; ClosedAt the latest close.
+	OpenedAt time.Duration `json:"opened_ns"`
+	ClosedAt time.Duration `json:"closed_ns"`
+	// Opens and Closes count instance-level opens/closes seen so far; the
+	// bag is finished when Closes == Opens == parallelism.
+	Opens  int `json:"opens"`
+	Closes int `json:"closes"`
+	// Elements is the total element count emitted into the bag, Bytes the
+	// encoded size of its cross-machine batches (locally delivered
+	// elements are never serialized and count 0 bytes).
+	Elements int64 `json:"elements"`
+	Bytes    int64 `json:"bytes"`
+	// Deliveries records, per consumer operator, when that consumer had
+	// fully received the bag, sorted by consumer.
+	Deliveries []Delivery `json:"deliveries,omitempty"`
+}
+
+// DeliveredTo returns when consumer finished receiving the bag.
+func (b *Bag) DeliveredTo(consumer string) (time.Duration, bool) {
+	for _, d := range b.Deliveries {
+		if d.Consumer == consumer {
+			return d.At, true
+		}
+	}
+	return 0, false
+}
+
+// Position is the coordinator's record of one execution-path position.
+type Position struct {
+	Pos   int  `json:"pos"`
+	Block int  `json:"block"`
+	Final bool `json:"final,omitempty"`
+	// DecidedBy is the condition bag whose decision appended this position
+	// to the path; zero for positions reached by unconditional jumps.
+	DecidedBy BagID `json:"decided_by,omitempty"`
+	// BroadcastAt is when the coordinator broadcast this position to the
+	// per-machine control-flow managers; Barrier is the superstep-barrier
+	// time paid immediately before that broadcast (0 when pipelining).
+	BroadcastAt time.Duration `json:"broadcast_ns"`
+	Barrier     time.Duration `json:"barrier_ns,omitempty"`
+}
+
+type bagRec struct {
+	block              int
+	inputs             []BagID
+	openedAt, closedAt time.Duration
+	opens, closes      int
+	elements, bytes    int64
+	deliveries         map[string]time.Duration
+}
+
+// Tracker records bag lineage for one execution. All methods are safe for
+// concurrent use and nil-safe.
+type Tracker struct {
+	mu   sync.Mutex
+	t0   time.Time
+	bags map[BagID]*bagRec
+	pos  []Position
+}
+
+// NewTracker returns an empty tracker with its clock started.
+func NewTracker() *Tracker {
+	return &Tracker{t0: time.Now(), bags: make(map[BagID]*bagRec)}
+}
+
+// Begin resets the tracker for a new run and restarts its clock. The engine
+// calls it at job start so a tracker can be reused across runs (the
+// analysis always describes the latest run).
+func (t *Tracker) Begin() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.t0 = time.Now()
+	t.bags = make(map[BagID]*bagRec)
+	t.pos = t.pos[:0]
+}
+
+// Clock returns the time since Begin.
+func (t *Tracker) Clock() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	t0 := t.t0
+	t.mu.Unlock()
+	return time.Since(t0)
+}
+
+func (t *Tracker) get(id BagID) *bagRec {
+	b := t.bags[id]
+	if b == nil {
+		b = &bagRec{block: -1, deliveries: make(map[string]time.Duration)}
+		t.bags[id] = b
+	}
+	return b
+}
+
+// BagOpen records that one instance of op opened output bag (op, pos) in
+// block, reading from the given input bags. The first open wins for the
+// open timestamp and the provenance record (input selection is
+// deterministic across instances). Nil-safe.
+func (t *Tracker) BagOpen(op string, pos, block int, inputs []BagID) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Since(t.t0)
+	b := t.get(BagID{op, pos})
+	if b.opens == 0 || now < b.openedAt {
+		b.openedAt = now
+	}
+	if b.opens == 0 {
+		b.block = block
+		b.inputs = append(b.inputs[:0], inputs...)
+	}
+	b.opens++
+}
+
+// BagClose records that one instance of op finished output bag (op, pos)
+// after emitting elements elements. Nil-safe.
+func (t *Tracker) BagClose(op string, pos int, elements int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Since(t.t0)
+	b := t.get(BagID{op, pos})
+	if now > b.closedAt {
+		b.closedAt = now
+	}
+	b.closes++
+	b.elements += elements
+}
+
+// BagBytes adds n encoded bytes shipped cross-machine for bag (op, pos).
+// Nil-safe.
+func (t *Tracker) BagBytes(op string, pos int, n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.get(BagID{op, pos}).bytes += n
+	t.mu.Unlock()
+}
+
+// Delivered records that one instance of consumer has fully received bag
+// (op, pos); the latest instance wins. Nil-safe.
+func (t *Tracker) Delivered(op string, pos int, consumer string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Since(t.t0)
+	b := t.get(BagID{op, pos})
+	if prev, ok := b.deliveries[consumer]; !ok || now > prev {
+		b.deliveries[consumer] = now
+	}
+}
+
+// Broadcast records that the coordinator extended the execution path with
+// block at position pos (decided by condition bag decidedBy, zero for
+// unconditional jumps), paying barrier of superstep-barrier time
+// immediately before the broadcast. Nil-safe.
+func (t *Tracker) Broadcast(pos, block int, final bool, decidedBy BagID, barrier time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.pos = append(t.pos, Position{
+		Pos: pos, Block: block, Final: final,
+		DecidedBy:   decidedBy,
+		BroadcastAt: time.Since(t.t0),
+		Barrier:     barrier,
+	})
+}
+
+// Snapshot is a point-in-time copy of the tracker: every bag record plus
+// the coordinator's position timeline, both sorted by position.
+type Snapshot struct {
+	// CapturedAt is the tracker clock when the snapshot was taken.
+	CapturedAt time.Duration `json:"captured_ns"`
+	Bags       []Bag         `json:"bags"`
+	Positions  []Position    `json:"positions"`
+}
+
+// Snapshot copies the tracker's current state. Nil-safe (returns an empty
+// snapshot).
+func (t *Tracker) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	if t == nil {
+		return s
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.CapturedAt = time.Since(t.t0)
+	s.Positions = append(s.Positions, t.pos...)
+	sort.Slice(s.Positions, func(i, j int) bool { return s.Positions[i].Pos < s.Positions[j].Pos })
+	// Iteration index per position: occurrences of the same block so far.
+	iter := make(map[int]int, len(s.Positions))
+	iterAt := make(map[int]int, len(s.Positions))
+	for _, p := range s.Positions {
+		iterAt[p.Pos] = iter[p.Block]
+		iter[p.Block]++
+	}
+	for id, r := range t.bags {
+		b := Bag{
+			ID: id, Block: r.block, Iter: iterAt[id.Pos],
+			OpenedAt: r.openedAt, ClosedAt: r.closedAt,
+			Opens: r.opens, Closes: r.closes,
+			Elements: r.elements, Bytes: r.bytes,
+		}
+		b.Inputs = append(b.Inputs, r.inputs...)
+		for c, at := range r.deliveries {
+			b.Deliveries = append(b.Deliveries, Delivery{Consumer: c, At: at})
+		}
+		sort.Slice(b.Deliveries, func(i, j int) bool { return b.Deliveries[i].Consumer < b.Deliveries[j].Consumer })
+		s.Bags = append(s.Bags, b)
+	}
+	sort.Slice(s.Bags, func(i, j int) bool {
+		if s.Bags[i].ID.Pos != s.Bags[j].ID.Pos {
+			return s.Bags[i].ID.Pos < s.Bags[j].ID.Pos
+		}
+		return s.Bags[i].ID.Op < s.Bags[j].ID.Op
+	})
+	return s
+}
+
+// Bag returns the snapshotted record for id, nil if unknown.
+func (s *Snapshot) Bag(id BagID) *Bag {
+	for i := range s.Bags {
+		if s.Bags[i].ID == id {
+			return &s.Bags[i]
+		}
+	}
+	return nil
+}
+
+// Position returns the snapshotted coordinator record for pos (zero value
+// if the position was never broadcast or position recording was off).
+func (s *Snapshot) Position(pos int) Position {
+	for _, p := range s.Positions {
+		if p.Pos == pos {
+			return p
+		}
+	}
+	return Position{Pos: pos, Block: -1}
+}

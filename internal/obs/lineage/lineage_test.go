@@ -1,0 +1,115 @@
+package lineage
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseBagID(t *testing.T) {
+	good := []BagID{
+		{Op: "counts_2", Pos: 7},
+		{Op: "a@b", Pos: 3}, // '@' in the op: last separator wins
+		{Op: "visits_1.combine", Pos: 365},
+	}
+	for _, want := range good {
+		got, err := ParseBagID(want.String())
+		if err != nil {
+			t.Fatalf("ParseBagID(%q): %v", want.String(), err)
+		}
+		if got != want {
+			t.Fatalf("ParseBagID(%q) = %+v, want %+v", want.String(), got, want)
+		}
+	}
+	for _, bad := range []string{"", "x", "@1", "x@", "x@0", "x@-2", "x@abc"} {
+		if _, err := ParseBagID(bad); err == nil {
+			t.Fatalf("ParseBagID(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestTrackerRecords(t *testing.T) {
+	tr := NewTracker()
+	tr.Begin()
+
+	tr.Broadcast(1, 0, false, BagID{}, 0)
+	tr.Broadcast(2, 1, false, BagID{Op: "cond_1", Pos: 1}, 3*time.Millisecond)
+	tr.Broadcast(3, 1, true, BagID{Op: "cond_1", Pos: 2}, 0)
+
+	// Two instances open the same logical bag; the first one's provenance
+	// wins and the open count reaches the parallelism.
+	in := []BagID{{Op: "src_1", Pos: 1}}
+	tr.BagOpen("map_1", 1, 0, in)
+	tr.BagOpen("map_1", 1, 0, []BagID{{Op: "bogus", Pos: 9}})
+	tr.BagClose("map_1", 1, 10)
+	tr.BagClose("map_1", 1, 32)
+	tr.BagBytes("map_1", 1, 128)
+	tr.Delivered("map_1", 1, "reduce_1")
+	tr.Delivered("map_1", 1, "reduce_1") // later instance wins
+	tr.BagOpen("map_1", 2, 1, nil)
+	tr.BagClose("map_1", 2, 1)
+
+	s := tr.Snapshot()
+	if len(s.Bags) != 2 || len(s.Positions) != 3 {
+		t.Fatalf("snapshot has %d bags, %d positions; want 2, 3", len(s.Bags), len(s.Positions))
+	}
+	b := s.Bag(BagID{Op: "map_1", Pos: 1})
+	if b == nil {
+		t.Fatal("bag map_1@1 missing")
+	}
+	if b.Opens != 2 || b.Closes != 2 || b.Elements != 42 || b.Bytes != 128 {
+		t.Fatalf("bag = %+v, want opens=2 closes=2 elements=42 bytes=128", b)
+	}
+	if len(b.Inputs) != 1 || b.Inputs[0] != in[0] {
+		t.Fatalf("provenance = %v, want first open's %v", b.Inputs, in)
+	}
+	if b.ClosedAt < b.OpenedAt {
+		t.Fatalf("closed %v before opened %v", b.ClosedAt, b.OpenedAt)
+	}
+	if at, ok := b.DeliveredTo("reduce_1"); !ok || at < b.OpenedAt {
+		t.Fatalf("delivery = %v,%v", at, ok)
+	}
+	if _, ok := b.DeliveredTo("nobody"); ok {
+		t.Fatal("unexpected delivery to unknown consumer")
+	}
+
+	// Iteration index: block 1 is visited at positions 2 and 3, so the bag
+	// at position 2 is iteration 0 of block 1.
+	if b2 := s.Bag(BagID{Op: "map_1", Pos: 2}); b2.Iter != 0 || b2.Block != 1 {
+		t.Fatalf("bag@2 iter/block = %d/%d, want 0/1", b2.Iter, b2.Block)
+	}
+	if p := s.Position(3); !p.Final || p.Block != 1 || p.DecidedBy != (BagID{Op: "cond_1", Pos: 2}) {
+		t.Fatalf("position 3 = %+v", p)
+	}
+	if p := s.Position(99); p.Block != -1 {
+		t.Fatalf("unknown position = %+v, want Block -1", p)
+	}
+
+	// Begin resets for the next run.
+	tr.Begin()
+	if s2 := tr.Snapshot(); len(s2.Bags) != 0 || len(s2.Positions) != 0 {
+		t.Fatalf("snapshot after Begin not empty: %+v", s2)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *Tracker
+	tr.Begin()
+	tr.BagOpen("x", 1, 0, nil)
+	tr.BagClose("x", 1, 1)
+	tr.BagBytes("x", 1, 1)
+	tr.Delivered("x", 1, "y")
+	tr.Broadcast(1, 0, false, BagID{}, 0)
+	if tr.Clock() != 0 {
+		t.Fatal("nil tracker clock not zero")
+	}
+	s := tr.Snapshot()
+	if s == nil || len(s.Bags) != 0 {
+		t.Fatalf("nil tracker snapshot = %+v", s)
+	}
+	if cp := Analyze(s); cp.Wall != 0 || cp.Attributed != 0 || len(cp.Chain) != 0 {
+		t.Fatalf("analysis of empty snapshot = %+v", cp)
+	}
+	if cp := Analyze(nil); cp == nil || cp.Wall != 0 {
+		t.Fatal("Analyze(nil) not empty")
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestHistStatsMergeOracle merges per-key histograms and checks the result
+// against a single histogram that observed every sample directly: counts,
+// sums, maxima, and every bucket must agree, associatively and in any
+// merge order.
+func TestHistStatsMergeOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRegistry()
+	oracle := NewRegistry().Histogram(0, "oracle", "all")
+	const keys = 5
+	for i := 0; i < 400; i++ {
+		// Spread across buckets: from sub-microsecond to ~1 minute.
+		d := time.Duration(rng.Int63n(int64(time.Minute)))
+		if rng.Intn(4) == 0 {
+			d = time.Duration(rng.Int63n(int64(50 * time.Microsecond)))
+		}
+		r.Histogram(i%keys, "op", "latency").Observe(d)
+		oracle.Observe(d)
+	}
+
+	s := r.Snapshot()
+	if len(s.Histograms) != keys {
+		t.Fatalf("snapshot has %d histograms, want %d", len(s.Histograms), keys)
+	}
+	merged := s.HistTotal("latency")
+	want := oracle.Stats()
+	if merged.Count != want.Count || merged.Sum != want.Sum || merged.Max != want.Max {
+		t.Fatalf("merged = count %d sum %v max %v; oracle count %d sum %v max %v",
+			merged.Count, merged.Sum, merged.Max, want.Count, want.Sum, want.Max)
+	}
+	if merged.Buckets != want.Buckets {
+		t.Fatalf("merged buckets %v\noracle buckets %v", merged.Buckets, want.Buckets)
+	}
+	if merged.Mean() != want.Mean() {
+		t.Fatalf("merged mean %v, oracle mean %v", merged.Mean(), want.Mean())
+	}
+
+	// Right-fold order must agree with HistTotal's left-fold.
+	var rf HistStats
+	for i := len(s.Histograms) - 1; i >= 0; i-- {
+		rf = s.Histograms[i].HistStats.Merge(rf)
+	}
+	if rf != merged {
+		t.Fatalf("merge is order-sensitive: %+v vs %+v", rf, merged)
+	}
+
+	// Merging the zero value is the identity.
+	if got := merged.Merge(HistStats{}); got != merged {
+		t.Fatalf("merge with zero changed stats: %+v", got)
+	}
+
+	// HistTotalFor filters by op.
+	if by := s.HistTotalFor("op", "latency"); by != merged {
+		t.Fatalf("HistTotalFor(op) = %+v, want %+v", by, merged)
+	}
+	if by := s.HistTotalFor("nope", "latency"); by.Count != 0 {
+		t.Fatalf("HistTotalFor(nope) = %+v, want zero", by)
+	}
+}

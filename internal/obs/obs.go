@@ -19,6 +19,8 @@
 // Templates use to diagnose control-plane overhead.
 package obs
 
+import "github.com/mitos-project/mitos/internal/obs/lineage"
+
 // Observer bundles the metrics registry and the (optional) tracer of one
 // execution. A nil *Observer disables all instrumentation.
 type Observer struct {
@@ -29,6 +31,10 @@ type Observer struct {
 	// requested, because tracing records a timestamped event per bag and
 	// per control message.
 	Trace *Tracer
+	// Lineage is the bag-lineage tracker; nil unless lineage tracking was
+	// requested (EnableLineage), because it records a provenance record
+	// per logical bag.
+	Lineage *lineage.Tracker
 }
 
 // New returns an observer collecting metrics only.
@@ -51,6 +57,24 @@ func (o *Observer) Trc() *Tracer {
 		return nil
 	}
 	return o.Trace
+}
+
+// Lin returns the lineage tracker, nil when o is nil or lineage tracking
+// is off.
+func (o *Observer) Lin() *lineage.Tracker {
+	if o == nil {
+		return nil
+	}
+	return o.Lineage
+}
+
+// EnableLineage attaches a bag-lineage tracker to the observer (a no-op if
+// one is already attached) and returns o for chaining.
+func (o *Observer) EnableLineage() *Observer {
+	if o.Lineage == nil {
+		o.Lineage = lineage.NewTracker()
+	}
+	return o
 }
 
 // Snapshot returns a point-in-time copy of all metrics. Nil-safe.

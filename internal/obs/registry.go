@@ -212,6 +212,23 @@ func (s HistStats) Mean() time.Duration {
 	return s.Sum / time.Duration(s.Count)
 }
 
+// Merge returns the combination of s and o: counts, sums, and per-bucket
+// totals add, and Max is the larger maximum. Merging per-key snapshots
+// yields the same stats as observing every sample into one histogram, so
+// engine-wide duration summaries (Snapshot.HistTotal, the /metrics
+// exposition) are exact, not approximations.
+func (s HistStats) Merge(o HistStats) HistStats {
+	s.Count += o.Count
+	s.Sum += o.Sum
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	return s
+}
+
 // Stats returns a snapshot of the histogram (zero value on a nil handle).
 func (h *Histogram) Stats() HistStats {
 	var s HistStats
@@ -323,6 +340,31 @@ func (s *Snapshot) TotalFor(op, name string) int64 {
 	for _, c := range s.Counters {
 		if c.Op == op && c.Name == name {
 			t += c.Value
+		}
+	}
+	return t
+}
+
+// HistTotal merges every histogram with the given metric name across
+// machines and operators into one engine-wide HistStats (the histogram
+// analogue of Total).
+func (s *Snapshot) HistTotal(name string) HistStats {
+	var t HistStats
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			t = t.Merge(h.HistStats)
+		}
+	}
+	return t
+}
+
+// HistTotalFor merges the named histogram across machines for one operator
+// (the histogram analogue of TotalFor).
+func (s *Snapshot) HistTotalFor(op, name string) HistStats {
+	var t HistStats
+	for _, h := range s.Histograms {
+		if h.Op == op && h.Name == name {
+			t = t.Merge(h.HistStats)
 		}
 	}
 	return t

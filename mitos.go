@@ -35,6 +35,7 @@ import (
 	"github.com/mitos-project/mitos/internal/dfs"
 	"github.com/mitos-project/mitos/internal/ir"
 	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/obs/lineage"
 	"github.com/mitos-project/mitos/internal/store"
 )
 
@@ -80,9 +81,22 @@ type Config struct {
 	// BatchSize overrides the engine transfer batch size.
 	BatchSize int
 	// Observer, when non-nil, collects engine-wide metrics (and a
-	// timeline trace if created with NewTracingObserver) during Run. The
-	// metrics snapshot is returned in Result.Report.
+	// timeline trace if created with NewTracingObserver, or bag lineage if
+	// created with NewLineageObserver) during Run. The metrics snapshot is
+	// returned in Result.Report.
 	Observer *Observer
+	// HTTPAddr, when non-empty, serves a live introspection server
+	// (/metrics, /jobs, /lineage, /criticalpath, /debug/pprof) on this
+	// address for the duration of Run, closed when Run returns. If
+	// Observer is nil a lineage-enabled one is created internally so the
+	// lineage endpoints have data. Ignored when HTTP is set. To keep the
+	// server up after the run, use ServeIntrospection plus HTTP instead.
+	HTTPAddr string
+	// HTTP registers the execution with a caller-owned introspection
+	// server (ServeIntrospection), which outlives the run and can
+	// accumulate several executions under /jobs. When Observer is nil the
+	// server's observer is used.
+	HTTP *IntrospectionServer
 }
 
 // DefaultClusterConfig returns the calibrated cluster delays used by the
@@ -113,6 +127,12 @@ type Result struct {
 	// Report is the metrics snapshot taken at the end of the run; nil
 	// unless Config.Observer was set.
 	Report *RunReport
+	// CriticalPath is the lineage-derived critical-path analysis of the
+	// run: wall-clock time attributed to compute, shuffle, barrier, and
+	// pipeline stall, per-step spans and pipelining overlap. Nil unless
+	// the run's observer tracked lineage (NewLineageObserver, or
+	// HTTPAddr's internal observer).
+	CriticalPath *CriticalPath
 }
 
 // Program is a compiled Mitos program.
@@ -177,13 +197,28 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer cl.Close()
+	o, srv := cfg.Observer, cfg.HTTP
+	if srv != nil && o == nil {
+		o = srv.Observer()
+	}
+	if srv == nil && cfg.HTTPAddr != "" {
+		if o == nil {
+			o = NewLineageObserver()
+		}
+		srv, err = ServeIntrospection(cfg.HTTPAddr, o)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+	}
 	res, err := core.Execute(p.ssa, st, cl, core.Options{
 		Parallelism: cfg.Parallelism,
 		Pipelining:  !cfg.DisablePipelining,
 		Hoisting:    !cfg.DisableHoisting,
 		Combiners:   !cfg.DisableCombiners,
 		BatchSize:   cfg.BatchSize,
-		Obs:         cfg.Observer,
+		Obs:         o,
+		HTTP:        srv,
 	})
 	if err != nil {
 		return nil, err
@@ -200,6 +235,9 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 	}
 	if cfg.Observer != nil {
 		out.Report = cfg.Observer.Snapshot()
+	}
+	if lin := o.Lin(); lin != nil {
+		out.CriticalPath = lineage.Analyze(lin.Snapshot())
 	}
 	return out, nil
 }

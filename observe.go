@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/obs/httpserve"
 )
 
 // Observer collects engine-wide metrics (and optionally a timeline trace)
@@ -34,6 +35,32 @@ func NewObserver() *Observer { return obs.New() }
 // launches, and cross-machine batches. Export it with WriteTrace and load
 // the file in chrome://tracing or Perfetto.
 func NewTracingObserver() *Observer { return obs.NewTracing() }
+
+// NewLineageObserver returns an observer that collects metrics and
+// additionally records per-bag lineage: provenance (input bags, producing
+// operator, execution-path position), open/close timestamps, element and
+// byte counts, and per-consumer delivery times. Lineage enables
+// Result.CriticalPath and the introspection server's /lineage and
+// /criticalpath endpoints. Chain EnableLineage onto NewTracingObserver to
+// combine lineage with a timeline trace.
+func NewLineageObserver() *Observer { return obs.New().EnableLineage() }
+
+// IntrospectionServer is a live introspection HTTP server. It serves
+// /metrics (Prometheus text exposition of every engine metric), /jobs and
+// /jobs/{id} (the live dataflow graph with per-edge queue depths, mailbox
+// high-water marks, transport backlogs, and per-instance bag progress),
+// /jobs/{id}/dot, /lineage, /lineage/{bagid}, /criticalpath, and
+// /debug/pprof. Start one with ServeIntrospection and attach it to runs
+// via Config.HTTP (or let Config.HTTPAddr manage one per run).
+type IntrospectionServer = httpserve.Server
+
+// ServeIntrospection starts a live introspection server listening on addr
+// (host:port; port 0 picks an ephemeral port, see Addr) exposing o's
+// metrics and lineage. Executions register themselves when run with
+// Config.HTTP set to the returned server. Close stops it.
+func ServeIntrospection(addr string, o *Observer) (*IntrospectionServer, error) {
+	return httpserve.Serve(addr, o)
+}
 
 // Report snapshots all metrics recorded so far.
 func Report(o *Observer) *RunReport { return o.Snapshot() }

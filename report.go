@@ -5,7 +5,23 @@ import (
 	"strings"
 
 	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/obs/lineage"
 )
+
+// CriticalPath is the per-iteration critical-path analysis of a lineage-
+// tracked run (Result.CriticalPath, or the introspection server's
+// /criticalpath endpoint): the chain of bags whose production latencies
+// bound the wall-clock time, with each chain segment attributed to
+// compute, shuffle, barrier, or pipeline stall, and per-execution-path-
+// position step statistics including the pipelining overlap between
+// adjacent steps. String renders a summary table.
+type CriticalPath = lineage.CriticalPath
+
+// CriticalPathStep is one execution-path position's statistics within a
+// CriticalPath: its bag count, element and byte totals, wall-clock span,
+// overlap with other steps, and the step's share of each critical-path
+// segment kind.
+type CriticalPathStep = lineage.StepStats
 
 // LoopReport describes a compiled program's loop structure and where the
 // loop-invariant hoisting optimization applies. It is derived from the SSA
