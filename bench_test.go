@@ -166,7 +166,7 @@ func BenchmarkStepOverheadMitos(b *testing.B) {
 	const steps = 50
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := workload.StepMitos(cl, store.NewMemStore(), steps, core.DefaultOptions()); err != nil {
+		if _, err := workload.StepMitos(cl, store.NewMemStore(), steps, core.DefaultOptions()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,7 +1,7 @@
 // mitos-bench regenerates the paper's evaluation figures on the simulated
 // cluster and prints one table per figure.
 //
-//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|critpath|all]
+//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|all]
 //
 // With -http, a live introspection server runs for the duration of the
 // sweep: every Mitos execution registers under /jobs, and /metrics serves
@@ -25,9 +25,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write BENCH_<fig>.json per figure (medians, reps, engine counters)")
 	bandwidth := flag.Int("bandwidth", 0, "simulated cross-machine bandwidth in MiB/s (0: default 1 GiB/s)")
 	combine := flag.String("combine", "on", "map-side combiners in Mitos runs: on|off (ablation)")
+	chain := flag.String("chain", "on", "operator chaining in Mitos runs: on|off (ablation)")
 	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /jobs) on this address for the duration of the sweep")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|critpath|all]")
+		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|all]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -36,7 +37,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mitos-bench: -combine must be on or off, got %q\n", *combine)
 		os.Exit(2)
 	}
-	o := experiments.Options{Quick: *quick, Reps: *reps, BandwidthMiBps: *bandwidth, NoCombine: *combine == "off"}
+	if *chain != "on" && *chain != "off" {
+		fmt.Fprintf(os.Stderr, "mitos-bench: -chain must be on or off, got %q\n", *chain)
+		os.Exit(2)
+	}
+	o := experiments.Options{
+		Quick: *quick, Reps: *reps, BandwidthMiBps: *bandwidth,
+		NoCombine: *combine == "off", NoChain: *chain == "off",
+	}
 	if *httpAddr != "" {
 		o.Obs = obs.New()
 		srv, err := httpserve.Serve(*httpAddr, o.Obs)
@@ -58,7 +66,7 @@ func main() {
 		"fig6": experiments.Fig6, "fig7": experiments.Fig7,
 		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
 		"ablation": experiments.AblationGrid, "combine": experiments.Combine,
-		"critpath": experiments.CritPath,
+		"chain": experiments.Chain, "critpath": experiments.CritPath,
 	}
 	var tables []*experiments.Table
 	if which == "all" {

@@ -12,7 +12,10 @@ import (
 // Fig. 3b: basic blocks are dashed clusters, singleton-producing (wrapped
 // scalar) operators have thin borders, phi operators are filled black,
 // condition operators are filled blue, synthetic map-side combiners are
-// filled orange, and cross-block (conditional) edges are dashed.
+// filled orange, and cross-block (conditional) edges are dashed. Operator
+// chains are rendered as groups: members share a purple border and a
+// "chain N" label, and the fused edges between them are bold purple —
+// chains may span blocks, so the block clusters stay the primary grouping.
 func (p *Plan) Dot() string { return p.dot(nil) }
 
 // DotLive renders the same digraph with each operator annotated with its
@@ -40,6 +43,9 @@ func (p *Plan) dot(snap *obs.Snapshot) string {
 				kind = op.Synth.String()
 			}
 			label := fmt.Sprintf("%s\\n%s par=%d", op.Instr.Var, kind, op.Par)
+			if op.Chain != 0 {
+				label += fmt.Sprintf("\\nchain %d", op.Chain)
+			}
 			if snap != nil {
 				name := op.Instr.Var
 				label += fmt.Sprintf("\\nin=%d out=%d bags=%d",
@@ -60,6 +66,9 @@ func (p *Plan) dot(snap *obs.Snapshot) string {
 			default:
 				attrs = append(attrs, "penwidth=2")
 			}
+			if op.Chain != 0 {
+				attrs = append(attrs, "color=purple")
+			}
 			fmt.Fprintf(&b, "    n%d [%s];\n", op.ID, strings.Join(attrs, ", "))
 		}
 		b.WriteString("  }\n")
@@ -74,9 +83,16 @@ func (p *Plan) dot(snap *obs.Snapshot) string {
 	}
 	for _, op := range p.Ops {
 		for slot, in := range op.Inputs {
-			attrs := []string{fmt.Sprintf("label=%q", fmt.Sprintf("%d:%s", slot, in.Part))}
+			lbl := fmt.Sprintf("%d:%s", slot, in.Part)
+			if in.Chained {
+				lbl += " chained"
+			}
+			attrs := []string{fmt.Sprintf("label=%q", lbl)}
 			if in.Producer.Block != op.Block {
 				attrs = append(attrs, "style=dashed") // conditional edge
+			}
+			if in.Chained {
+				attrs = append(attrs, "color=purple", "penwidth=2") // fused hop
 			}
 			if hoistable[[2]string{in.Producer.Instr.Var, op.Instr.Var}] {
 				attrs = append(attrs, "color=darkgreen", "penwidth=2") // hoisted build side

@@ -27,6 +27,11 @@ type Options struct {
 	// gather edges (plan rewrite; see InsertCombiners). Savings multiply by
 	// the iteration count, since Mitos re-runs these shuffles every step.
 	Combiners bool
+	// Chaining fuses forward edges into chained physical vertices
+	// (BuildChains): elements cross fused edges by direct call instead of a
+	// mailbox batch, removing the engine's per-hop overhead on the
+	// per-step-critical forward paths.
+	Chaining bool
 	// BatchSize overrides the engine's transfer batch size (0 = default).
 	BatchSize int
 	// Obs attaches an observability collector (metrics and optionally
@@ -41,9 +46,9 @@ type Options struct {
 }
 
 // DefaultOptions enables every optimization: pipelining and hoisting as
-// Mitos runs in the paper, plus map-side combiners.
+// Mitos runs in the paper, plus map-side combiners and operator chaining.
 func DefaultOptions() Options {
-	return Options{Pipelining: true, Hoisting: true, Combiners: true}
+	return Options{Pipelining: true, Hoisting: true, Combiners: true, Chaining: true}
 }
 
 // Result reports what one execution did.
@@ -65,6 +70,10 @@ type Result struct {
 	// difference is the element traffic the shuffles were spared.
 	CombineIn  int64
 	CombineOut int64
+	// ChainedEdges counts plan edges fused by operator chaining;
+	// Job.ElementsChained counts the elements that crossed them by direct
+	// call.
+	ChainedEdges int
 	// Job reports engine transfer counters.
 	Job dataflow.JobStats
 }
@@ -110,13 +119,16 @@ func Execute(g *ir.Graph, st store.Store, cl *cluster.Cluster, opts Options) (*R
 	if opts.Combiners {
 		plan.InsertCombiners()
 	}
+	if opts.Chaining {
+		plan.BuildChains()
+	}
 	return ExecutePlan(plan, st, cl, opts)
 }
 
 // ExecutePlan runs an already-built plan (Execute builds one from an SSA
 // graph). The plan's parallelism must match opts; plan rewrites
-// (InsertCombiners) are the caller's responsibility — Execute applies them
-// per opts before calling here.
+// (InsertCombiners, BuildChains) are the caller's responsibility — Execute
+// applies them per opts before calling here.
 func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) (*Result, error) {
 	rt := &runtime{
 		plan:   plan,
@@ -144,9 +156,15 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 			return newHost(rt, pop, inst)
 		})
 	}
+	chainedEdges := 0
 	for _, pop := range plan.Ops {
 		for slot, in := range pop.Inputs {
-			g.Connect(dfOps[in.Producer.ID], dfOps[pop.ID], slot, in.Part)
+			if in.Chained {
+				g.ConnectChained(dfOps[in.Producer.ID], dfOps[pop.ID], slot)
+				chainedEdges++
+			} else {
+				g.Connect(dfOps[in.Producer.ID], dfOps[pop.ID], slot, in.Part)
+			}
 		}
 	}
 
@@ -193,6 +211,7 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 		MaxBufferedBags: rt.maxBuffered.Load(),
 		CombineIn:       rt.combineIn.Load(),
 		CombineOut:      rt.combineOut.Load(),
+		ChainedEdges:    chainedEdges,
 		Job:             job.Stats(),
 	}, nil
 }

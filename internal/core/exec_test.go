@@ -74,23 +74,29 @@ func TestExecuteMatchesGroundTruth(t *testing.T) {
 		pipelining bool
 		hoisting   bool
 		combiners  bool
+		chaining   bool
 	}{
-		{1, true, true, false},
-		{2, true, true, false},
-		{4, true, true, false},
-		{4, false, true, false},
-		{4, true, false, false},
-		{4, false, false, false},
-		{3, true, true, false},
-		{4, true, true, true},
-		{2, false, true, true},
-		{3, true, false, true},
+		{1, true, true, false, false},
+		{2, true, true, false, false},
+		{4, true, true, false, false},
+		{4, false, true, false, false},
+		{4, true, false, false, false},
+		{4, false, false, false, false},
+		{3, true, true, false, false},
+		{4, true, true, true, false},
+		{2, false, true, true, false},
+		{3, true, false, true, false},
+		{1, true, true, true, true},
+		{4, true, true, true, true},
+		{2, false, true, false, true},
+		{3, true, false, true, true},
+		{4, false, false, false, true},
 	}
 	for _, c := range testprog.Cases() {
 		g := compile(t, c.Src)
 		want := groundTruth(t, c)
 		for _, cfg := range configs {
-			name := fmt.Sprintf("%s/m%d_pipe%t_hoist%t_comb%t", c.Name, cfg.machines, cfg.pipelining, cfg.hoisting, cfg.combiners)
+			name := fmt.Sprintf("%s/m%d_pipe%t_hoist%t_comb%t_chain%t", c.Name, cfg.machines, cfg.pipelining, cfg.hoisting, cfg.combiners, cfg.chaining)
 			t.Run(name, func(t *testing.T) {
 				t.Parallel()
 				cl, err := cluster.New(cluster.FastConfig(cfg.machines))
@@ -106,6 +112,7 @@ func TestExecuteMatchesGroundTruth(t *testing.T) {
 					Pipelining: cfg.pipelining,
 					Hoisting:   cfg.hoisting,
 					Combiners:  cfg.combiners,
+					Chaining:   cfg.chaining,
 				})
 				if err != nil {
 					t.Fatalf("Execute: %v", err)

@@ -54,10 +54,11 @@ func (v *jobView) Status() *httpserve.JobStatus {
 
 	intro := v.job.Introspect()
 	st.Totals = httpserve.Totals{
-		ElementsSent:  intro.Totals.ElementsSent,
-		RemoteBatches: intro.Totals.RemoteBatches,
-		BytesSent:     intro.Totals.BytesSent,
-		BytesReceived: intro.Totals.BytesReceived,
+		ElementsSent:    intro.Totals.ElementsSent,
+		ElementsChained: intro.Totals.ElementsChained,
+		RemoteBatches:   intro.Totals.RemoteBatches,
+		BytesSent:       intro.Totals.BytesSent,
+		BytesReceived:   intro.Totals.BytesReceived,
 	}
 	// Producer-side edge depths keyed by (consumer, slot) so the plan's
 	// input edges below can look up their live queue depth.
@@ -83,6 +84,7 @@ func (v *jobView) Status() *httpserve.JobStatus {
 			Parallelism: pop.Par,
 			Condition:   pop.IsCondition,
 			Synthetic:   pop.Synth != SynthNone,
+			Chain:       pop.Chain,
 		}
 		for slot, in := range pop.Inputs {
 			os.Inputs = append(os.Inputs, httpserve.EdgeStatus{
@@ -90,6 +92,7 @@ func (v *jobView) Status() *httpserve.JobStatus {
 				Slot:       slot,
 				Part:       in.Part.String(),
 				Combined:   in.Combined,
+				Chained:    in.Chained,
 				QueueDepth: depths[edgeKey{pop.Instr.Var, slot}],
 			})
 		}

@@ -24,6 +24,9 @@ type Plan struct {
 	// must complete each visit of a block — the control-flow coordinator's
 	// per-position completion target.
 	InstancesPerBlock map[ir.BlockID]int
+	// Chains lists the operator-chaining groups (BuildChains), each in
+	// ascending (topological) ID order. Empty until BuildChains runs.
+	Chains [][]*PlanOp
 }
 
 // PlanOp is one planned operator.
@@ -39,6 +42,9 @@ type PlanOp struct {
 	// combiners); SynthNone for operators that mirror an SSA instruction.
 	Synth  SynthKind
 	Inputs []PlanInput
+	// Chain is the 1-based index into Plan.Chains of the operator's chain
+	// group, 0 when unchained (or before BuildChains runs).
+	Chain int
 }
 
 // PlanInput describes one logical input slot.
@@ -54,6 +60,10 @@ type PlanInput struct {
 	// operator instead of raw elements. Finalizers whose merge differs from
 	// their element-wise logic (count) dispatch on it.
 	Combined bool
+	// Chained marks a forward edge fused by operator chaining (BuildChains):
+	// it is translated to dataflow.ConnectChained, making the hop a direct
+	// call inside one chained physical vertex.
+	Chained bool
 }
 
 // BuildPlan plans the dataflow job for an SSA graph. parallelism is the
@@ -240,10 +250,16 @@ func (p *Plan) String() string {
 			s += " " + op.Synth.String()
 		}
 		s += " " + op.Instr.String()
+		if op.Chain != 0 {
+			s += fmt.Sprintf(" chain%d", op.Chain)
+		}
 		for i, in := range op.Inputs {
 			s += fmt.Sprintf(" [in%d<-op%d %s", i, in.Producer.ID, in.Part)
 			if in.Combined {
 				s += " combined"
+			}
+			if in.Chained {
+				s += " chained"
 			}
 			s += "]"
 		}

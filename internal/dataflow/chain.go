@@ -1,0 +1,69 @@
+package dataflow
+
+import "sort"
+
+// Operator chaining fuses forward edges into single physical vertices.
+//
+// A chained edge (Graph.ConnectChained) declares that its producer and
+// consumer belong to the same chain: one physical vertex per instance index
+// whose members execute by direct call. The chain groups are the weakly
+// connected components of the chained-edge subgraph; since every chained
+// edge must point from a lower to a higher operator ID (Validate), member
+// ID order is a topological order and the minimum-ID member is the chain
+// head.
+//
+// Physically, only the head instance — the driver — owns a mailbox and an
+// event-loop goroutine. All external envelopes addressed to any member are
+// put into the driver's mailbox carrying a dest pointer, and the driver
+// dispatches them to the member's vertex. Elements crossing a chained edge
+// never touch a mailbox at all: Context.Emit hands them to the consumer
+// vertex synchronously through a reused one-element scratch slice — no
+// batch copy, no codec, no goroutine switch. Chain-internal EOBs propagate
+// the same way, in-stack, so bag boundaries, loop pipelining, and combiner
+// flushes see exactly the event order an unchained run would produce on
+// each edge.
+//
+// Chain members share the driver's goroutine, which also serializes all
+// member callbacks — the Vertex no-locking contract is preserved. Members
+// of one chain are co-located by construction: equal parallelism (forward
+// edges) plus the deterministic instance→machine placement puts member
+// instances with equal index on the same machine.
+
+// chainComponents returns the members of every chain with at least two
+// operators, in ascending (topological) ID order. Operators that are not
+// endpoints of any chained edge do not appear.
+func chainComponents(g *Graph) [][]OpID {
+	parent := make(map[OpID]OpID)
+	var find func(x OpID) OpID
+	find = func(x OpID) OpID {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, op := range g.ops {
+		for _, e := range op.ins {
+			if !e.Chained {
+				continue
+			}
+			for _, id := range [2]OpID{e.From, e.To} {
+				if _, ok := parent[id]; !ok {
+					parent[id] = id
+				}
+			}
+			parent[find(e.From)] = find(e.To)
+		}
+	}
+	byRoot := make(map[OpID][]OpID)
+	for id := range parent {
+		r := find(id)
+		byRoot[r] = append(byRoot[r], id)
+	}
+	comps := make([][]OpID, 0, len(byRoot))
+	for _, members := range byRoot {
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		comps = append(comps, members)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}

@@ -110,6 +110,13 @@ type EdgeDecl struct {
 	To    OpID
 	Input int
 	Part  Partitioning
+	// Chained marks a forward edge fused by operator chaining: producer
+	// instance i hands elements to consumer instance i by direct synchronous
+	// call — no mailbox, no batch buffer, no goroutine switch. The ops on a
+	// chained edge become members of one chained physical vertex (see
+	// Job). Only PartForward edges may be chained, and the chained subgraph
+	// must be acyclic (Validate enforces both).
+	Chained bool
 }
 
 // Graph is a logical dataflow graph under construction.
@@ -136,6 +143,16 @@ func (g *Graph) Connect(from, to *Op, input int, part Partitioning) {
 	to.ins = append(to.ins, &EdgeDecl{From: from.ID, To: to.ID, Input: input, Part: part})
 }
 
+// ConnectChained declares a forward edge fused by operator chaining: the
+// producer and consumer become members of the same chained physical vertex,
+// and elements cross the edge as direct function calls instead of mailbox
+// envelopes. The caller must guarantee equal parallelism (as for any
+// forward edge) and that the chained edges it declares form no cycle;
+// Validate checks both.
+func (g *Graph) ConnectChained(from, to *Op, input int) {
+	to.ins = append(to.ins, &EdgeDecl{From: from.ID, To: to.ID, Input: input, Part: PartForward, Chained: true})
+}
+
 // Ops returns the logical operators in the graph.
 func (g *Graph) Ops() []*Op { return g.ops }
 
@@ -144,7 +161,9 @@ func (g *Graph) Op(id OpID) *Op { return g.ops[id] }
 
 // Validate checks the structural invariants: parallelism >= 1, vertex
 // factories present, input slots dense and unique, forward edges between
-// equal-parallelism ops.
+// equal-parallelism ops, and chained edges forward-only and pointing from
+// lower to higher operator ID (which guarantees the chained subgraph is
+// acyclic and that ID order is a topological order of every chain).
 func (g *Graph) Validate() error {
 	for _, op := range g.ops {
 		if op.Parallelism < 1 {
@@ -163,6 +182,16 @@ func (g *Graph) Validate() error {
 			if e.Part == PartForward && from.Parallelism != op.Parallelism {
 				return fmt.Errorf("dataflow: forward edge %s->%s with parallelism %d->%d",
 					from.Name, op.Name, from.Parallelism, op.Parallelism)
+			}
+			if e.Chained {
+				if e.Part != PartForward {
+					return fmt.Errorf("dataflow: chained edge %s->%s with %s partitioning (only forward edges chain)",
+						from.Name, op.Name, e.Part)
+				}
+				if e.From >= op.ID {
+					return fmt.Errorf("dataflow: chained edge %s->%s against operator ID order (would allow a chain cycle)",
+						from.Name, op.Name)
+				}
 			}
 		}
 		for i := 0; i < len(op.ins); i++ {

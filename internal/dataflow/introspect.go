@@ -27,12 +27,14 @@ type InstanceStatus struct {
 }
 
 // EdgeDepth is the producer-side buffered element count of one logical
-// edge, summed over the producer's instances.
+// edge, summed over the producer's instances. Chained edges never buffer
+// (direct delivery), so their depth is always zero.
 type EdgeDepth struct {
-	To    string `json:"to"`
-	Input int    `json:"input"`
-	Part  string `json:"part"`
-	Depth int64  `json:"queue_depth"`
+	To      string `json:"to"`
+	Input   int    `json:"input"`
+	Part    string `json:"part"`
+	Chained bool   `json:"chained,omitempty"`
+	Depth   int64  `json:"queue_depth"`
 }
 
 // OpIntro is one logical operator's live state.
@@ -83,11 +85,12 @@ func (j *Job) Introspect() *Introspection {
 		}
 		op := OpIntro{Name: insts[0].op.Name, Parallelism: insts[0].op.Parallelism}
 		for _, in := range insts {
-			st := InstanceStatus{
-				Machine:      in.machine,
-				MailboxDepth: in.mbox.depth(),
-				MailboxHWM:   in.mbox.highWater(),
-				CurBag:       -1,
+			st := InstanceStatus{Machine: in.machine, CurBag: -1}
+			// Chain members have no mailbox of their own; their external
+			// traffic shows up on the chain driver's depths.
+			if in.mbox != nil {
+				st.MailboxDepth = in.mbox.depth()
+				st.MailboxHWM = in.mbox.highWater()
 			}
 			if p, ok := in.vertex.(Progresser); ok && p != nil {
 				st.CurBag, st.BagsDone = p.BagProgress()
@@ -97,7 +100,7 @@ func (j *Job) Introspect() *Introspection {
 		// Edge depths summed over producer instances; the edge list is the
 		// same for every instance of the op.
 		for ei, oe := range insts[0].outs {
-			d := EdgeDepth{To: oe.targets[0].op.Name, Input: oe.input, Part: oe.part.String()}
+			d := EdgeDepth{To: oe.targets[0].op.Name, Input: oe.input, Part: oe.part.String(), Chained: oe.direct}
 			for _, in := range insts {
 				if ei < len(in.outs) && in.outs[ei].depth != nil {
 					d.Depth += in.outs[ei].depth.Load()

@@ -39,19 +39,24 @@ type Job struct {
 	err        error
 	finishOnce sync.Once
 
-	elementsSent   atomic.Int64
-	batchesSent    atomic.Int64
-	remoteBatches  atomic.Int64
-	bytesSent      atomic.Int64
-	bytesReceived  atomic.Int64
-	mailboxDropped atomic.Int64
+	elementsSent    atomic.Int64
+	elementsChained atomic.Int64
+	batchesSent     atomic.Int64
+	remoteBatches   atomic.Int64
+	bytesSent       atomic.Int64
+	bytesReceived   atomic.Int64
+	mailboxDropped  atomic.Int64
 }
 
 // JobStats reports transfer counters for the experiment harness.
 type JobStats struct {
-	ElementsSent  int64
-	BatchesSent   int64
-	RemoteBatches int64
+	ElementsSent int64
+	// ElementsChained counts elements that crossed a chained edge by
+	// direct call instead of a mailbox batch (see chain.go). These are
+	// included in ElementsSent but never in BatchesSent.
+	ElementsChained int64
+	BatchesSent     int64
+	RemoteBatches   int64
 	// BytesSent and BytesReceived are the encoded sizes of remote batches
 	// as serialized through the val codec — measured on the wire format,
 	// not estimated. They agree after a clean run.
@@ -89,11 +94,36 @@ func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
 				idx:     i,
 				machine: cl.Place(i),
 				lane:    lane,
-				mbox:    newMailbox(),
 			}
+			insts[i].driver = insts[i]
 			lane++
 		}
 		j.insts[op.ID] = insts
+	}
+	// Group chained operators into chained physical vertices: instance i of
+	// every member shares instance i of the chain head — the driver — which
+	// alone owns a mailbox and an event-loop goroutine (see chain.go).
+	for _, comp := range chainComponents(g) {
+		for i := 0; i < g.ops[comp[0]].Parallelism; i++ {
+			drv := j.insts[comp[0]][i]
+			drv.members = make([]*instance, len(comp))
+			for k, id := range comp {
+				m := j.insts[id][i]
+				m.driver = drv
+				drv.members[k] = m
+			}
+		}
+	}
+	for _, insts := range j.insts {
+		for _, in := range insts {
+			if in.driver != in {
+				continue
+			}
+			in.mbox = newMailbox()
+			if in.members == nil {
+				in.members = []*instance{in}
+			}
+		}
 	}
 	// Wire physical out-edges.
 	for _, op := range g.ops {
@@ -104,6 +134,7 @@ func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
 				fi.outs = append(fi.outs, &outEdge{
 					part:    e.Part,
 					input:   e.Input,
+					direct:  e.Chained,
 					targets: toInsts,
 					bufs:    make([][]Element, len(toInsts)),
 				})
@@ -141,6 +172,7 @@ func (j *Job) Observe(o *obs.Observer) {
 			in.lin = o.Lin()
 			in.elemsIn = reg.Counter(in.machine, name, "elements_in")
 			in.elemsOut = reg.Counter(in.machine, name, "elements_out")
+			in.elemsChained = reg.Counter(in.machine, name, "elements_chained")
 			in.batchesIn = reg.Counter(in.machine, name, "batches_in")
 			in.batchesOut = reg.Counter(in.machine, name, "batches_out")
 			in.remoteOut = reg.Counter(in.machine, name, "remote_batches_out")
@@ -161,12 +193,13 @@ func (j *Job) Observer() *obs.Observer { return j.obs }
 // MailboxDropped is finalized by Wait.
 func (j *Job) Stats() JobStats {
 	return JobStats{
-		ElementsSent:   j.elementsSent.Load(),
-		BatchesSent:    j.batchesSent.Load(),
-		RemoteBatches:  j.remoteBatches.Load(),
-		BytesSent:      j.bytesSent.Load(),
-		BytesReceived:  j.bytesReceived.Load(),
-		MailboxDropped: j.mailboxDropped.Load(),
+		ElementsSent:    j.elementsSent.Load(),
+		ElementsChained: j.elementsChained.Load(),
+		BatchesSent:     j.batchesSent.Load(),
+		RemoteBatches:   j.remoteBatches.Load(),
+		BytesSent:       j.bytesSent.Load(),
+		BytesReceived:   j.bytesReceived.Load(),
+		MailboxDropped:  j.mailboxDropped.Load(),
 	}
 }
 
@@ -191,6 +224,9 @@ func (j *Job) Start() error {
 	}
 	for _, insts := range j.insts {
 		for _, in := range insts {
+			if in.driver != in {
+				continue // chain members run on their driver's goroutine
+			}
 			j.wg.Add(1)
 			go in.loop()
 		}
@@ -200,11 +236,15 @@ func (j *Job) Start() error {
 
 // Broadcast delivers a control event to every vertex (in mailbox order
 // relative to data). The Mitos control-flow managers use it for
-// execution-path updates.
+// execution-path updates. Chained instances receive it through their chain
+// driver — one envelope per chain, fanned out to the members in chain
+// order — so a chain costs one enqueue instead of one per member.
 func (j *Job) Broadcast(ev any) {
 	for _, insts := range j.insts {
 		for _, in := range insts {
-			in.mbox.put(envelope{kind: envControl, ctrl: ev})
+			if in.driver == in {
+				in.mbox.put(envelope{kind: envControl, ctrl: ev})
+			}
 		}
 	}
 }
@@ -217,7 +257,8 @@ func (j *Job) Send(op OpID, inst int, ev any) {
 			op, inst, len(j.insts)))
 		return
 	}
-	j.insts[op][inst].mbox.put(envelope{kind: envControl, ctrl: ev})
+	tgt := j.insts[op][inst]
+	tgt.driver.mbox.put(envelope{kind: envControl, ctrl: ev, dest: tgt})
 }
 
 // Stop ends the job. Pending mailbox contents are still delivered before
@@ -245,7 +286,9 @@ func (j *Job) stop(err error, quiesce bool) {
 	}
 	for _, insts := range j.insts {
 		for _, in := range insts {
-			in.mbox.close()
+			if in.mbox != nil {
+				in.mbox.close()
+			}
 		}
 	}
 }
@@ -269,6 +312,9 @@ func (j *Job) Wait() error {
 		}
 		for _, insts := range j.insts {
 			for _, in := range insts {
+				if in.mbox == nil {
+					continue // chain member: drops land on the driver's mailbox
+				}
 				if d := in.mbox.droppedCount(); d > 0 {
 					j.mailboxDropped.Add(d)
 					in.mboxDropped.Add(d)
@@ -294,34 +340,42 @@ func (j *Job) recycleBatch(b []Element) {
 	j.batchPool.Put(&b)
 }
 
-// instance is one physical operator instance.
+// instance is one physical operator instance. Chained instances with equal
+// index form one chained physical vertex: the head — the driver — owns the
+// mailbox and the event-loop goroutine; the other members execute inside
+// the driver's loop (external envelopes dispatched on envelope.dest) or
+// in-stack (chained-edge elements delivered by direct call from Emit).
 type instance struct {
 	job     *Job
 	op      *Op
 	idx     int
 	machine int
-	lane    int // job-unique trace thread ID
-	mbox    *mailbox
+	lane    int      // job-unique trace thread ID
+	mbox    *mailbox // nil for chain members that are not the driver
 	vertex  Vertex
 	ctx     *Context
+
+	driver  *instance   // chain driver; the instance itself when unchained
+	members []*instance // driver only: chain members in topological order (driver first)
 
 	outs      []*outEdge
 	producers []int // per input slot: number of producer instances feeding this instance
 
 	// Observability handles; nil (and therefore no-ops) unless Job.Observe
 	// was called.
-	trc         *obs.Tracer
-	lin         *lineage.Tracker
-	elemsIn     *obs.Counter
-	elemsOut    *obs.Counter
-	batchesIn   *obs.Counter
-	batchesOut  *obs.Counter
-	remoteOut   *obs.Counter
-	bytesOut    *obs.Counter
-	bytesIn     *obs.Counter
-	ctrlIn      *obs.Counter
-	mboxHWM     *obs.Gauge
-	mboxDropped *obs.Counter
+	trc          *obs.Tracer
+	lin          *lineage.Tracker
+	elemsIn      *obs.Counter
+	elemsOut     *obs.Counter
+	elemsChained *obs.Counter
+	batchesIn    *obs.Counter
+	batchesOut   *obs.Counter
+	remoteOut    *obs.Counter
+	bytesOut     *obs.Counter
+	bytesIn      *obs.Counter
+	ctrlIn       *obs.Counter
+	mboxHWM      *obs.Gauge
+	mboxDropped  *obs.Counter
 }
 
 func (in *instance) ensureInputs(n int) {
@@ -333,14 +387,24 @@ func (in *instance) ensureInputs(n int) {
 type outEdge struct {
 	part    Partitioning
 	input   int
+	direct  bool // chained edge: deliver by direct call, bypassing batching
 	targets []*instance
 	bufs    [][]Element
+	// scratch is the reused one-element batch of a direct edge. The Vertex
+	// contract (OnBatch must not retain the slice) makes reuse safe, and it
+	// must never enter the batch pool — at batch size 1 a pooled scratch
+	// would alias a live emit buffer.
+	scratch [1]Element
 	// depth counts buffered-but-unflushed elements on this edge; nil (and
 	// therefore unmaintained, one pointer check per element) unless
 	// Job.EnableIntrospection was called.
 	depth *atomic.Int64
 }
 
+// loop is the event loop of a chain driver (every unchained instance is a
+// one-member chain driving itself). External envelopes carry the member
+// they are addressed to in dest; chained-edge traffic between members never
+// appears here — it flows in-stack through Context.Emit.
 func (in *instance) loop() {
 	defer in.job.wg.Done()
 	for {
@@ -349,29 +413,47 @@ func (in *instance) loop() {
 			break
 		}
 		var err error
+		dst := env.dest
+		if dst == nil {
+			dst = in
+		}
 		switch env.kind {
 		case envData:
-			in.elemsIn.Add(int64(len(env.batch)))
-			in.batchesIn.Inc()
-			err = in.vertex.OnBatch(env.input, env.from, env.batch)
+			dst.elemsIn.Add(int64(len(env.batch)))
+			dst.batchesIn.Inc()
+			err = dst.vertex.OnBatch(env.input, env.from, env.batch)
 			// OnBatch must not retain the slice (Vertex contract), so the
 			// buffer goes straight back to the pool: the emit path and the
 			// remote decode path both draw from it, closing the cycle.
 			in.job.recycleBatch(env.batch)
 		case envEOB:
-			err = in.vertex.OnEOB(env.input, env.from, env.tag)
+			err = dst.vertex.OnEOB(env.input, env.from, env.tag)
 		case envControl:
-			in.ctrlIn.Inc()
-			err = in.vertex.OnControl(env.ctrl)
+			if env.dest != nil {
+				dst.ctrlIn.Inc()
+				err = dst.vertex.OnControl(env.ctrl)
+				break
+			}
+			// Broadcast control: one envelope per chain, fanned out to the
+			// members in chain order.
+			for _, m := range in.members {
+				dst = m
+				m.ctrlIn.Inc()
+				if err = m.vertex.OnControl(env.ctrl); err != nil {
+					break
+				}
+			}
 		}
 		if err != nil {
-			in.job.fail(fmt.Errorf("dataflow: %s[%d]: %w", in.op.Name, in.idx, err))
+			in.job.fail(fmt.Errorf("dataflow: %s[%d]: %w", dst.op.Name, dst.idx, err))
 			break
 		}
 	}
 	in.mboxHWM.Max(int64(in.mbox.highWater()))
-	if err := in.vertex.Close(); err != nil {
-		in.job.fail(fmt.Errorf("dataflow: close %s[%d]: %w", in.op.Name, in.idx, err))
+	for _, m := range in.members {
+		if err := m.vertex.Close(); err != nil {
+			in.job.fail(fmt.Errorf("dataflow: close %s[%d]: %w", m.op.Name, m.idx, err))
+		}
 	}
 }
 
@@ -419,7 +501,11 @@ func (c *Context) Emit(e Element) {
 	for _, oe := range in.outs {
 		switch oe.part {
 		case PartForward:
-			c.buffer(oe, in.idx, e)
+			if oe.direct {
+				c.deliver(oe, e)
+			} else {
+				c.buffer(oe, in.idx, e)
+			}
 		case PartShuffleKey:
 			t := int(e.Val.Key().Hash() % uint64(len(oe.targets)))
 			c.buffer(oe, t, e)
@@ -433,6 +519,26 @@ func (c *Context) Emit(e Element) {
 				c.buffer(oe, t, e)
 			}
 		}
+	}
+}
+
+// deliver is the chained-edge fast path: it hands one element to the
+// consumer member's vertex synchronously — no mailbox, no batch copy, no
+// codec, no goroutine switch. It runs on the chain driver's goroutine (the
+// only goroutine that calls this instance's callbacks), so the consumer's
+// no-locking contract holds, and per-edge FIFO order is trivially the
+// emission order.
+func (c *Context) deliver(oe *outEdge, e Element) {
+	in := c.inst
+	tgt := oe.targets[in.idx]
+	in.job.elementsChained.Add(1)
+	in.elemsChained.Inc()
+	tgt.elemsIn.Inc()
+	oe.scratch[0] = e
+	err := tgt.vertex.OnBatch(oe.input, in.idx, oe.scratch[:1])
+	oe.scratch[0] = Element{} // release the value reference
+	if err != nil {
+		in.job.fail(fmt.Errorf("dataflow: %s[%d]: %w", tgt.op.Name, tgt.idx, err))
 	}
 }
 
@@ -499,7 +605,7 @@ func (c *Context) flush(oe *outEdge, target int) {
 		in.job.batchPool.Put(&buf)
 		return
 	}
-	tgt.mbox.put(envelope{kind: envData, input: oe.input, from: in.idx, batch: buf})
+	tgt.driver.mbox.put(envelope{kind: envData, input: oe.input, from: in.idx, batch: buf, dest: tgt})
 }
 
 // Flush pushes out all buffered batches on all edges.
@@ -514,12 +620,21 @@ func (c *Context) Flush() {
 // EmitEOB flushes and then signals end-of-bag tag to every receiver that
 // this instance can route to: the matching instance on forward edges,
 // instance 0 on gather edges, and all instances on shuffle and broadcast
-// edges.
+// edges. On chained edges the EOB propagates in-stack — the consumer's
+// OnEOB runs synchronously, so bag boundaries cross a chain in emission
+// order exactly as data does.
 func (c *Context) EmitEOB(tag Tag) {
 	in := c.inst
 	for _, oe := range in.outs {
 		switch oe.part {
 		case PartForward:
+			if oe.direct {
+				tgt := oe.targets[in.idx]
+				if err := tgt.vertex.OnEOB(oe.input, in.idx, tag); err != nil {
+					in.job.fail(fmt.Errorf("dataflow: %s[%d]: %w", tgt.op.Name, tgt.idx, err))
+				}
+				continue
+			}
 			c.flush(oe, in.idx)
 			c.sendEOB(oe, in.idx, tag)
 		case PartGather:
@@ -546,5 +661,5 @@ func (c *Context) sendEOB(oe *outEdge, target int, tag Tag) {
 		})
 		return
 	}
-	tgt.mbox.put(envelope{kind: envEOB, input: oe.input, from: c.inst.idx, tag: tag})
+	tgt.driver.mbox.put(envelope{kind: envEOB, input: oe.input, from: c.inst.idx, tag: tag, dest: tgt})
 }

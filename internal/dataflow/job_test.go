@@ -265,6 +265,22 @@ func TestGraphValidate(t *testing.T) {
 			t.Error("zero parallelism accepted")
 		}
 	})
+	t.Run("negative slot", func(t *testing.T) {
+		var g Graph
+		a := mkOp(&g, "a", 1)
+		b := mkOp(&g, "b", 1)
+		g.Connect(a, b, -1, PartForward)
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "slot") {
+			t.Errorf("err = %v", err)
+		}
+	})
+	t.Run("no vertex factory", func(t *testing.T) {
+		var g Graph
+		g.AddOp("a", 1, nil)
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "factory") {
+			t.Errorf("err = %v", err)
+		}
+	})
 	t.Run("partitioning names", func(t *testing.T) {
 		for p := PartForward; p <= PartGather; p++ {
 			if strings.HasPrefix(p.String(), "Partitioning(") {

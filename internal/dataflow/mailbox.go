@@ -38,6 +38,11 @@ type envelope struct {
 	batch []Element
 	tag   Tag
 	ctrl  any
+	// dest is the member instance the envelope is addressed to: chained
+	// instances share the chain driver's mailbox, so the driver dispatches
+	// on dest. A nil dest on a control envelope means "every member of the
+	// chain" (Job.Broadcast).
+	dest *instance
 }
 
 func newMailbox() *mailbox {

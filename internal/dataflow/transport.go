@@ -192,7 +192,7 @@ func (t *transport) run(eg *egress) {
 func (t *transport) deliver(f frame) {
 	j := t.job
 	j.cl.NetSleepBytes(len(f.payload))
-	env := envelope{kind: f.kind, input: f.input, from: f.from, tag: f.tag}
+	env := envelope{kind: f.kind, input: f.input, from: f.from, tag: f.tag, dest: f.target}
 	if f.kind == envData {
 		// Decode into a pooled buffer so the consumer's loop can recycle
 		// the batch after OnBatch returns, same as local batches.
@@ -208,7 +208,7 @@ func (t *transport) deliver(f frame) {
 		j.bytesReceived.Add(n)
 		f.target.bytesIn.Add(n)
 	}
-	f.target.mbox.put(env)
+	f.target.driver.mbox.put(env)
 }
 
 // close stops all egress queues; already-enqueued frames are still

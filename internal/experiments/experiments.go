@@ -46,6 +46,9 @@ type Options struct {
 	// NoCombine disables the map-side combiner plan rewrite in every Mitos
 	// run (the -combine=off ablation).
 	NoCombine bool
+	// NoChain disables operator chaining in every Mitos run (the -chain=off
+	// ablation): every forward edge goes back through a mailbox batch.
+	NoChain bool
 	// Obs attaches a shared observer to every Mitos run, and HTTP
 	// registers each run with a live introspection server — mitos-bench
 	// -http wires both so /metrics and /jobs reflect the sweep as it runs.
@@ -53,12 +56,21 @@ type Options struct {
 	// still register with HTTP.)
 	Obs  *obs.Observer
 	HTTP *httpserve.Server
+
+	// fastCluster swaps the calibrated cluster delays for zero delays, so a
+	// measurement isolates engine CPU cost. Chain sets it for its
+	// engine-only step-loop row: the per-hop savings chaining buys are real
+	// microseconds that the calibrated coordination delays would swamp.
+	fastCluster bool
 }
 
 // clusterConfig returns the calibrated cluster configuration with the
 // options' bandwidth override applied.
 func (o Options) clusterConfig(machines int) cluster.Config {
 	cfg := cluster.DefaultConfig(machines)
+	if o.fastCluster {
+		cfg = cluster.FastConfig(machines)
+	}
 	if o.BandwidthMiBps > 0 {
 		cfg.Bandwidth = int64(o.BandwidthMiBps) << 20
 	}
@@ -292,6 +304,7 @@ func median(xs []float64) float64 {
 func (o Options) mitosOpts() core.Options {
 	opts := core.DefaultOptions()
 	opts.Combiners = !o.NoCombine
+	opts.Chaining = !o.NoChain
 	opts.Obs = o.Obs
 	opts.HTTP = o.HTTP
 	return opts
@@ -485,7 +498,8 @@ func Fig7(o Options) (*Table, error) {
 			func(cl *cluster.Cluster, st store.Store) error { return workload.StepTF(cl, steps) },
 			func(cl *cluster.Cluster, st store.Store) error { return workload.StepNaiad(cl, steps) },
 			func(cl *cluster.Cluster, st store.Store) error {
-				return workload.StepMitos(cl, st, steps, o.mitosOpts())
+				_, err := workload.StepMitos(cl, st, steps, o.mitosOpts())
+				return err
 			},
 		}
 		var row []Cell
@@ -720,6 +734,84 @@ func Combine(o Options) (*Table, error) {
 	return t, nil
 }
 
+// Chain is an extension beyond the paper: the operator-chaining ablation.
+// Row one is the Fig. 7 step loop (reported per step), where the engine's
+// per-hop cost — mailbox envelope, batch copy, goroutine wakeup — is most
+// of the price of an iteration, so fusing the forward pipeline into one
+// physical vertex attacks the paper's central overhead directly. Row two is
+// the Fig. 5 Visit Count job, checking the fusion also holds (or improves)
+// end-to-end wall time on a real workload. The counters carry the
+// mechanism-level evidence: chained_edges (plan edges fused),
+// elements_chained (elements crossing them by direct call), and
+// batches_sent, which collapses when chaining removes the mailbox hops.
+func Chain(o Options) (*Table, error) {
+	steps := 100
+	const machines = 8
+	spec := workload.VisitCountSpec{Days: 15, VisitsPerDay: 2000, Pages: 200, WithDiff: true, Seed: 13}
+	if o.Quick {
+		steps = 25
+		spec.Days, spec.VisitsPerDay = 5, 400
+	}
+	t := &Table{
+		Key:     "chain",
+		Title:   "Chaining ablation: fused forward edges on the step loop (per step) and Visit Count (wall)",
+		XAxis:   "workload",
+		Columns: []string{"Mitos (no chain)", "Mitos"},
+	}
+	stepLoop := func(cl *cluster.Cluster, st store.Store, opts core.Options) (*core.Result, error) {
+		return workload.StepMitos(cl, st, steps, opts)
+	}
+	workloads := []struct {
+		label string
+		scale float64
+		fast  bool
+		run   func(cl *cluster.Cluster, st store.Store, opts core.Options) (*core.Result, error)
+	}{
+		// Engine CPU only: zero-delay cluster, so the per-hop mailbox /
+		// batch / wakeup cost chaining removes is the signal, not noise
+		// under the simulated coordination delays.
+		{label: "step loop, engine only (s/step)", scale: 1 / float64(steps), fast: true, run: stepLoop},
+		{label: "step loop, calibrated (s/step)", scale: 1 / float64(steps), run: stepLoop},
+		{
+			label: "visit count (s)",
+			scale: 1,
+			run: func(cl *cluster.Cluster, st store.Store, opts core.Options) (*core.Result, error) {
+				if err := spec.Generate(st); err != nil {
+					return nil, err
+				}
+				return workload.RunMitos(spec, st, cl, opts)
+			},
+		},
+	}
+	for _, w := range workloads {
+		var row []Cell
+		for _, chain := range []bool{false, true} {
+			opts := o.mitosOpts()
+			opts.Chaining = chain
+			mo := o
+			mo.fastCluster = w.fast
+			var last *core.Result
+			s, err := measure(mo, machines, func(cl *cluster.Cluster, st store.Store) error {
+				res, err := w.run(cl, st, opts)
+				last = res
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			s = s.Scaled(w.scale)
+			s.Counters["chained_edges"] = int64(last.ChainedEdges)
+			s.Counters["elements_chained"] = last.Job.ElementsChained
+			s.Counters["elements_sent"] = last.Job.ElementsSent
+			s.Counters["batches_sent"] = last.Job.BatchesSent
+			row = append(row, s)
+		}
+		t.XLabels = append(t.XLabels, w.label)
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
 // CritPath is an extension beyond the paper enabled by bag-lineage
 // tracking: per-iteration-step critical-path analysis of Visit Count (with
 // day diffs) with pipelining off and on. Each column's headline number is
@@ -825,7 +917,7 @@ func CritPath(o Options) (*Table, error) {
 
 // All runs every experiment in figure order.
 func All(o Options) ([]*Table, error) {
-	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine, CritPath}
+	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine, Chain, CritPath}
 	var out []*Table
 	for _, f := range funcs {
 		t, err := f(o)

@@ -66,6 +66,37 @@ func TestFig1QuickSmoke(t *testing.T) {
 	}
 }
 
+// TestChainQuickSmoke runs the chaining ablation at quick scale and checks
+// the mechanism counters: the chained column must report fused edges,
+// direct-call element deliveries, and fewer mailbox batches; the unchained
+// column must report none.
+func TestChainQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment still takes ~1s")
+	}
+	tbl, err := Chain(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Cells) != 3 || len(tbl.Cells[0]) != 2 {
+		t.Fatalf("unexpected table shape: %+v", tbl)
+	}
+	for r, label := range tbl.XLabels {
+		off, on := tbl.Cells[r][0], tbl.Cells[r][1]
+		if off.Counters["chained_edges"] != 0 || off.Counters["elements_chained"] != 0 {
+			t.Errorf("%s: unchained column fused %d edges / %d elements",
+				label, off.Counters["chained_edges"], off.Counters["elements_chained"])
+		}
+		if on.Counters["chained_edges"] == 0 || on.Counters["elements_chained"] == 0 {
+			t.Errorf("%s: chained column fused nothing", label)
+		}
+		if on.Counters["batches_sent"] >= off.Counters["batches_sent"] {
+			t.Errorf("%s: batches_sent %d (chained) >= %d (unchained)",
+				label, on.Counters["batches_sent"], off.Counters["batches_sent"])
+		}
+	}
+}
+
 // TestAblationGridQuickSmoke checks the optimization ordering: both
 // optimizations together must not be slower than neither.
 func TestAblationGridQuickSmoke(t *testing.T) {

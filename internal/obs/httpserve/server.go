@@ -56,32 +56,39 @@ type JobStatus struct {
 
 // Totals are the job-wide transfer counters.
 type Totals struct {
-	ElementsSent  int64 `json:"elements_sent"`
-	RemoteBatches int64 `json:"remote_batches"`
-	BytesSent     int64 `json:"bytes_sent"`
-	BytesReceived int64 `json:"bytes_received"`
+	ElementsSent    int64 `json:"elements_sent"`
+	ElementsChained int64 `json:"elements_chained"`
+	RemoteBatches   int64 `json:"remote_batches"`
+	BytesSent       int64 `json:"bytes_sent"`
+	BytesReceived   int64 `json:"bytes_received"`
 }
 
 // OpStatus is one logical operator in the live dataflow graph.
 type OpStatus struct {
-	Name        string           `json:"name"`
-	Kind        string           `json:"kind"`
-	Block       int              `json:"block"`
-	Parallelism int              `json:"parallelism"`
-	Condition   bool             `json:"condition,omitempty"`
-	Synthetic   bool             `json:"synthetic,omitempty"`
-	Inputs      []EdgeStatus     `json:"inputs,omitempty"`
-	Instances   []InstanceStatus `json:"instances"`
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Block       int    `json:"block"`
+	Parallelism int    `json:"parallelism"`
+	Condition   bool   `json:"condition,omitempty"`
+	Synthetic   bool   `json:"synthetic,omitempty"`
+	// Chain is the 1-based operator-chain group the op is fused into,
+	// 0 when unchained. Members of one chain run as one physical vertex.
+	Chain     int              `json:"chain,omitempty"`
+	Inputs    []EdgeStatus     `json:"inputs,omitempty"`
+	Instances []InstanceStatus `json:"instances"`
 }
 
 // EdgeStatus is one input edge of an operator with its live producer-side
 // buffered element count.
 type EdgeStatus struct {
-	From       string `json:"from"`
-	Slot       int    `json:"slot"`
-	Part       string `json:"part"`
-	Combined   bool   `json:"combined,omitempty"`
-	QueueDepth int64  `json:"queue_depth"`
+	From     string `json:"from"`
+	Slot     int    `json:"slot"`
+	Part     string `json:"part"`
+	Combined bool   `json:"combined,omitempty"`
+	// Chained marks an edge fused by operator chaining: elements cross it
+	// by direct call, so its queue depth is always zero.
+	Chained    bool  `json:"chained,omitempty"`
+	QueueDepth int64 `json:"queue_depth"`
 }
 
 // InstanceStatus is one physical instance's live state.

@@ -30,21 +30,21 @@ newBag(x).writeFile("out")
 `, steps)
 }
 
-// StepMitos runs the microbenchmark loop on the Mitos runtime.
-func StepMitos(cl *cluster.Cluster, st store.Store, steps int, opts core.Options) error {
+// StepMitos runs the microbenchmark loop on the Mitos runtime and returns
+// the execution result (the chaining ablation reads its engine counters).
+func StepMitos(cl *cluster.Cluster, st store.Store, steps int, opts core.Options) (*core.Result, error) {
 	prog, err := lang.Parse(StepLoopScript(steps))
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if _, err := lang.Check(prog); err != nil {
-		return err
+		return nil, err
 	}
 	g, err := ir.CompileToSSA(prog)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	_, err = core.Execute(g, st, cl, opts)
-	return err
+	return core.Execute(g, st, cl, opts)
 }
 
 // StepSpark launches one tiny job per iteration step.

@@ -202,7 +202,8 @@ func TestStepBenchesAllSystems(t *testing.T) {
 		run  func() error
 	}{
 		{"mitos", func() error {
-			return StepMitos(cl, store.NewMemStore(), steps, core.DefaultOptions())
+			_, err := StepMitos(cl, store.NewMemStore(), steps, core.DefaultOptions())
+			return err
 		}},
 		{"spark", func() error { return StepSpark(cl, store.NewMemStore(), steps) }},
 		{"flink-separate", func() error { return StepFlinkSeparateJobs(cl, store.NewMemStore(), steps) }},
@@ -226,8 +227,12 @@ func TestStepMitosWritesResult(t *testing.T) {
 	}
 	defer cl.Close()
 	st := store.NewMemStore()
-	if err := StepMitos(cl, st, 7, core.DefaultOptions()); err != nil {
+	res, err := StepMitos(cl, st, 7, core.DefaultOptions())
+	if err != nil {
 		t.Fatal(err)
+	}
+	if res.ChainedEdges == 0 {
+		t.Error("ChainedEdges = 0: default options should chain the step loop")
 	}
 	out, err := st.ReadDataset("out")
 	if err != nil {

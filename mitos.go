@@ -78,6 +78,10 @@ type Config struct {
 	// (shuffles and gathers carry raw elements instead of per-instance
 	// partial aggregates).
 	DisableCombiners bool
+	// DisableChaining turns off operator chaining (forward edges at equal
+	// parallelism fused into single physical vertices); every element then
+	// crosses every edge through a mailbox batch again.
+	DisableChaining bool
 	// BatchSize overrides the engine transfer batch size.
 	BatchSize int
 	// Observer, when non-nil, collects engine-wide metrics (and a
@@ -124,6 +128,11 @@ type Result struct {
 	// DisableCombiners is set.
 	CombineIn  int64
 	CombineOut int64
+	// ChainedEdges counts dataflow edges fused by operator chaining and
+	// ElementsChained the elements that crossed them by direct call instead
+	// of a mailbox batch. Zero when DisableChaining is set.
+	ChainedEdges    int
+	ElementsChained int64
 	// Report is the metrics snapshot taken at the end of the run; nil
 	// unless Config.Observer was set.
 	Report *RunReport
@@ -180,6 +189,7 @@ func (p *Program) Dot(parallelism int) (string, error) {
 		return "", err
 	}
 	plan.InsertCombiners()
+	plan.BuildChains()
 	return plan.Dot(), nil
 }
 
@@ -216,6 +226,7 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		Pipelining:  !cfg.DisablePipelining,
 		Hoisting:    !cfg.DisableHoisting,
 		Combiners:   !cfg.DisableCombiners,
+		Chaining:    !cfg.DisableChaining,
 		BatchSize:   cfg.BatchSize,
 		Obs:         o,
 		HTTP:        srv,
@@ -230,8 +241,10 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		RemoteBatches: res.Job.RemoteBatches,
 		BytesSent:     res.Job.BytesSent,
 		BytesReceived: res.Job.BytesReceived,
-		CombineIn:     res.CombineIn,
-		CombineOut:    res.CombineOut,
+		CombineIn:       res.CombineIn,
+		CombineOut:      res.CombineOut,
+		ChainedEdges:    res.ChainedEdges,
+		ElementsChained: res.Job.ElementsChained,
 	}
 	if cfg.Observer != nil {
 		out.Report = cfg.Observer.Snapshot()

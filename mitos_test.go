@@ -69,6 +69,42 @@ func TestRunSequentialMatchesDistributed(t *testing.T) {
 	}
 }
 
+// TestDisableChaining checks the public chaining toggle: by default forward
+// edges fuse (ChainedEdges and ElementsChained nonzero), with
+// DisableChaining both stay zero, and the outputs agree either way.
+func TestDisableChaining(t *testing.T) {
+	p, err := Compile(testScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(disable bool) (*Result, []Value) {
+		st := NewMemStore()
+		st.WriteDataset("in", []Value{Int(1), Int(2), Int(3)})
+		res, err := p.Run(st, Config{Machines: 2, DisableChaining: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := st.ReadDataset("out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, out
+	}
+	chained, outOn := run(false)
+	unchained, outOff := run(true)
+	if chained.ChainedEdges == 0 || chained.ElementsChained == 0 {
+		t.Errorf("default run fused nothing: %d edges, %d elements",
+			chained.ChainedEdges, chained.ElementsChained)
+	}
+	if unchained.ChainedEdges != 0 || unchained.ElementsChained != 0 {
+		t.Errorf("DisableChaining run fused: %d edges, %d elements",
+			unchained.ChainedEdges, unchained.ElementsChained)
+	}
+	if len(outOn) != 1 || len(outOff) != 1 || !outOn[0].Equal(outOff[0]) {
+		t.Errorf("chained %v vs unchained %v", outOn, outOff)
+	}
+}
+
 func TestBuilderProgram(t *testing.T) {
 	b := NewBuilder()
 	b.Assign("data", ReadFile(StrLit("in")))
