@@ -1,7 +1,12 @@
 // mitos-bench regenerates the paper's evaluation figures on the simulated
 // cluster and prints one table per figure.
 //
-//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|all]
+//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|all]
+//
+// The tcpcluster figure measures per-step overhead on the real TCP
+// backend (in-process workers over loopback sockets) against the
+// simulated cluster — the same comparison mitos-run's -cluster flag
+// switches between.
 //
 // With -http, a live introspection server runs for the duration of the
 // sweep: every Mitos execution registers under /jobs, and /metrics serves
@@ -28,7 +33,7 @@ func main() {
 	chain := flag.String("chain", "on", "operator chaining in Mitos runs: on|off (ablation)")
 	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /jobs) on this address for the duration of the sweep")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|all]")
+		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|all]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -67,6 +72,7 @@ func main() {
 		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
 		"ablation": experiments.AblationGrid, "combine": experiments.Combine,
 		"chain": experiments.Chain, "critpath": experiments.CritPath,
+		"tcpcluster": experiments.TCPCluster,
 	}
 	var tables []*experiments.Table
 	if which == "all" {

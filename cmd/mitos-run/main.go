@@ -1,11 +1,17 @@
 // mitos-run compiles and executes a Mitos script against text datasets.
 //
 //	mitos-run [-machines N] [-seq] [-data DIR] [-out DIR] [-http ADDR] script.mitos
+//	mitos-run -cluster=tcp -listen :7070 -workers 3 script.mitos
 //
 // Every "*.txt" file in -data becomes an input dataset named after the
 // file (without extension); one element per line, comma-separated tuple
 // fields (see mitos.ReadTextDataset). After the run, every dataset in the
 // store is written to -out as "<name>.txt".
+//
+// With -cluster=tcp the script runs on the real multi-process TCP backend
+// instead of the simulated cluster: this process becomes the coordinator,
+// listening on -listen until -workers mitos-worker processes register,
+// then ships the job to them and drives the control flow over sockets.
 //
 // With -http, a live introspection server runs on ADDR for the whole
 // process lifetime: /metrics (Prometheus), /jobs/{id} (live dataflow
@@ -28,7 +34,10 @@ import (
 )
 
 func main() {
-	machines := flag.Int("machines", 4, "simulated cluster size")
+	clusterKind := flag.String("cluster", "sim", "execution backend: sim (in-process simulated cluster) or tcp (real multi-process workers)")
+	machines := flag.Int("machines", 4, "simulated cluster size (sim backend)")
+	listen := flag.String("listen", "127.0.0.1:7070", "coordinator listen address (tcp backend)")
+	workers := flag.Int("workers", 3, "worker processes to wait for (tcp backend)")
 	parallelism := flag.Int("parallelism", 0, "operator parallelism (default: one per machine)")
 	noPipe := flag.Bool("no-pipelining", false, "disable loop pipelining")
 	noHoist := flag.Bool("no-hoisting", false, "disable loop-invariant hoisting")
@@ -47,11 +56,123 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *clusterKind != "sim" && *clusterKind != "tcp" {
+		fmt.Fprintf(os.Stderr, "mitos-run: -cluster must be sim or tcp, got %q\n", *clusterKind)
+		os.Exit(2)
+	}
 
-	if err := run(flag.Arg(0), *machines, *parallelism, *noPipe, *noHoist, *seq, *dataDir, *outDir, *traceFile, *metrics, *httpAddr); err != nil {
+	var err error
+	if *clusterKind == "tcp" {
+		err = runTCP(flag.Arg(0), *listen, *workers, *parallelism, *noPipe, *noHoist, *dataDir, *outDir, *metrics)
+	} else {
+		err = run(flag.Arg(0), *machines, *parallelism, *noPipe, *noHoist, *seq, *dataDir, *outDir, *traceFile, *metrics, *httpAddr)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "mitos-run: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// loadDataDir reads every *.txt file in dir into st.
+func loadDataDir(st mitos.Store, dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		elems, err := mitos.ReadTextDataset(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.Name(), err)
+		}
+		name := strings.TrimSuffix(e.Name(), ".txt")
+		if err := st.WriteDataset(name, elems); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s: %d elements\n", name, len(elems))
+	}
+	return nil
+}
+
+// writeOutDir writes every dataset in st to dir as "<name>.txt".
+func writeOutDir(st mitos.NamedStore, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range st.Names() {
+		elems, err := st.ReadDataset(name)
+		if err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(dir, name+".txt"))
+		if err != nil {
+			return err
+		}
+		err = mitos.WriteTextDataset(f, elems)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d datasets to %s\n", len(st.Names()), dir)
+	return nil
+}
+
+// runTCP executes the script as the coordinator of a real TCP cluster.
+func runTCP(scriptPath, listen string, workers, parallelism int, noPipe, noHoist bool, dataDir, outDir string, metrics bool) error {
+	src, err := os.ReadFile(scriptPath)
+	if err != nil {
+		return err
+	}
+	prog, err := mitos.Compile(string(src))
+	if err != nil {
+		return err
+	}
+	st := mitos.NewMemStore()
+	if dataDir != "" {
+		if err := loadDataDir(st, dataDir); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("coordinator listening on %s, waiting for %d workers (mitos-worker -coord ADDR)\n", listen, workers)
+	coord, err := mitos.ListenTCP(mitos.TCPCoordConfig{Listen: listen, Workers: workers})
+	if err != nil {
+		return err
+	}
+	defer coord.Close()
+	fmt.Printf("%d workers registered and meshed\n", workers)
+
+	var observer *mitos.Observer
+	if metrics {
+		observer = mitos.NewObserver()
+	}
+	res, err := prog.RunTCP(coord, st, mitos.Config{
+		Parallelism:       parallelism,
+		DisablePipelining: noPipe,
+		DisableHoisting:   noHoist,
+		Observer:          observer,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("run complete: %d basic-block visits, %v, %d elements transferred, %d bytes on the wire, %d credit stalls\n",
+		res.Steps, res.Duration.Round(0), res.ElementsSent, res.SocketBytes, res.CreditStalls)
+	if metrics {
+		fmt.Print(res.Report.String())
+	}
+	if outDir != "" {
+		return writeOutDir(st, outDir)
+	}
+	return nil
 }
 
 func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool, dataDir, outDir, traceFile string, metrics bool, httpAddr string) error {
@@ -66,28 +187,8 @@ func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool
 
 	st := mitos.NewDFS(mitos.DFSConfig{})
 	if dataDir != "" {
-		entries, err := os.ReadDir(dataDir)
-		if err != nil {
+		if err := loadDataDir(st, dataDir); err != nil {
 			return err
-		}
-		for _, e := range entries {
-			if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
-				continue
-			}
-			f, err := os.Open(filepath.Join(dataDir, e.Name()))
-			if err != nil {
-				return err
-			}
-			elems, err := mitos.ReadTextDataset(f)
-			f.Close()
-			if err != nil {
-				return fmt.Errorf("%s: %w", e.Name(), err)
-			}
-			name := strings.TrimSuffix(e.Name(), ".txt")
-			if err := st.WriteDataset(name, elems); err != nil {
-				return err
-			}
-			fmt.Printf("loaded %s: %d elements\n", name, len(elems))
 		}
 	}
 
@@ -152,27 +253,9 @@ func run(scriptPath string, machines, parallelism int, noPipe, noHoist, seq bool
 	}
 
 	if outDir != "" {
-		if err := os.MkdirAll(outDir, 0o755); err != nil {
+		if err := writeOutDir(st, outDir); err != nil {
 			return err
 		}
-		for _, name := range st.Names() {
-			elems, err := st.ReadDataset(name)
-			if err != nil {
-				return err
-			}
-			f, err := os.Create(filepath.Join(outDir, name+".txt"))
-			if err != nil {
-				return err
-			}
-			err = mitos.WriteTextDataset(f, elems)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-			if err != nil {
-				return err
-			}
-		}
-		fmt.Printf("wrote %d datasets to %s\n", len(st.Names()), outDir)
 	}
 
 	if srv != nil {

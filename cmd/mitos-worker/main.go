@@ -1,0 +1,63 @@
+// mitos-worker is one machine of a real TCP Mitos cluster.
+//
+//	mitos-worker -coord HOST:PORT [-listen ADDR] [-redial]
+//
+// The worker dials the coordinator (a mitos-run -cluster=tcp process),
+// registers a data-plane listener for peer-to-peer frames, receives its
+// machine ID and the peer table, meshes with the other workers, and then
+// hosts its partition of every dataflow job the coordinator ships until
+// the coordinator closes the session (exit 0) or something fails (exit 1).
+// With -redial the worker reconnects after a clean session close, so one
+// long-lived worker process can serve a sequence of coordinator runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/mitos-project/mitos"
+)
+
+func main() {
+	coord := flag.String("coord", "", "coordinator control-plane address (required)")
+	listen := flag.String("listen", "127.0.0.1:0", "data-plane listen address for peer connections")
+	redial := flag.Bool("redial", false, "reconnect after a clean session close instead of exiting")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: mitos-worker -coord HOST:PORT [-listen ADDR] [-redial]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *coord == "" || flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		close(stop)
+	}()
+
+	for {
+		err := mitos.ServeTCPWorker(mitos.TCPWorkerConfig{Coord: *coord, Listen: *listen}, stop)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mitos-worker: %v\n", err)
+			os.Exit(1)
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if !*redial {
+			return
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"github.com/mitos-project/mitos/internal/dataflow"
 	"github.com/mitos-project/mitos/internal/ir"
 	"github.com/mitos-project/mitos/internal/obs"
 	"github.com/mitos-project/mitos/internal/obs/lineage"
@@ -13,8 +12,9 @@ import (
 // The control-flow manager (paper Sec. 5.2.1): condition operators report
 // their branch decisions; the coordinator extends the global execution path
 // and broadcasts every extension to all operator instances (the paper's
-// per-machine managers connected by TCP; here the broadcast pays the
-// cluster's control-message latency once per machine).
+// per-machine managers connected by TCP; here the broadcast goes through a
+// ControlPlane — the simulated cluster pays its control-message latency,
+// the real TCP backend pays actual sockets).
 //
 // With loop pipelining enabled, extensions are broadcast the moment they
 // are determined, letting later iteration steps start while earlier ones
@@ -23,22 +23,46 @@ import (
 // reported completion, and pays a superstep barrier — Flink-style
 // lockstep execution, used as the ablation baseline in Fig. 9.
 
-type coordEventKind uint8
+// CoordEventKind discriminates control-plane events operator hosts report
+// to the control-flow manager.
+type CoordEventKind uint8
 
 const (
-	evDecision coordEventKind = iota
-	evCompletion
+	// EvDecision carries a condition operator's branch outcome.
+	EvDecision CoordEventKind = iota
+	// EvCompletion reports that one instance finished one output bag.
+	EvCompletion
 )
 
-type coordEvent struct {
-	kind   coordEventKind
-	pos    int
-	branch bool
+// CoordEvent is one event on the hosts -> coordinator control channel. On
+// the TCP backend these cross the worker's coordinator connection as wire
+// messages; on the simulated cluster they stay on an in-process channel.
+type CoordEvent struct {
+	Kind   CoordEventKind
+	Pos    int
+	Branch bool
+}
+
+// ControlPlane is how the control-flow manager reaches the running job: it
+// abstracts over the simulated single-process backend (direct
+// Job.Broadcast plus modeled control latency) and the TCP cluster backend
+// (wire messages to every worker).
+type ControlPlane interface {
+	// Broadcast delivers a path extension to every operator instance, in
+	// mailbox order relative to data.
+	Broadcast(up PathUpdate)
+	// Barrier blocks until all in-flight work has drained — the superstep
+	// barrier paid between steps when pipelining is off.
+	Barrier()
+	// Stop ends the job; nil means clean completion.
+	Stop(err error)
 }
 
 type coordinator struct {
-	rt  *runtime
-	job *dataflow.Job
+	plan       *Plan
+	pipelining bool
+	events     <-chan CoordEvent
+	cp         ControlPlane
 
 	path       []ir.BlockID // determined path
 	pathFinal  bool         // exit block appended
@@ -69,20 +93,20 @@ type coordinator struct {
 	decidedBy  []lineage.BagID // parallel to path
 }
 
-func newCoordinator(rt *runtime, job *dataflow.Job) *coordinator {
-	c := &coordinator{rt: rt, job: job}
-	if rt.obs != nil {
-		reg := rt.obs.Reg()
-		c.trc = rt.obs.Trc()
-		c.driverPID = rt.cl.DriverPID()
-		c.bcast = make([]*obs.Counter, rt.cl.Machines())
+func newCoordinator(plan *Plan, opts Options, machines int, events <-chan CoordEvent, cp ControlPlane) *coordinator {
+	c := &coordinator{plan: plan, pipelining: opts.Pipelining, events: events, cp: cp}
+	if opts.Obs != nil {
+		reg := opts.Obs.Reg()
+		c.trc = opts.Obs.Trc()
+		c.driverPID = machines // the driver timeline sits after the machines
+		c.bcast = make([]*obs.Counter, machines)
 		for m := range c.bcast {
 			c.bcast[m] = reg.Counter(m, "cfm", "broadcasts")
 		}
 		c.pathLen = reg.Gauge(obs.MachineDriver, "cfm", "path_len")
-		if c.lin = rt.obs.Lin(); c.lin != nil {
+		if c.lin = opts.Obs.Lin(); c.lin != nil {
 			c.condVar = make(map[ir.BlockID]string)
-			for _, op := range rt.plan.Ops {
+			for _, op := range plan.Ops {
 				if op.IsCondition {
 					c.condVar[op.Block] = op.Instr.Var
 				}
@@ -92,39 +116,48 @@ func newCoordinator(rt *runtime, job *dataflow.Job) *coordinator {
 	return c
 }
 
-// run drives the job. When the execution path is complete and every
-// position has been completed by every instance it stops the job — but it
-// keeps draining events until stop closes, so that operator instances can
-// never block on the event channel after a failure.
+// RunCoordinator drives the control-flow manager for one execution: it
+// seeds the path with the entry block, consumes decision and completion
+// events, broadcasts path extensions through cp, and calls cp.Stop when
+// the path is final and fully completed (or on a protocol error). It keeps
+// draining events until stop closes, so operator hosts can never block on
+// the event channel after a failure, and returns the step count.
+func RunCoordinator(plan *Plan, opts Options, machines int, events <-chan CoordEvent, cp ControlPlane, stop <-chan struct{}) int {
+	c := newCoordinator(plan, opts, machines, events, cp)
+	c.run(stop)
+	return c.steps
+}
+
+// run drives the job (see RunCoordinator).
 func (c *coordinator) run(stop <-chan struct{}) {
-	entry := c.rt.plan.IR.Entry()
+	entry := c.plan.IR.Entry()
 	c.append(entry)
 	c.extendThroughJumps()
 	c.broadcastAllowed()
 	failed := false
 	if c.pathFinal && c.doneUpTo == len(c.path) {
-		c.job.Stop(nil) // program with no work at all
+		c.cp.Stop(nil) // program with no work at all
 	}
 	for {
 		select {
-		case ev := <-c.rt.events:
+		case ev := <-c.events:
 			if failed {
 				continue
 			}
 			var err error
-			switch ev.kind {
-			case evDecision:
-				err = c.onDecision(ev.pos, ev.branch)
-			case evCompletion:
-				err = c.onCompletion(ev.pos)
+			switch ev.Kind {
+			case EvDecision:
+				err = c.onDecision(ev.Pos, ev.Branch)
+			case EvCompletion:
+				err = c.onCompletion(ev.Pos)
 			}
 			if err != nil {
 				failed = true
-				c.job.Stop(err)
+				c.cp.Stop(err)
 				continue
 			}
 			if c.pathFinal && c.doneUpTo == len(c.path) {
-				c.job.Stop(nil)
+				c.cp.Stop(nil)
 			}
 		case <-stop:
 			return
@@ -148,7 +181,7 @@ func (c *coordinator) append(b ir.BlockID) {
 // terminator needs no runtime decision.
 func (c *coordinator) extendThroughJumps() {
 	for !c.pathFinal {
-		last := c.rt.plan.IR.Blocks[c.path[len(c.path)-1]]
+		last := c.plan.IR.Blocks[c.path[len(c.path)-1]]
 		switch last.Term.Kind {
 		case ir.TermJump:
 			c.append(last.Term.Succs[0])
@@ -164,7 +197,7 @@ func (c *coordinator) onDecision(pos int, branch bool) error {
 	if pos != len(c.path) {
 		return fmt.Errorf("core: decision for position %d, path has %d determined positions", pos, len(c.path))
 	}
-	blk := c.rt.plan.IR.Blocks[c.path[pos-1]]
+	blk := c.plan.IR.Blocks[c.path[pos-1]]
 	if blk.Term.Kind != ir.TermBranch {
 		return fmt.Errorf("core: decision for non-branch block b%d", blk.ID)
 	}
@@ -186,7 +219,7 @@ func (c *coordinator) onCompletion(pos int) error {
 		return fmt.Errorf("core: completion for unknown position %d", pos)
 	}
 	c.completed[pos-1]++
-	expected := c.rt.plan.InstancesPerBlock[c.path[pos-1]]
+	expected := c.plan.InstancesPerBlock[c.path[pos-1]]
 	if c.completed[pos-1] > expected {
 		return fmt.Errorf("core: position %d completed %d times, expected %d", pos, c.completed[pos-1], expected)
 	}
@@ -199,7 +232,7 @@ func (c *coordinator) onCompletion(pos int) error {
 func (c *coordinator) advanceDone() {
 	for c.doneUpTo < len(c.path) {
 		pos := c.doneUpTo + 1
-		if c.completed[pos-1] < c.rt.plan.InstancesPerBlock[c.path[pos-1]] {
+		if c.completed[pos-1] < c.plan.InstancesPerBlock[c.path[pos-1]] {
 			return
 		}
 		c.doneUpTo = pos
@@ -213,27 +246,24 @@ func (c *coordinator) broadcastAllowed() {
 	for c.nBroadcast < len(c.path) {
 		next := c.nBroadcast + 1
 		var barrier time.Duration
-		if !c.rt.opts.Pipelining && next > 1 {
+		if !c.pipelining && next > 1 {
 			if c.doneUpTo < next-1 {
 				return
 			}
 			if c.lin != nil {
 				t0 := time.Now()
-				c.rt.cl.Barrier()
+				c.cp.Barrier()
 				barrier = time.Since(t0)
 			} else {
-				c.rt.cl.Barrier()
+				c.cp.Barrier()
 			}
 		}
 		pos := next
 		final := c.pathFinal && pos == len(c.path) &&
-			c.rt.plan.IR.Blocks[c.path[pos-1]].Term.Kind == ir.TermExit
-		// One control message per machine, as the per-machine control-flow
-		// managers relay the decision (paper: TCP connections independent
-		// of the dataflow edges).
-		for m := 0; m < c.rt.cl.Machines(); m++ {
-			c.rt.cl.CtrlSleep()
-			if c.bcast != nil {
+			c.plan.IR.Blocks[c.path[pos-1]].Term.Kind == ir.TermExit
+		c.cp.Broadcast(PathUpdate{Pos: pos, Block: c.path[pos-1], Final: final})
+		if c.bcast != nil {
+			for m := range c.bcast {
 				c.bcast[m].Inc()
 			}
 		}
@@ -241,7 +271,6 @@ func (c *coordinator) broadcastAllowed() {
 			c.trc.Instant("cfm", "broadcast", c.driverPID, 0,
 				map[string]any{"pos": pos, "block": int(c.path[pos-1]), "final": final})
 		}
-		c.job.Broadcast(pathUpdate{pos: pos, block: c.path[pos-1], final: final})
 		if c.lin != nil {
 			c.lin.Broadcast(pos, int(c.path[pos-1]), final, c.decidedBy[pos-1], barrier)
 		}

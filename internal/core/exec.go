@@ -86,7 +86,7 @@ type runtime struct {
 	cl     *cluster.Cluster
 	opts   Options
 	obs    *obs.Observer
-	events chan coordEvent
+	events chan CoordEvent
 
 	joinBuilds  atomic.Int64
 	maxBuffered atomic.Int64
@@ -136,7 +136,7 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 		cl:     cl,
 		opts:   opts,
 		obs:    opts.Obs,
-		events: make(chan coordEvent, 4096),
+		events: make(chan CoordEvent, 4096),
 	}
 	if opts.Obs != nil {
 		cl.SetObserver(opts.Obs)
@@ -146,8 +146,60 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 		}
 	}
 
-	// Translate the plan into a dataflow job: one vertex per SSA
-	// instruction, one edge per variable reference (paper Sec. 4.3).
+	g, chainedEdges := buildDataflowGraph(rt, plan)
+	job, err := dataflow.NewJob(g, cl, opts.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	job.Observe(opts.Obs)
+	if opts.HTTP != nil {
+		job.EnableIntrospection()
+	}
+	opts.Obs.Lin().Begin()
+	start := time.Now()
+	if err := job.Start(); err != nil {
+		return nil, err
+	}
+	var jv *jobView
+	if opts.HTTP != nil {
+		jv = &jobView{rt: rt, job: job, started: start}
+		opts.HTTP.Register(jv)
+	}
+
+	cp := &simControlPlane{cl: cl, job: job}
+	stop := make(chan struct{})
+	coordDone := make(chan struct{})
+	steps := 0
+	go func() {
+		defer close(coordDone)
+		steps = RunCoordinator(plan, opts, cl.Machines(), rt.events, cp, stop)
+	}()
+
+	err = job.Wait()
+	close(stop)
+	<-coordDone
+	if jv != nil {
+		jv.finish(err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: execution failed: %w", err)
+	}
+	return &Result{
+		Steps:           steps,
+		Duration:        time.Since(start),
+		JoinBuilds:      rt.joinBuilds.Load(),
+		MaxBufferedBags: rt.maxBuffered.Load(),
+		CombineIn:       rt.combineIn.Load(),
+		CombineOut:      rt.combineOut.Load(),
+		ChainedEdges:    chainedEdges,
+		Job:             job.Stats(),
+	}, nil
+}
+
+// buildDataflowGraph translates the plan into a dataflow graph: one vertex
+// per SSA instruction, one edge per variable reference (paper Sec. 4.3).
+// It returns the graph and the number of chained edges.
+func buildDataflowGraph(rt *runtime, plan *Plan) (*dataflow.Graph, int) {
 	var g dataflow.Graph
 	dfOps := make([]*dataflow.Op, len(plan.Ops))
 	for _, pop := range plan.Ops {
@@ -167,51 +219,68 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 			}
 		}
 	}
+	return &g, chainedEdges
+}
 
-	job, err := dataflow.NewJob(&g, cl, opts.BatchSize)
+// simControlPlane runs the control-flow manager against the simulated
+// cluster: broadcasts pay the modeled control-message latency once per
+// machine and land directly in the job's mailboxes.
+type simControlPlane struct {
+	cl  *cluster.Cluster
+	job *dataflow.Job
+}
+
+func (s *simControlPlane) Broadcast(up PathUpdate) {
+	// One control message per machine, as the per-machine control-flow
+	// managers relay the decision (paper: TCP connections independent
+	// of the dataflow edges).
+	for m := 0; m < s.cl.Machines(); m++ {
+		s.cl.CtrlSleep()
+	}
+	s.job.Broadcast(up)
+}
+
+func (s *simControlPlane) Barrier() { s.cl.Barrier() }
+
+func (s *simControlPlane) Stop(err error) { s.job.Stop(err) }
+
+// WorkerJob is one machine's share of a plan, hosted by a worker process of
+// the TCP cluster backend: the partitioned dataflow job plus the stream of
+// control-plane events (decisions, completions) the local operator hosts
+// produce. The worker forwards Events to the coordinator and injects the
+// coordinator's PathUpdates via Job.Broadcast.
+type WorkerJob struct {
+	Job    *dataflow.Job
+	Events <-chan CoordEvent
+
+	rt *runtime
+}
+
+// NewWorkerJob builds machine self's partition of the plan as a dataflow
+// job. Only instances placed on self (instance index mod machines) are
+// hosted; cross-machine edges route through remote. The plan must be built
+// identically on every worker (same source, same options) so operator IDs
+// and placement agree — BuildPlan is deterministic, which is what makes
+// shipping program source instead of serialized plans sound.
+func NewWorkerJob(plan *Plan, st store.Store, machines, self int, opts Options, remote dataflow.Remote) (*WorkerJob, error) {
+	rt := &runtime{
+		plan:   plan,
+		store:  st,
+		opts:   opts,
+		obs:    opts.Obs,
+		events: make(chan CoordEvent, 4096),
+	}
+	g, _ := buildDataflowGraph(rt, plan)
+	job, err := dataflow.NewPartitionedJob(g, machines, self, opts.BatchSize, remote)
 	if err != nil {
 		return nil, err
 	}
 	job.Observe(opts.Obs)
-	if opts.HTTP != nil {
-		job.EnableIntrospection()
-	}
-	opts.Obs.Lin().Begin()
-	start := time.Now()
-	if err := job.Start(); err != nil {
-		return nil, err
-	}
-	var jv *jobView
-	if opts.HTTP != nil {
-		jv = &jobView{rt: rt, job: job, started: start}
-		opts.HTTP.Register(jv)
-	}
+	return &WorkerJob{Job: job, Events: rt.events, rt: rt}, nil
+}
 
-	coord := newCoordinator(rt, job)
-	stop := make(chan struct{})
-	coordDone := make(chan struct{})
-	go func() {
-		defer close(coordDone)
-		coord.run(stop)
-	}()
-
-	err = job.Wait()
-	close(stop)
-	<-coordDone
-	if jv != nil {
-		jv.finish(err)
-	}
-	if err != nil {
-		return nil, fmt.Errorf("core: execution failed: %w", err)
-	}
-	return &Result{
-		Steps:           coord.steps,
-		Duration:        time.Since(start),
-		JoinBuilds:      rt.joinBuilds.Load(),
-		MaxBufferedBags: rt.maxBuffered.Load(),
-		CombineIn:       rt.combineIn.Load(),
-		CombineOut:      rt.combineOut.Load(),
-		ChainedEdges:    chainedEdges,
-		Job:             job.Stats(),
-	}, nil
+// Counters reports the runtime counters accumulated by this worker's hosts
+// (join builds, buffered-bag high-water mark, combiner traffic).
+func (w *WorkerJob) Counters() (joinBuilds, maxBuffered, combineIn, combineOut int64) {
+	return w.rt.joinBuilds.Load(), w.rt.maxBuffered.Load(), w.rt.combineIn.Load(), w.rt.combineOut.Load()
 }

@@ -12,13 +12,14 @@ import (
 	"github.com/mitos-project/mitos/internal/val"
 )
 
-// pathUpdate is the control event the control-flow manager broadcasts to
-// every operator instance when the execution path grows: path position pos
-// (1-based) is block. final marks the exit block.
-type pathUpdate struct {
-	pos   int
-	block ir.BlockID
-	final bool
+// PathUpdate is the control event the control-flow manager broadcasts to
+// every operator instance when the execution path grows: path position Pos
+// (1-based) is Block. Final marks the exit block. The TCP cluster backend
+// relays these over the coordinator connection as wire messages.
+type PathUpdate struct {
+	Pos   int
+	Block ir.BlockID
+	Final bool
 }
 
 // host is the bag operator host (paper Sec. 5): it wraps one physical
@@ -150,16 +151,16 @@ func (h *host) Close() error { return nil }
 
 // OnControl ingests execution-path extensions.
 func (h *host) OnControl(ev any) error {
-	up, ok := ev.(pathUpdate)
+	up, ok := ev.(PathUpdate)
 	if !ok {
 		return nil
 	}
-	if up.pos != len(h.path)+1 {
-		return fmt.Errorf("core: path update %d out of order (have %d)", up.pos, len(h.path))
+	if up.Pos != len(h.path)+1 {
+		return fmt.Errorf("core: path update %d out of order (have %d)", up.Pos, len(h.path))
 	}
-	h.path = append(h.path, up.block)
-	h.occ[up.block] = append(h.occ[up.block], up.pos)
-	if up.final {
+	h.path = append(h.path, up.Block)
+	h.occ[up.Block] = append(h.occ[up.Block], up.Pos)
+	if up.Final {
 		h.final = true
 	}
 	return h.progress()
@@ -371,9 +372,9 @@ func (h *host) finishOutput() error {
 			h.trc.Instant("cfm", "decision", h.machine, h.lane,
 				map[string]any{"pos": run.pos, "branch": run.emitted.AsBool()})
 		}
-		h.rt.events <- coordEvent{kind: evDecision, pos: run.pos, branch: run.emitted.AsBool()}
+		h.rt.events <- CoordEvent{Kind: EvDecision, Pos: run.pos, Branch: run.emitted.AsBool()}
 	}
-	h.rt.events <- coordEvent{kind: evCompletion, pos: run.pos}
+	h.rt.events <- CoordEvent{Kind: EvCompletion, Pos: run.pos}
 	total := 0
 	for i := range h.op.Inputs {
 		buf := &h.inbufs[i]

@@ -16,16 +16,45 @@ import (
 // large enough to amortize per-batch costs.
 const DefaultBatchSize = 128
 
+// Remote ships frames of a partitioned job between worker processes. The
+// TCP cluster backend implements it on top of its peer mesh; the simulated
+// backend never uses it (its transport stays in-process). Implementations
+// take ownership of payload, which comes from the val scratch pool —
+// return it with val.PutScratch after the bytes are on the wire.
+type Remote interface {
+	// SendData ships one serialized batch to machine dest.
+	SendData(dest int, h RemoteHeader, payload []byte, count int)
+	// SendEOB ships one end-of-bag marker to machine dest.
+	SendEOB(dest int, h RemoteHeader, tag Tag)
+}
+
+// RemoteHeader addresses one frame of a partitioned job: the consuming
+// operator and instance, the input slot, and the producing instance index.
+type RemoteHeader struct {
+	Op    OpID
+	Inst  int
+	Input int
+	From  int
+}
+
 // Job is a running (or runnable) physical dataflow. Build the logical
 // Graph, then NewJob, Start, optionally Broadcast control events, and Wait.
+//
+// A job is either whole (NewJob: every instance hosted in this process,
+// cross-machine edges through the simulated transport) or partitioned
+// (NewPartitionedJob: only one machine's instances hosted, cross-machine
+// edges through a Remote implementation).
 type Job struct {
 	graph     *Graph
-	cl        *cluster.Cluster
+	cl        *cluster.Cluster // nil on partitioned jobs
+	machines  int
+	self      int    // hosted machine of a partitioned job; -1 when whole
+	remote    Remote // nil on whole jobs
 	batchSize int
 	obs       *obs.Observer
 
 	insts [][]*instance // [op][instance]
-	tr    *transport    // nil on single-machine clusters
+	tr    *transport    // nil on single-machine clusters and partitioned jobs
 
 	// batchPool recycles batch buffers: remote batches are serialized at
 	// flush, so their element slices return to the pool immediately and
@@ -71,13 +100,34 @@ type JobStats struct {
 // NewJob plans the physical execution of g on cl. batchSize <= 0 selects
 // DefaultBatchSize.
 func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
+	return newJob(g, cl, cl.Machines(), -1, batchSize, nil)
+}
+
+// NewPartitionedJob plans machine self's share of g for a multi-process
+// cluster of the given size: only instances placed on self (instance index
+// mod machines, the same placement NewJob uses through cluster.Place) get
+// a vertex, a mailbox, and an event-loop goroutine. Edges to instances on
+// other machines route outbound through remote; inbound frames are
+// injected with DeliverData and DeliverEOB. The same graph built with the
+// same parameters on every machine yields consistent routing everywhere.
+func NewPartitionedJob(g *Graph, machines, self int, batchSize int, remote Remote) (*Job, error) {
+	if machines < 1 || self < 0 || self >= machines {
+		return nil, fmt.Errorf("dataflow: partitioned job machine %d of %d out of range", self, machines)
+	}
+	if remote == nil && machines > 1 {
+		return nil, fmt.Errorf("dataflow: partitioned job over %d machines needs a Remote", machines)
+	}
+	return newJob(g, nil, machines, self, batchSize, remote)
+}
+
+func newJob(g *Graph, cl *cluster.Cluster, machines, self int, batchSize int, remote Remote) (*Job, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	if batchSize <= 0 {
 		batchSize = DefaultBatchSize
 	}
-	j := &Job{graph: g, cl: cl, batchSize: batchSize}
+	j := &Job{graph: g, cl: cl, machines: machines, self: self, remote: remote, batchSize: batchSize}
 	j.batchPool.New = func() any {
 		b := make([]Element, 0, batchSize)
 		return &b
@@ -92,7 +142,7 @@ func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
 				job:     j,
 				op:      op,
 				idx:     i,
-				machine: cl.Place(i),
+				machine: i % machines,
 				lane:    lane,
 			}
 			insts[i].driver = insts[i]
@@ -117,6 +167,14 @@ func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
 	for _, insts := range j.insts {
 		for _, in := range insts {
 			if in.driver != in {
+				continue
+			}
+			// Partitioned jobs host only their own machine's instances:
+			// instances placed elsewhere get no mailbox (and later no vertex
+			// or goroutine) — they exist only as routing targets. Chained
+			// members always share their driver's machine, so a chain is
+			// hosted or skipped whole.
+			if !j.local(in) {
 				continue
 			}
 			in.mbox = newMailbox()
@@ -153,6 +211,12 @@ func NewJob(g *Graph, cl *cluster.Cluster, batchSize int) (*Job, error) {
 	return j, nil
 }
 
+// local reports whether in is hosted by this process: always on whole
+// jobs, only for instances placed on self on partitioned jobs.
+func (j *Job) local(in *instance) bool {
+	return j.self < 0 || in.machine == j.self
+}
+
 // Observe attaches an observer to the job. Must be called before Start.
 // A nil observer (the default) keeps all instrumentation disabled at the
 // cost of one pointer check per recording site.
@@ -162,11 +226,14 @@ func (j *Job) Observe(o *obs.Observer) {
 		return
 	}
 	reg, trc := o.Reg(), o.Trc()
-	for m := 0; m < j.cl.Machines(); m++ {
+	for m := 0; m < j.machines; m++ {
 		trc.NameProcess(m, fmt.Sprintf("machine %d", m))
 	}
 	for _, insts := range j.insts {
 		for _, in := range insts {
+			if !j.local(in) {
+				continue // a partitioned job reports only its own instances
+			}
 			name := in.op.Name
 			in.trc = trc
 			in.lin = o.Lin()
@@ -209,6 +276,9 @@ func (j *Job) Start() error {
 	// Start reaches every instance.
 	for _, insts := range j.insts {
 		for _, in := range insts {
+			if !j.local(in) {
+				continue
+			}
 			in.vertex = in.op.NewVertex(in.idx)
 			if in.vertex == nil {
 				return fmt.Errorf("dataflow: op %s instance %d: nil vertex", in.op.Name, in.idx)
@@ -219,13 +289,13 @@ func (j *Job) Start() error {
 			}
 		}
 	}
-	if j.cl.Machines() > 1 {
-		j.tr = newTransport(j, j.cl.Machines())
+	if j.cl != nil && j.machines > 1 {
+		j.tr = newTransport(j, j.machines)
 	}
 	for _, insts := range j.insts {
 		for _, in := range insts {
-			if in.driver != in {
-				continue // chain members run on their driver's goroutine
+			if in.driver != in || in.mbox == nil {
+				continue // chain members run on their driver's goroutine; non-local instances nowhere
 			}
 			j.wg.Add(1)
 			go in.loop()
@@ -242,7 +312,7 @@ func (j *Job) Start() error {
 func (j *Job) Broadcast(ev any) {
 	for _, insts := range j.insts {
 		for _, in := range insts {
-			if in.driver == in {
+			if in.driver == in && in.mbox != nil {
 				in.mbox.put(envelope{kind: envControl, ctrl: ev})
 			}
 		}
@@ -258,7 +328,74 @@ func (j *Job) Send(op OpID, inst int, ev any) {
 		return
 	}
 	tgt := j.insts[op][inst]
+	if !j.local(tgt) {
+		j.fail(fmt.Errorf("dataflow: Send to %s[%d] on machine %d, which this partition (machine %d) does not host",
+			tgt.op.Name, inst, tgt.machine, j.self))
+		return
+	}
 	tgt.driver.mbox.put(envelope{kind: envControl, ctrl: ev, dest: tgt})
+}
+
+// DeliverData injects one remote data frame into a partitioned job: the
+// payload (an encodeBatch encoding of count elements) is decoded into a
+// pooled batch and enqueued on the target's mailbox. ack, if non-nil, runs
+// after the batch has been fully processed by the receiving vertex (or
+// immediately if the mailbox is already closed) — the TCP backend returns
+// a flow-control credit from it. A decode or addressing error fails the
+// job and is returned.
+func (j *Job) DeliverData(h RemoteHeader, payload []byte, count int, ack func()) error {
+	tgt, err := j.remoteTarget(h)
+	if err != nil {
+		if ack != nil {
+			ack()
+		}
+		j.fail(err)
+		return err
+	}
+	buf := *j.batchPool.Get().(*[]Element)
+	batch, err := decodeBatch(buf, payload, count)
+	if err != nil {
+		j.batchPool.Put(&buf)
+		if ack != nil {
+			ack()
+		}
+		err = fmt.Errorf("dataflow: remote frame for %s[%d]: %w", tgt.op.Name, tgt.idx, err)
+		j.fail(err)
+		return err
+	}
+	n := int64(len(payload))
+	j.bytesReceived.Add(n)
+	tgt.bytesIn.Add(n)
+	tgt.driver.mbox.put(envelope{kind: envData, input: h.Input, from: h.From, batch: batch, dest: tgt, ack: ack})
+	return nil
+}
+
+// DeliverEOB injects one remote end-of-bag marker into a partitioned job.
+// ack follows the same contract as in DeliverData.
+func (j *Job) DeliverEOB(h RemoteHeader, tag Tag, ack func()) error {
+	tgt, err := j.remoteTarget(h)
+	if err != nil {
+		if ack != nil {
+			ack()
+		}
+		j.fail(err)
+		return err
+	}
+	tgt.driver.mbox.put(envelope{kind: envEOB, input: h.Input, from: h.From, tag: tag, dest: tgt, ack: ack})
+	return nil
+}
+
+// remoteTarget resolves and validates the addressee of an inbound frame.
+func (j *Job) remoteTarget(h RemoteHeader) (*instance, error) {
+	if int(h.Op) < 0 || int(h.Op) >= len(j.insts) || h.Inst < 0 || h.Inst >= len(j.insts[h.Op]) {
+		return nil, fmt.Errorf("dataflow: remote frame for unknown instance: op %d instance %d", h.Op, h.Inst)
+	}
+	tgt := j.insts[h.Op][h.Inst]
+	if !j.local(tgt) || tgt.driver.mbox == nil {
+		return nil, fmt.Errorf("dataflow: remote frame for %s[%d] on machine %d, not hosted by machine %d",
+			tgt.op.Name, h.Inst, tgt.machine, j.self)
+	}
+	return tgt, nil
 }
 
 // Stop ends the job. Pending mailbox contents are still delivered before
@@ -444,6 +581,13 @@ func (in *instance) loop() {
 				}
 			}
 		}
+		if env.ack != nil {
+			// Remote frames of a partitioned job are acknowledged only after
+			// the vertex fully processed them — the TCP backend returns a
+			// flow-control credit here, so the sender's window measures
+			// unprocessed frames, not merely undelivered ones.
+			env.ack()
+		}
 		if err != nil {
 			in.job.fail(fmt.Errorf("dataflow: %s[%d]: %w", dst.op.Name, dst.idx, err))
 			break
@@ -593,11 +737,20 @@ func (c *Context) flush(oe *outEdge, target int) {
 			in.trc.Instant("net", "shuffle_batch", in.machine, in.lane,
 				map[string]any{"to": tgt.machine, "op": tgt.op.Name, "elements": len(buf), "bytes": nbytes})
 		}
-		in.job.tr.send(frame{
-			sender: in, target: tgt, kind: envData,
-			input: oe.input, from: in.idx,
-			payload: payload, count: len(buf),
-		})
+		if in.job.remote != nil {
+			// Partitioned job: the Remote takes payload ownership; it may
+			// block on flow control, which is the backpressure that bounds
+			// sender memory on the TCP backend.
+			in.job.remote.SendData(tgt.machine,
+				RemoteHeader{Op: tgt.op.ID, Inst: tgt.idx, Input: oe.input, From: in.idx},
+				payload, len(buf))
+		} else {
+			in.job.tr.send(frame{
+				sender: in, target: tgt, kind: envData,
+				input: oe.input, from: in.idx,
+				payload: payload, count: len(buf),
+			})
+		}
 		for i := range buf {
 			buf[i] = Element{} // release value references before pooling
 		}
@@ -652,9 +805,14 @@ func (c *Context) EmitEOB(tag Tag) {
 func (c *Context) sendEOB(oe *outEdge, target int, tag Tag) {
 	tgt := oe.targets[target]
 	if tgt.machine != c.inst.machine {
-		// EOB envelopes ride the same egress queue as the data they
-		// terminate, preserving the per-(producer, consumer, input) order
-		// the bag protocol depends on.
+		// EOB envelopes ride the same egress queue (or peer connection) as
+		// the data they terminate, preserving the per-(producer, consumer,
+		// input) order the bag protocol depends on.
+		if c.inst.job.remote != nil {
+			c.inst.job.remote.SendEOB(tgt.machine,
+				RemoteHeader{Op: tgt.op.ID, Inst: tgt.idx, Input: oe.input, From: c.inst.idx}, tag)
+			return
+		}
 		c.inst.job.tr.send(frame{
 			sender: c.inst, target: tgt, kind: envEOB,
 			input: oe.input, from: c.inst.idx, tag: tag,

@@ -43,6 +43,10 @@ type envelope struct {
 	// on dest. A nil dest on a control envelope means "every member of the
 	// chain" (Job.Broadcast).
 	dest *instance
+	// ack, when non-nil, runs once the envelope has been processed by the
+	// receiving vertex — or immediately on a post-close drop, so a remote
+	// sender's flow-control credits are never stranded by shutdown.
+	ack func()
 }
 
 func newMailbox() *mailbox {
@@ -61,10 +65,14 @@ func (m *mailbox) put(e envelope) {
 			m.hwm = len(m.queue)
 		}
 		m.cond.Signal()
-	} else {
-		m.dropped++
+		m.mu.Unlock()
+		return
 	}
+	m.dropped++
 	m.mu.Unlock()
+	if e.ack != nil {
+		e.ack()
+	}
 }
 
 // take dequeues the next envelope, blocking until one is available or the

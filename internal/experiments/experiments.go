@@ -917,7 +917,7 @@ func CritPath(o Options) (*Table, error) {
 
 // All runs every experiment in figure order.
 func All(o Options) ([]*Table, error) {
-	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine, Chain, CritPath}
+	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine, Chain, CritPath, TCPCluster}
 	var out []*Table
 	for _, f := range funcs {
 		t, err := f(o)

@@ -1,0 +1,585 @@
+package netcluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/dataflow"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+)
+
+// The coordinator side of the backend: accept worker registrations, assign
+// machine IDs, establish the session, then run jobs — ship the program and
+// inputs, drive the control-flow manager (core.RunCoordinator) over a TCP
+// ControlPlane, detect worker failure by heartbeat timeout or connection
+// loss, and merge the workers' results.
+
+// CoordConfig configures a coordinator.
+type CoordConfig struct {
+	// Listen is the control-plane listen address. Ignored when Listener
+	// is set.
+	Listen string
+	// Listener, when non-nil, is a pre-bound control-plane listener. In-
+	// process harnesses use it to learn the port before workers dial.
+	Listener net.Listener
+	// Workers is the cluster size: Listen blocks until this many register.
+	Workers int
+	// HeartbeatInterval is how often workers report liveness
+	// (default 250ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout is how long a silent worker stays trusted before
+	// the session fails naming it (default 10x the interval).
+	HeartbeatTimeout time.Duration
+	// CreditWindow is the per-channel in-flight frame cap on the workers'
+	// peer links (default DefaultCreditWindow).
+	CreditWindow int
+	// SetupTimeout bounds registration and meshing (default 60s).
+	SetupTimeout time.Duration
+}
+
+func (cfg *CoordConfig) defaults() {
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = 250 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 10 * cfg.HeartbeatInterval
+	}
+	if cfg.CreditWindow <= 0 {
+		cfg.CreditWindow = DefaultCreditWindow
+	}
+	if cfg.SetupTimeout <= 0 {
+		cfg.SetupTimeout = 60 * time.Second
+	}
+}
+
+// NamedStore is a dataset store that can enumerate its datasets. The
+// coordinator ships every named dataset to the workers as job input.
+// store.MemStore and dfs.Store both satisfy it.
+type NamedStore interface {
+	store.Store
+	Names() []string
+}
+
+// Result reports one job run on the TCP backend.
+type Result struct {
+	// Steps is the execution path length.
+	Steps int
+	// Duration is the wall-clock job time, measured at the coordinator
+	// from job shipment to the last worker result.
+	Duration time.Duration
+	// Job sums the workers' engine transfer counters.
+	Job dataflow.JobStats
+	// JoinBuilds, CombineIn, CombineOut sum the workers' host counters;
+	// MaxBufferedBags is the maximum across workers.
+	JoinBuilds      int64
+	MaxBufferedBags int64
+	CombineIn       int64
+	CombineOut      int64
+	// SocketBytes is the total data-plane traffic (sum of every peer
+	// link's bytes written) — the real-wire analogue of Job.BytesSent,
+	// which counts only encoded batch payloads.
+	SocketBytes int64
+	// CreditStalls counts emits that blocked on an exhausted flow-control
+	// window; CreditStallTime is the total time senders spent blocked.
+	CreditStalls    int64
+	CreditStallTime time.Duration
+	// PeerLinks reports each worker's per-peer link counters.
+	PeerLinks [][]PeerStat
+}
+
+// Coordinator is an established TCP cluster session. One coordinator can
+// run several jobs sequentially against the same set of workers.
+type Coordinator struct {
+	cfg     CoordConfig
+	ln      net.Listener
+	workers []*workerConn
+
+	events   chan core.CoordEvent
+	readyc   chan int
+	resultc  chan workerResult
+	barrierc chan int
+
+	errOnce sync.Once
+	err     error
+	failed  chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	barrierSeq int
+	running    atomic.Bool
+	monStop    chan struct{}
+}
+
+type workerConn struct {
+	id   int
+	conn net.Conn
+	addr string // data-plane address the worker registered
+
+	wmu sync.Mutex
+
+	lastBeat atomic.Int64 // unix nanos of the last message received
+}
+
+type workerResult struct {
+	id  int
+	msg ResultMsg
+}
+
+// Listen starts a coordinator: it accepts cfg.Workers registrations,
+// assigns machine IDs in arrival order, distributes the peer table, and
+// waits for the full mesh. On return the session is live and Run can be
+// called.
+func Listen(cfg CoordConfig) (*Coordinator, error) {
+	cfg.defaults()
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("netcluster: coordinator needs at least 1 worker, got %d", cfg.Workers)
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("netcluster: coordinator listen: %w", err)
+		}
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		ln:       ln,
+		events:   make(chan core.CoordEvent, 4096),
+		readyc:   make(chan int, cfg.Workers),
+		resultc:  make(chan workerResult, cfg.Workers),
+		barrierc: make(chan int, cfg.Workers),
+		failed:   make(chan struct{}),
+		monStop:  make(chan struct{}),
+	}
+	deadline := time.Now().Add(cfg.SetupTimeout)
+	for i := 0; i < cfg.Workers; i++ {
+		w, err := c.acceptWorker(deadline, i)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.workers = append(c.workers, w)
+	}
+	addrs := make([]string, cfg.Workers)
+	for i, w := range c.workers {
+		addrs[i] = w.addr
+	}
+	for _, w := range c.workers {
+		a := Assign{ID: w.id, Workers: cfg.Workers, Peers: addrs,
+			HeartbeatMillis: int(cfg.HeartbeatInterval / time.Millisecond),
+			CreditWindow:    cfg.CreditWindow}
+		if err := c.sendTo(w, MsgAssign, AppendAssign(nil, a)); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netcluster: assigning worker %d: %w", w.id, err)
+		}
+	}
+	for _, w := range c.workers {
+		c.wg.Add(1)
+		go c.readWorker(w)
+	}
+	ready := make(map[int]bool, cfg.Workers)
+	setup := time.NewTimer(cfg.SetupTimeout)
+	defer setup.Stop()
+	for len(ready) < cfg.Workers {
+		select {
+		case id := <-c.readyc:
+			ready[id] = true
+		case <-c.failed:
+			err := c.err
+			c.Close()
+			return nil, err
+		case <-setup.C:
+			c.Close()
+			return nil, fmt.Errorf("netcluster: %d/%d workers meshed within %v", len(ready), cfg.Workers, cfg.SetupTimeout)
+		}
+	}
+	now := time.Now().UnixNano()
+	for _, w := range c.workers {
+		w.lastBeat.Store(now)
+	}
+	c.wg.Add(1)
+	go c.monitor()
+	return c, nil
+}
+
+// acceptWorker completes one registration handshake.
+func (c *Coordinator) acceptWorker(deadline time.Time, id int) (*workerConn, error) {
+	if d, ok := c.ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(deadline)
+	}
+	conn, err := c.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("netcluster: waiting for worker %d of %d: %w", id+1, c.cfg.Workers, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	conn.SetReadDeadline(deadline)
+	defer conn.SetReadDeadline(time.Time{})
+	var buf []byte
+	typ, body, buf, err := ReadMsg(conn, buf)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("netcluster: worker %d handshake: %w", id, err)
+	}
+	if typ != MsgHello {
+		conn.Close()
+		return nil, fmt.Errorf("netcluster: worker %d sent %#x before hello", id, typ)
+	}
+	h, err := DecodeHello(body)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if h.Role != RoleWorker {
+		conn.Close()
+		return nil, fmt.Errorf("netcluster: connection with role %d on the coordinator port", h.Role)
+	}
+	typ, body, _, err = ReadMsg(conn, buf)
+	if err != nil || typ != MsgRegister {
+		conn.Close()
+		return nil, fmt.Errorf("netcluster: worker %d did not register (msg %#x, err %v)", id, typ, err)
+	}
+	reg, err := DecodeRegister(body)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &workerConn{id: id, conn: conn, addr: reg.DataAddr}, nil
+}
+
+// fail records the first session error and closes every worker connection
+// so readers, workers, and any Run in progress all unwind.
+func (c *Coordinator) fail(err error) {
+	c.errOnce.Do(func() {
+		c.err = err
+		close(c.failed)
+		for _, w := range c.workers {
+			w.conn.Close()
+		}
+	})
+}
+
+// Err returns the session's fatal error, if any.
+func (c *Coordinator) Err() error {
+	select {
+	case <-c.failed:
+		return c.err
+	default:
+		return nil
+	}
+}
+
+// Close shuts the session down: workers see the connection close and exit
+// cleanly (between jobs) or fail their current job (mid-job). A Run in
+// progress returns an error rather than waiting for results that will
+// never come.
+func (c *Coordinator) Close() {
+	c.closed.Store(true)
+	c.fail(errors.New("netcluster: session closed"))
+	select {
+	case <-c.monStop:
+	default:
+		close(c.monStop)
+	}
+	for _, w := range c.workers {
+		w.conn.Close()
+	}
+	c.ln.Close()
+	c.wg.Wait()
+}
+
+func (c *Coordinator) sendTo(w *workerConn, typ byte, body []byte) error {
+	w.wmu.Lock()
+	err := WriteMsg(w.conn, typ, body)
+	w.wmu.Unlock()
+	return err
+}
+
+// broadcast sends one control message to every worker; a write failure
+// fails the session naming the worker.
+func (c *Coordinator) broadcast(typ byte, body []byte) {
+	for _, w := range c.workers {
+		if err := c.sendTo(w, typ, body); err != nil {
+			if !c.closed.Load() {
+				c.fail(fmt.Errorf("netcluster: worker %d (%s) lost: control send failed: %w", w.id, w.addr, err))
+			}
+			return
+		}
+	}
+}
+
+// readWorker drains one worker's control connection for the session.
+func (c *Coordinator) readWorker(w *workerConn) {
+	defer c.wg.Done()
+	br := bufio.NewReader(w.conn)
+	var buf []byte
+	for {
+		typ, body, nbuf, err := ReadMsg(br, buf)
+		buf = nbuf
+		if err != nil {
+			if !c.closed.Load() {
+				c.fail(fmt.Errorf("netcluster: worker %d (%s) lost: connection closed: %w", w.id, w.addr, err))
+			}
+			return
+		}
+		// Any traffic proves liveness; heartbeats exist so that an idle
+		// worker still produces traffic.
+		w.lastBeat.Store(time.Now().UnixNano())
+		switch typ {
+		case MsgReady:
+			c.readyc <- w.id
+		case MsgHeartbeat:
+		case MsgEvent:
+			ev, err := DecodeEvent(body)
+			if err != nil {
+				c.fail(fmt.Errorf("netcluster: worker %d: corrupt event: %w", w.id, err))
+				return
+			}
+			select {
+			case c.events <- core.CoordEvent{Kind: core.CoordEventKind(ev.Kind), Pos: ev.Pos, Branch: ev.Branch}:
+			case <-c.failed:
+				return
+			}
+		case MsgBarrierAck:
+			m, err := DecodeBarrier(body)
+			if err != nil {
+				c.fail(fmt.Errorf("netcluster: worker %d: corrupt barrier ack: %w", w.id, err))
+				return
+			}
+			select {
+			case c.barrierc <- m.Seq:
+			case <-c.failed:
+				return
+			}
+		case MsgResult:
+			r, err := DecodeResult(body)
+			if err != nil {
+				c.fail(fmt.Errorf("netcluster: worker %d: corrupt result: %w", w.id, err))
+				return
+			}
+			select {
+			case c.resultc <- workerResult{id: w.id, msg: r}:
+			case <-c.failed:
+				return
+			}
+		case MsgError:
+			m, _ := DecodeError(body)
+			c.fail(fmt.Errorf("netcluster: worker %d (%s) failed: %s", w.id, w.addr, m.Msg))
+			return
+		default:
+			c.fail(fmt.Errorf("netcluster: worker %d sent unexpected message %#x", w.id, typ))
+			return
+		}
+	}
+}
+
+// monitor fails the session when a worker goes silent past the heartbeat
+// timeout — the no-hang guarantee when a worker process wedges rather
+// than dies (a dead process closes its connection, which is detected
+// immediately by readWorker).
+func (c *Coordinator) monitor() {
+	defer c.wg.Done()
+	tick := c.cfg.HeartbeatTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			now := time.Now().UnixNano()
+			for _, w := range c.workers {
+				silent := time.Duration(now - w.lastBeat.Load())
+				if silent > c.cfg.HeartbeatTimeout {
+					c.fail(fmt.Errorf("netcluster: worker %d (%s) lost: no heartbeat for %v (timeout %v)",
+						w.id, w.addr, silent.Round(time.Millisecond), c.cfg.HeartbeatTimeout))
+					return
+				}
+			}
+		case <-c.monStop:
+			return
+		case <-c.failed:
+			return
+		}
+	}
+}
+
+// tcpControlPlane drives the workers from core.RunCoordinator.
+type tcpControlPlane struct {
+	c          *Coordinator
+	finishOnce sync.Once
+}
+
+func (cp *tcpControlPlane) Broadcast(up core.PathUpdate) {
+	cp.c.broadcast(MsgPathUpdate, AppendPathUpdate(nil, PathUpdateMsg{Pos: up.Pos, Block: int(up.Block), Final: up.Final}))
+}
+
+// Barrier performs a real superstep barrier: one round trip to every
+// worker. The coordinator only raises it when all completions for the
+// fenced positions are already in, so an ack means "drained".
+func (cp *tcpControlPlane) Barrier() {
+	c := cp.c
+	c.barrierSeq++
+	seq := c.barrierSeq
+	c.broadcast(MsgBarrier, AppendBarrier(nil, BarrierMsg{Seq: seq}))
+	for acks := 0; acks < len(c.workers); {
+		select {
+		case got := <-c.barrierc:
+			if got == seq {
+				acks++
+			}
+		case <-c.failed:
+			return
+		}
+	}
+}
+
+func (cp *tcpControlPlane) Stop(err error) {
+	if err != nil {
+		cp.c.fail(err)
+		return
+	}
+	cp.finishOnce.Do(func() {
+		cp.c.broadcast(MsgFinish, []byte{0})
+	})
+}
+
+// Run executes one program on the session: ship source and inputs, drive
+// the control flow, collect the workers' results, write their output
+// datasets back into st, and return the merged stats. Options follow
+// core.Options semantics; Parallelism 0 selects one instance per worker.
+func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (*Result, error) {
+	if err := c.Err(); err != nil {
+		return nil, err
+	}
+	if !c.running.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("netcluster: coordinator already running a job")
+	}
+	defer c.running.Store(false)
+	par := opts.Parallelism
+	if par == 0 {
+		par = c.cfg.Workers
+	}
+	// Compile and plan locally: the coordinator needs the plan for the
+	// control-flow manager (block structure, instances per block); the
+	// workers rebuild the identical plan from the same source.
+	prog, err := lang.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := lang.Check(prog); err != nil {
+		return nil, err
+	}
+	ssa, err := ir.CompileToSSA(prog)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := core.BuildPlan(ssa, par)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Combiners {
+		plan.InsertCombiners()
+	}
+	if opts.Chaining {
+		plan.BuildChains()
+	}
+	names := st.Names()
+	sort.Strings(names)
+	datasets := make([]Dataset, 0, len(names))
+	for _, name := range names {
+		elems, err := st.ReadDataset(name)
+		if err != nil {
+			return nil, fmt.Errorf("netcluster: reading input dataset %q: %w", name, err)
+		}
+		datasets = append(datasets, Dataset{Name: name, Elems: elems})
+	}
+	spec := JobSpec{
+		Source:      source,
+		Parallelism: par,
+		BatchSize:   opts.BatchSize,
+		Pipelining:  opts.Pipelining,
+		Hoisting:     opts.Hoisting,
+		Combiners:    opts.Combiners,
+		Chaining:     opts.Chaining,
+		Datasets:     datasets,
+	}
+	start := time.Now()
+	c.broadcast(MsgJob, AppendJobSpec(nil, spec))
+
+	cp := &tcpControlPlane{c: c}
+	stop := make(chan struct{})
+	coordDone := make(chan struct{})
+	steps := 0
+	go func() {
+		defer close(coordDone)
+		steps = core.RunCoordinator(plan, opts, c.cfg.Workers, c.events, cp, stop)
+	}()
+
+	results := make([]*ResultMsg, c.cfg.Workers)
+	for got := 0; got < c.cfg.Workers; {
+		select {
+		case r := <-c.resultc:
+			if results[r.id] == nil {
+				msg := r.msg
+				results[r.id] = &msg
+				got++
+			}
+		case <-c.failed:
+			close(stop)
+			<-coordDone
+			return nil, c.err
+		}
+	}
+	close(stop)
+	<-coordDone
+	out := &Result{Steps: steps, Duration: time.Since(start), PeerLinks: make([][]PeerStat, len(results))}
+	for id, r := range results {
+		out.Job.ElementsSent += r.Stats.ElementsSent
+		out.Job.ElementsChained += r.Stats.ElementsChained
+		out.Job.BatchesSent += r.Stats.BatchesSent
+		out.Job.RemoteBatches += r.Stats.RemoteBatches
+		out.Job.BytesSent += r.Stats.BytesSent
+		out.Job.BytesReceived += r.Stats.BytesReceived
+		out.Job.MailboxDropped += r.Stats.MailboxDropped
+		out.JoinBuilds += r.JoinBuilds
+		out.MaxBufferedBags = max(out.MaxBufferedBags, r.MaxBuffered)
+		out.CombineIn += r.CombineIn
+		out.CombineOut += r.CombineOut
+		out.PeerLinks[id] = r.Peers
+		for _, p := range r.Peers {
+			out.SocketBytes += p.BytesOut
+			out.CreditStalls += p.CreditStalls
+			out.CreditStallTime += time.Duration(p.StallNanos)
+		}
+		for _, ds := range r.Datasets {
+			if err := st.WriteDataset(ds.Name, ds.Elems); err != nil {
+				return nil, fmt.Errorf("netcluster: merging output dataset %q: %w", ds.Name, err)
+			}
+		}
+	}
+	if opts.Obs != nil {
+		reg := opts.Obs.Reg()
+		for id, links := range out.PeerLinks {
+			for _, p := range links {
+				reg.Counter(id, "netcluster", "socket_bytes_out").Add(p.BytesOut)
+				reg.Counter(id, "netcluster", "socket_bytes_in").Add(p.BytesIn)
+				reg.Counter(id, "netcluster", "credit_stalls").Add(p.CreditStalls)
+				reg.Counter(id, "netcluster", "credit_stall_nanos").Add(p.StallNanos)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,253 @@
+package netcluster
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/workload"
+)
+
+// TestMain doubles as the worker process for the multi-process tests: when
+// MITOS_WORKER_COORD is set, the re-executed test binary is a worker, not
+// a test run.
+func TestMain(m *testing.M) {
+	if addr := os.Getenv("MITOS_WORKER_COORD"); addr != "" {
+		if err := Serve(WorkerConfig{Coord: addr}, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "worker: %v\n", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// spawnWorkers re-execs the test binary n times as worker processes
+// pointed at addr.
+func spawnWorkers(t *testing.T, n int, addr string) []*exec.Cmd {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cmds []*exec.Cmd
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(exe)
+		cmd.Env = append(os.Environ(), "MITOS_WORKER_COORD="+addr)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds = append(cmds, cmd)
+	}
+	t.Cleanup(func() {
+		for _, cmd := range cmds {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmds
+}
+
+func listenLoopback(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+// TestMultiProcessRun is the happy path across real process boundaries:
+// coordinator in the test process, three forked workers, visitcount output
+// identical to the simulated backend.
+func TestMultiProcessRun(t *testing.T) {
+	ln := listenLoopback(t)
+	spawnWorkers(t, 3, ln.Addr().String())
+	c, err := Listen(CoordConfig{Listener: ln, Workers: 3, SetupTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	spec := workload.VisitCountSpec{Days: 6, VisitsPerDay: 150, Pages: 40, WithDiff: true, Seed: 17}
+	tcpStore := store.NewMemStore()
+	if err := spec.Generate(tcpStore); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(spec.Script(), tcpStore, core.DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+
+	simStore := store.NewMemStore()
+	if err := spec.Generate(simStore); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, spec.Script(), simStore, 3, core.DefaultOptions())
+	diffStores(t, simStore, tcpStore)
+}
+
+// TestWorkerCrashMidJob SIGKILLs one worker process while a long job is
+// running. The coordinator must fail the job promptly (well within the
+// heartbeat timeout — a dying process closes its sockets), the returned
+// error must name the dead worker, and the coordinator must not leak
+// goroutines.
+func TestWorkerCrashMidJob(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ln := listenLoopback(t)
+	cmds := spawnWorkers(t, 3, ln.Addr().String())
+	c, err := Listen(CoordConfig{Listener: ln, Workers: 3,
+		HeartbeatInterval: 50 * time.Millisecond, HeartbeatTimeout: 2 * time.Second,
+		SetupTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A step loop long enough that the kill lands mid-job: each step costs
+	// at least one control round trip per worker.
+	type runResult struct {
+		res *Result
+		err error
+	}
+	done := make(chan runResult, 1)
+	go func() {
+		st := store.NewMemStore()
+		res, err := c.Run(workload.StepLoopScript(50000), st, core.DefaultOptions())
+		done <- runResult{res, err}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	victim := cmds[1]
+	if err := victim.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	killedAt := time.Now()
+
+	select {
+	case r := <-done:
+		if r.err == nil {
+			t.Fatalf("job succeeded (%+v) despite killed worker — kill landed after completion?", r.res)
+		}
+		detect := time.Since(killedAt)
+		// Machine IDs follow registration arrival order, not spawn order,
+		// so assert a worker is named without pinning which.
+		if !strings.Contains(r.err.Error(), "worker ") || !strings.Contains(r.err.Error(), "lost") {
+			t.Errorf("error does not name the dead worker: %v", r.err)
+		}
+		if detect > 2*time.Second {
+			t.Errorf("failure detected after %v, beyond the heartbeat timeout", detect)
+		}
+		t.Logf("detected in %v: %v", detect, r.err)
+	case <-time.After(20 * time.Second):
+		t.Fatal("job hung after worker kill")
+	}
+
+	c.Close()
+	// The surviving workers exit once the coordinator closes their
+	// connections; goroutines must drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	buf := make([]byte, 64<<10)
+	t.Errorf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(),
+		buf[:runtime.Stack(buf, true)])
+}
+
+// TestHeartbeatTimeout exercises the timeout path itself with a fake
+// worker that completes the handshake but then goes silent (a wedged
+// process rather than a dead one: the socket stays open, so only the
+// heartbeat monitor can catch it).
+func TestHeartbeatTimeout(t *testing.T) {
+	ln := listenLoopback(t)
+	fakeDone := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", ln.Addr().String())
+		if err != nil {
+			fakeDone <- err
+			return
+		}
+		defer conn.Close()
+		if err := WriteMsg(conn, MsgHello, AppendHello(nil, Hello{Role: RoleWorker})); err != nil {
+			fakeDone <- err
+			return
+		}
+		if err := WriteMsg(conn, MsgRegister, AppendRegister(nil, Register{DataAddr: "127.0.0.1:1"})); err != nil {
+			fakeDone <- err
+			return
+		}
+		var buf []byte
+		typ, _, _, err := ReadMsg(conn, buf) // Assign
+		if err != nil || typ != MsgAssign {
+			fakeDone <- fmt.Errorf("expected assign, got %#x err %v", typ, err)
+			return
+		}
+		if err := WriteMsg(conn, MsgReady, []byte{0}); err != nil {
+			fakeDone <- err
+			return
+		}
+		fakeDone <- nil
+		// ... and never heartbeat. Hold the connection open until the
+		// coordinator gives up on us.
+		ReadMsg(conn, nil)
+	}()
+
+	c, err := Listen(CoordConfig{Listener: ln, Workers: 1,
+		HeartbeatInterval: 25 * time.Millisecond, HeartbeatTimeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := <-fakeDone; err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := c.Err(); err != nil {
+			if !strings.Contains(err.Error(), "no heartbeat") || !strings.Contains(err.Error(), "worker 0") {
+				t.Errorf("unexpected failure: %v", err)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("silent worker never triggered the heartbeat timeout")
+}
+
+// TestWorkerCrashBeforeJob: the session is up, a worker dies while idle,
+// and the next Run must fail fast instead of hanging.
+func TestWorkerCrashBeforeJob(t *testing.T) {
+	ln := listenLoopback(t)
+	cmds := spawnWorkers(t, 2, ln.Addr().String())
+	c, err := Listen(CoordConfig{Listener: ln, Workers: 2, SetupTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	cmds[0].Process.Signal(syscall.SIGKILL)
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && c.Err() == nil {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "worker ") {
+		t.Fatalf("session error after idle kill = %v", err)
+	}
+	st := store.NewMemStore()
+	if _, err := c.Run(workload.StepLoopScript(3), st, core.DefaultOptions()); err == nil {
+		t.Fatal("Run on a failed session succeeded")
+	}
+}

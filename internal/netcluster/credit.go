@@ -1,0 +1,114 @@
+package netcluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Credit-based per-edge flow control (the discipline Flink uses on its
+// network stack): each (consumer op, consumer instance, input slot,
+// producer instance) channel on a peer link starts with window credits.
+// Sending a data or EOB frame consumes one; the receiver returns it only
+// after the consuming vertex has fully processed the frame. A producer
+// whose window is exhausted blocks in acquire — so a slow consumer bounds
+// the sender's in-flight memory at window frames per channel instead of
+// growing an egress queue without bound.
+//
+// Caveat, documented in DESIGN.md: blocking producers reintroduces the
+// deadlock hazard that made the in-process mailboxes unbounded. Receivers
+// never stop draining (vertices buffer inputs unconditionally and credits
+// are returned from the event loop after each frame), which breaks the
+// cycle in practice for every plan the compiler emits; the window is
+// configurable for workloads that need more headroom.
+
+// chanKey identifies one flow-controlled channel on a peer link.
+type chanKey struct {
+	op, inst, input, from int
+}
+
+// credits is the sender-side credit table of one peer link.
+type credits struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	window int
+	avail  map[chanKey]int // missing key = full window
+	closed bool
+
+	inFlight    int // frames sent but not yet acknowledged, across channels
+	maxInFlight int // high-water mark; the slow-consumer test's evidence
+
+	stalls     atomic.Int64
+	stallNanos atomic.Int64
+}
+
+func newCredits(window int) *credits {
+	c := &credits{window: window, avail: make(map[chanKey]int)}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// acquire takes one credit for k, blocking while the window is exhausted.
+// It reports false once the table is closed (session teardown): the frame
+// must then be dropped, not sent.
+func (c *credits) acquire(k chanKey) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.avail[k]
+	if !ok {
+		a = c.window
+	}
+	stalled := false
+	var t0 time.Time
+	for a == 0 && !c.closed {
+		if !stalled {
+			stalled = true
+			t0 = time.Now()
+			c.stalls.Add(1)
+		}
+		c.cond.Wait()
+		if a, ok = c.avail[k]; !ok {
+			a = c.window
+		}
+	}
+	if stalled {
+		c.stallNanos.Add(time.Since(t0).Nanoseconds())
+	}
+	if c.closed {
+		return false
+	}
+	c.avail[k] = a - 1
+	c.inFlight++
+	if c.inFlight > c.maxInFlight {
+		c.maxInFlight = c.inFlight
+	}
+	return true
+}
+
+// grant returns n credits for k (the receiver processed n frames).
+func (c *credits) grant(k chanKey, n int) {
+	c.mu.Lock()
+	a, ok := c.avail[k]
+	if !ok {
+		a = c.window
+	}
+	c.avail[k] = a + n
+	c.inFlight -= n
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// close releases every blocked acquire; subsequent acquires fail fast.
+func (c *credits) close() {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// maxWindowUsed returns the in-flight high-water mark across channels.
+func (c *credits) maxWindowUsed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxInFlight
+}

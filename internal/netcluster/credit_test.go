@@ -1,0 +1,113 @@
+package netcluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/workload"
+)
+
+// TestCreditWindowBoundsInFlight is the slow-consumer memory bound in
+// miniature: a fast producer acquiring credits against a consumer that
+// grants them back slowly. The producer must block — never exceeding the
+// window — and the in-flight high-water mark is exactly the window, not
+// the number of frames produced.
+func TestCreditWindowBoundsInFlight(t *testing.T) {
+	const window, frames = 4, 200
+	c := newCredits(window)
+	k := chanKey{op: 1, inst: 0, input: 0, from: 0}
+
+	granted := make(chan struct{}, frames)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // slow consumer: returns one credit per millisecond
+		defer wg.Done()
+		for i := 0; i < frames; i++ {
+			<-granted
+			time.Sleep(time.Millisecond)
+			c.grant(k, 1)
+		}
+	}()
+	for i := 0; i < frames; i++ {
+		if !c.acquire(k) {
+			t.Fatal("acquire failed on open table")
+		}
+		granted <- struct{}{}
+	}
+	wg.Wait()
+
+	if got := c.maxWindowUsed(); got > window {
+		t.Errorf("in-flight high-water mark %d exceeds window %d", got, window)
+	}
+	if c.stalls.Load() == 0 {
+		t.Error("fast producer against slow consumer never stalled")
+	}
+	c.mu.Lock()
+	inFlight := c.inFlight
+	c.mu.Unlock()
+	if inFlight != 0 {
+		t.Errorf("%d frames still in flight after all grants", inFlight)
+	}
+}
+
+func TestCreditCloseReleasesWaiters(t *testing.T) {
+	c := newCredits(1)
+	k := chanKey{op: 1}
+	if !c.acquire(k) {
+		t.Fatal("first acquire failed")
+	}
+	done := make(chan bool)
+	go func() { done <- c.acquire(k) }() // blocks: window exhausted
+	time.Sleep(10 * time.Millisecond)
+	c.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("acquire succeeded on closed table")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not release the blocked acquire")
+	}
+	if c.acquire(k) {
+		t.Error("acquire after close succeeded")
+	}
+}
+
+// TestTCPTinyCreditWindow runs a shuffle-heavy job with a window of 1
+// frame per channel: every second frame on a channel must wait for the
+// previous one's processing ack, so stalls are guaranteed — and the job
+// must still complete with correct results (no flow-control deadlock).
+func TestTCPTinyCreditWindow(t *testing.T) {
+	spec := workload.VisitCountSpec{Days: 6, VisitsPerDay: 300, Pages: 60, WithDiff: true, Seed: 8}
+	opts := core.DefaultOptions()
+	opts.BatchSize = 4 // many small frames
+	diffTCPvsSim(t, spec.Script(), spec.Generate, 3, opts, 1)
+}
+
+// TestTCPSmallWindowStalls checks the observable: with a 1-frame window
+// and tiny batches the stall counters must fire.
+func TestTCPSmallWindowStalls(t *testing.T) {
+	c, cleanup, err := StartLocal(2, CoordConfig{CreditWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	spec := workload.VisitCountSpec{Days: 6, VisitsPerDay: 400, Pages: 80, WithDiff: true, Seed: 6}
+	st := store.NewMemStore()
+	if err := spec.Generate(st); err != nil {
+		t.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.BatchSize = 2
+	res, err := c.Run(spec.Script(), st, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CreditStalls == 0 {
+		t.Error("window=1 with batch=2 never stalled a sender")
+	}
+	t.Logf("stalls=%d stall_time=%v frames", res.CreditStalls, res.CreditStallTime)
+}

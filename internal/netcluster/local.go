@@ -1,0 +1,56 @@
+package netcluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// StartLocal starts a coordinator plus n in-process workers connected over
+// real loopback TCP — the complete wire path (handshake, plan shipment,
+// peer mesh, credit flow control) without separate processes. Tests, the
+// benchmark harness, and the tcp-vs-sim differential all use it; the
+// multi-process path is exercised by cmd/mitos-worker and the crash
+// integration test.
+//
+// The returned cleanup closes the session and waits for every worker
+// goroutine to exit; it must be called even when a later Run fails.
+func StartLocal(n int, cfg CoordConfig) (*Coordinator, func(), error) {
+	cfg.Workers = n
+	listen := cfg.Listen
+	if listen == "" {
+		listen = "127.0.0.1:0"
+	}
+	if cfg.Listener == nil {
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return nil, nil, fmt.Errorf("netcluster: local cluster listen: %w", err)
+		}
+		cfg.Listener = ln
+	}
+	addr := cfg.Listener.Addr().String()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			Serve(WorkerConfig{Coord: addr}, stop)
+		}()
+	}
+	c, err := Listen(cfg)
+	if err != nil {
+		close(stop)
+		wg.Wait()
+		return nil, nil, err
+	}
+	var once sync.Once
+	cleanup := func() {
+		once.Do(func() {
+			c.Close()
+			close(stop)
+			wg.Wait()
+		})
+	}
+	return c, cleanup, nil
+}

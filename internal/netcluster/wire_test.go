@@ -1,0 +1,205 @@
+package netcluster
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+func TestWireRoundTrips(t *testing.T) {
+	hello := Hello{Role: RolePeer, ID: 3}
+	if got, err := DecodeHello(AppendHello(nil, hello)); err != nil || got != hello {
+		t.Errorf("Hello: got %+v, err %v", got, err)
+	}
+	reg := Register{DataAddr: "127.0.0.1:9999"}
+	if got, err := DecodeRegister(AppendRegister(nil, reg)); err != nil || got != reg {
+		t.Errorf("Register: got %+v, err %v", got, err)
+	}
+	a := Assign{ID: 2, Workers: 4, Peers: []string{"a:1", "b:2", "c:3", "d:4"}, HeartbeatMillis: 250, CreditWindow: 8}
+	got, err := DecodeAssign(AppendAssign(nil, a))
+	if err != nil || got.ID != a.ID || got.Workers != a.Workers || len(got.Peers) != 4 || got.Peers[2] != "c:3" ||
+		got.HeartbeatMillis != 250 || got.CreditWindow != 8 {
+		t.Errorf("Assign: got %+v, err %v", got, err)
+	}
+	spec := JobSpec{
+		Source: "x = readDataset(a);", Parallelism: 4, BatchSize: 128,
+		Pipelining: true, Combiners: true,
+		Datasets: []Dataset{{Name: "a", Elems: []val.Value{val.Int(1), val.Str("two"), val.Pair(val.Int(3), val.Float(4.5))}}},
+	}
+	gotSpec, err := DecodeJobSpec(AppendJobSpec(nil, spec))
+	if err != nil {
+		t.Fatalf("JobSpec: %v", err)
+	}
+	if gotSpec.Source != spec.Source || gotSpec.Parallelism != 4 || !gotSpec.Pipelining || gotSpec.Hoisting ||
+		len(gotSpec.Datasets) != 1 || len(gotSpec.Datasets[0].Elems) != 3 ||
+		gotSpec.Datasets[0].Elems[2].Field(1).AsFloat() != 4.5 {
+		t.Errorf("JobSpec: got %+v", gotSpec)
+	}
+	r := ResultMsg{JoinBuilds: 7, Datasets: []Dataset{{Name: "out", Elems: []val.Value{val.Int(9)}}},
+		Peers: []PeerStat{{Peer: 1, BytesOut: 100, CreditStalls: 3, StallNanos: 12345}}}
+	r.Stats.ElementsSent = 42
+	gotR, err := DecodeResult(AppendResult(nil, r))
+	if err != nil || gotR.Stats.ElementsSent != 42 || gotR.JoinBuilds != 7 ||
+		len(gotR.Peers) != 1 || gotR.Peers[0].StallNanos != 12345 || len(gotR.Datasets) != 1 {
+		t.Errorf("Result: got %+v, err %v", gotR, err)
+	}
+	h := FrameHeader{Op: 5, Inst: 2, Input: 1, From: 3, Arg: 77}
+	gotH, payload, err := DecodeFrameHeader(append(AppendFrameHeader(nil, h), 0xaa, 0xbb))
+	if err != nil || gotH != h || len(payload) != 2 || payload[0] != 0xaa {
+		t.Errorf("FrameHeader: got %+v payload %x err %v", gotH, payload, err)
+	}
+}
+
+func TestWireHelloRejectsMismatch(t *testing.T) {
+	b := AppendHello(nil, Hello{Role: RoleWorker})
+	b[0] ^= 0x40 // corrupt the magic varint's low bits
+	if _, err := DecodeHello(b); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+	e := enc{}
+	e.u64(Magic)
+	e.u64(Version + 1)
+	e.b = append(e.b, RoleWorker)
+	e.num(0)
+	if _, err := DecodeHello(e.b); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version accepted: %v", err)
+	}
+}
+
+func TestReadMsgFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMsg(&buf, MsgHeartbeat, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, _, err := ReadMsg(&buf, nil)
+	if err != nil || typ != MsgHeartbeat || len(body) != 3 {
+		t.Fatalf("typ %#x body %x err %v", typ, body, err)
+	}
+
+	// Truncated mid-body: error, not hang or panic.
+	var tr bytes.Buffer
+	WriteMsg(&tr, MsgData, make([]byte, 1000))
+	short := tr.Bytes()[:500]
+	if _, _, _, err := ReadMsg(bytes.NewReader(short), nil); err == nil {
+		t.Error("truncated frame accepted")
+	}
+
+	// Oversized length prefix: rejected before any body read.
+	var over [5]byte
+	binary.BigEndian.PutUint32(over[:4], MaxMsg+1)
+	if _, _, _, err := ReadMsg(bytes.NewReader(over[:]), nil); err == nil || !strings.Contains(err.Error(), "MaxMsg") {
+		t.Errorf("oversized frame: %v", err)
+	}
+
+	// Zero-length frame: rejected (no type byte).
+	var zero [4]byte
+	if _, _, _, err := ReadMsg(bytes.NewReader(zero[:]), nil); err == nil {
+		t.Error("empty frame accepted")
+	}
+
+	// Corrupt huge length with a tiny actual body must not allocate the
+	// claimed size: the reader grows in readChunk steps and fails on the
+	// first short read.
+	var corrupt [5]byte
+	binary.BigEndian.PutUint32(corrupt[:4], MaxMsg) // claims 64 MiB
+	corrupt[4] = MsgData
+	r := &meteredReader{r: bytes.NewReader(corrupt[:])}
+	_, _, buf2, err := ReadMsg(r, nil)
+	if err == nil {
+		t.Error("short 64 MiB claim accepted")
+	}
+	if cap(buf2) > 2*readChunk {
+		t.Errorf("reader allocated %d bytes for a frame that sent 1", cap(buf2))
+	}
+}
+
+type meteredReader struct{ r io.Reader }
+
+func (m *meteredReader) Read(p []byte) (int, error) { return m.r.Read(p) }
+
+// FuzzFrameRoundTrip feeds arbitrary bytes to every decoder: none may
+// panic, and any input a decoder accepts must re-encode to an equivalent
+// message (checked by decoding again and comparing). ReadMsg additionally
+// must never allocate more than one chunk beyond what the input actually
+// contains.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(AppendHello(nil, Hello{Role: RolePeer, ID: 1}), byte(0))
+	f.Add(AppendAssign(nil, Assign{ID: 1, Workers: 3, Peers: []string{"x:1", "y:2", "z:3"}, HeartbeatMillis: 100}), byte(1))
+	f.Add(AppendJobSpec(nil, JobSpec{Source: "loop", Parallelism: 2, Datasets: []Dataset{{Name: "d", Elems: []val.Value{val.Int(5)}}}}), byte(2))
+	f.Add(AppendResult(nil, ResultMsg{Peers: []PeerStat{{Peer: 1}}}), byte(3))
+	f.Add(AppendFrameHeader(nil, FrameHeader{Op: 1, Inst: 2, Input: 0, From: 1, Arg: 9}), byte(4))
+	f.Add(AppendPathUpdate(nil, PathUpdateMsg{Pos: 3, Block: 2, Final: true}), byte(5))
+	f.Add(AppendEvent(nil, EventMsg{Kind: 1, Pos: 4, Branch: true}), byte(6))
+	f.Add([]byte{0, 0, 0, 5, MsgData, 1, 2, 3, 4}, byte(7))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0}, byte(7))
+
+	f.Fuzz(func(t *testing.T, data []byte, which byte) {
+		switch which % 8 {
+		case 0:
+			if h, err := DecodeHello(data); err == nil {
+				h2, err := DecodeHello(AppendHello(nil, h))
+				if err != nil || h2 != h {
+					t.Fatalf("Hello not stable: %+v vs %+v (%v)", h, h2, err)
+				}
+			}
+		case 1:
+			if a, err := DecodeAssign(data); err == nil {
+				a2, err := DecodeAssign(AppendAssign(nil, a))
+				if err != nil || a2.ID != a.ID || len(a2.Peers) != len(a.Peers) {
+					t.Fatalf("Assign not stable (%v)", err)
+				}
+			}
+		case 2:
+			if s, err := DecodeJobSpec(data); err == nil {
+				s2, err := DecodeJobSpec(AppendJobSpec(nil, s))
+				if err != nil || s2.Source != s.Source || len(s2.Datasets) != len(s.Datasets) {
+					t.Fatalf("JobSpec not stable (%v)", err)
+				}
+			}
+		case 3:
+			if r, err := DecodeResult(data); err == nil {
+				r2, err := DecodeResult(AppendResult(nil, r))
+				if err != nil || r2.Stats != r.Stats || len(r2.Peers) != len(r.Peers) {
+					t.Fatalf("Result not stable (%v)", err)
+				}
+			}
+		case 4:
+			if h, payload, err := DecodeFrameHeader(data); err == nil {
+				h2, p2, err := DecodeFrameHeader(append(AppendFrameHeader(nil, h), payload...))
+				if err != nil || h2 != h || !bytes.Equal(p2, payload) {
+					t.Fatalf("FrameHeader not stable (%v)", err)
+				}
+			}
+		case 5:
+			if u, err := DecodePathUpdate(data); err == nil {
+				if u2, err := DecodePathUpdate(AppendPathUpdate(nil, u)); err != nil || u2 != u {
+					t.Fatalf("PathUpdate not stable (%v)", err)
+				}
+			}
+		case 6:
+			if ev, err := DecodeEvent(data); err == nil {
+				if ev2, err := DecodeEvent(AppendEvent(nil, ev)); err != nil || ev2 != ev {
+					t.Fatalf("Event not stable (%v)", err)
+				}
+			}
+		case 7:
+			// The framing layer itself: arbitrary bytes as a stream. Must
+			// error or yield a well-formed frame — and never allocate far
+			// beyond the input size.
+			typ, body, buf, err := ReadMsg(bytes.NewReader(data), nil)
+			if err == nil {
+				if len(body) > len(data) {
+					t.Fatalf("body %d bytes from %d input bytes", len(body), len(data))
+				}
+				_ = typ
+			}
+			if cap(buf) > len(data)+2*readChunk {
+				t.Fatalf("ReadMsg allocated %d for %d input bytes", cap(buf), len(data))
+			}
+		}
+	})
+}

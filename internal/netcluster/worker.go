@@ -1,0 +1,471 @@
+package netcluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// The worker side of the backend: dial the coordinator, register a
+// data-plane listener, receive a machine ID and the peer table, mesh up,
+// then serve jobs — for each one, recompile the shipped program source
+// into the identical plan the coordinator built (BuildPlan is
+// deterministic), host this machine's partition, forward host events to
+// the coordinator, and report stats plus written datasets at the end.
+
+// WorkerConfig configures one worker process.
+type WorkerConfig struct {
+	// Coord is the coordinator's control-plane address.
+	Coord string
+	// Listen is the data-plane listen address for peer connections
+	// (default "127.0.0.1:0" — any free port, loopback).
+	Listen string
+	// QuiesceTimeout bounds the end-of-job flush-token exchange
+	// (default 30s).
+	QuiesceTimeout time.Duration
+}
+
+// Serve dials the coordinator and serves one session: register, mesh with
+// the other workers, then run jobs until the coordinator closes the
+// connection (clean shutdown, returns nil), stop closes (returns nil), or
+// something fails (returns the error). A worker binary that should survive
+// coordinator restarts wraps Serve in a redial loop.
+func Serve(cfg WorkerConfig, stop <-chan struct{}) error {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	if cfg.QuiesceTimeout <= 0 {
+		cfg.QuiesceTimeout = 30 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Coord, handshakeTimeout)
+	if err != nil {
+		return fmt.Errorf("netcluster: dialing coordinator %s: %w", cfg.Coord, err)
+	}
+	s := &workerSession{cfg: cfg, conn: conn, failed: make(chan struct{})}
+	defer s.teardown()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("netcluster: worker data listener: %w", err)
+	}
+	s.ln = ln
+	if err := s.send(MsgHello, AppendHello(nil, Hello{Role: RoleWorker})); err != nil {
+		return err
+	}
+	if err := s.send(MsgRegister, AppendRegister(nil, Register{DataAddr: ln.Addr().String()})); err != nil {
+		return err
+	}
+	// stop (in-process workers) and failure both unblock the control read
+	// by closing the connection.
+	stopDone := make(chan struct{})
+	defer close(stopDone)
+	go func() {
+		select {
+		case <-stop:
+			s.stopped.Store(true)
+			s.conn.Close()
+		case <-s.failed:
+			s.conn.Close()
+		case <-stopDone:
+		}
+	}()
+	return s.controlLoop()
+}
+
+// workerSession is one worker's registration with one coordinator.
+type workerSession struct {
+	cfg  WorkerConfig
+	conn net.Conn
+	ln   net.Listener
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	id   int
+	n    int
+	mesh *mesh
+
+	failOnce sync.Once
+	failErr  error
+	failed   chan struct{}
+	stopped  atomic.Bool
+
+	jobMu sync.Mutex
+	job   *workerJobRun
+
+	hbStop chan struct{}
+}
+
+// workerJobRun is one job hosted by the session.
+type workerJobRun struct {
+	wj    *core.WorkerJob
+	st    *trackingStore
+	done  chan struct{} // closed once Job.Wait returned
+	fwdWG sync.WaitGroup
+}
+
+// fail records the first session error and signals teardown. It never
+// blocks and never tears down synchronously — readLoops call it, and
+// teardown waits for readLoops.
+func (s *workerSession) fail(err error) {
+	s.failOnce.Do(func() {
+		s.failErr = err
+		close(s.failed)
+	})
+}
+
+func (s *workerSession) teardown() {
+	s.conn.Close()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	if s.hbStop != nil {
+		close(s.hbStop)
+	}
+	s.jobMu.Lock()
+	rj := s.job
+	s.job = nil
+	s.jobMu.Unlock()
+	if rj != nil {
+		rj.wj.Job.Stop(errors.New("netcluster: session closed"))
+	}
+	if s.mesh != nil {
+		s.mesh.close() // releases credit waiters so event loops can exit
+	}
+	if rj != nil {
+		<-rj.done
+		rj.fwdWG.Wait()
+	}
+}
+
+// send writes one framed control message, serialized across goroutines
+// (control loop, heartbeats, event forwarder, job watcher).
+func (s *workerSession) send(typ byte, body []byte) error {
+	s.wmu.Lock()
+	err := WriteMsg(s.conn, typ, body)
+	s.wmu.Unlock()
+	return err
+}
+
+func (s *workerSession) controlLoop() error {
+	br := bufio.NewReader(s.conn)
+	var buf []byte
+	for {
+		typ, body, nbuf, err := ReadMsg(br, buf)
+		buf = nbuf
+		if err != nil {
+			return s.exitErr(err)
+		}
+		switch typ {
+		case MsgAssign:
+			a, err := DecodeAssign(body)
+			if err != nil {
+				return s.exitErr(err)
+			}
+			if err := s.onAssign(a); err != nil {
+				s.fail(err)
+				return s.exitErr(err)
+			}
+		case MsgJob:
+			spec, err := DecodeJobSpec(body)
+			if err != nil {
+				return s.exitErr(err)
+			}
+			if err := s.startJob(spec); err != nil {
+				// A local plan/compile failure: report it so the coordinator
+				// fails the job with the cause, then tear down.
+				s.send(MsgError, AppendError(nil, ErrorMsg{Msg: err.Error()}))
+				s.fail(err)
+				return s.exitErr(err)
+			}
+		case MsgPathUpdate:
+			u, err := DecodePathUpdate(body)
+			if err != nil {
+				return s.exitErr(err)
+			}
+			if rj := s.running(); rj != nil {
+				rj.wj.Job.Broadcast(core.PathUpdate{Pos: u.Pos, Block: ir.BlockID(u.Block), Final: u.Final})
+			}
+		case MsgBarrier:
+			// The coordinator only raises a barrier once every completion
+			// for the prior positions is in, so there is nothing left to
+			// drain locally: acknowledging costs one control round trip,
+			// which is the real-world price the sim models as BarrierDelay.
+			if err := s.send(MsgBarrierAck, body); err != nil {
+				return s.exitErr(err)
+			}
+		case MsgFinish:
+			if err := s.finishJob(); err != nil {
+				s.send(MsgError, AppendError(nil, ErrorMsg{Msg: err.Error()}))
+				s.fail(err)
+				return s.exitErr(err)
+			}
+		default:
+			err := fmt.Errorf("netcluster: worker %d: unexpected control message %#x", s.id, typ)
+			s.fail(err)
+			return s.exitErr(err)
+		}
+	}
+}
+
+// exitErr classifies the control loop's exit: a session failure wins, a
+// stop or a clean coordinator close with no job running is nil, anything
+// else (coordinator died mid-job) is an error.
+func (s *workerSession) exitErr(readErr error) error {
+	select {
+	case <-s.failed:
+		return s.failErr
+	default:
+	}
+	if s.stopped.Load() {
+		return nil
+	}
+	if s.running() == nil && (errors.Is(readErr, io.EOF) || errors.Is(readErr, net.ErrClosed)) {
+		return nil // coordinator closed the session between jobs
+	}
+	return fmt.Errorf("netcluster: worker %d: coordinator connection lost: %w", s.id, readErr)
+}
+
+func (s *workerSession) running() *workerJobRun {
+	s.jobMu.Lock()
+	defer s.jobMu.Unlock()
+	return s.job
+}
+
+func (s *workerSession) onAssign(a Assign) error {
+	if a.Workers < 1 || a.ID < 0 || a.ID >= a.Workers || len(a.Peers) != a.Workers {
+		return fmt.Errorf("netcluster: bad assignment: machine %d of %d with %d peers", a.ID, a.Workers, len(a.Peers))
+	}
+	s.id, s.n = a.ID, a.Workers
+	m, err := newMesh(a.ID, a.Peers, a.CreditWindow, s.ln, s.fail)
+	if err != nil {
+		return err
+	}
+	s.mesh = m
+	if err := s.send(MsgReady, []byte{0}); err != nil {
+		return err
+	}
+	interval := time.Duration(a.HeartbeatMillis) * time.Millisecond
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	s.hbStop = make(chan struct{})
+	go s.heartbeat(interval)
+	return nil
+}
+
+func (s *workerSession) heartbeat(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if s.send(MsgHeartbeat, []byte{0}) != nil {
+				return // connection gone; the control loop reports the cause
+			}
+		case <-s.hbStop:
+			return
+		case <-s.failed:
+			return
+		}
+	}
+}
+
+// startJob compiles the shipped source, builds this machine's partition,
+// and starts it.
+func (s *workerSession) startJob(spec JobSpec) error {
+	if s.mesh == nil {
+		return fmt.Errorf("netcluster: job before assignment")
+	}
+	if s.running() != nil {
+		return fmt.Errorf("netcluster: worker %d: job while one is already running", s.id)
+	}
+	prog, err := lang.Parse(spec.Source)
+	if err != nil {
+		return fmt.Errorf("netcluster: worker %d: shipped program: %w", s.id, err)
+	}
+	if _, err := lang.Check(prog); err != nil {
+		return fmt.Errorf("netcluster: worker %d: shipped program: %w", s.id, err)
+	}
+	ssa, err := ir.CompileToSSA(prog)
+	if err != nil {
+		return fmt.Errorf("netcluster: worker %d: shipped program: %w", s.id, err)
+	}
+	plan, err := core.BuildPlan(ssa, spec.Parallelism)
+	if err != nil {
+		return fmt.Errorf("netcluster: worker %d: planning: %w", s.id, err)
+	}
+	if spec.Combiners {
+		plan.InsertCombiners()
+	}
+	if spec.Chaining {
+		plan.BuildChains()
+	}
+	st := newTrackingStore()
+	for _, ds := range spec.Datasets {
+		if err := st.inner.WriteDataset(ds.Name, ds.Elems); err != nil {
+			return fmt.Errorf("netcluster: worker %d: seeding dataset %q: %w", s.id, ds.Name, err)
+		}
+	}
+	opts := core.Options{
+		Parallelism: spec.Parallelism,
+		Pipelining:  spec.Pipelining,
+		Hoisting:    spec.Hoisting,
+		Combiners:   spec.Combiners,
+		Chaining:    spec.Chaining,
+		BatchSize:   spec.BatchSize,
+	}
+	wj, err := core.NewWorkerJob(plan, st, s.n, s.id, opts, s.mesh)
+	if err != nil {
+		return fmt.Errorf("netcluster: worker %d: building partition: %w", s.id, err)
+	}
+	rj := &workerJobRun{wj: wj, st: st, done: make(chan struct{})}
+	s.jobMu.Lock()
+	s.job = rj
+	s.jobMu.Unlock()
+	s.mesh.setJob(wj.Job)
+	if err := wj.Job.Start(); err != nil {
+		s.jobMu.Lock()
+		s.job = nil
+		s.jobMu.Unlock()
+		s.mesh.clearJob()
+		return fmt.Errorf("netcluster: worker %d: starting partition: %w", s.id, err)
+	}
+	// Forward host events (decisions, completions) to the coordinator
+	// until the job is done, then drain what is left.
+	rj.fwdWG.Add(1)
+	go func() {
+		defer rj.fwdWG.Done()
+		for {
+			select {
+			case ev := <-wj.Events:
+				s.sendEvent(ev)
+			case <-rj.done:
+				for {
+					select {
+					case ev := <-wj.Events:
+						s.sendEvent(ev)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	// Watch for local failure: a partition that dies (vertex error, corrupt
+	// frame) must reach the coordinator even though the control loop is
+	// blocked reading.
+	go func() {
+		err := wj.Job.Wait()
+		close(rj.done)
+		if err != nil {
+			s.send(MsgError, AppendError(nil, ErrorMsg{Msg: err.Error()}))
+			s.fail(fmt.Errorf("netcluster: worker %d: %w", s.id, err))
+		}
+	}()
+	return nil
+}
+
+func (s *workerSession) sendEvent(ev core.CoordEvent) {
+	if err := s.send(MsgEvent, AppendEvent(nil, EventMsg{Kind: byte(ev.Kind), Pos: ev.Pos, Branch: ev.Branch})); err != nil {
+		s.fail(fmt.Errorf("netcluster: worker %d: reporting event: %w", s.id, err))
+	}
+}
+
+// finishJob quiesces the data plane (flush-token exchange guarantees every
+// in-flight frame is in a mailbox before the job stops), stops and drains
+// the partition, and reports the result.
+func (s *workerSession) finishJob() error {
+	rj := s.running()
+	if rj == nil {
+		return fmt.Errorf("netcluster: worker %d: finish with no job running", s.id)
+	}
+	s.mesh.sendFlush()
+	if err := s.mesh.awaitFlush(s.cfg.QuiesceTimeout); err != nil {
+		return err
+	}
+	rj.wj.Job.Stop(nil)
+	err := rj.wj.Job.Wait()
+	<-rj.done
+	rj.fwdWG.Wait()
+	s.jobMu.Lock()
+	s.job = nil
+	s.jobMu.Unlock()
+	s.mesh.clearJob()
+	if err != nil {
+		return fmt.Errorf("netcluster: worker %d: %w", s.id, err)
+	}
+	jb, mb, ci, co := rj.wj.Counters()
+	res := ResultMsg{
+		Stats:       rj.wj.Job.Stats(),
+		JoinBuilds:  jb,
+		MaxBuffered: mb,
+		CombineIn:   ci,
+		CombineOut:  co,
+		Datasets:    rj.st.written(),
+		Peers:       s.mesh.stats(),
+	}
+	return s.send(MsgResult, AppendResult(nil, res))
+}
+
+// trackingStore seeds a MemStore with the shipped input datasets and
+// records every dataset the job writes, so the worker can report exactly
+// the outputs (and not echo the inputs back).
+type trackingStore struct {
+	inner *store.MemStore
+
+	mu    sync.Mutex
+	names []string
+}
+
+func newTrackingStore() *trackingStore {
+	return &trackingStore{inner: store.NewMemStore()}
+}
+
+func (t *trackingStore) ReadDataset(name string) ([]val.Value, error) {
+	return t.inner.ReadDataset(name)
+}
+
+func (t *trackingStore) WriteDataset(name string, elems []val.Value) error {
+	if err := t.inner.WriteDataset(name, elems); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.names = append(t.names, name)
+	t.mu.Unlock()
+	return nil
+}
+
+// written returns the datasets the job wrote, last write per name winning.
+func (t *trackingStore) written() []Dataset {
+	t.mu.Lock()
+	names := append([]string(nil), t.names...)
+	t.mu.Unlock()
+	seen := make(map[string]bool, len(names))
+	var out []Dataset
+	for i := len(names) - 1; i >= 0; i-- {
+		if seen[names[i]] {
+			continue
+		}
+		seen[names[i]] = true
+		elems, err := t.inner.ReadDataset(names[i])
+		if err != nil {
+			continue
+		}
+		out = append(out, Dataset{Name: names[i], Elems: elems})
+	}
+	return out
+}

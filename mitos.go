@@ -35,6 +35,7 @@ import (
 	"github.com/mitos-project/mitos/internal/dfs"
 	"github.com/mitos-project/mitos/internal/ir"
 	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/netcluster"
 	"github.com/mitos-project/mitos/internal/obs/lineage"
 	"github.com/mitos-project/mitos/internal/store"
 )
@@ -133,6 +134,11 @@ type Result struct {
 	// of a mailbox batch. Zero when DisableChaining is set.
 	ChainedEdges    int
 	ElementsChained int64
+	// SocketBytes and CreditStalls are set only by RunTCP: total data-plane
+	// socket traffic across all peer links, and the number of emits that
+	// blocked on an exhausted flow-control window.
+	SocketBytes  int64
+	CreditStalls int64
 	// Report is the metrics snapshot taken at the end of the run; nil
 	// unless Config.Observer was set.
 	Report *RunReport
@@ -260,6 +266,79 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 // and as ground truth in tests.
 func (p *Program) RunSequential(st Store) error {
 	return ir.RunAST(p.ast, st)
+}
+
+// The real TCP cluster backend (internal/netcluster): multi-process
+// execution over sockets instead of the simulated cluster. A coordinator
+// accepts worker registrations (ListenTCP), each worker hosts one
+// machine's partition of the dataflow job (ServeTCPWorker, or the
+// cmd/mitos-worker binary), and RunTCP drives jobs over the session.
+
+// TCPCoordConfig configures a TCP cluster coordinator.
+type TCPCoordConfig = netcluster.CoordConfig
+
+// TCPWorkerConfig configures a TCP cluster worker.
+type TCPWorkerConfig = netcluster.WorkerConfig
+
+// TCPCoordinator is an established TCP cluster session.
+type TCPCoordinator = netcluster.Coordinator
+
+// NamedStore is a store that can enumerate its datasets; the TCP backend
+// needs it to ship job inputs. MemStore and the DFS store both satisfy it.
+type NamedStore = netcluster.NamedStore
+
+// ListenTCP starts a TCP cluster coordinator and blocks until
+// cfg.Workers workers have registered and meshed.
+func ListenTCP(cfg TCPCoordConfig) (*TCPCoordinator, error) { return netcluster.Listen(cfg) }
+
+// ServeTCPWorker runs one worker session against a coordinator; it
+// returns when the coordinator closes the session (nil), stop closes
+// (nil), or the session fails.
+func ServeTCPWorker(cfg TCPWorkerConfig, stop <-chan struct{}) error {
+	return netcluster.Serve(cfg, stop)
+}
+
+// StartLocalTCP starts a coordinator plus n in-process workers over
+// loopback TCP — the full wire path without separate processes.
+func StartLocalTCP(n int, cfg TCPCoordConfig) (*TCPCoordinator, func(), error) {
+	return netcluster.StartLocal(n, cfg)
+}
+
+// RunTCP executes the program on an established TCP cluster session:
+// inputs from st are shipped to the workers, outputs are merged back into
+// st. Config fields that concern the simulated cluster (Machines, Cluster)
+// and the live introspection server are ignored; parallelism defaults to
+// one operator instance per worker.
+func (p *Program) RunTCP(c *TCPCoordinator, st NamedStore, cfg Config) (*Result, error) {
+	res, err := c.Run(p.Source(), st, core.Options{
+		Parallelism: cfg.Parallelism,
+		Pipelining:  !cfg.DisablePipelining,
+		Hoisting:    !cfg.DisableHoisting,
+		Combiners:   !cfg.DisableCombiners,
+		Chaining:    !cfg.DisableChaining,
+		BatchSize:   cfg.BatchSize,
+		Obs:         cfg.Observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Steps:           res.Steps,
+		Duration:        res.Duration,
+		ElementsSent:    res.Job.ElementsSent,
+		RemoteBatches:   res.Job.RemoteBatches,
+		BytesSent:       res.Job.BytesSent,
+		BytesReceived:   res.Job.BytesReceived,
+		CombineIn:       res.CombineIn,
+		CombineOut:      res.CombineOut,
+		ElementsChained: res.Job.ElementsChained,
+		SocketBytes:     res.SocketBytes,
+		CreditStalls:    res.CreditStalls,
+	}
+	if cfg.Observer != nil {
+		out.Report = cfg.Observer.Snapshot()
+	}
+	return out, nil
 }
 
 // Validate re-checks the compiled program's structural invariants.
