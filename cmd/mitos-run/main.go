@@ -12,6 +12,9 @@
 // instead of the simulated cluster: this process becomes the coordinator,
 // listening on -listen until -workers mitos-worker processes register,
 // then ships the job to them and drives the control flow over sockets.
+// With -retries N the coordinator survives worker loss: it re-admits
+// redialing or replacement workers and re-executes the job up to N times
+// (delay -retry-backoff, doubling per attempt) before giving up.
 //
 // With -http, a live introspection server runs on ADDR for the whole
 // process lifetime: /metrics (Prometheus), /jobs/{id} (live dataflow
@@ -29,6 +32,7 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/mitos-project/mitos"
 )
@@ -38,6 +42,8 @@ func main() {
 	machines := flag.Int("machines", 4, "simulated cluster size (sim backend)")
 	listen := flag.String("listen", "127.0.0.1:7070", "coordinator listen address (tcp backend)")
 	workers := flag.Int("workers", 3, "worker processes to wait for (tcp backend)")
+	retries := flag.Int("retries", 0, "re-execute the job up to N times after worker loss (tcp backend)")
+	retryBackoff := flag.Duration("retry-backoff", 500*time.Millisecond, "initial delay between re-execution attempts, doubling per retry (tcp backend)")
 	parallelism := flag.Int("parallelism", 0, "operator parallelism (default: one per machine)")
 	noPipe := flag.Bool("no-pipelining", false, "disable loop pipelining")
 	noHoist := flag.Bool("no-hoisting", false, "disable loop-invariant hoisting")
@@ -63,7 +69,7 @@ func main() {
 
 	var err error
 	if *clusterKind == "tcp" {
-		err = runTCP(flag.Arg(0), *listen, *workers, *parallelism, *noPipe, *noHoist, *dataDir, *outDir, *metrics)
+		err = runTCP(flag.Arg(0), *listen, *workers, *retries, *retryBackoff, *parallelism, *noPipe, *noHoist, *dataDir, *outDir, *metrics)
 	} else {
 		err = run(flag.Arg(0), *machines, *parallelism, *noPipe, *noHoist, *seq, *dataDir, *outDir, *traceFile, *metrics, *httpAddr)
 	}
@@ -128,7 +134,7 @@ func writeOutDir(st mitos.NamedStore, dir string) error {
 }
 
 // runTCP executes the script as the coordinator of a real TCP cluster.
-func runTCP(scriptPath, listen string, workers, parallelism int, noPipe, noHoist bool, dataDir, outDir string, metrics bool) error {
+func runTCP(scriptPath, listen string, workers int, retries int, retryBackoff time.Duration, parallelism int, noPipe, noHoist bool, dataDir, outDir string, metrics bool) error {
 	src, err := os.ReadFile(scriptPath)
 	if err != nil {
 		return err
@@ -144,7 +150,10 @@ func runTCP(scriptPath, listen string, workers, parallelism int, noPipe, noHoist
 		}
 	}
 	fmt.Printf("coordinator listening on %s, waiting for %d workers (mitos-worker -coord ADDR)\n", listen, workers)
-	coord, err := mitos.ListenTCP(mitos.TCPCoordConfig{Listen: listen, Workers: workers})
+	coord, err := mitos.ListenTCP(mitos.TCPCoordConfig{
+		Listen: listen, Workers: workers,
+		Retries: retries, RetryBackoff: retryBackoff,
+	})
 	if err != nil {
 		return err
 	}
@@ -166,6 +175,12 @@ func runTCP(scriptPath, listen string, workers, parallelism int, noPipe, noHoist
 	}
 	fmt.Printf("run complete: %d basic-block visits, %v, %d elements transferred, %d bytes on the wire, %d credit stalls\n",
 		res.Steps, res.Duration.Round(0), res.ElementsSent, res.SocketBytes, res.CreditStalls)
+	if res.Attempts > 1 {
+		fmt.Printf("recovered from worker loss: %d attempts\n", res.Attempts)
+		for i, e := range res.AttemptErrors {
+			fmt.Printf("  attempt %d failed: %s\n", i+1, e)
+		}
+	}
 	if metrics {
 		fmt.Print(res.Report.String())
 	}

@@ -1,14 +1,20 @@
 // mitos-worker is one machine of a real TCP Mitos cluster.
 //
-//	mitos-worker -coord HOST:PORT [-listen ADDR] [-redial]
+//	mitos-worker -coord HOST:PORT [-listen ADDR] [-name ID] [-redial]
 //
 // The worker dials the coordinator (a mitos-run -cluster=tcp process),
 // registers a data-plane listener for peer-to-peer frames, receives its
 // machine ID and the peer table, meshes with the other workers, and then
 // hosts its partition of every dataflow job the coordinator ships until
 // the coordinator closes the session (exit 0) or something fails (exit 1).
-// With -redial the worker reconnects after a clean session close, so one
-// long-lived worker process can serve a sequence of coordinator runs.
+//
+// With -redial the worker instead reconnects after every session end —
+// clean close, mid-job failure, coordinator crash, or dial error — with
+// capped exponential backoff plus jitter, presenting the same identity
+// each time so it regains its machine ID when re-admitted. A -redial
+// worker is the process a supervisor (systemd, a shell loop) restarts
+// after SIGKILL; together with the coordinator's -retries budget it makes
+// jobs survive worker loss.
 package main
 
 import (
@@ -25,9 +31,12 @@ import (
 func main() {
 	coord := flag.String("coord", "", "coordinator control-plane address (required)")
 	listen := flag.String("listen", "127.0.0.1:0", "data-plane listen address for peer connections")
-	redial := flag.Bool("redial", false, "reconnect after a clean session close instead of exiting")
+	name := flag.String("name", "", "stable worker identity for re-admission (default: host/pid derived)")
+	redial := flag.Bool("redial", false, "reconnect with backoff after session end instead of exiting")
+	redialBase := flag.Duration("redial-base", 100*time.Millisecond, "initial reconnect delay (-redial)")
+	redialMax := flag.Duration("redial-max", 5*time.Second, "reconnect delay cap (-redial)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mitos-worker -coord HOST:PORT [-listen ADDR] [-redial]")
+		fmt.Fprintln(os.Stderr, "usage: mitos-worker -coord HOST:PORT [-listen ADDR] [-name ID] [-redial]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -44,20 +53,13 @@ func main() {
 		close(stop)
 	}()
 
-	for {
-		err := mitos.ServeTCPWorker(mitos.TCPWorkerConfig{Coord: *coord, Listen: *listen}, stop)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mitos-worker: %v\n", err)
-			os.Exit(1)
-		}
-		select {
-		case <-stop:
-			return
-		default:
-		}
-		if !*redial {
-			return
-		}
-		time.Sleep(200 * time.Millisecond)
+	cfg := mitos.TCPWorkerConfig{Coord: *coord, Listen: *listen, Name: *name}
+	if *redial {
+		mitos.ServeTCPWorkerLoop(cfg, mitos.TCPRedialConfig{Base: *redialBase, Max: *redialMax}, stop)
+		return
+	}
+	if err := mitos.ServeTCPWorker(cfg, stop); err != nil {
+		fmt.Fprintf(os.Stderr, "mitos-worker: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -77,6 +77,7 @@ func measureTCP(o Options, source string, seed func(store.Store) error, workers 
 			"socket_bytes":      res.SocketBytes,
 			"credit_stalls":     res.CreditStalls,
 			"credit_stall_usec": res.CreditStallTime.Microseconds(),
+			"attempts":          int64(res.Attempts),
 		}
 	}
 	var total float64

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,10 +19,24 @@ import (
 )
 
 // The coordinator side of the backend: accept worker registrations, assign
-// machine IDs, establish the session, then run jobs — ship the program and
+// machine IDs, establish a session, then run jobs — ship the program and
 // inputs, drive the control-flow manager (core.RunCoordinator) over a TCP
 // ControlPlane, detect worker failure by heartbeat timeout or connection
 // loss, and merge the workers' results.
+//
+// The coordinator survives worker loss. A Coordinator owns the listener
+// and the retry policy for the whole process lifetime; each *session* is
+// one attempt at holding a full worker pool. When a worker dies mid-job
+// the session is torn down (every control connection closed, which is
+// also what tells the surviving workers to abandon the attempt and
+// redial), the listener stays open, redialing and replacement workers are
+// re-admitted until the pool is whole, the data plane re-meshes, and the
+// job re-executes from its cached spec — jobs ship as program source and
+// recompile deterministically, so a retry is a fresh deterministic run
+// with no checkpoint or partial state to reconcile. Rejoining workers are
+// recognized by their registration name and get their old machine ID
+// back, so re-execution placement matches the i%n placement of every
+// earlier attempt (and of the simulated backend).
 
 // CoordConfig configures a coordinator.
 type CoordConfig struct {
@@ -42,8 +57,19 @@ type CoordConfig struct {
 	// CreditWindow is the per-channel in-flight frame cap on the workers'
 	// peer links (default DefaultCreditWindow).
 	CreditWindow int
-	// SetupTimeout bounds registration and meshing (default 60s).
+	// SetupTimeout bounds registration and meshing (default 60s). After a
+	// worker loss it also bounds how long re-admission waits for the pool
+	// to be whole again before the attempt is charged to the retry budget.
 	SetupTimeout time.Duration
+	// Retries is the job re-execution budget: how many times Run rebuilds
+	// the worker pool and re-runs a job after losing a worker mid-job.
+	// 0 (the default) preserves fail-fast behavior: the first worker loss
+	// fails the job.
+	Retries int
+	// RetryBackoff is the delay before the first re-execution; it doubles
+	// per attempt up to RetryBackoffMax (defaults 500ms / 15s).
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
 }
 
 func (cfg *CoordConfig) defaults() {
@@ -58,6 +84,18 @@ func (cfg *CoordConfig) defaults() {
 	}
 	if cfg.SetupTimeout <= 0 {
 		cfg.SetupTimeout = 60 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 500 * time.Millisecond
+	}
+	if cfg.RetryBackoffMax < cfg.RetryBackoff {
+		cfg.RetryBackoffMax = 15 * time.Second
+		if cfg.RetryBackoffMax < cfg.RetryBackoff {
+			cfg.RetryBackoffMax = cfg.RetryBackoff
+		}
 	}
 }
 
@@ -74,9 +112,17 @@ type Result struct {
 	// Steps is the execution path length.
 	Steps int
 	// Duration is the wall-clock job time, measured at the coordinator
-	// from job shipment to the last worker result.
+	// from first job shipment to the last worker result — retries and
+	// their backoff included.
 	Duration time.Duration
-	// Job sums the workers' engine transfer counters.
+	// Attempts is how many executions the job took: 1 for a clean run,
+	// more when worker loss forced re-execution.
+	Attempts int
+	// AttemptErrors holds the error of every failed attempt that preceded
+	// the successful one, in order; empty for a clean run.
+	AttemptErrors []string
+	// Job sums the workers' engine transfer counters (successful attempt
+	// only; torn-down attempts report nothing).
 	Job dataflow.JobStats
 	// JoinBuilds, CombineIn, CombineOut sum the workers' host counters;
 	// MaxBufferedBags is the maximum across workers.
@@ -96,11 +142,65 @@ type Result struct {
 	PeerLinks [][]PeerStat
 }
 
-// Coordinator is an established TCP cluster session. One coordinator can
-// run several jobs sequentially against the same set of workers.
+// AttemptError records one failed execution attempt.
+type AttemptError struct {
+	Attempt int       // 1-based
+	Time    time.Time // when the attempt failed
+	Err     error
+}
+
+// RetryError is returned when the retry budget is exhausted: every
+// attempt's error, in order.
+type RetryError struct {
+	Budget   int // configured Retries
+	Attempts []AttemptError
+}
+
+func (e *RetryError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "netcluster: job failed after %d attempt(s) (retry budget %d)", len(e.Attempts), e.Budget)
+	for _, a := range e.Attempts {
+		fmt.Fprintf(&b, "\n  attempt %d: %v", a.Attempt, a.Err)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the last attempt's error to errors.Is/As.
+func (e *RetryError) Unwrap() error {
+	if len(e.Attempts) == 0 {
+		return nil
+	}
+	return e.Attempts[len(e.Attempts)-1].Err
+}
+
+// Coordinator is a TCP cluster coordinator: the listener, the retry
+// policy, and the current session. One coordinator can run several jobs
+// sequentially, surviving worker loss in between and (budget permitting)
+// during them.
 type Coordinator struct {
-	cfg     CoordConfig
-	ln      net.Listener
+	cfg CoordConfig
+	ln  net.Listener
+
+	mu   sync.Mutex // guards sess and ids
+	sess *session
+	// ids is the stable name→machine-ID table: it survives sessions, so a
+	// worker that redials after a failure gets its old partition back.
+	ids map[string]int
+
+	running   atomic.Bool
+	closed    atomic.Bool
+	closec    chan struct{}
+	closeOnce sync.Once
+}
+
+// session is one attempt at holding a full worker pool: the established
+// control connections, their reader goroutines, the heartbeat monitor,
+// and the channels one job execution drains. All of it dies together —
+// a fresh attempt starts from a fresh session, so no stall, stale
+// barrier ack, buffered event, or half-delivered result can leak from a
+// failed attempt into the next one's accounting.
+type session struct {
+	cfg     *CoordConfig
 	workers []*workerConn
 
 	events   chan core.CoordEvent
@@ -111,16 +211,17 @@ type Coordinator struct {
 	errOnce sync.Once
 	err     error
 	failed  chan struct{}
-	closed  atomic.Bool
+	closing atomic.Bool
 	wg      sync.WaitGroup
 
 	barrierSeq int
-	running    atomic.Bool
 	monStop    chan struct{}
+	monOnce    sync.Once
 }
 
 type workerConn struct {
 	id   int
+	name string
 	conn net.Conn
 	addr string // data-plane address the worker registered
 
@@ -152,8 +253,32 @@ func Listen(cfg CoordConfig) (*Coordinator, error) {
 		}
 	}
 	c := &Coordinator{
+		cfg:    cfg,
+		ln:     ln,
+		ids:    make(map[string]int),
+		closec: make(chan struct{}),
+	}
+	s, err := c.establish()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.mu.Lock()
+	c.sess = s
+	c.mu.Unlock()
+	return c, nil
+}
+
+// establish builds one session: admit cfg.Workers registrations (skipping
+// connections that fail the handshake — the accept backlog may hold stale
+// sockets from workers that died while waiting), assign stable machine
+// IDs, distribute the peer table, wait for the full data-plane mesh, and
+// start the heartbeat monitor.
+func (c *Coordinator) establish() (*session, error) {
+	cfg := &c.cfg
+	deadline := time.Now().Add(cfg.SetupTimeout)
+	s := &session{
 		cfg:      cfg,
-		ln:       ln,
 		events:   make(chan core.CoordEvent, 4096),
 		readyc:   make(chan int, cfg.Workers),
 		resultc:  make(chan workerResult, cfg.Workers),
@@ -161,65 +286,122 @@ func Listen(cfg CoordConfig) (*Coordinator, error) {
 		failed:   make(chan struct{}),
 		monStop:  make(chan struct{}),
 	}
-	deadline := time.Now().Add(cfg.SetupTimeout)
-	for i := 0; i < cfg.Workers; i++ {
-		w, err := c.acceptWorker(deadline, i)
+	type admitted struct {
+		conn net.Conn
+		reg  Register
+	}
+	var pool []admitted
+	names := make(map[string]bool, cfg.Workers)
+	for len(pool) < cfg.Workers {
+		if c.closed.Load() {
+			for _, a := range pool {
+				a.conn.Close()
+			}
+			return nil, errors.New("netcluster: session closed")
+		}
+		conn, reg, err := c.admitWorker(deadline, len(pool))
 		if err != nil {
-			c.Close()
+			for _, a := range pool {
+				a.conn.Close()
+			}
 			return nil, err
 		}
-		c.workers = append(c.workers, w)
+		if conn == nil {
+			continue // a bad handshake was skipped; keep accepting
+		}
+		if reg.Name != "" && names[reg.Name] {
+			// A stale redial racing its own replacement: treat the second
+			// connection as anonymous so it cannot steal the ID.
+			reg.Name = ""
+		}
+		names[reg.Name] = true
+		pool = append(pool, admitted{conn, reg})
+	}
+	// Stable ID assignment: a name seen before keeps its old ID; everyone
+	// else fills the vacant IDs in arrival order.
+	c.mu.Lock()
+	taken := make([]bool, cfg.Workers)
+	assign := make([]int, len(pool))
+	for i := range assign {
+		assign[i] = -1
+	}
+	for i, a := range pool {
+		if id, ok := c.ids[a.reg.Name]; ok && a.reg.Name != "" && id < cfg.Workers && !taken[id] {
+			assign[i], taken[id] = id, true
+		}
+	}
+	next := 0
+	for i, a := range pool {
+		if assign[i] >= 0 {
+			continue
+		}
+		for taken[next] {
+			next++
+		}
+		assign[i], taken[next] = next, true
+		if a.reg.Name != "" {
+			c.ids[a.reg.Name] = next
+		}
+	}
+	c.mu.Unlock()
+	s.workers = make([]*workerConn, cfg.Workers)
+	for i, a := range pool {
+		s.workers[assign[i]] = &workerConn{id: assign[i], name: a.reg.Name, conn: a.conn, addr: a.reg.DataAddr}
 	}
 	addrs := make([]string, cfg.Workers)
-	for i, w := range c.workers {
+	for i, w := range s.workers {
 		addrs[i] = w.addr
 	}
-	for _, w := range c.workers {
+	for _, w := range s.workers {
 		a := Assign{ID: w.id, Workers: cfg.Workers, Peers: addrs,
 			HeartbeatMillis: int(cfg.HeartbeatInterval / time.Millisecond),
 			CreditWindow:    cfg.CreditWindow}
-		if err := c.sendTo(w, MsgAssign, AppendAssign(nil, a)); err != nil {
-			c.Close()
+		if err := s.sendTo(w, MsgAssign, AppendAssign(nil, a)); err != nil {
+			s.shutdown()
 			return nil, fmt.Errorf("netcluster: assigning worker %d: %w", w.id, err)
 		}
 	}
-	for _, w := range c.workers {
-		c.wg.Add(1)
-		go c.readWorker(w)
+	for _, w := range s.workers {
+		s.wg.Add(1)
+		go s.readWorker(w)
 	}
 	ready := make(map[int]bool, cfg.Workers)
-	setup := time.NewTimer(cfg.SetupTimeout)
+	setup := time.NewTimer(time.Until(deadline))
 	defer setup.Stop()
 	for len(ready) < cfg.Workers {
 		select {
-		case id := <-c.readyc:
+		case id := <-s.readyc:
 			ready[id] = true
-		case <-c.failed:
-			err := c.err
-			c.Close()
+		case <-s.failed:
+			err := s.err
+			s.shutdown()
 			return nil, err
 		case <-setup.C:
-			c.Close()
+			s.shutdown()
 			return nil, fmt.Errorf("netcluster: %d/%d workers meshed within %v", len(ready), cfg.Workers, cfg.SetupTimeout)
 		}
 	}
 	now := time.Now().UnixNano()
-	for _, w := range c.workers {
+	for _, w := range s.workers {
 		w.lastBeat.Store(now)
 	}
-	c.wg.Add(1)
-	go c.monitor()
-	return c, nil
+	s.wg.Add(1)
+	go s.monitor()
+	return s, nil
 }
 
-// acceptWorker completes one registration handshake.
-func (c *Coordinator) acceptWorker(deadline time.Time, id int) (*workerConn, error) {
+// admitWorker accepts one connection and completes the registration
+// handshake. A connection that fails the handshake (stale socket from a
+// dead worker, a confused client) is closed and reported as (nil, nil):
+// re-admission must not let one bad connection burn the whole attempt.
+// Listener-level errors (timeout, closed) are returned.
+func (c *Coordinator) admitWorker(deadline time.Time, have int) (net.Conn, Register, error) {
 	if d, ok := c.ln.(interface{ SetDeadline(time.Time) error }); ok {
 		d.SetDeadline(deadline)
 	}
 	conn, err := c.ln.Accept()
 	if err != nil {
-		return nil, fmt.Errorf("netcluster: waiting for worker %d of %d: %w", id+1, c.cfg.Workers, err)
+		return nil, Register{}, fmt.Errorf("netcluster: waiting for worker %d of %d: %w", have+1, c.cfg.Workers, err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
@@ -230,76 +412,99 @@ func (c *Coordinator) acceptWorker(deadline time.Time, id int) (*workerConn, err
 	typ, body, buf, err := ReadMsg(conn, buf)
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("netcluster: worker %d handshake: %w", id, err)
+		return nil, Register{}, nil // stale or dead connection; skip it
 	}
 	if typ != MsgHello {
 		conn.Close()
-		return nil, fmt.Errorf("netcluster: worker %d sent %#x before hello", id, typ)
+		return nil, Register{}, nil
 	}
 	h, err := DecodeHello(body)
-	if err != nil {
+	if err != nil || h.Role != RoleWorker {
 		conn.Close()
-		return nil, err
-	}
-	if h.Role != RoleWorker {
-		conn.Close()
-		return nil, fmt.Errorf("netcluster: connection with role %d on the coordinator port", h.Role)
+		return nil, Register{}, nil
 	}
 	typ, body, _, err = ReadMsg(conn, buf)
 	if err != nil || typ != MsgRegister {
 		conn.Close()
-		return nil, fmt.Errorf("netcluster: worker %d did not register (msg %#x, err %v)", id, typ, err)
+		return nil, Register{}, nil
 	}
 	reg, err := DecodeRegister(body)
 	if err != nil {
 		conn.Close()
-		return nil, err
+		return nil, Register{}, nil
 	}
-	return &workerConn{id: id, conn: conn, addr: reg.DataAddr}, nil
+	return conn, reg, nil
 }
 
 // fail records the first session error and closes every worker connection
-// so readers, workers, and any Run in progress all unwind.
-func (c *Coordinator) fail(err error) {
-	c.errOnce.Do(func() {
-		c.err = err
-		close(c.failed)
-		for _, w := range c.workers {
-			w.conn.Close()
+// so readers, workers, and any attempt in progress all unwind.
+func (s *session) fail(err error) {
+	s.errOnce.Do(func() {
+		s.err = err
+		close(s.failed)
+		for _, w := range s.workers {
+			if w != nil {
+				w.conn.Close()
+			}
 		}
 	})
 }
 
 // Err returns the session's fatal error, if any.
-func (c *Coordinator) Err() error {
+func (s *session) Err() error {
 	select {
-	case <-c.failed:
-		return c.err
+	case <-s.failed:
+		return s.err
 	default:
 		return nil
 	}
 }
 
-// Close shuts the session down: workers see the connection close and exit
-// cleanly (between jobs) or fail their current job (mid-job). A Run in
-// progress returns an error rather than waiting for results that will
-// never come.
-func (c *Coordinator) Close() {
-	c.closed.Store(true)
-	c.fail(errors.New("netcluster: session closed"))
-	select {
-	case <-c.monStop:
-	default:
-		close(c.monStop)
+// shutdown tears the session down: every control connection closes (a
+// worker mid-job sees this as coordinator loss and, if redialing, comes
+// back for the next session), the monitor stops, and the reader
+// goroutines drain. Idempotent; the listener is not touched.
+func (s *session) shutdown() {
+	s.closing.Store(true)
+	s.fail(errors.New("netcluster: session closed"))
+	s.monOnce.Do(func() { close(s.monStop) })
+	for _, w := range s.workers {
+		if w != nil {
+			w.conn.Close()
+		}
 	}
-	for _, w := range c.workers {
-		w.conn.Close()
-	}
-	c.ln.Close()
-	c.wg.Wait()
+	s.wg.Wait()
 }
 
-func (c *Coordinator) sendTo(w *workerConn, typ byte, body []byte) error {
+// Err returns the current session's fatal error, if any.
+func (c *Coordinator) Err() error {
+	c.mu.Lock()
+	s := c.sess
+	c.mu.Unlock()
+	if s == nil {
+		return errors.New("netcluster: no session")
+	}
+	return s.Err()
+}
+
+// Close shuts the coordinator down: the current session tears down
+// (workers see the connection close and exit cleanly between jobs, or
+// fail their current job mid-job), the listener closes, and any Run in
+// progress — including one sleeping between retry attempts — returns an
+// error rather than waiting for results that will never come.
+func (c *Coordinator) Close() {
+	c.closed.Store(true)
+	c.closeOnce.Do(func() { close(c.closec) })
+	c.mu.Lock()
+	s := c.sess
+	c.mu.Unlock()
+	if s != nil {
+		s.shutdown()
+	}
+	c.ln.Close()
+}
+
+func (s *session) sendTo(w *workerConn, typ byte, body []byte) error {
 	w.wmu.Lock()
 	err := WriteMsg(w.conn, typ, body)
 	w.wmu.Unlock()
@@ -308,11 +513,11 @@ func (c *Coordinator) sendTo(w *workerConn, typ byte, body []byte) error {
 
 // broadcast sends one control message to every worker; a write failure
 // fails the session naming the worker.
-func (c *Coordinator) broadcast(typ byte, body []byte) {
-	for _, w := range c.workers {
-		if err := c.sendTo(w, typ, body); err != nil {
-			if !c.closed.Load() {
-				c.fail(fmt.Errorf("netcluster: worker %d (%s) lost: control send failed: %w", w.id, w.addr, err))
+func (s *session) broadcast(typ byte, body []byte) {
+	for _, w := range s.workers {
+		if err := s.sendTo(w, typ, body); err != nil {
+			if !s.closing.Load() {
+				s.fail(fmt.Errorf("netcluster: worker %d (%s) lost: control send failed: %w", w.id, w.addr, err))
 			}
 			return
 		}
@@ -320,16 +525,16 @@ func (c *Coordinator) broadcast(typ byte, body []byte) {
 }
 
 // readWorker drains one worker's control connection for the session.
-func (c *Coordinator) readWorker(w *workerConn) {
-	defer c.wg.Done()
+func (s *session) readWorker(w *workerConn) {
+	defer s.wg.Done()
 	br := bufio.NewReader(w.conn)
 	var buf []byte
 	for {
 		typ, body, nbuf, err := ReadMsg(br, buf)
 		buf = nbuf
 		if err != nil {
-			if !c.closed.Load() {
-				c.fail(fmt.Errorf("netcluster: worker %d (%s) lost: connection closed: %w", w.id, w.addr, err))
+			if !s.closing.Load() {
+				s.fail(fmt.Errorf("netcluster: worker %d (%s) lost: connection closed: %w", w.id, w.addr, err))
 			}
 			return
 		}
@@ -338,47 +543,47 @@ func (c *Coordinator) readWorker(w *workerConn) {
 		w.lastBeat.Store(time.Now().UnixNano())
 		switch typ {
 		case MsgReady:
-			c.readyc <- w.id
+			s.readyc <- w.id
 		case MsgHeartbeat:
 		case MsgEvent:
 			ev, err := DecodeEvent(body)
 			if err != nil {
-				c.fail(fmt.Errorf("netcluster: worker %d: corrupt event: %w", w.id, err))
+				s.fail(fmt.Errorf("netcluster: worker %d: corrupt event: %w", w.id, err))
 				return
 			}
 			select {
-			case c.events <- core.CoordEvent{Kind: core.CoordEventKind(ev.Kind), Pos: ev.Pos, Branch: ev.Branch}:
-			case <-c.failed:
+			case s.events <- core.CoordEvent{Kind: core.CoordEventKind(ev.Kind), Pos: ev.Pos, Branch: ev.Branch}:
+			case <-s.failed:
 				return
 			}
 		case MsgBarrierAck:
 			m, err := DecodeBarrier(body)
 			if err != nil {
-				c.fail(fmt.Errorf("netcluster: worker %d: corrupt barrier ack: %w", w.id, err))
+				s.fail(fmt.Errorf("netcluster: worker %d: corrupt barrier ack: %w", w.id, err))
 				return
 			}
 			select {
-			case c.barrierc <- m.Seq:
-			case <-c.failed:
+			case s.barrierc <- m.Seq:
+			case <-s.failed:
 				return
 			}
 		case MsgResult:
 			r, err := DecodeResult(body)
 			if err != nil {
-				c.fail(fmt.Errorf("netcluster: worker %d: corrupt result: %w", w.id, err))
+				s.fail(fmt.Errorf("netcluster: worker %d: corrupt result: %w", w.id, err))
 				return
 			}
 			select {
-			case c.resultc <- workerResult{id: w.id, msg: r}:
-			case <-c.failed:
+			case s.resultc <- workerResult{id: w.id, msg: r}:
+			case <-s.failed:
 				return
 			}
 		case MsgError:
 			m, _ := DecodeError(body)
-			c.fail(fmt.Errorf("netcluster: worker %d (%s) failed: %s", w.id, w.addr, m.Msg))
+			s.fail(fmt.Errorf("netcluster: worker %d (%s) failed: %s", w.id, w.addr, m.Msg))
 			return
 		default:
-			c.fail(fmt.Errorf("netcluster: worker %d sent unexpected message %#x", w.id, typ))
+			s.fail(fmt.Errorf("netcluster: worker %d sent unexpected message %#x", w.id, typ))
 			return
 		}
 	}
@@ -388,9 +593,9 @@ func (c *Coordinator) readWorker(w *workerConn) {
 // timeout — the no-hang guarantee when a worker process wedges rather
 // than dies (a dead process closes its connection, which is detected
 // immediately by readWorker).
-func (c *Coordinator) monitor() {
-	defer c.wg.Done()
-	tick := c.cfg.HeartbeatTimeout / 4
+func (s *session) monitor() {
+	defer s.wg.Done()
+	tick := s.cfg.HeartbeatTimeout / 4
 	if tick < time.Millisecond {
 		tick = time.Millisecond
 	}
@@ -400,17 +605,17 @@ func (c *Coordinator) monitor() {
 		select {
 		case <-t.C:
 			now := time.Now().UnixNano()
-			for _, w := range c.workers {
+			for _, w := range s.workers {
 				silent := time.Duration(now - w.lastBeat.Load())
-				if silent > c.cfg.HeartbeatTimeout {
-					c.fail(fmt.Errorf("netcluster: worker %d (%s) lost: no heartbeat for %v (timeout %v)",
-						w.id, w.addr, silent.Round(time.Millisecond), c.cfg.HeartbeatTimeout))
+				if silent > s.cfg.HeartbeatTimeout {
+					s.fail(fmt.Errorf("netcluster: worker %d (%s) lost: no heartbeat for %v (timeout %v)",
+						w.id, w.addr, silent.Round(time.Millisecond), s.cfg.HeartbeatTimeout))
 					return
 				}
 			}
-		case <-c.monStop:
+		case <-s.monStop:
 			return
-		case <-c.failed:
+		case <-s.failed:
 			return
 		}
 	}
@@ -418,29 +623,29 @@ func (c *Coordinator) monitor() {
 
 // tcpControlPlane drives the workers from core.RunCoordinator.
 type tcpControlPlane struct {
-	c          *Coordinator
+	s          *session
 	finishOnce sync.Once
 }
 
 func (cp *tcpControlPlane) Broadcast(up core.PathUpdate) {
-	cp.c.broadcast(MsgPathUpdate, AppendPathUpdate(nil, PathUpdateMsg{Pos: up.Pos, Block: int(up.Block), Final: up.Final}))
+	cp.s.broadcast(MsgPathUpdate, AppendPathUpdate(nil, PathUpdateMsg{Pos: up.Pos, Block: int(up.Block), Final: up.Final}))
 }
 
 // Barrier performs a real superstep barrier: one round trip to every
 // worker. The coordinator only raises it when all completions for the
 // fenced positions are already in, so an ack means "drained".
 func (cp *tcpControlPlane) Barrier() {
-	c := cp.c
-	c.barrierSeq++
-	seq := c.barrierSeq
-	c.broadcast(MsgBarrier, AppendBarrier(nil, BarrierMsg{Seq: seq}))
-	for acks := 0; acks < len(c.workers); {
+	s := cp.s
+	s.barrierSeq++
+	seq := s.barrierSeq
+	s.broadcast(MsgBarrier, AppendBarrier(nil, BarrierMsg{Seq: seq}))
+	for acks := 0; acks < len(s.workers); {
 		select {
-		case got := <-c.barrierc:
+		case got := <-s.barrierc:
 			if got == seq {
 				acks++
 			}
-		case <-c.failed:
+		case <-s.failed:
 			return
 		}
 	}
@@ -448,33 +653,35 @@ func (cp *tcpControlPlane) Barrier() {
 
 func (cp *tcpControlPlane) Stop(err error) {
 	if err != nil {
-		cp.c.fail(err)
+		cp.s.fail(err)
 		return
 	}
 	cp.finishOnce.Do(func() {
-		cp.c.broadcast(MsgFinish, []byte{0})
+		cp.s.broadcast(MsgFinish, []byte{0})
 	})
 }
 
-// Run executes one program on the session: ship source and inputs, drive
-// the control flow, collect the workers' results, write their output
-// datasets back into st, and return the merged stats. Options follow
-// core.Options semantics; Parallelism 0 selects one instance per worker.
-func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (*Result, error) {
-	if err := c.Err(); err != nil {
-		return nil, err
-	}
-	if !c.running.CompareAndSwap(false, true) {
-		return nil, fmt.Errorf("netcluster: coordinator already running a job")
-	}
-	defer c.running.Store(false)
+// preparedJob is the resolved job setup, computed once per Run and reused
+// verbatim by every re-execution attempt: the plan the control-flow
+// manager drives and the encoded job shipment. Only worker identity
+// changes between attempts, never job structure, so the control-plane
+// work of compiling, planning, and serializing is paid once (the
+// Execution Templates observation applied to re-execution).
+type preparedJob struct {
+	plan *core.Plan
+	opts core.Options
+	spec []byte // encoded JobSpec, broadcast per attempt
+}
+
+// prepare compiles and plans the job locally and encodes the shipment.
+// The coordinator needs the plan for the control-flow manager (block
+// structure, instances per block); the workers rebuild the identical plan
+// from the same source.
+func (c *Coordinator) prepare(source string, st NamedStore, opts core.Options) (*preparedJob, error) {
 	par := opts.Parallelism
 	if par == 0 {
 		par = c.cfg.Workers
 	}
-	// Compile and plan locally: the coordinator needs the plan for the
-	// control-flow manager (block structure, instances per block); the
-	// workers rebuild the identical plan from the same source.
 	prog, err := lang.Parse(source)
 	if err != nil {
 		return nil, err
@@ -511,41 +718,144 @@ func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (*Res
 		Parallelism: par,
 		BatchSize:   opts.BatchSize,
 		Pipelining:  opts.Pipelining,
-		Hoisting:     opts.Hoisting,
-		Combiners:    opts.Combiners,
-		Chaining:     opts.Chaining,
-		Datasets:     datasets,
+		Hoisting:    opts.Hoisting,
+		Combiners:   opts.Combiners,
+		Chaining:    opts.Chaining,
+		Datasets:    datasets,
+	}
+	return &preparedJob{plan: plan, opts: opts, spec: AppendJobSpec(nil, spec)}, nil
+}
+
+// ensureSession returns a live session, re-admitting workers into a fresh
+// one when the current session has failed. Re-establishment only happens
+// on the retry path (reestablish=true): with an exhausted or zero budget
+// a dead session fails fast instead of blocking in accept.
+func (c *Coordinator) ensureSession(reestablish bool) (*session, error) {
+	c.mu.Lock()
+	s := c.sess
+	c.mu.Unlock()
+	if s != nil && s.Err() == nil {
+		return s, nil
+	}
+	if !reestablish {
+		if s == nil {
+			return nil, errors.New("netcluster: no session")
+		}
+		return nil, s.Err()
+	}
+	if s != nil {
+		s.shutdown()
+	}
+	c.mu.Lock()
+	c.sess = nil
+	c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, errors.New("netcluster: session closed")
+	}
+	ns, err := c.establish()
+	if err != nil {
+		return nil, fmt.Errorf("netcluster: rebuilding worker pool: %w", err)
+	}
+	if c.closed.Load() { // Close raced the re-establish; don't leak the session
+		ns.shutdown()
+		return nil, errors.New("netcluster: session closed")
+	}
+	c.mu.Lock()
+	c.sess = ns
+	c.mu.Unlock()
+	return ns, nil
+}
+
+// Run executes one program on the cluster: ship source and inputs, drive
+// the control flow, collect the workers' results, write their output
+// datasets back into st, and return the merged stats. Options follow
+// core.Options semantics; Parallelism 0 selects one instance per worker.
+//
+// When a worker is lost mid-job and cfg.Retries > 0, Run tears the
+// attempt down, re-admits workers until the pool is whole, and re-
+// executes — the job recompiles deterministically from source, so a
+// retry needs no checkpoint. Exhausting the budget returns a *RetryError
+// carrying every attempt's error.
+func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (*Result, error) {
+	if !c.running.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("netcluster: coordinator already running a job")
+	}
+	defer c.running.Store(false)
+	job, err := c.prepare(source, st, opts)
+	if err != nil {
+		return nil, err
 	}
 	start := time.Now()
-	c.broadcast(MsgJob, AppendJobSpec(nil, spec))
+	var history []AttemptError
+	backoff := c.cfg.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		// With a retry budget, even the first attempt may rebuild a pool
+		// that died while idle; without one, a dead session fails fast.
+		s, err := c.ensureSession(attempt > 1 || c.cfg.Retries > 0)
+		if err == nil {
+			var res *Result
+			res, err = c.runAttempt(s, job, st)
+			if err == nil {
+				res.Duration = time.Since(start)
+				res.Attempts = attempt
+				for _, a := range history {
+					res.AttemptErrors = append(res.AttemptErrors, a.Err.Error())
+				}
+				return res, nil
+			}
+			s.shutdown()
+		}
+		history = append(history, AttemptError{Attempt: attempt, Time: time.Now(), Err: err})
+		if attempt == 1 && c.cfg.Retries == 0 {
+			return nil, err // fail-fast configuration: preserve the bare cause
+		}
+		if attempt > c.cfg.Retries || c.closed.Load() {
+			return nil, &RetryError{Budget: c.cfg.Retries, Attempts: history}
+		}
+		select {
+		case <-time.After(backoff):
+		case <-c.closec:
+			history = append(history, AttemptError{Attempt: attempt + 1, Time: time.Now(),
+				Err: errors.New("netcluster: coordinator closed during retry backoff")})
+			return nil, &RetryError{Budget: c.cfg.Retries, Attempts: history}
+		}
+		if backoff *= 2; backoff > c.cfg.RetryBackoffMax {
+			backoff = c.cfg.RetryBackoffMax
+		}
+	}
+}
 
-	cp := &tcpControlPlane{c: c}
+// runAttempt executes the prepared job once on a live session.
+func (c *Coordinator) runAttempt(s *session, job *preparedJob, st NamedStore) (*Result, error) {
+	s.broadcast(MsgJob, job.spec)
+
+	cp := &tcpControlPlane{s: s}
 	stop := make(chan struct{})
 	coordDone := make(chan struct{})
 	steps := 0
 	go func() {
 		defer close(coordDone)
-		steps = core.RunCoordinator(plan, opts, c.cfg.Workers, c.events, cp, stop)
+		steps = core.RunCoordinator(job.plan, job.opts, c.cfg.Workers, s.events, cp, stop)
 	}()
 
 	results := make([]*ResultMsg, c.cfg.Workers)
 	for got := 0; got < c.cfg.Workers; {
 		select {
-		case r := <-c.resultc:
+		case r := <-s.resultc:
 			if results[r.id] == nil {
 				msg := r.msg
 				results[r.id] = &msg
 				got++
 			}
-		case <-c.failed:
+		case <-s.failed:
 			close(stop)
 			<-coordDone
-			return nil, c.err
+			return nil, s.err
 		}
 	}
 	close(stop)
 	<-coordDone
-	out := &Result{Steps: steps, Duration: time.Since(start), PeerLinks: make([][]PeerStat, len(results))}
+	out := &Result{Steps: steps, PeerLinks: make([][]PeerStat, len(results))}
 	for id, r := range results {
 		out.Job.ElementsSent += r.Stats.ElementsSent
 		out.Job.ElementsChained += r.Stats.ElementsChained
@@ -570,8 +880,8 @@ func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (*Res
 			}
 		}
 	}
-	if opts.Obs != nil {
-		reg := opts.Obs.Reg()
+	if job.opts.Obs != nil {
+		reg := job.opts.Obs.Reg()
 		for id, links := range out.PeerLinks {
 			for _, p := range links {
 				reg.Counter(id, "netcluster", "socket_bytes_out").Add(p.BytesOut)
@@ -582,4 +892,15 @@ func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (*Res
 		}
 	}
 	return out, nil
+}
+
+// workerID reports the stable machine ID assigned to a registration name,
+// or -1. Tests use it to pin ID stability across re-admission.
+func (c *Coordinator) workerID(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.ids[name]; ok {
+		return id
+	}
+	return -1
 }

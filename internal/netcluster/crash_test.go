@@ -18,10 +18,19 @@ import (
 
 // TestMain doubles as the worker process for the multi-process tests: when
 // MITOS_WORKER_COORD is set, the re-executed test binary is a worker, not
-// a test run.
+// a test run. MITOS_WORKER_NAME fixes the registration identity and
+// MITOS_WORKER_REDIAL=1 wraps Serve in the reconnect loop, exactly what
+// `mitos-worker -redial` does.
 func TestMain(m *testing.M) {
 	if addr := os.Getenv("MITOS_WORKER_COORD"); addr != "" {
-		if err := Serve(WorkerConfig{Coord: addr}, nil); err != nil {
+		cfg := WorkerConfig{Coord: addr, Name: os.Getenv("MITOS_WORKER_NAME")}
+		if os.Getenv("MITOS_WORKER_REDIAL") != "" {
+			// Runs until the process is killed; ServeLoop only returns on a
+			// closed stop channel.
+			ServeLoop(cfg, RedialConfig{Base: 25 * time.Millisecond, Max: time.Second}, nil)
+			os.Exit(0)
+		}
+		if err := Serve(cfg, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "worker: %v\n", err)
 			os.Exit(1)
 		}
@@ -30,30 +39,35 @@ func TestMain(m *testing.M) {
 	os.Exit(m.Run())
 }
 
-// spawnWorkers re-execs the test binary n times as worker processes
-// pointed at addr.
-func spawnWorkers(t *testing.T, n int, addr string) []*exec.Cmd {
+// spawnWorker re-execs the test binary as one worker process pointed at
+// addr, with any extra environment (name, redial mode) appended.
+func spawnWorker(t *testing.T, addr string, extraEnv ...string) *exec.Cmd {
 	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
-	var cmds []*exec.Cmd
-	for i := 0; i < n; i++ {
-		cmd := exec.Command(exe)
-		cmd.Env = append(os.Environ(), "MITOS_WORKER_COORD="+addr)
-		cmd.Stderr = os.Stderr
-		if err := cmd.Start(); err != nil {
-			t.Fatal(err)
-		}
-		cmds = append(cmds, cmd)
+	cmd := exec.Command(exe)
+	cmd.Env = append(append(os.Environ(), "MITOS_WORKER_COORD="+addr), extraEnv...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
 	}
 	t.Cleanup(func() {
-		for _, cmd := range cmds {
-			cmd.Process.Kill()
-			cmd.Wait()
-		}
+		cmd.Process.Kill()
+		cmd.Wait()
 	})
+	return cmd
+}
+
+// spawnWorkers re-execs the test binary n times as worker processes
+// pointed at addr.
+func spawnWorkers(t *testing.T, n int, addr string) []*exec.Cmd {
+	t.Helper()
+	var cmds []*exec.Cmd
+	for i := 0; i < n; i++ {
+		cmds = append(cmds, spawnWorker(t, addr))
+	}
 	return cmds
 }
 
@@ -164,6 +178,97 @@ func TestWorkerCrashMidJob(t *testing.T) {
 	buf := make([]byte, 64<<10)
 	t.Errorf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(),
 		buf[:runtime.Stack(buf, true)])
+}
+
+// TestWorkerCrashRecovery is the end-to-end survival line across real
+// process boundaries: three worker processes running the redial loop, one
+// SIGKILLed mid-job and replaced by a fresh process under the same name
+// (a supervisor restart). The coordinator must tear the attempt down,
+// re-admit the survivors and the replacement — giving the replacement its
+// predecessor's machine ID — re-execute, and return a Result that both
+// matches the simulated backend bag for bag and reports how many attempts
+// it took.
+func TestWorkerCrashRecovery(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ln := listenLoopback(t)
+	addr := ln.Addr().String()
+	names := []string{"proc-a", "proc-b", "proc-c"}
+	cmds := make([]*exec.Cmd, len(names))
+	for i, name := range names {
+		cmds[i] = spawnWorker(t, addr, "MITOS_WORKER_NAME="+name, "MITOS_WORKER_REDIAL=1")
+	}
+	c, err := Listen(CoordConfig{Listener: ln, Workers: 3,
+		Retries: 3, RetryBackoff: 50 * time.Millisecond, RetryBackoffMax: 500 * time.Millisecond,
+		HeartbeatInterval: 50 * time.Millisecond, HeartbeatTimeout: 3 * time.Second,
+		SetupTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimID := c.workerID("proc-b")
+	if victimID < 0 {
+		t.Fatal("proc-b has no machine ID after establish")
+	}
+
+	spec := workload.VisitCountSpec{Days: 20, VisitsPerDay: 4000, Pages: 300, WithDiff: true, Seed: 23}
+	simStore := store.NewMemStore()
+	if err := spec.Generate(simStore); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, spec.Script(), simStore, 3, core.DefaultOptions())
+
+	type runResult struct {
+		res *Result
+		err error
+	}
+	var res *Result
+	var tcpStore *store.MemStore
+	for round := 0; ; round++ {
+		if round == 8 {
+			t.Fatal("kill never landed mid-job in 8 rounds")
+		}
+		tcpStore = store.NewMemStore()
+		if err := spec.Generate(tcpStore); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan runResult, 1)
+		go func() {
+			r, err := c.Run(spec.Script(), tcpStore, core.DefaultOptions())
+			done <- runResult{r, err}
+		}()
+		time.Sleep(time.Duration(10+round*25) * time.Millisecond)
+		if err := cmds[1].Process.Signal(syscall.SIGKILL); err != nil {
+			t.Fatal(err)
+		}
+		cmds[1].Wait()
+		// The supervisor restart: a new process, the same identity.
+		cmds[1] = spawnWorker(t, addr, "MITOS_WORKER_NAME=proc-b", "MITOS_WORKER_REDIAL=1")
+		var r runResult
+		select {
+		case r = <-done:
+		case <-time.After(120 * time.Second):
+			t.Fatal("job hung after worker kill + replacement")
+		}
+		if r.err != nil {
+			t.Fatalf("job did not recover: %v", r.err)
+		}
+		if r.res.Attempts >= 2 {
+			res = r.res
+			break
+		}
+		// The kill was absorbed before execution (pool rebuilt, one
+		// attempt); try again with a later kill so it lands mid-stream.
+	}
+	if len(res.AttemptErrors) != res.Attempts-1 {
+		t.Errorf("AttemptErrors = %d entries for %d attempts", len(res.AttemptErrors), res.Attempts)
+	}
+	if got := c.workerID("proc-b"); got != victimID {
+		t.Errorf("replacement worker got machine ID %d, want predecessor's %d", got, victimID)
+	}
+	t.Logf("recovered after %d attempts: %v", res.Attempts, res.AttemptErrors)
+	diffStores(t, simStore, tcpStore)
+
+	c.Close()
+	awaitGoroutines(t, before)
 }
 
 // TestHeartbeatTimeout exercises the timeout path itself with a fake

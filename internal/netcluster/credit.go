@@ -15,12 +15,14 @@ import (
 // the sender's in-flight memory at window frames per channel instead of
 // growing an egress queue without bound.
 //
-// Caveat, documented in DESIGN.md: blocking producers reintroduces the
-// deadlock hazard that made the in-process mailboxes unbounded. Receivers
-// never stop draining (vertices buffer inputs unconditionally and credits
-// are returned from the event loop after each frame), which breaks the
-// cycle in practice for every plan the compiler emits; the window is
-// configurable for workloads that need more headroom.
+// Liveness, documented in DESIGN.md: only the per-peer sender goroutine
+// (mesh.sendFrames) ever blocks in acquire. Dataflow event loops and peer
+// read loops hand frames to the egress queue without blocking, so they
+// keep draining mailboxes and returning credits no matter how congested
+// the link is — which is exactly what keeps the grants flowing that
+// unblock the sender. Credit grants themselves travel on a separate
+// ungated lane (mesh.sendGrants), so a return can never queue behind a
+// frame that is itself waiting for credit.
 
 // chanKey identifies one flow-controlled channel on a peer link.
 type chanKey struct {

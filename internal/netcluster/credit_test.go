@@ -87,6 +87,43 @@ func TestTCPTinyCreditWindow(t *testing.T) {
 	diffTCPvsSim(t, spec.Script(), spec.Generate, 3, opts, 1)
 }
 
+// TestTCPHeavyShuffleWindowOne is the regression test for the distributed
+// credit-flow deadlock: before senders moved to dedicated per-peer
+// goroutines, a large shuffle at window 1 with tiny batches would (with
+// high probability) reach a state where every machine's event loops were
+// blocked in credits.acquire inside Emit, so no mailbox drained, no acks
+// fired, and no grants ever flowed — a waits-for cycle across machines.
+// The workload is sized so the pre-fix code deadlocked roughly half the
+// time per run; any reintroduced blocking send on an event-loop path
+// shows up here as a 60s timeout rather than a rare CI flake.
+func TestTCPHeavyShuffleWindowOne(t *testing.T) {
+	spec := workload.VisitCountSpec{Days: 20, VisitsPerDay: 4000, Pages: 300, WithDiff: true, Seed: 21}
+	opts := core.DefaultOptions()
+	opts.BatchSize = 2
+	c, cleanup, err := StartLocal(3, CoordConfig{CreditWindow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	st := store.NewMemStore()
+	if err := spec.Generate(st); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(spec.Script(), st, opts)
+		done <- err
+	}()
+	select {
+	case err = <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("window-1 heavy shuffle deadlocked (event loop blocked on credits?)")
+	}
+}
+
 // TestTCPSmallWindowStalls checks the observable: with a 1-frame window
 // and tiny batches the stall counters must fire.
 func TestTCPSmallWindowStalls(t *testing.T) {

@@ -4,18 +4,64 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
+
+// localRedial is the reconnect backoff for in-process loopback workers:
+// aggressive, because re-admission latency is pure test/bench time here.
+var localRedial = RedialConfig{Base: 25 * time.Millisecond, Max: time.Second}
 
 // StartLocal starts a coordinator plus n in-process workers connected over
 // real loopback TCP — the complete wire path (handshake, plan shipment,
 // peer mesh, credit flow control) without separate processes. Tests, the
 // benchmark harness, and the tcp-vs-sim differential all use it; the
 // multi-process path is exercised by cmd/mitos-worker and the crash
-// integration test.
+// integration test. The workers run redial loops, so a coordinator
+// configured with Retries > 0 can lose one and recover.
 //
 // The returned cleanup closes the session and waits for every worker
 // goroutine to exit; it must be called even when a later Run fails.
 func StartLocal(n int, cfg CoordConfig) (*Coordinator, func(), error) {
+	c, _, cleanup, err := startLocalWorkers(n, cfg)
+	return c, cleanup, err
+}
+
+// localWorker is one in-process worker: a redial loop plus a kill switch
+// that aborts the current session as abruptly as a process death would
+// (every connection closes mid-stream), while the loop survives to redial
+// — the in-process analogue of SIGKILL + restart with -redial.
+type localWorker struct {
+	name string
+
+	mu   sync.Mutex
+	kill chan struct{}
+}
+
+// Kill tears down the worker's current session; its redial loop brings a
+// fresh session up. Safe to call repeatedly and concurrently.
+func (w *localWorker) Kill() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.kill != nil {
+		select {
+		case <-w.kill:
+		default:
+			close(w.kill)
+		}
+	}
+}
+
+func (w *localWorker) arm() chan struct{} {
+	k := make(chan struct{})
+	w.mu.Lock()
+	w.kill = k
+	w.mu.Unlock()
+	return k
+}
+
+// startLocalWorkers builds the in-process cluster and hands back the
+// per-worker kill switches (used by the fault-injection tests).
+func startLocalWorkers(n int, cfg CoordConfig) (*Coordinator, []*localWorker, func(), error) {
 	cfg.Workers = n
 	listen := cfg.Listen
 	if listen == "" {
@@ -24,25 +70,74 @@ func StartLocal(n int, cfg CoordConfig) (*Coordinator, func(), error) {
 	if cfg.Listener == nil {
 		ln, err := net.Listen("tcp", listen)
 		if err != nil {
-			return nil, nil, fmt.Errorf("netcluster: local cluster listen: %w", err)
+			return nil, nil, nil, fmt.Errorf("netcluster: local cluster listen: %w", err)
 		}
 		cfg.Listener = ln
 	}
 	addr := cfg.Listener.Addr().String()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
+	workers := make([]*localWorker, n)
 	for i := 0; i < n; i++ {
+		w := &localWorker{name: fmt.Sprintf("local-%d", i)}
+		workers[i] = w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			Serve(WorkerConfig{Coord: addr}, stop)
+			delay := localRedial.Base
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// One attempt's stop fires on the shared stop or on this
+				// worker's kill switch; either way Serve unwinds like a
+				// dying process (connections close mid-stream).
+				kill := w.arm()
+				attemptStop := make(chan struct{})
+				var once sync.Once
+				abort := func() { once.Do(func() { close(attemptStop) }) }
+				go func() {
+					select {
+					case <-stop:
+						abort()
+					case <-kill:
+						abort()
+					case <-attemptStop:
+					}
+				}()
+				began := time.Now()
+				err := Serve(WorkerConfig{Coord: addr, Name: w.name}, attemptStop)
+				abort()
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err == nil || time.Since(began) > localRedial.Max {
+					delay = localRedial.Base
+				}
+				t := time.NewTimer(jitter(delay))
+				select {
+				case <-t.C:
+				case <-stop:
+					t.Stop()
+					return
+				}
+				if err != nil {
+					if delay *= 2; delay > localRedial.Max {
+						delay = localRedial.Max
+					}
+				}
+			}
 		}()
 	}
 	c, err := Listen(cfg)
 	if err != nil {
 		close(stop)
 		wg.Wait()
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var once sync.Once
 	cleanup := func() {
@@ -52,5 +147,5 @@ func StartLocal(n int, cfg CoordConfig) (*Coordinator, func(), error) {
 			wg.Wait()
 		})
 	}
-	return c, cleanup, nil
+	return c, workers, cleanup, nil
 }

@@ -155,6 +155,61 @@ func TestTCPMatchesSimAblated(t *testing.T) {
 	diffTCPvsSim(t, spec.Script(), spec.Generate, 3, opts, 0)
 }
 
+// TestTCPMatchesSimAfterRetry is the sim-parity differential *through* a
+// failure: a worker dies mid-job, the coordinator re-executes on the
+// rejoined pool, and the recovered run's bags must still match the
+// simulated backend element for element — re-admission must hand the
+// rejoining worker its old machine ID, or i%n placement (and therefore
+// the bags) would shift between attempts.
+func TestTCPMatchesSimAfterRetry(t *testing.T) {
+	spec := workload.VisitCountSpec{Days: 12, VisitsPerDay: 2000, Pages: 200, WithDiff: true, Seed: 17}
+	opts := core.DefaultOptions()
+
+	simStore := store.NewMemStore()
+	if err := spec.Generate(simStore); err != nil {
+		t.Fatal(err)
+	}
+	runSim(t, spec.Script(), simStore, 3, opts)
+
+	c, workers, cleanup, err := startLocalWorkers(3, retryCfg(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	var res *Result
+	var tcpStore *store.MemStore
+	for round := 0; ; round++ {
+		if round == 10 {
+			t.Fatal("kill never landed mid-job in 10 rounds")
+		}
+		tcpStore = store.NewMemStore()
+		if err := spec.Generate(tcpStore); err != nil {
+			t.Fatal(err)
+		}
+		type runResult struct {
+			res *Result
+			err error
+		}
+		done := make(chan runResult, 1)
+		go func() {
+			r, err := c.Run(spec.Script(), tcpStore, opts)
+			done <- runResult{r, err}
+		}()
+		time.Sleep(time.Duration(5+round*10) * time.Millisecond)
+		workers[round%3].Kill()
+		r := <-done
+		if r.err != nil {
+			t.Fatalf("job did not recover: %v", r.err)
+		}
+		if r.res.Attempts >= 2 {
+			res = r.res
+			break
+		}
+	}
+	t.Logf("recovered after %d attempts: %v", res.Attempts, res.AttemptErrors)
+	diffStores(t, simStore, tcpStore)
+}
+
 // TestTCPSingleWorker: a 1-worker cluster has no peer links at all; every
 // edge is process-local but the control plane still runs over TCP.
 func TestTCPSingleWorker(t *testing.T) {

@@ -15,14 +15,34 @@ import (
 // The data plane: a full mesh of TCP connections between workers, one per
 // unordered pair — worker i dials every j < i and accepts every j > i, so
 // each pair meets on exactly one connection carrying both directions.
-// Writes from the dataflow event loops go straight to the socket under a
-// per-peer mutex (batching already happened at the dataflow layer); reads
-// are drained by one goroutine per peer that injects frames into the local
-// job partition and returns flow-control credits after processing.
+//
+// Each peer link runs three goroutines. One reader drains the connection:
+// data frames go into the local partition's mailboxes (non-blocking puts)
+// and inbound credit grants top up the sender-side table. Two writers
+// share the socket under the peer's write lock: the frame sender drains
+// an egress queue of data/EOB/flush frames, acquiring one flow-control
+// credit per gated frame — it is the only goroutine that ever blocks in
+// credits.acquire — and the grant sender drains a separate priority
+// queue of outbound credit returns.
+//
+// That split is what makes the flow control deadlock-free. The dataflow
+// event loops only ever enqueue (never touch a socket or a credit), so a
+// vertex blocked behind a slow consumer keeps processing its own mailbox
+// and keeps acknowledging — the property DESIGN.md states as "credit
+// grants must never require the blocked path to make progress". With
+// grants on their own lane they can never queue behind a gated frame
+// that is itself waiting for the other direction's grant. Every blocking
+// wait in the mesh is therefore on a party that cannot block in return:
+// frame senders wait on grants issued by read loops, and socket writes
+// wait on the remote read loop — read loops block only in read. Pinned
+// (with the history of the bug this replaces — producers used to block
+// event loops directly in acquire, and pipelined loop programs deadlocked
+// under windows small enough to matter) by TestTCPTinyCreditWindow.
 //
 // Ordering: the bag protocol needs per-(producer, consumer, input) FIFO.
-// All frames between two workers share one TCP connection written under
-// one lock and read by one goroutine, which is FIFO end to end.
+// All data frames between two workers share one egress queue feeding one
+// TCP connection read by one goroutine, which is FIFO end to end; credit
+// grants bypass the queue but carry no ordering obligations.
 
 const (
 	handshakeTimeout = 10 * time.Second
@@ -58,6 +78,8 @@ type peer struct {
 	id      int
 	conn    net.Conn
 	credits *credits
+	frames  *sendQueue // gated egress: data, EOB, flush
+	grants  *sendQueue // priority lane: outbound credit returns
 
 	wmu  sync.Mutex
 	bw   *bufio.Writer
@@ -67,6 +89,75 @@ type peer struct {
 	bytesIn   atomic.Int64
 	framesOut atomic.Int64
 	framesIn  atomic.Int64
+}
+
+// outFrame is one queued outbound message. Data frames own their payload
+// (val scratch) until written or dropped.
+type outFrame struct {
+	typ     byte
+	hdr     FrameHeader
+	payload []byte
+}
+
+// sendQueue is an unbounded FIFO of outbound frames with a blocking take.
+// Unbounded is deliberate: the sender-side memory bound comes from the
+// dataflow layer's emit granularity (a host flushes at most a bag before
+// its next input), while the credit window keeps bounding the receiver's
+// unprocessed frames per channel — the guarantee that matters for a slow
+// consumer.
+type sendQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	q      []outFrame
+	head   int
+	closed bool
+}
+
+func newSendQueue() *sendQueue {
+	q := &sendQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// put enqueues f; it reports false (and takes no ownership) once the
+// queue is closed.
+func (q *sendQueue) put(f outFrame) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.q = append(q.q, f)
+	q.cond.Signal()
+	return true
+}
+
+// take dequeues the next frame, blocking while the queue is open and
+// empty. After close it drains the backlog, then reports false.
+func (q *sendQueue) take() (outFrame, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.head == len(q.q) && !q.closed {
+		q.cond.Wait()
+	}
+	if q.head == len(q.q) {
+		return outFrame{}, false
+	}
+	f := q.q[q.head]
+	q.q[q.head] = outFrame{} // release the payload reference
+	q.head++
+	if q.head == len(q.q) || q.head > 1024 {
+		q.q = append(q.q[:0], q.q[q.head:]...)
+		q.head = 0
+	}
+	return f, true
+}
+
+func (q *sendQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // newMesh establishes the full mesh: dial lower-numbered peers, accept
@@ -120,8 +211,10 @@ func newMesh(self int, addrs []string, window int, ln net.Listener, fail func(er
 		if p == nil {
 			continue
 		}
-		m.wg.Add(1)
+		m.wg.Add(3)
 		go m.readLoop(p)
+		go m.sendFrames(p)
+		go m.sendGrants(p)
 	}
 	return m, nil
 }
@@ -130,7 +223,57 @@ func newPeer(id int, conn net.Conn, window int) *peer {
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true) // latency over bandwidth: frames are already batched
 	}
-	return &peer{id: id, conn: conn, credits: newCredits(window), bw: bufio.NewWriter(conn)}
+	return &peer{
+		id:      id,
+		conn:    conn,
+		credits: newCredits(window),
+		frames:  newSendQueue(),
+		grants:  newSendQueue(),
+		bw:      bufio.NewWriter(conn),
+	}
+}
+
+// sendFrames is the peer link's frame sender: it drains the egress queue,
+// pays one credit per data/EOB frame (flush tokens ride free — they must
+// stay FIFO behind the data they seal but carry no receiver memory), and
+// writes to the socket. It is the only goroutine that blocks in acquire;
+// a closed credit table fails every acquire, so teardown drains the
+// backlog straight to the scratch pool.
+func (m *mesh) sendFrames(p *peer) {
+	defer m.wg.Done()
+	for {
+		f, ok := p.frames.take()
+		if !ok {
+			return
+		}
+		if f.typ == MsgData || f.typ == MsgEOB {
+			k := chanKey{op: f.hdr.Op, inst: f.hdr.Inst, input: f.hdr.Input, from: f.hdr.From}
+			if !p.credits.acquire(k) {
+				if f.payload != nil {
+					val.PutScratch(f.payload) // tearing down; the job is failing anyway
+				}
+				continue
+			}
+		}
+		m.write(p, f.typ, f.hdr, f.payload)
+		if f.payload != nil {
+			val.PutScratch(f.payload)
+		}
+	}
+}
+
+// sendGrants writes outbound credit returns on their own lane, so a grant
+// can never wait behind a gated frame that is itself waiting for the
+// opposite direction's grant.
+func (m *mesh) sendGrants(p *peer) {
+	defer m.wg.Done()
+	for {
+		f, ok := p.grants.take()
+		if !ok {
+			return
+		}
+		m.write(p, f.typ, f.hdr, nil)
+	}
 }
 
 // acceptPeer validates one inbound peer handshake and returns the dialer's
@@ -202,18 +345,16 @@ func (m *mesh) waitJob() *dataflow.Job {
 	}
 }
 
-// SendData implements dataflow.Remote: one credit, then the frame. The
-// payload returns to the val scratch pool once written.
+// SendData implements dataflow.Remote: the frame joins the peer's egress
+// queue and the emit path returns immediately — the frame sender pays the
+// credit. The payload (owned by the mesh from here) returns to the val
+// scratch pool once written or dropped.
 func (m *mesh) SendData(dest int, h dataflow.RemoteHeader, payload []byte, count int) {
 	p := m.peers[dest]
-	k := chanKey{op: int(h.Op), inst: h.Inst, input: h.Input, from: h.From}
-	if !p.credits.acquire(k) {
-		val.PutScratch(payload) // session tearing down; the job is failing anyway
-		return
-	}
 	hdr := FrameHeader{Op: int(h.Op), Inst: h.Inst, Input: h.Input, From: h.From, Arg: count}
-	m.write(p, MsgData, hdr, payload)
-	val.PutScratch(payload)
+	if !p.frames.put(outFrame{typ: MsgData, hdr: hdr, payload: payload}) {
+		val.PutScratch(payload) // session tearing down; the job is failing anyway
+	}
 }
 
 // SendEOB implements dataflow.Remote. EOBs consume credits like data — the
@@ -221,23 +362,20 @@ func (m *mesh) SendData(dest int, h dataflow.RemoteHeader, payload []byte, count
 // bags fan EOBs to every instance) cannot overrun a slow consumer either.
 func (m *mesh) SendEOB(dest int, h dataflow.RemoteHeader, tag dataflow.Tag) {
 	p := m.peers[dest]
-	k := chanKey{op: int(h.Op), inst: h.Inst, input: h.Input, from: h.From}
-	if !p.credits.acquire(k) {
-		return
-	}
-	m.write(p, MsgEOB, FrameHeader{Op: int(h.Op), Inst: h.Inst, Input: h.Input, From: h.From, Arg: int(tag)}, nil)
+	p.frames.put(outFrame{typ: MsgEOB, hdr: FrameHeader{Op: int(h.Op), Inst: h.Inst, Input: h.Input, From: h.From, Arg: int(tag)}})
 }
 
-// sendFlush sends the quiesce token to every peer. Written after the last
-// data frame of a job, its arrival tells the receiver that everything this
-// worker ever sent for the job is already in local mailboxes (per-link
-// FIFO), so trailing EOBs are never dropped by a racing shutdown.
+// sendFlush sends the quiesce token to every peer. Queued after the last
+// data frame of a job (the egress queue is FIFO), its arrival tells the
+// receiver that everything this worker ever sent for the job is already
+// in local mailboxes, so trailing EOBs are never dropped by a racing
+// shutdown.
 func (m *mesh) sendFlush() {
 	for _, p := range m.peers {
 		if p == nil {
 			continue
 		}
-		m.write(p, MsgFlush, FrameHeader{}, nil)
+		p.frames.put(outFrame{typ: MsgFlush})
 	}
 }
 
@@ -343,14 +481,12 @@ func (m *mesh) readLoop(p *peer) {
 	}
 }
 
-// sendCredit returns one processed frame's credit to the producer. Runs on
-// the receiving partition's event loop (envelope ack) or, for post-close
-// drops, on whichever goroutine dropped the envelope.
+// sendCredit returns one processed frame's credit to the producer by
+// queuing it on the grant lane. Called from the receiving partition's
+// event loop (envelope ack) or, for post-close drops, from whichever
+// goroutine dropped the envelope — either way it never blocks.
 func (m *mesh) sendCredit(p *peer, k chanKey) {
-	if m.closed.Load() {
-		return
-	}
-	m.write(p, MsgCredit, FrameHeader{Op: k.op, Inst: k.inst, Input: k.input, From: k.from, Arg: 1}, nil)
+	p.grants.put(outFrame{typ: MsgCredit, hdr: FrameHeader{Op: k.op, Inst: k.inst, Input: k.input, From: k.from, Arg: 1}})
 }
 
 // stats snapshots every peer link's counters.
@@ -373,8 +509,8 @@ func (m *mesh) stats() []PeerStat {
 	return out
 }
 
-// close tears the mesh down: credit waiters unblock, reader loops exit.
-// Idempotent.
+// close tears the mesh down: credit waiters unblock, sender backlogs
+// drain to the scratch pool, reader loops exit. Idempotent.
 func (m *mesh) close() {
 	if !m.closed.CompareAndSwap(false, true) {
 		return
@@ -385,6 +521,8 @@ func (m *mesh) close() {
 			continue
 		}
 		p.credits.close()
+		p.frames.close()
+		p.grants.close()
 		p.conn.Close()
 	}
 	m.wg.Wait()

@@ -31,7 +31,8 @@ const (
 	// Magic opens every Hello; it spells "MITS".
 	Magic = 0x4d495453
 	// Version is the protocol version; coordinator and workers must match.
-	Version = 1
+	// v2 added Register.Name (stable worker identity for re-admission).
+	Version = 2
 	// MaxMsg bounds one framed message. Data frames carry one encoded
 	// batch (typically a few KiB); job shipment carries whole input
 	// datasets, which dominates this bound.
@@ -143,9 +144,9 @@ func readBody(r io.Reader, buf []byte, need int) ([]byte, error) {
 // enc appends varint/length-prefixed fields.
 type enc struct{ b []byte }
 
-func (e *enc) u64(v uint64)  { e.b = binary.AppendUvarint(e.b, v) }
-func (e *enc) i64(v int64)   { e.b = binary.AppendVarint(e.b, v) }
-func (e *enc) num(v int)     { e.i64(int64(v)) }
+func (e *enc) u64(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+func (e *enc) i64(v int64)  { e.b = binary.AppendVarint(e.b, v) }
+func (e *enc) num(v int)    { e.i64(int64(v)) }
 func (e *enc) boolean(v bool) {
 	if v {
 		e.b = append(e.b, 1)
@@ -301,22 +302,28 @@ func DecodeHello(b []byte) (Hello, error) {
 }
 
 // Register is the worker's first message after Hello: where its data-plane
-// listener accepts peer connections.
+// listener accepts peer connections, and a name identifying the worker
+// across reconnects. The name is what makes machine IDs stable under
+// re-admission: a worker that redials after a failure presents the same
+// name and gets its old ID (and therefore the same i%n partition
+// placement) back.
 type Register struct {
 	DataAddr string
+	Name     string
 }
 
 // AppendRegister appends the encoding of r to dst.
 func AppendRegister(dst []byte, r Register) []byte {
 	e := enc{b: dst}
 	e.str(r.DataAddr)
+	e.str(r.Name)
 	return e.b
 }
 
 // DecodeRegister decodes a Register.
 func DecodeRegister(b []byte) (Register, error) {
 	d := dec{b: b}
-	r := Register{DataAddr: d.str()}
+	r := Register{DataAddr: d.str(), Name: d.str()}
 	return r, d.fin()
 }
 

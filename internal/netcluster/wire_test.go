@@ -15,9 +15,14 @@ func TestWireRoundTrips(t *testing.T) {
 	if got, err := DecodeHello(AppendHello(nil, hello)); err != nil || got != hello {
 		t.Errorf("Hello: got %+v, err %v", got, err)
 	}
-	reg := Register{DataAddr: "127.0.0.1:9999"}
+	reg := Register{DataAddr: "127.0.0.1:9999", Name: "rack2-worker-7"}
 	if got, err := DecodeRegister(AppendRegister(nil, reg)); err != nil || got != reg {
 		t.Errorf("Register: got %+v, err %v", got, err)
+	}
+	// An anonymous Register (v2 workers that predate ServeLoop's default
+	// naming) round-trips with the empty name intact.
+	if got, err := DecodeRegister(AppendRegister(nil, Register{DataAddr: "h:1"})); err != nil || got.Name != "" || got.DataAddr != "h:1" {
+		t.Errorf("anonymous Register: got %+v, err %v", got, err)
 	}
 	a := Assign{ID: 2, Workers: 4, Peers: []string{"a:1", "b:2", "c:3", "d:4"}, HeartbeatMillis: 250, CreditWindow: 8}
 	got, err := DecodeAssign(AppendAssign(nil, a))

@@ -31,6 +31,11 @@ type WorkerConfig struct {
 	// Listen is the data-plane listen address for peer connections
 	// (default "127.0.0.1:0" — any free port, loopback).
 	Listen string
+	// Name identifies this worker across reconnects: a worker that
+	// redials after a failure and registers under the same name gets its
+	// old machine ID (and partition placement) back. ServeLoop fills in a
+	// process-stable default when empty.
+	Name string
 	// QuiesceTimeout bounds the end-of-job flush-token exchange
 	// (default 30s).
 	QuiesceTimeout time.Duration
@@ -65,7 +70,7 @@ func Serve(cfg WorkerConfig, stop <-chan struct{}) error {
 	if err := s.send(MsgHello, AppendHello(nil, Hello{Role: RoleWorker})); err != nil {
 		return err
 	}
-	if err := s.send(MsgRegister, AppendRegister(nil, Register{DataAddr: ln.Addr().String()})); err != nil {
+	if err := s.send(MsgRegister, AppendRegister(nil, Register{DataAddr: ln.Addr().String(), Name: cfg.Name})); err != nil {
 		return err
 	}
 	// stop (in-process workers) and failure both unblock the control read

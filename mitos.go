@@ -139,6 +139,11 @@ type Result struct {
 	// blocked on an exhausted flow-control window.
 	SocketBytes  int64
 	CreditStalls int64
+	// Attempts and AttemptErrors are set only by RunTCP: how many times the
+	// job executed (1 unless worker loss forced re-execution under
+	// TCPCoordConfig.Retries) and the error that ended each failed attempt.
+	Attempts      int
+	AttemptErrors []string
 	// Report is the metrics snapshot taken at the end of the run; nil
 	// unless Config.Observer was set.
 	Report *RunReport
@@ -241,12 +246,12 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{
-		Steps:         res.Steps,
-		Duration:      res.Duration,
-		ElementsSent:  res.Job.ElementsSent,
-		RemoteBatches: res.Job.RemoteBatches,
-		BytesSent:     res.Job.BytesSent,
-		BytesReceived: res.Job.BytesReceived,
+		Steps:           res.Steps,
+		Duration:        res.Duration,
+		ElementsSent:    res.Job.ElementsSent,
+		RemoteBatches:   res.Job.RemoteBatches,
+		BytesSent:       res.Job.BytesSent,
+		BytesReceived:   res.Job.BytesReceived,
 		CombineIn:       res.CombineIn,
 		CombineOut:      res.CombineOut,
 		ChainedEdges:    res.ChainedEdges,
@@ -298,6 +303,19 @@ func ServeTCPWorker(cfg TCPWorkerConfig, stop <-chan struct{}) error {
 	return netcluster.Serve(cfg, stop)
 }
 
+// TCPRedialConfig shapes ServeTCPWorkerLoop's reconnect backoff.
+type TCPRedialConfig = netcluster.RedialConfig
+
+// ServeTCPWorkerLoop serves sessions until stop closes, reconnecting with
+// capped exponential backoff + jitter after every session end — clean
+// close, mid-job failure (the worker comes back to be re-admitted for the
+// coordinator's retry), coordinator crash, or dial error. It keeps a
+// stable worker identity across redials so the worker regains its machine
+// ID. This is what `mitos-worker -redial` runs.
+func ServeTCPWorkerLoop(cfg TCPWorkerConfig, rd TCPRedialConfig, stop <-chan struct{}) error {
+	return netcluster.ServeLoop(cfg, rd, stop)
+}
+
 // StartLocalTCP starts a coordinator plus n in-process workers over
 // loopback TCP — the full wire path without separate processes.
 func StartLocalTCP(n int, cfg TCPCoordConfig) (*TCPCoordinator, func(), error) {
@@ -334,6 +352,8 @@ func (p *Program) RunTCP(c *TCPCoordinator, st NamedStore, cfg Config) (*Result,
 		ElementsChained: res.Job.ElementsChained,
 		SocketBytes:     res.SocketBytes,
 		CreditStalls:    res.CreditStalls,
+		Attempts:        res.Attempts,
+		AttemptErrors:   res.AttemptErrors,
 	}
 	if cfg.Observer != nil {
 		out.Report = cfg.Observer.Snapshot()
