@@ -1,7 +1,7 @@
 // mitos-bench regenerates the paper's evaluation figures on the simulated
 // cluster and prints one table per figure.
 //
-//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|all]
+//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|templates|all]
 //
 // The tcpcluster figure measures per-step overhead on the real TCP
 // backend (in-process workers over loopback sockets) against the
@@ -31,9 +31,10 @@ func main() {
 	bandwidth := flag.Int("bandwidth", 0, "simulated cross-machine bandwidth in MiB/s (0: default 1 GiB/s)")
 	combine := flag.String("combine", "on", "map-side combiners in Mitos runs: on|off (ablation)")
 	chain := flag.String("chain", "on", "operator chaining in Mitos runs: on|off (ablation)")
+	templates := flag.String("templates", "on", "execution templates in Mitos runs: on|off (ablation)")
 	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /jobs) on this address for the duration of the sweep")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|all]")
+		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|templates|all]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -46,9 +47,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mitos-bench: -chain must be on or off, got %q\n", *chain)
 		os.Exit(2)
 	}
+	if *templates != "on" && *templates != "off" {
+		fmt.Fprintf(os.Stderr, "mitos-bench: -templates must be on or off, got %q\n", *templates)
+		os.Exit(2)
+	}
 	o := experiments.Options{
 		Quick: *quick, Reps: *reps, BandwidthMiBps: *bandwidth,
 		NoCombine: *combine == "off", NoChain: *chain == "off",
+		NoTemplates: *templates == "off",
 	}
 	if *httpAddr != "" {
 		o.Obs = obs.New()
@@ -72,7 +78,7 @@ func main() {
 		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
 		"ablation": experiments.AblationGrid, "combine": experiments.Combine,
 		"chain": experiments.Chain, "critpath": experiments.CritPath,
-		"tcpcluster": experiments.TCPCluster,
+		"tcpcluster": experiments.TCPCluster, "templates": experiments.Templates,
 	}
 	var tables []*experiments.Table
 	if which == "all" {

@@ -89,6 +89,7 @@ type Cluster struct {
 	tasksDispatched atomic.Int64
 	barriers        atomic.Int64
 	ctrlMessages    atomic.Int64
+	ctrlBytes       atomic.Int64
 	netBatches      atomic.Int64
 	netBytes        atomic.Int64
 
@@ -96,14 +97,15 @@ type Cluster struct {
 	// scheduler-queue gauges are read by scheduler goroutines, which only
 	// touch them after receiving a request sent after SetObserver — the
 	// channel transfer orders the writes.
-	trc         *obs.Tracer
-	obsLaunches *obs.Counter
-	obsTasks    *obs.Counter
-	obsBarriers *obs.Counter
-	obsCtrl     *obs.Counter
-	launchHist  *obs.Histogram
-	barrierHist *obs.Histogram
-	obsSchedQ   []*obs.Gauge
+	trc          *obs.Tracer
+	obsLaunches  *obs.Counter
+	obsTasks     *obs.Counter
+	obsBarriers  *obs.Counter
+	obsCtrl      *obs.Counter
+	obsCtrlBytes *obs.Counter
+	launchHist   *obs.Histogram
+	barrierHist  *obs.Histogram
+	obsSchedQ    []*obs.Gauge
 
 	// mu guards closed. dispatch holds the read side across its channel
 	// send so that Close (write side) cannot close a scheduler channel
@@ -119,6 +121,9 @@ type Stats struct {
 	TasksDispatched int64
 	Barriers        int64
 	CtrlMessages    int64
+	// CtrlBytes is the summed encoded size of the control messages, as
+	// charged through CtrlSleepBytes.
+	CtrlBytes int64
 	// NetBatches and NetBytes count cross-machine data batches and their
 	// encoded payload bytes, as charged through NetSleepBytes.
 	NetBatches int64
@@ -178,6 +183,7 @@ func (c *Cluster) SetObserver(o *obs.Observer) {
 	c.obsTasks = reg.Counter(obs.MachineDriver, "cluster", "tasks_dispatched")
 	c.obsBarriers = reg.Counter(obs.MachineDriver, "cluster", "barriers")
 	c.obsCtrl = reg.Counter(obs.MachineDriver, "cluster", "ctrl_messages")
+	c.obsCtrlBytes = reg.Counter(obs.MachineDriver, "cluster", "ctrl_bytes")
 	c.launchHist = reg.Histogram(obs.MachineDriver, "cluster", "job_launch")
 	c.barrierHist = reg.Histogram(obs.MachineDriver, "cluster", "barrier")
 	for m := range c.obsSchedQ {
@@ -203,6 +209,7 @@ func (c *Cluster) Stats() Stats {
 		TasksDispatched: c.tasksDispatched.Load(),
 		Barriers:        c.barriers.Load(),
 		CtrlMessages:    c.ctrlMessages.Load(),
+		CtrlBytes:       c.ctrlBytes.Load(),
 		NetBatches:      c.netBatches.Load(),
 		NetBytes:        c.netBytes.Load(),
 	}
@@ -282,12 +289,23 @@ func (c *Cluster) Barrier() {
 }
 
 // CtrlSleep models the cost of delivering one asynchronous control-plane
-// message. Callers invoke it from their own goroutines, so it overlaps
-// with data processing.
+// message of unknown (or irrelevant) size. Callers invoke it from their
+// own goroutines, so it overlaps with data processing.
 func (c *Cluster) CtrlSleep() {
+	c.CtrlSleepBytes(0)
+}
+
+// CtrlSleepBytes models the cost of delivering one asynchronous
+// control-plane message of n encoded bytes. The latency model is the flat
+// CtrlDelay (control frames are far below the bandwidth term's noise
+// floor); n feeds the ctrl_bytes counter so control-plane traffic is
+// measurable in bytes, not just messages.
+func (c *Cluster) CtrlSleepBytes(n int) {
 	simtime.Sleep(c.cfg.CtrlDelay)
 	c.ctrlMessages.Add(1)
+	c.ctrlBytes.Add(int64(n))
 	c.obsCtrl.Inc()
+	c.obsCtrlBytes.Add(int64(n))
 }
 
 // nowIf reads the clock only when a histogram is attached, keeping the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/mitos-project/mitos/internal/ir"
@@ -37,10 +38,13 @@ const (
 // CoordEvent is one event on the hosts -> coordinator control channel. On
 // the TCP backend these cross the worker's coordinator connection as wire
 // messages; on the simulated cluster they stay on an in-process channel.
+// Count lets a worker aggregate several local completions of the same
+// position into one event (0 and 1 both mean a single completion).
 type CoordEvent struct {
 	Kind   CoordEventKind
 	Pos    int
 	Branch bool
+	Count  int
 }
 
 // ControlPlane is how the control-flow manager reaches the running job: it
@@ -51,11 +55,26 @@ type ControlPlane interface {
 	// Broadcast delivers a path extension to every operator instance, in
 	// mailbox order relative to data.
 	Broadcast(up PathUpdate)
+	// BroadcastSegment delivers a batched run of path extensions — an
+	// instantiated execution template — as one control frame per worker.
+	// Only called in templated (pipelined) mode.
+	BroadcastSegment(seg PathSegment)
 	// Barrier blocks until all in-flight work has drained — the superstep
 	// barrier paid between steps when pipelining is off.
 	Barrier()
 	// Stop ends the job; nil means clean completion.
 	Stop(err error)
+}
+
+// CoordStats summarizes one coordinator run.
+type CoordStats struct {
+	// Steps is the final execution path length.
+	Steps int
+	// TemplateInstalls counts jump-chain segments resolved and cached.
+	TemplateInstalls int
+	// TemplateInstantiations counts cache hits: segments re-broadcast by
+	// patching only the path position.
+	TemplateInstantiations int
 }
 
 type coordinator struct {
@@ -69,7 +88,15 @@ type coordinator struct {
 	nBroadcast int          // positions broadcast so far
 
 	completed []int // completion counts per position (1-based index pos-1)
+	expected  []int // instances per position (parallel to path)
 	doneUpTo  int   // all positions <= doneUpTo are complete
+
+	// Template cache (nil when templates are off): jump-chain segments
+	// keyed by their starting block, resolved on first visit and
+	// re-instantiated by position patching afterwards.
+	tmpl           map[ir.BlockID]*segTemplate
+	installs       int
+	instantiations int
 
 	// Steps counts the path length for stats.
 	steps int
@@ -95,6 +122,12 @@ type coordinator struct {
 
 func newCoordinator(plan *Plan, opts Options, machines int, events <-chan CoordEvent, cp ControlPlane) *coordinator {
 	c := &coordinator{plan: plan, pipelining: opts.Pipelining, events: events, cp: cp}
+	if opts.Templates && opts.Pipelining {
+		// Non-pipelined execution gates each position on the previous one
+		// completing, so extensions are inherently per-position; templates
+		// only batch pipelined broadcasts.
+		c.tmpl = make(map[ir.BlockID]*segTemplate)
+	}
 	if opts.Obs != nil {
 		reg := opts.Obs.Reg()
 		c.trc = opts.Obs.Trc()
@@ -121,19 +154,82 @@ func newCoordinator(plan *Plan, opts Options, machines int, events <-chan CoordE
 // events, broadcasts path extensions through cp, and calls cp.Stop when
 // the path is final and fully completed (or on a protocol error). It keeps
 // draining events until stop closes, so operator hosts can never block on
-// the event channel after a failure, and returns the step count.
-func RunCoordinator(plan *Plan, opts Options, machines int, events <-chan CoordEvent, cp ControlPlane, stop <-chan struct{}) int {
+// the event channel after a failure, and returns run statistics.
+func RunCoordinator(plan *Plan, opts Options, machines int, events <-chan CoordEvent, cp ControlPlane, stop <-chan struct{}) CoordStats {
 	c := newCoordinator(plan, opts, machines, events, cp)
 	c.run(stop)
-	return c.steps
+	return CoordStats{Steps: c.steps, TemplateInstalls: c.installs, TemplateInstantiations: c.instantiations}
+}
+
+// Coordinator is the synchronously-driven control-flow manager used by the
+// single-process backend: operator hosts deliver events by direct call
+// instead of through a channel to a dedicated goroutine. That keeps the
+// coordinator's work — extending the path and broadcasting the next
+// segment — on the goroutine that produced the decision, removing one
+// goroutine wake-up from every step of the per-step critical path. Safe
+// because nothing the coordinator calls blocks: the simulated Barrier only
+// charges modeled latency and Job.Stop is an idempotent mailbox close.
+// (The TCP backend keeps the channel-driven RunCoordinator — there the
+// events arrive from socket readers and network latency dominates.)
+type Coordinator struct {
+	mu     sync.Mutex
+	c      *coordinator
+	failed bool
+}
+
+// NewCoordinator builds a synchronous coordinator. Call Seed once the job
+// can accept broadcasts; deliver events with OnEvent.
+func NewCoordinator(plan *Plan, opts Options, machines int, cp ControlPlane) *Coordinator {
+	return &Coordinator{c: newCoordinator(plan, opts, machines, nil, cp)}
+}
+
+// Seed extends the path with the entry jump chain and stops the job
+// outright if the program has no conditional work at all.
+func (co *Coordinator) Seed() {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.c.extendFrom(co.c.plan.IR.Entry())
+	if co.c.pathFinal && co.c.doneUpTo == len(co.c.path) {
+		co.c.cp.Stop(nil)
+	}
+}
+
+// OnEvent applies one decision or completion event inline. After a
+// protocol error the coordinator goes inert; Stop has already been called.
+func (co *Coordinator) OnEvent(ev CoordEvent) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	if co.failed {
+		return
+	}
+	var err error
+	switch ev.Kind {
+	case EvDecision:
+		err = co.c.onDecision(ev.Pos, ev.Branch)
+	case EvCompletion:
+		err = co.c.onCompletion(ev.Pos, ev.Count)
+	}
+	if err != nil {
+		co.failed = true
+		co.c.cp.Stop(err)
+		return
+	}
+	if co.c.pathFinal && co.c.doneUpTo == len(co.c.path) {
+		co.c.cp.Stop(nil)
+	}
+}
+
+// Stats reports the run's statistics; call after the job has finished (no
+// host can emit further events).
+func (co *Coordinator) Stats() CoordStats {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return CoordStats{Steps: co.c.steps, TemplateInstalls: co.c.installs, TemplateInstantiations: co.c.instantiations}
 }
 
 // run drives the job (see RunCoordinator).
 func (c *coordinator) run(stop <-chan struct{}) {
-	entry := c.plan.IR.Entry()
-	c.append(entry)
-	c.extendThroughJumps()
-	c.broadcastAllowed()
+	c.extendFrom(c.plan.IR.Entry())
 	failed := false
 	if c.pathFinal && c.doneUpTo == len(c.path) {
 		c.cp.Stop(nil) // program with no work at all
@@ -149,7 +245,7 @@ func (c *coordinator) run(stop <-chan struct{}) {
 			case EvDecision:
 				err = c.onDecision(ev.Pos, ev.Branch)
 			case EvCompletion:
-				err = c.onCompletion(ev.Pos)
+				err = c.onCompletion(ev.Pos, ev.Count)
 			}
 			if err != nil {
 				failed = true
@@ -169,12 +265,74 @@ func (c *coordinator) run(stop <-chan struct{}) {
 func (c *coordinator) append(b ir.BlockID) {
 	c.path = append(c.path, b)
 	c.completed = append(c.completed, 0)
+	c.expected = append(c.expected, c.plan.InstancesPerBlock[b])
 	c.steps++
 	c.pathLen.Set(int64(len(c.path)))
 	if c.lin != nil {
 		c.decidedBy = append(c.decidedBy, c.curDecider)
 	}
 	c.advanceDone()
+}
+
+// extendFrom grows the path starting with block b, through any jump chain
+// that follows, and broadcasts what the mode permits. In templated mode
+// the whole jump-chain segment resolves from the cache and ships as one
+// batched frame; otherwise it extends and broadcasts position by position.
+func (c *coordinator) extendFrom(b ir.BlockID) {
+	if c.tmpl != nil {
+		c.appendSegment(c.segmentFor(b))
+		return
+	}
+	c.append(b)
+	c.extendThroughJumps()
+	c.broadcastAllowed()
+}
+
+// segmentFor returns the cached jump-chain segment starting at b,
+// resolving and installing it on first use.
+func (c *coordinator) segmentFor(b ir.BlockID) *segTemplate {
+	if t, ok := c.tmpl[b]; ok {
+		c.instantiations++
+		return t
+	}
+	blocks, final := SegmentFrom(c.plan.IR, b)
+	t := &segTemplate{blocks: blocks, final: final}
+	c.tmpl[b] = t
+	c.installs++
+	return t
+}
+
+// appendSegment instantiates a template at the current path frontier and
+// broadcasts it as one batched control frame per worker. The segment
+// shares the template's immutable block slice, so instantiation patches
+// only the starting position.
+func (c *coordinator) appendSegment(t *segTemplate) {
+	start := len(c.path) + 1
+	for _, b := range t.blocks {
+		c.append(b)
+	}
+	if t.final {
+		c.pathFinal = true
+	}
+	seg := PathSegment{Pos: start, Blocks: t.blocks, Final: t.final}
+	c.cp.BroadcastSegment(seg)
+	if c.bcast != nil {
+		for m := range c.bcast {
+			c.bcast[m].Inc()
+		}
+	}
+	if c.trc != nil {
+		c.trc.Instant("cfm", "broadcast_segment", c.driverPID, 0,
+			map[string]any{"pos": start, "blocks": len(t.blocks), "final": t.final})
+	}
+	if c.lin != nil {
+		for i, b := range t.blocks {
+			pos := start + i
+			final := t.final && i == len(t.blocks)-1
+			c.lin.Broadcast(pos, int(b), final, c.decidedBy[pos-1], 0)
+		}
+	}
+	c.nBroadcast = len(c.path)
 }
 
 // extendThroughJumps determines further positions while the last block's
@@ -205,23 +363,23 @@ func (c *coordinator) onDecision(pos int, branch bool) error {
 		c.curDecider = lineage.BagID{Op: c.condVar[blk.ID], Pos: pos}
 	}
 	if branch {
-		c.append(blk.Term.Succs[0])
+		c.extendFrom(blk.Term.Succs[0])
 	} else {
-		c.append(blk.Term.Succs[1])
+		c.extendFrom(blk.Term.Succs[1])
 	}
-	c.extendThroughJumps()
-	c.broadcastAllowed()
 	return nil
 }
 
-func (c *coordinator) onCompletion(pos int) error {
+func (c *coordinator) onCompletion(pos, count int) error {
 	if pos < 1 || pos > len(c.path) {
 		return fmt.Errorf("core: completion for unknown position %d", pos)
 	}
-	c.completed[pos-1]++
-	expected := c.plan.InstancesPerBlock[c.path[pos-1]]
-	if c.completed[pos-1] > expected {
-		return fmt.Errorf("core: position %d completed %d times, expected %d", pos, c.completed[pos-1], expected)
+	if count < 1 {
+		count = 1
+	}
+	c.completed[pos-1] += count
+	if c.completed[pos-1] > c.expected[pos-1] {
+		return fmt.Errorf("core: position %d completed %d times, expected %d", pos, c.completed[pos-1], c.expected[pos-1])
 	}
 	c.advanceDone()
 	c.broadcastAllowed()
@@ -232,7 +390,7 @@ func (c *coordinator) onCompletion(pos int) error {
 func (c *coordinator) advanceDone() {
 	for c.doneUpTo < len(c.path) {
 		pos := c.doneUpTo + 1
-		if c.completed[pos-1] < c.plan.InstancesPerBlock[c.path[pos-1]] {
+		if c.completed[pos-1] < c.expected[pos-1] {
 			return
 		}
 		c.doneUpTo = pos

@@ -32,6 +32,13 @@ type Options struct {
 	// mailbox batch, removing the engine's per-hop overhead on the
 	// per-step-critical forward paths.
 	Chaining bool
+	// Templates caches control-plane decisions as execution templates:
+	// jump-chain path segments are resolved once per starting block and
+	// re-instantiated by position patching, shipping one batched control
+	// frame per worker per extension instead of one PathUpdate per
+	// position. Effective only with Pipelining (non-pipelined execution
+	// gates positions one at a time by construction).
+	Templates bool
 	// BatchSize overrides the engine's transfer batch size (0 = default).
 	BatchSize int
 	// Obs attaches an observability collector (metrics and optionally
@@ -46,9 +53,10 @@ type Options struct {
 }
 
 // DefaultOptions enables every optimization: pipelining and hoisting as
-// Mitos runs in the paper, plus map-side combiners and operator chaining.
+// Mitos runs in the paper, plus map-side combiners, operator chaining, and
+// execution templates.
 func DefaultOptions() Options {
-	return Options{Pipelining: true, Hoisting: true, Combiners: true, Chaining: true}
+	return Options{Pipelining: true, Hoisting: true, Combiners: true, Chaining: true, Templates: true}
 }
 
 // Result reports what one execution did.
@@ -74,6 +82,12 @@ type Result struct {
 	// Job.ElementsChained counts the elements that crossed them by direct
 	// call.
 	ChainedEdges int
+	// TemplateInstalls and TemplateInstantiations count execution-template
+	// cache misses (segment resolved and recorded) and hits (segment
+	// re-broadcast by patching only the position). In a steady-state loop
+	// every iteration is an instantiation.
+	TemplateInstalls       int
+	TemplateInstantiations int
 	// Job reports engine transfer counters.
 	Job dataflow.JobStats
 }
@@ -81,11 +95,17 @@ type Result struct {
 // runtime is the state shared by all operator hosts and the coordinator of
 // one execution.
 type runtime struct {
-	plan   *Plan
-	store  store.Store
-	cl     *cluster.Cluster
-	opts   Options
-	obs    *obs.Observer
+	plan  *Plan
+	store store.Store
+	cl    *cluster.Cluster
+	opts  Options
+	obs   *obs.Observer
+	// emit delivers one control-plane event from an operator host. The
+	// single-process backend points it straight at Coordinator.OnEvent —
+	// the path extension and broadcast run inline on the deciding host's
+	// goroutine, cutting a goroutine wake-up from every step. Worker
+	// processes point it at the events channel their forwarder drains.
+	emit   func(CoordEvent)
 	events chan CoordEvent
 
 	joinBuilds  atomic.Int64
@@ -131,12 +151,11 @@ func Execute(g *ir.Graph, st store.Store, cl *cluster.Cluster, opts Options) (*R
 // applies them per opts before calling here.
 func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) (*Result, error) {
 	rt := &runtime{
-		plan:   plan,
-		store:  st,
-		cl:     cl,
-		opts:   opts,
-		obs:    opts.Obs,
-		events: make(chan CoordEvent, 4096),
+		plan:  plan,
+		store: st,
+		cl:    cl,
+		opts:  opts,
+		obs:   opts.Obs,
 	}
 	if opts.Obs != nil {
 		cl.SetObserver(opts.Obs)
@@ -167,17 +186,12 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 	}
 
 	cp := &simControlPlane{cl: cl, job: job}
-	stop := make(chan struct{})
-	coordDone := make(chan struct{})
-	steps := 0
-	go func() {
-		defer close(coordDone)
-		steps = RunCoordinator(plan, opts, cl.Machines(), rt.events, cp, stop)
-	}()
+	co := NewCoordinator(plan, opts, cl.Machines(), cp)
+	rt.emit = co.OnEvent
+	co.Seed()
 
 	err = job.Wait()
-	close(stop)
-	<-coordDone
+	cstats := co.Stats()
 	if jv != nil {
 		jv.finish(err)
 	}
@@ -185,14 +199,16 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 		return nil, fmt.Errorf("core: execution failed: %w", err)
 	}
 	return &Result{
-		Steps:           steps,
-		Duration:        time.Since(start),
-		JoinBuilds:      rt.joinBuilds.Load(),
-		MaxBufferedBags: rt.maxBuffered.Load(),
-		CombineIn:       rt.combineIn.Load(),
-		CombineOut:      rt.combineOut.Load(),
-		ChainedEdges:    chainedEdges,
-		Job:             job.Stats(),
+		Steps:                  cstats.Steps,
+		Duration:               time.Since(start),
+		JoinBuilds:             rt.joinBuilds.Load(),
+		MaxBufferedBags:        rt.maxBuffered.Load(),
+		CombineIn:              rt.combineIn.Load(),
+		CombineOut:             rt.combineOut.Load(),
+		ChainedEdges:           chainedEdges,
+		TemplateInstalls:       cstats.TemplateInstalls,
+		TemplateInstantiations: cstats.TemplateInstantiations,
+		Job:                    job.Stats(),
 	}, nil
 }
 
@@ -234,10 +250,21 @@ func (s *simControlPlane) Broadcast(up PathUpdate) {
 	// One control message per machine, as the per-machine control-flow
 	// managers relay the decision (paper: TCP connections independent
 	// of the dataflow edges).
+	n := up.CtrlSize()
 	for m := 0; m < s.cl.Machines(); m++ {
-		s.cl.CtrlSleep()
+		s.cl.CtrlSleepBytes(n)
 	}
 	s.job.Broadcast(up)
+}
+
+func (s *simControlPlane) BroadcastSegment(seg PathSegment) {
+	// The whole instantiated template is one control message per machine;
+	// the fan-out to instances happens locally in Job.Broadcast.
+	n := seg.CtrlSize()
+	for m := 0; m < s.cl.Machines(); m++ {
+		s.cl.CtrlSleepBytes(n)
+	}
+	s.job.Broadcast(seg)
 }
 
 func (s *simControlPlane) Barrier() { s.cl.Barrier() }
@@ -270,6 +297,7 @@ func NewWorkerJob(plan *Plan, st store.Store, machines, self int, opts Options, 
 		obs:    opts.Obs,
 		events: make(chan CoordEvent, 4096),
 	}
+	rt.emit = func(ev CoordEvent) { rt.events <- ev }
 	g, _ := buildDataflowGraph(rt, plan)
 	job, err := dataflow.NewPartitionedJob(g, machines, self, opts.BatchSize, remote)
 	if err != nil {

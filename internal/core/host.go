@@ -36,12 +36,19 @@ type host struct {
 	// Execution path as known to this instance.
 	path  []ir.BlockID
 	final bool
-	// occ[b] lists the (1-based) positions at which block b occurs.
-	occ map[ir.BlockID][]int
+	// occ[b] lists the (1-based) positions at which block b occurs,
+	// indexed by the dense BlockID (hot on every control ingest and every
+	// input-bag selection, so a slice, not a map).
+	occ [][]int
+	// freeBags recycles input-bag buffers retired by the low-water GC, so
+	// a long loop's steady-state bag churn allocates nothing.
+	freeBags []*inBag
 
-	nextScan   int   // path index not yet scanned for own-block occurrences
-	pendingOut []int // positions of output bags still to produce, in order
-	cur        *outputRun
+	nextScan    int   // path index not yet scanned for own-block occurrences
+	pendingOut  []int // positions of output bags still to produce, in order
+	pendingHead int   // consumed prefix of pendingOut (head index, not re-slice, so append reuses capacity)
+	cur         *outputRun
+	freeRun     *outputRun // recycled run; a loop allocates one run, not one per step
 
 	inbufs []inputBuf
 
@@ -110,9 +117,11 @@ func newHost(rt *runtime, op *PlanOp, inst int) *host {
 		rt:             rt,
 		op:             op,
 		inst:           inst,
-		occ:            make(map[ir.BlockID][]int),
 		inbufs:         make([]inputBuf, len(op.Inputs)),
 		cachedBuildPos: -1,
+	}
+	if rt.plan != nil {
+		h.occ = make([][]int, len(rt.plan.IR.Blocks))
 	}
 	for i := range h.inbufs {
 		h.inbufs[i].bags = make(map[int]*inBag)
@@ -149,19 +158,53 @@ func (h *host) Open(ctx *dataflow.Context) error {
 // Close implements dataflow.Vertex.
 func (h *host) Close() error { return nil }
 
-// OnControl ingests execution-path extensions.
+// WantsControlWake implements dataflow.ControlWaker: a path extension can
+// only make this host runnable if its own block is among the new
+// positions — that is when a new output bag becomes startable (possibly
+// from already-buffered inputs). Extensions over other blocks are ingested
+// lazily at the next wake; bag selection is unaffected because it only
+// ever consults path positions at or before the bag being produced.
+func (h *host) WantsControlWake(ev any) bool {
+	switch up := ev.(type) {
+	case PathUpdate:
+		return up.Block == h.op.Block
+	case PathSegment:
+		for _, b := range up.Blocks {
+			if b == h.op.Block {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// OnControl ingests execution-path extensions: single-position PathUpdates
+// or batched PathSegments (instantiated execution templates).
 func (h *host) OnControl(ev any) error {
-	up, ok := ev.(PathUpdate)
-	if !ok {
+	switch up := ev.(type) {
+	case PathUpdate:
+		if up.Pos != len(h.path)+1 {
+			return fmt.Errorf("core: path update %d out of order (have %d)", up.Pos, len(h.path))
+		}
+		h.path = append(h.path, up.Block)
+		h.noteOcc(up.Block, up.Pos)
+		if up.Final {
+			h.final = true
+		}
+	case PathSegment:
+		if up.Pos != len(h.path)+1 {
+			return fmt.Errorf("core: path segment at %d out of order (have %d)", up.Pos, len(h.path))
+		}
+		for i, b := range up.Blocks {
+			h.path = append(h.path, b)
+			h.noteOcc(b, up.Pos+i)
+		}
+		if up.Final {
+			h.final = true
+		}
+	default:
 		return nil
-	}
-	if up.Pos != len(h.path)+1 {
-		return fmt.Errorf("core: path update %d out of order (have %d)", up.Pos, len(h.path))
-	}
-	h.path = append(h.path, up.Block)
-	h.occ[up.Block] = append(h.occ[up.Block], up.Pos)
-	if up.Final {
-		h.final = true
 	}
 	return h.progress()
 }
@@ -176,7 +219,7 @@ func (h *host) OnBatch(input, from int, batch []Element) error {
 		}
 		b := buf.bags[pos]
 		if b == nil {
-			b = &inBag{}
+			b = h.takeBag()
 			buf.bags[pos] = b
 		}
 		b.elems = append(b.elems, e.Val)
@@ -196,7 +239,7 @@ func (h *host) OnEOB(input, from int, tag dataflow.Tag) error {
 	}
 	b := buf.bags[pos]
 	if b == nil {
-		b = &inBag{}
+		b = h.takeBag()
 		buf.bags[pos] = b
 	}
 	b.eobs++
@@ -227,11 +270,13 @@ func (h *host) progress() error {
 	}
 	for {
 		if h.cur == nil {
-			if len(h.pendingOut) == 0 {
+			if h.pendingHead == len(h.pendingOut) {
+				h.pendingOut = h.pendingOut[:0]
+				h.pendingHead = 0
 				return nil
 			}
-			pos := h.pendingOut[0]
-			h.pendingOut = h.pendingOut[1:]
+			pos := h.pendingOut[h.pendingHead]
+			h.pendingHead++
 			if err := h.startOutput(pos); err != nil {
 				return err
 			}
@@ -249,9 +294,22 @@ func (h *host) progress() error {
 	}
 }
 
+// noteOcc records that block b occurs at (1-based) path position pos. The
+// occurrence table is presized from the plan; the grow loop only runs for
+// hand-fed hosts in tests.
+func (h *host) noteOcc(b ir.BlockID, pos int) {
+	for int(b) >= len(h.occ) {
+		h.occ = append(h.occ, nil)
+	}
+	h.occ[b] = append(h.occ[b], pos)
+}
+
 // latestOcc returns the largest occurrence position of block b that is
 // <= limit, or 0 if none.
 func (h *host) latestOcc(b ir.BlockID, limit int) int {
+	if int(b) >= len(h.occ) {
+		return 0
+	}
 	occ := h.occ[b]
 	best := 0
 	for i := len(occ) - 1; i >= 0; i-- {
@@ -271,12 +329,15 @@ func (h *host) latestOcc(b ir.BlockID, limit int) int {
 // is never selected.
 func (h *host) startOutput(pos int) error {
 	n := len(h.op.Inputs)
-	run := &outputRun{
-		pos:      pos,
-		inPos:    make([]int, n),
-		cursor:   make([]int, n),
-		slotDone: make([]bool, n),
+	run := h.freeRun
+	if run == nil {
+		run = &outputRun{}
 	}
+	h.freeRun = nil
+	run.pos = pos
+	run.inPos = sizedInts(run.inPos, n)
+	run.cursor = sizedInts(run.cursor, n)
+	run.slotDone = sizedBools(run.slotDone, n)
 	if h.op.Instr.Kind == ir.OpPhi {
 		if pos < 2 {
 			return fmt.Errorf("core: phi %s scheduled at path position %d", h.op.Instr.Var, pos)
@@ -335,10 +396,43 @@ func (h *host) bagFor(run *outputRun, i int) *inBag {
 	buf := &h.inbufs[i]
 	b := buf.bags[run.inPos[i]]
 	if b == nil {
-		b = &inBag{}
+		b = h.takeBag()
 		buf.bags[run.inPos[i]] = b
 	}
 	return b
+}
+
+// bagKeepCap bounds the element capacity an input-bag buffer may retain on
+// the free list; larger backing arrays (transient wide bags) go back to
+// the collector.
+const bagKeepCap = 1024
+
+// takeBag returns a recycled input-bag buffer (see recycleBag) or a fresh
+// one.
+func (h *host) takeBag() *inBag {
+	if n := len(h.freeBags); n > 0 {
+		b := h.freeBags[n-1]
+		h.freeBags = h.freeBags[:n-1]
+		return b
+	}
+	return &inBag{}
+}
+
+// recycleBag resets a low-water-retired bag buffer and keeps it for reuse.
+// Safe because a retired position can never be selected again (input
+// positions are monotone across outputs) and element slices never escape a
+// pump. Values are cleared so the buffer does not pin them.
+func (h *host) recycleBag(b *inBag) {
+	if cap(b.elems) > bagKeepCap {
+		return
+	}
+	for i := range b.elems {
+		b.elems[i] = val.Value{}
+	}
+	b.elems = b.elems[:0]
+	b.eobs = 0
+	b.complete = false
+	h.freeBags = append(h.freeBags, b)
 }
 
 // finishOutput emits the end-of-bag, reports completion to the
@@ -372,16 +466,17 @@ func (h *host) finishOutput() error {
 			h.trc.Instant("cfm", "decision", h.machine, h.lane,
 				map[string]any{"pos": run.pos, "branch": run.emitted.AsBool()})
 		}
-		h.rt.events <- CoordEvent{Kind: EvDecision, Pos: run.pos, Branch: run.emitted.AsBool()}
+		h.rt.emit(CoordEvent{Kind: EvDecision, Pos: run.pos, Branch: run.emitted.AsBool()})
 	}
-	h.rt.events <- CoordEvent{Kind: EvCompletion, Pos: run.pos}
+	h.rt.emit(CoordEvent{Kind: EvCompletion, Pos: run.pos})
 	total := 0
 	for i := range h.op.Inputs {
 		buf := &h.inbufs[i]
 		if run.inPos[i] > buf.lowWater {
 			buf.lowWater = run.inPos[i]
-			for p := range buf.bags {
+			for p, b := range buf.bags {
 				if p < buf.lowWater {
+					h.recycleBag(b)
 					delete(buf.bags, p)
 				}
 			}
@@ -389,7 +484,61 @@ func (h *host) finishOutput() error {
 		total += len(buf.bags)
 	}
 	h.rt.noteBuffered(int64(total))
+	h.releaseRun(run)
 	return nil
+}
+
+// releaseRun recycles a finished run's slice capacity for the next output
+// bag on this host. Everything else is zeroed: values and tables must not
+// leak between bags (h.cachedBuild keeps its own reference to a reused
+// join build table, so nilling run.build here is safe).
+func (h *host) releaseRun(run *outputRun) {
+	for i := range run.args {
+		run.args[i] = val.Value{}
+	}
+	*run = outputRun{
+		inPos:    run.inPos[:0],
+		cursor:   run.cursor[:0],
+		slotDone: run.slotDone[:0],
+		args:     run.args[:0],
+	}
+	h.freeRun = run
+}
+
+// sizedInts returns s resized to n, zero-filled, reusing capacity.
+func sizedInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// sizedBools returns s resized to n, zero-filled, reusing capacity.
+func sizedBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// sizedVals returns s resized to n, zero-filled, reusing capacity.
+func sizedVals(s []val.Value, n int) []val.Value {
+	if cap(s) < n {
+		return make([]val.Value, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = val.Value{}
+	}
+	return s
 }
 
 // emit sends one element of the current output bag downstream.

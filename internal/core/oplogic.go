@@ -42,7 +42,7 @@ func (h *host) beginKind(run *outputRun) error {
 	case ir.OpDistinct:
 		run.distinct = val.NewMap[struct{}](16)
 	case ir.OpCombine, ir.OpReadFile, ir.OpWriteFile:
-		run.args = make([]val.Value, len(h.op.Inputs))
+		run.args = sizedVals(run.args, len(h.op.Inputs))
 	}
 	return nil
 }

@@ -119,6 +119,26 @@ func BuildPlan(g *ir.Graph, parallelism int) (*Plan, error) {
 	return p, nil
 }
 
+// InstancesPerBlockOn is the per-block completion target restricted to the
+// instances machine self hosts under i%machines placement. Workers use it
+// to aggregate local completions of one path position into a single
+// control event; the per-machine targets sum to InstancesPerBlock. Call
+// after plan rewrites (InsertCombiners, BuildChains) so synthetic
+// operators are counted.
+func (p *Plan) InstancesPerBlockOn(machines, self int) map[ir.BlockID]int {
+	out := make(map[ir.BlockID]int, len(p.InstancesPerBlock))
+	for _, op := range p.Ops {
+		n := op.Par / machines
+		if op.Par%machines > self {
+			n++
+		}
+		if n > 0 {
+			out[op.Block] += n
+		}
+	}
+	return out
+}
+
 // inferParallelism fixes the instance count of every operator.
 // Singleton-producing operators run with one instance; sources and
 // key-based operators run with full parallelism; element-wise operators

@@ -36,7 +36,7 @@ func newSelectionHost(opBlock ir.BlockID, kind ir.OpKind, producers []ir.BlockID
 func feedPath(h *host, blocks ...ir.BlockID) {
 	for _, b := range blocks {
 		h.path = append(h.path, b)
-		h.occ[b] = append(h.occ[b], len(h.path))
+		h.noteOcc(b, len(h.path))
 	}
 }
 

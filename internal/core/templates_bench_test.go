@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/cluster"
+	"github.com/mitos-project/mitos/internal/ir"
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/store"
+)
+
+// benchStepLoop executes a 100-step loop on a zero-delay 8-machine
+// cluster — the engine-only per-step-overhead measurement of the Fig. 7
+// step loop, the number the execution-template cache exists to shrink.
+func benchStepLoop(b *testing.B, templates bool) {
+	prog, err := lang.Parse(stepLoopSrc(100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := ir.CompileToSSA(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cluster.FastConfig(8)
+	opts := DefaultOptions()
+	opts.Templates = templates
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cl, err := cluster.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Execute(g, store.NewMemStore(), cl, opts); err != nil {
+			b.Fatal(err)
+		}
+		cl.Close()
+	}
+}
+
+func BenchmarkStepLoopTemplatesOn(b *testing.B)  { benchStepLoop(b, true) }
+func BenchmarkStepLoopTemplatesOff(b *testing.B) { benchStepLoop(b, false) }

@@ -130,3 +130,85 @@ func TestEmitNilObserverAllocFree(t *testing.T) {
 		t.Fatalf("emit hot path with nil observer allocates %d allocs/op, want 0", a)
 	}
 }
+
+// benchSeg stands in for the control-plane path segments the engine fans
+// out on every loop step; implementing ControlSizer exercises the byte
+// accounting on the broadcast path too.
+type benchSeg struct{ pos int }
+
+func (benchSeg) CtrlSize() int { return 12 }
+
+// ctrlCounter counts segment control events and signals on the sentinel.
+type ctrlCounter struct {
+	baseVertex
+	seen     int64
+	finished *atomic.Int64
+	insts    int64
+	done     chan struct{}
+}
+
+func (v *ctrlCounter) OnControl(ev any) error {
+	switch ev.(type) {
+	case benchSeg:
+		v.seen++
+	case int:
+		if v.finished.Add(1) == v.insts {
+			close(v.done)
+		}
+	}
+	return nil
+}
+
+// BenchmarkBroadcast measures the per-step control fan-out — the hot path
+// a templated loop drives once per segment: one Job.Broadcast enqueuing
+// into every instance mailbox. With the pre-resolved broadcast fan-out
+// slice, head-rewound mailbox queues, and a pre-boxed control value, the
+// put side must stay allocation-free in steady state.
+func BenchmarkBroadcast(b *testing.B) {
+	const par = 4
+	cl, err := cluster.New(cluster.FastConfig(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	g := &Graph{}
+	done := make(chan struct{})
+	var finished atomic.Int64
+	g.AddOp("ctrl", par, func(int) Vertex {
+		return &ctrlCounter{finished: &finished, insts: par, done: done}
+	})
+	j, err := NewJob(g, cl, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	j.Observe(nil)
+	if err := j.Start(); err != nil {
+		b.Fatal(err)
+	}
+	ev := any(benchSeg{pos: 1}) // boxed once; the loop measures Broadcast alone
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Broadcast(ev)
+	}
+	j.Broadcast(0) // sentinel: mailboxes are FIFO, so all segments precede it
+	<-done
+	b.StopTimer()
+	j.Stop(nil)
+	if err := j.Wait(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// TestBroadcastAllocFree enforces BenchmarkBroadcast's 0 allocs/op as a
+// test, matching TestEmitNilObserverAllocFree: the per-step control
+// fan-out must not allocate per broadcast.
+func TestBroadcastAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is not meaningful under -short/-race runs")
+	}
+	res := testing.Benchmark(BenchmarkBroadcast)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("control broadcast allocates %d allocs/op, want 0", a)
+	}
+}

@@ -56,17 +56,26 @@ type Job struct {
 	insts [][]*instance // [op][instance]
 	tr    *transport    // nil on single-machine clusters and partitioned jobs
 
-	// batchPool recycles batch buffers: remote batches are serialized at
-	// flush, so their element slices return to the pool immediately and
+	// The batch free list recycles batch buffers: remote batches are
+	// serialized at flush, so their element slices return immediately and
 	// the emit path stays allocation-free in steady state. (Local batches
-	// move to the receiver and are replaced from the pool's New.)
-	batchPool sync.Pool
+	// move to the receiver and come back via recycleBatch.) A plain
+	// mutex-guarded stack, not a sync.Pool: pooling a slice by value
+	// boxes a fresh header on every Put, which made the pool itself the
+	// allocation it was supposed to remove.
+	batchMu     sync.Mutex
+	freeBatches [][]Element
 
 	wg         sync.WaitGroup
 	stopped    atomic.Bool
 	errOnce    sync.Once
 	err        error
 	finishOnce sync.Once
+
+	// bcast caches the chain-driver instances Broadcast fans out to, so
+	// the per-step control hot path walks a flat slice instead of the
+	// nested instance table.
+	bcast []*instance
 
 	elementsSent    atomic.Int64
 	elementsChained atomic.Int64
@@ -75,6 +84,25 @@ type Job struct {
 	bytesSent       atomic.Int64
 	bytesReceived   atomic.Int64
 	mailboxDropped  atomic.Int64
+	ctrlMessages    atomic.Int64
+	ctrlBytes       atomic.Int64
+}
+
+// ControlSizer lets control events report their encoded control-frame
+// size, feeding the job's ctrl_bytes counter. Events without it count
+// messages only.
+type ControlSizer interface {
+	CtrlSize() int
+}
+
+// ControlWaker is an optional Vertex refinement: WantsControlWake reports
+// whether a control event can make the vertex runnable right now. Events
+// it declines are still enqueued in order but do not wake the instance's
+// event loop — it ingests them at its next wake — which keeps a broadcast
+// from context-switching through every instance that has nothing to do
+// with it. A vertex without the interface is always woken.
+type ControlWaker interface {
+	WantsControlWake(ev any) bool
 }
 
 // JobStats reports transfer counters for the experiment harness.
@@ -95,6 +123,11 @@ type JobStats struct {
 	// mailboxes (finalized by Wait). Zero on a clean run; nonzero values
 	// expose shutdown races that used to be silent.
 	MailboxDropped int64
+	// CtrlMessages counts control envelopes enqueued (broadcast fan-out
+	// plus targeted sends); CtrlBytes sums their encoded control-frame
+	// sizes for events that implement ControlSizer.
+	CtrlMessages int64
+	CtrlBytes    int64
 }
 
 // NewJob plans the physical execution of g on cl. batchSize <= 0 selects
@@ -128,10 +161,6 @@ func newJob(g *Graph, cl *cluster.Cluster, machines, self int, batchSize int, re
 		batchSize = DefaultBatchSize
 	}
 	j := &Job{graph: g, cl: cl, machines: machines, self: self, remote: remote, batchSize: batchSize}
-	j.batchPool.New = func() any {
-		b := make([]Element, 0, batchSize)
-		return &b
-	}
 	// Create instances. Each gets a job-unique lane, the trace thread ID.
 	j.insts = make([][]*instance, len(g.ops))
 	lane := 0
@@ -181,6 +210,7 @@ func newJob(g *Graph, cl *cluster.Cluster, machines, self int, batchSize int, re
 			if in.members == nil {
 				in.members = []*instance{in}
 			}
+			j.bcast = append(j.bcast, in)
 		}
 	}
 	// Wire physical out-edges.
@@ -267,6 +297,8 @@ func (j *Job) Stats() JobStats {
 		BytesSent:       j.bytesSent.Load(),
 		BytesReceived:   j.bytesReceived.Load(),
 		MailboxDropped:  j.mailboxDropped.Load(),
+		CtrlMessages:    j.ctrlMessages.Load(),
+		CtrlBytes:       j.ctrlBytes.Load(),
 	}
 }
 
@@ -289,6 +321,18 @@ func (j *Job) Start() error {
 			}
 		}
 	}
+	for _, in := range j.bcast {
+		wakers := make([]ControlWaker, 0, len(in.members))
+		for _, m := range in.members {
+			w, ok := m.vertex.(ControlWaker)
+			if !ok {
+				wakers = nil
+				break
+			}
+			wakers = append(wakers, w)
+		}
+		in.wakers = wakers
+	}
 	if j.cl != nil && j.machines > 1 {
 		j.tr = newTransport(j, j.machines)
 	}
@@ -310,11 +354,23 @@ func (j *Job) Start() error {
 // driver — one envelope per chain, fanned out to the members in chain
 // order — so a chain costs one enqueue instead of one per member.
 func (j *Job) Broadcast(ev any) {
-	for _, insts := range j.insts {
-		for _, in := range insts {
-			if in.driver == in && in.mbox != nil {
-				in.mbox.put(envelope{kind: envControl, ctrl: ev})
+	n := int64(len(j.bcast))
+	j.ctrlMessages.Add(n)
+	if sz, ok := ev.(ControlSizer); ok {
+		j.ctrlBytes.Add(n * int64(sz.CtrlSize()))
+	}
+	for _, in := range j.bcast {
+		wake := in.wakers == nil
+		for _, w := range in.wakers {
+			if w.WantsControlWake(ev) {
+				wake = true
+				break
 			}
+		}
+		if wake {
+			in.mbox.put(envelope{kind: envControl, ctrl: ev})
+		} else {
+			in.mbox.putQuiet(envelope{kind: envControl, ctrl: ev})
 		}
 	}
 }
@@ -332,6 +388,10 @@ func (j *Job) Send(op OpID, inst int, ev any) {
 		j.fail(fmt.Errorf("dataflow: Send to %s[%d] on machine %d, which this partition (machine %d) does not host",
 			tgt.op.Name, inst, tgt.machine, j.self))
 		return
+	}
+	j.ctrlMessages.Add(1)
+	if sz, ok := ev.(ControlSizer); ok {
+		j.ctrlBytes.Add(int64(sz.CtrlSize()))
 	}
 	tgt.driver.mbox.put(envelope{kind: envControl, ctrl: ev, dest: tgt})
 }
@@ -352,10 +412,10 @@ func (j *Job) DeliverData(h RemoteHeader, payload []byte, count int, ack func())
 		j.fail(err)
 		return err
 	}
-	buf := *j.batchPool.Get().(*[]Element)
+	buf := j.getBatch()
 	batch, err := decodeBatch(buf, payload, count)
 	if err != nil {
-		j.batchPool.Put(&buf)
+		j.recycleBatch(buf)
 		if ack != nil {
 			ack()
 		}
@@ -462,9 +522,28 @@ func (j *Job) Wait() error {
 	return j.err
 }
 
-// recycleBatch clears a delivered batch and returns its buffer to the
-// pool. Undersized buffers (from historic or foreign allocations) are left
-// to the garbage collector so every pool entry keeps full batch capacity.
+// batchKeepMax bounds the batch free list; anything past it goes back to
+// the collector.
+const batchKeepMax = 256
+
+// getBatch returns an empty batch buffer at full batch capacity, reusing a
+// recycled one when available.
+func (j *Job) getBatch() []Element {
+	j.batchMu.Lock()
+	if n := len(j.freeBatches); n > 0 {
+		b := j.freeBatches[n-1]
+		j.freeBatches[n-1] = nil
+		j.freeBatches = j.freeBatches[:n-1]
+		j.batchMu.Unlock()
+		return b
+	}
+	j.batchMu.Unlock()
+	return make([]Element, 0, j.batchSize)
+}
+
+// recycleBatch clears a delivered batch and returns its buffer to the free
+// list. Undersized buffers (from historic or foreign allocations) are left
+// to the garbage collector so every pooled entry keeps full batch capacity.
 func (j *Job) recycleBatch(b []Element) {
 	if cap(b) < j.batchSize {
 		return
@@ -474,7 +553,11 @@ func (j *Job) recycleBatch(b []Element) {
 		b[i] = Element{} // release value references while pooled
 	}
 	b = b[:0]
-	j.batchPool.Put(&b)
+	j.batchMu.Lock()
+	if len(j.freeBatches) < batchKeepMax {
+		j.freeBatches = append(j.freeBatches, b)
+	}
+	j.batchMu.Unlock()
 }
 
 // instance is one physical operator instance. Chained instances with equal
@@ -494,6 +577,9 @@ type instance struct {
 
 	driver  *instance   // chain driver; the instance itself when unchained
 	members []*instance // driver only: chain members in topological order (driver first)
+	// wakers holds every member's ControlWaker when all members implement
+	// it (driver only, set in Start); nil means broadcasts always wake.
+	wakers []ControlWaker
 
 	outs      []*outEdge
 	producers []int // per input slot: number of producer instances feeding this instance
@@ -692,7 +778,7 @@ func (c *Context) buffer(oe *outEdge, target int, e Element) {
 		// serialized at flush and their buffer recycled. Either way the
 		// next batch starts from the pool, at full batch capacity, so the
 		// hot path never grows a slice.
-		oe.bufs[target] = *(c.inst.job.batchPool.Get().(*[]Element))
+		oe.bufs[target] = c.inst.job.getBatch()
 	}
 	oe.bufs[target] = append(oe.bufs[target], e)
 	if oe.depth != nil {
@@ -751,11 +837,7 @@ func (c *Context) flush(oe *outEdge, target int) {
 				payload: payload, count: len(buf),
 			})
 		}
-		for i := range buf {
-			buf[i] = Element{} // release value references before pooling
-		}
-		buf = buf[:0]
-		in.job.batchPool.Put(&buf)
+		in.job.recycleBatch(buf)
 		return
 	}
 	tgt.driver.mbox.put(envelope{kind: envData, input: oe.input, from: in.idx, batch: buf, dest: tgt})

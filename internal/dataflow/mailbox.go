@@ -11,6 +11,7 @@ type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queue  []envelope
+	head   int // queue[:head] is consumed; slots are zeroed as they drain
 	closed bool
 	// hwm is the high-water mark of queue depth, the evidence behind the
 	// "memory stays bounded in practice" claim above; exposed through obs
@@ -61,8 +62,8 @@ func (m *mailbox) put(e envelope) {
 	m.mu.Lock()
 	if !m.closed {
 		m.queue = append(m.queue, e)
-		if len(m.queue) > m.hwm {
-			m.hwm = len(m.queue)
+		if d := len(m.queue) - m.head; d > m.hwm {
+			m.hwm = d
 		}
 		m.cond.Signal()
 		m.mu.Unlock()
@@ -75,22 +76,55 @@ func (m *mailbox) put(e envelope) {
 	}
 }
 
+// putQuiet enqueues an envelope without waking a blocked consumer: the
+// envelope is processed, in order, at the consumer's next wake (a
+// signaling put or close). Used for control events the vertex declared it
+// cannot act on immediately (ControlWaker), so a broadcast does not
+// context-switch through uninvolved instances.
+func (m *mailbox) putQuiet(e envelope) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, e)
+		if d := len(m.queue) - m.head; d > m.hwm {
+			m.hwm = d
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.dropped++
+	m.mu.Unlock()
+	if e.ack != nil {
+		e.ack()
+	}
+}
+
+// mailboxKeepCap bounds the backing array retained across drains. A
+// drained queue at or below this capacity is rewound and reused, so the
+// steady-state put/take cycle of a long loop allocates nothing; anything
+// larger (a transient burst) is released to the collector.
+const mailboxKeepCap = 256
+
 // take dequeues the next envelope, blocking until one is available or the
 // mailbox is closed. ok is false when closed and drained.
 func (m *mailbox) take() (envelope, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for len(m.queue) == 0 && !m.closed {
+	for m.head == len(m.queue) && !m.closed {
 		m.cond.Wait()
 	}
-	if len(m.queue) == 0 {
+	if m.head == len(m.queue) {
 		return envelope{}, false
 	}
-	e := m.queue[0]
-	m.queue[0] = envelope{} // release references
-	m.queue = m.queue[1:]
-	if len(m.queue) == 0 {
-		m.queue = nil // reset backing array when drained
+	e := m.queue[m.head]
+	m.queue[m.head] = envelope{} // release references
+	m.head++
+	if m.head == len(m.queue) {
+		if cap(m.queue) > mailboxKeepCap {
+			m.queue = nil
+		} else {
+			m.queue = m.queue[:0]
+		}
+		m.head = 0
 	}
 	return e, true
 }
@@ -107,7 +141,7 @@ func (m *mailbox) highWater() int {
 func (m *mailbox) depth() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return len(m.queue)
+	return len(m.queue) - m.head
 }
 
 // droppedCount returns the number of envelopes dropped after close.

@@ -196,7 +196,7 @@ func (t *transport) deliver(f frame) {
 	if f.kind == envData {
 		// Decode into a pooled buffer so the consumer's loop can recycle
 		// the batch after OnBatch returns, same as local batches.
-		batch, err := decodeBatch(*j.batchPool.Get().(*[]Element), f.payload, f.count)
+		batch, err := decodeBatch(j.getBatch(), f.payload, f.count)
 		if err != nil {
 			j.fail(fmt.Errorf("dataflow: transport %s[%d] -> %s[%d]: %w",
 				f.sender.op.Name, f.sender.idx, f.target.op.Name, f.target.idx, err))

@@ -49,6 +49,11 @@ type Options struct {
 	// NoChain disables operator chaining in every Mitos run (the -chain=off
 	// ablation): every forward edge goes back through a mailbox batch.
 	NoChain bool
+	// NoTemplates disables execution templates in every Mitos run (the
+	// -templates=off ablation): the control plane goes back to one
+	// path-update broadcast per basic-block visit and one completion event
+	// per operator instance.
+	NoTemplates bool
 	// Obs attaches a shared observer to every Mitos run, and HTTP
 	// registers each run with a live introspection server — mitos-bench
 	// -http wires both so /metrics and /jobs reflect the sweep as it runs.
@@ -269,6 +274,7 @@ func measure(o Options, machines int, f func(cl *cluster.Cluster, st store.Store
 			"tasks_dispatched": clStats.TasksDispatched,
 			"barriers":         clStats.Barriers,
 			"ctrl_messages":    clStats.CtrlMessages,
+			"ctrl_bytes":       clStats.CtrlBytes,
 			"net_batches":      clStats.NetBatches,
 			"net_bytes":        clStats.NetBytes,
 			"dfs_opens":        dfsStats.Opens,
@@ -305,6 +311,7 @@ func (o Options) mitosOpts() core.Options {
 	opts := core.DefaultOptions()
 	opts.Combiners = !o.NoCombine
 	opts.Chaining = !o.NoChain
+	opts.Templates = !o.NoTemplates
 	opts.Obs = o.Obs
 	opts.HTTP = o.HTTP
 	return opts
@@ -917,7 +924,7 @@ func CritPath(o Options) (*Table, error) {
 
 // All runs every experiment in figure order.
 func All(o Options) ([]*Table, error) {
-	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine, Chain, CritPath, TCPCluster}
+	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine, Chain, CritPath, TCPCluster, Templates}
 	var out []*Table
 	for _, f := range funcs {
 		t, err := f(o)

@@ -41,7 +41,7 @@ func TCPCluster(o Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tcp, err := measureTCP(o, source, nil, w)
+		tcp, err := measureTCP(o, source, nil, w, o.mitosOpts())
 		if err != nil {
 			return nil, err
 		}
@@ -55,13 +55,12 @@ func TCPCluster(o Options) (*Table, error) {
 // cluster of the given size, timing only Run — session setup (registration,
 // meshing) stays outside the timed region, matching measure, which creates
 // the simulated cluster outside its timed region.
-func measureTCP(o Options, source string, seed func(store.Store) error, workers int) (Cell, error) {
+func measureTCP(o Options, source string, seed func(store.Store) error, workers int, opts core.Options) (Cell, error) {
 	c, cleanup, err := netcluster.StartLocal(workers, netcluster.CoordConfig{})
 	if err != nil {
 		return Cell{}, err
 	}
 	defer cleanup()
-	opts := o.mitosOpts()
 	opts.HTTP = nil // partitioned jobs are not registered with a live server
 	var cell Cell
 	for i := 0; i < o.reps(); i++ {
@@ -71,13 +70,17 @@ func measureTCP(o Options, source string, seed func(store.Store) error, workers 
 		}
 		cell.Reps = append(cell.Reps, res.Duration.Seconds())
 		cell.Counters = map[string]int64{
-			"steps":             int64(res.Steps),
-			"remote_batches":    res.Job.RemoteBatches,
-			"payload_bytes":     res.Job.BytesSent,
-			"socket_bytes":      res.SocketBytes,
-			"credit_stalls":     res.CreditStalls,
-			"credit_stall_usec": res.CreditStallTime.Microseconds(),
-			"attempts":          int64(res.Attempts),
+			"steps":                   int64(res.Steps),
+			"remote_batches":          res.Job.RemoteBatches,
+			"payload_bytes":           res.Job.BytesSent,
+			"socket_bytes":            res.SocketBytes,
+			"credit_stalls":           res.CreditStalls,
+			"credit_stall_usec":       res.CreditStallTime.Microseconds(),
+			"attempts":                int64(res.Attempts),
+			"ctrl_messages":           res.CtrlMessages,
+			"ctrl_bytes":              res.CtrlBytes,
+			"template_installs":       int64(res.TemplateInstalls),
+			"template_instantiations": int64(res.TemplateInstantiations),
 		}
 	}
 	var total float64

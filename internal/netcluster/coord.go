@@ -15,6 +15,7 @@ import (
 	"github.com/mitos-project/mitos/internal/dataflow"
 	"github.com/mitos-project/mitos/internal/ir"
 	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/obs"
 	"github.com/mitos-project/mitos/internal/store"
 )
 
@@ -138,6 +139,17 @@ type Result struct {
 	// window; CreditStallTime is the total time senders spent blocked.
 	CreditStalls    int64
 	CreditStallTime time.Duration
+	// CtrlMessages and CtrlBytes count the coordinator-link control
+	// frames of the successful attempt (path updates, template installs
+	// and instantiations, barriers, finish, and the workers' event and
+	// barrier-ack frames) and their wire sizes. Job setup (MsgJob,
+	// MsgAssign) is excluded: these measure per-step control traffic.
+	CtrlMessages int64
+	CtrlBytes    int64
+	// TemplateInstalls and TemplateInstantiations report the control-flow
+	// manager's execution-template cache misses and hits.
+	TemplateInstalls       int
+	TemplateInstantiations int
 	// PeerLinks reports each worker's per-peer link counters.
 	PeerLinks [][]PeerStat
 }
@@ -217,6 +229,20 @@ type session struct {
 	barrierSeq int
 	monStop    chan struct{}
 	monOnce    sync.Once
+
+	// Control-plane traffic counters for the attempt: coordinator-link
+	// frames in both directions, excluding setup (Assign/Job) and
+	// liveness (Heartbeat/Ready) messages.
+	ctrlMsgs  atomic.Int64
+	ctrlBytes atomic.Int64
+}
+
+// countCtrl records control frames of body size n sent to (or received
+// from) `frames` workers; the wire cost per frame is the body plus the
+// 4-byte length prefix and the type byte.
+func (s *session) countCtrl(frames, n int) {
+	s.ctrlMsgs.Add(int64(frames))
+	s.ctrlBytes.Add(int64(frames) * int64(n+5))
 }
 
 type workerConn struct {
@@ -551,8 +577,9 @@ func (s *session) readWorker(w *workerConn) {
 				s.fail(fmt.Errorf("netcluster: worker %d: corrupt event: %w", w.id, err))
 				return
 			}
+			s.countCtrl(1, len(body))
 			select {
-			case s.events <- core.CoordEvent{Kind: core.CoordEventKind(ev.Kind), Pos: ev.Pos, Branch: ev.Branch}:
+			case s.events <- core.CoordEvent{Kind: core.CoordEventKind(ev.Kind), Pos: ev.Pos, Branch: ev.Branch, Count: ev.Count}:
 			case <-s.failed:
 				return
 			}
@@ -562,6 +589,7 @@ func (s *session) readWorker(w *workerConn) {
 				s.fail(fmt.Errorf("netcluster: worker %d: corrupt barrier ack: %w", w.id, err))
 				return
 			}
+			s.countCtrl(1, len(body))
 			select {
 			case s.barrierc <- m.Seq:
 			case <-s.failed:
@@ -621,14 +649,56 @@ func (s *session) monitor() {
 	}
 }
 
-// tcpControlPlane drives the workers from core.RunCoordinator.
+// tcpControlPlane drives the workers from core.RunCoordinator. All methods
+// run on the single coordinator goroutine, and session.broadcast writes
+// synchronously, so one encode buffer is reused across every control
+// frame — the per-step broadcast path allocates nothing.
+//
+// tmplIDs is the attempt's template install table (segment starting block
+// -> wire template ID). It lives and dies with the control plane, which
+// lives and dies with one execution attempt: a retry or a re-admitted
+// worker pool starts from a fresh tcpControlPlane, so stale templates
+// cannot survive session teardown.
 type tcpControlPlane struct {
 	s          *session
 	finishOnce sync.Once
+	buf        []byte
+	tmplIDs    map[ir.BlockID]int
+}
+
+// bcastCtrl broadcasts one control frame and charges it to the attempt's
+// control-traffic counters (one frame per worker).
+func (cp *tcpControlPlane) bcastCtrl(typ byte, body []byte) {
+	cp.s.broadcast(typ, body)
+	cp.s.countCtrl(len(cp.s.workers), len(body))
 }
 
 func (cp *tcpControlPlane) Broadcast(up core.PathUpdate) {
-	cp.s.broadcast(MsgPathUpdate, AppendPathUpdate(nil, PathUpdateMsg{Pos: up.Pos, Block: int(up.Block), Final: up.Final}))
+	cp.buf = AppendPathUpdate(cp.buf[:0], PathUpdateMsg{Pos: up.Pos, Block: int(up.Block), Final: up.Final})
+	cp.bcastCtrl(MsgPathUpdate, cp.buf)
+}
+
+// BroadcastSegment ships one instantiated execution template: a one-time
+// MsgPathTmpl install on first use of the segment's starting block, then a
+// position-patched MsgPathSeg — the steady-state per-extension frame.
+func (cp *tcpControlPlane) BroadcastSegment(seg core.PathSegment) {
+	if cp.tmplIDs == nil {
+		cp.tmplIDs = make(map[ir.BlockID]int)
+	}
+	key := seg.Blocks[0]
+	id, ok := cp.tmplIDs[key]
+	if !ok {
+		id = len(cp.tmplIDs) + 1
+		cp.tmplIDs[key] = id
+		m := PathTmplMsg{ID: id, Blocks: make([]int, len(seg.Blocks)), Final: seg.Final}
+		for i, b := range seg.Blocks {
+			m.Blocks[i] = int(b)
+		}
+		cp.buf = AppendPathTmpl(cp.buf[:0], m)
+		cp.bcastCtrl(MsgPathTmpl, cp.buf)
+	}
+	cp.buf = AppendPathSeg(cp.buf[:0], PathSegMsg{ID: id, Pos: seg.Pos})
+	cp.bcastCtrl(MsgPathSeg, cp.buf)
 }
 
 // Barrier performs a real superstep barrier: one round trip to every
@@ -638,7 +708,8 @@ func (cp *tcpControlPlane) Barrier() {
 	s := cp.s
 	s.barrierSeq++
 	seq := s.barrierSeq
-	s.broadcast(MsgBarrier, AppendBarrier(nil, BarrierMsg{Seq: seq}))
+	cp.buf = AppendBarrier(cp.buf[:0], BarrierMsg{Seq: seq})
+	cp.bcastCtrl(MsgBarrier, cp.buf)
 	for acks := 0; acks < len(s.workers); {
 		select {
 		case got := <-s.barrierc:
@@ -657,7 +728,7 @@ func (cp *tcpControlPlane) Stop(err error) {
 		return
 	}
 	cp.finishOnce.Do(func() {
-		cp.s.broadcast(MsgFinish, []byte{0})
+		cp.bcastCtrl(MsgFinish, []byte{0})
 	})
 }
 
@@ -721,6 +792,7 @@ func (c *Coordinator) prepare(source string, st NamedStore, opts core.Options) (
 		Hoisting:    opts.Hoisting,
 		Combiners:   opts.Combiners,
 		Chaining:    opts.Chaining,
+		Templates:   opts.Templates,
 		Datasets:    datasets,
 	}
 	return &preparedJob{plan: plan, opts: opts, spec: AppendJobSpec(nil, spec)}, nil
@@ -832,10 +904,10 @@ func (c *Coordinator) runAttempt(s *session, job *preparedJob, st NamedStore) (*
 	cp := &tcpControlPlane{s: s}
 	stop := make(chan struct{})
 	coordDone := make(chan struct{})
-	steps := 0
+	var cstats core.CoordStats
 	go func() {
 		defer close(coordDone)
-		steps = core.RunCoordinator(job.plan, job.opts, c.cfg.Workers, s.events, cp, stop)
+		cstats = core.RunCoordinator(job.plan, job.opts, c.cfg.Workers, s.events, cp, stop)
 	}()
 
 	results := make([]*ResultMsg, c.cfg.Workers)
@@ -855,7 +927,14 @@ func (c *Coordinator) runAttempt(s *session, job *preparedJob, st NamedStore) (*
 	}
 	close(stop)
 	<-coordDone
-	out := &Result{Steps: steps, PeerLinks: make([][]PeerStat, len(results))}
+	out := &Result{
+		Steps:                  cstats.Steps,
+		TemplateInstalls:       cstats.TemplateInstalls,
+		TemplateInstantiations: cstats.TemplateInstantiations,
+		CtrlMessages:           s.ctrlMsgs.Load(),
+		CtrlBytes:              s.ctrlBytes.Load(),
+		PeerLinks:              make([][]PeerStat, len(results)),
+	}
 	for id, r := range results {
 		out.Job.ElementsSent += r.Stats.ElementsSent
 		out.Job.ElementsChained += r.Stats.ElementsChained
@@ -864,6 +943,8 @@ func (c *Coordinator) runAttempt(s *session, job *preparedJob, st NamedStore) (*
 		out.Job.BytesSent += r.Stats.BytesSent
 		out.Job.BytesReceived += r.Stats.BytesReceived
 		out.Job.MailboxDropped += r.Stats.MailboxDropped
+		out.Job.CtrlMessages += r.Stats.CtrlMessages
+		out.Job.CtrlBytes += r.Stats.CtrlBytes
 		out.JoinBuilds += r.JoinBuilds
 		out.MaxBufferedBags = max(out.MaxBufferedBags, r.MaxBuffered)
 		out.CombineIn += r.CombineIn
@@ -882,6 +963,8 @@ func (c *Coordinator) runAttempt(s *session, job *preparedJob, st NamedStore) (*
 	}
 	if job.opts.Obs != nil {
 		reg := job.opts.Obs.Reg()
+		reg.Counter(obs.MachineDriver, "netcluster", "ctrl_messages").Add(out.CtrlMessages)
+		reg.Counter(obs.MachineDriver, "netcluster", "ctrl_bytes").Add(out.CtrlBytes)
 		for id, links := range out.PeerLinks {
 			for _, p := range links {
 				reg.Counter(id, "netcluster", "socket_bytes_out").Add(p.BytesOut)

@@ -1,0 +1,187 @@
+package netcluster
+
+import (
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/workload"
+)
+
+// TestTCPTemplatesCounters pins the template cache arithmetic over the real
+// wire and the control-frame saving it buys. A 50-step loop visits 103
+// positions in 52 segments from 3 distinct heads; with templates off the
+// coordinator instead broadcasts every position and receives one event
+// frame per instance, so the control traffic of the templated run must be
+// strictly smaller.
+func TestTCPTemplatesCounters(t *testing.T) {
+	c, cleanup, err := StartLocal(2, CoordConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	run := func(templates bool) *Result {
+		opts := core.DefaultOptions()
+		opts.Templates = templates
+		res, err := c.Run(workload.StepLoopScript(50), store.NewMemStore(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on := run(true)
+	off := run(false)
+	if on.Steps != 103 || off.Steps != on.Steps {
+		t.Fatalf("steps = %d/%d, want 103", on.Steps, off.Steps)
+	}
+	if on.TemplateInstalls != 3 || on.TemplateInstantiations != 49 {
+		t.Errorf("installs/instantiations = %d/%d, want 3/49", on.TemplateInstalls, on.TemplateInstantiations)
+	}
+	if off.TemplateInstalls != 0 || off.TemplateInstantiations != 0 {
+		t.Errorf("templates off: installs/instantiations = %d/%d, want 0/0", off.TemplateInstalls, off.TemplateInstantiations)
+	}
+	if on.CtrlMessages == 0 || on.CtrlBytes == 0 {
+		t.Fatalf("templated run reported no control traffic: %d msgs, %d bytes", on.CtrlMessages, on.CtrlBytes)
+	}
+	if on.CtrlMessages >= off.CtrlMessages {
+		t.Errorf("ctrl_messages = %d templated vs %d untemplated, want a reduction", on.CtrlMessages, off.CtrlMessages)
+	}
+	if on.CtrlBytes >= off.CtrlBytes {
+		t.Errorf("ctrl_bytes = %d templated vs %d untemplated, want a reduction", on.CtrlBytes, off.CtrlBytes)
+	}
+}
+
+// TestTCPTemplatesAggregatedEvents over-subscribes the workers
+// (parallelism 6 on 2 workers, so each hosts 3 instances per data-parallel
+// block): the templated run folds each position's local completions into
+// one event frame per worker — O(workers) instead of O(instances) — which
+// must show up as fewer control frames on the coordinator links.
+func TestTCPTemplatesAggregatedEvents(t *testing.T) {
+	spec := workload.VisitCountSpec{Days: 5, VisitsPerDay: 150, Pages: 40, WithDiff: true, Seed: 21}
+	c, cleanup, err := StartLocal(2, CoordConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	run := func(templates bool) *Result {
+		st := store.NewMemStore()
+		if err := spec.Generate(st); err != nil {
+			t.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		opts.Parallelism = 6
+		opts.Templates = templates
+		res, err := c.Run(spec.Script(), st, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	on := run(true)
+	off := run(false)
+	if on.Steps != off.Steps {
+		t.Fatalf("steps differ: %d vs %d", on.Steps, off.Steps)
+	}
+	if on.CtrlMessages >= off.CtrlMessages {
+		t.Errorf("ctrl_messages = %d templated vs %d untemplated, want a reduction from event aggregation",
+			on.CtrlMessages, off.CtrlMessages)
+	}
+}
+
+// TestTCPTemplatesDivergentMatchesSim runs a loop whose branch flips
+// halfway — the first iterations take the then-arm, the rest the else-arm —
+// over the wire. The workers speculate along the deciding worker's branch
+// and receive coordinator segments for both arms; output must match the
+// simulated backend exactly.
+func TestTCPTemplatesDivergentMatchesSim(t *testing.T) {
+	src := `x = 0
+total = 0
+while (x < 8) {
+  if (x < 4) {
+    total = total + 1
+  } else {
+    total = total + 10
+  }
+  x = x + 1
+}
+newBag(total).writeFile("out")
+`
+	diffTCPvsSim(t, src, nil, 3, core.DefaultOptions(), 0)
+}
+
+// TestTCPTemplatesSequentialJobs proves installed templates die with their
+// job: one session runs three structurally different programs back to
+// back with templates on, and each must resolve its own schedule — stale
+// template IDs or cached segments leaking across jobs would misroute the
+// later paths (different block graphs reuse the same small IDs).
+func TestTCPTemplatesSequentialJobs(t *testing.T) {
+	c, cleanup, err := StartLocal(2, CoordConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	jobs := []struct {
+		source string
+		seed   func(store.Store) error
+		steps  int
+	}{
+		{workload.StepLoopScript(10), nil, 23},
+		{`x = 0
+total = 0
+while (x < 6) {
+  if (x < 3) {
+    total = total + 1
+  } else {
+    total = total + 10
+  }
+  x = x + 1
+}
+newBag(total).writeFile("out")
+`, nil, 0},
+		{workload.StepLoopScript(4), nil, 11},
+	}
+	for i, job := range jobs {
+		st := store.NewMemStore()
+		if job.seed != nil {
+			if err := job.seed(st); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := c.Run(job.source, st, core.DefaultOptions())
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if job.steps != 0 && res.Steps != job.steps {
+			t.Errorf("job %d: steps = %d, want %d", i, res.Steps, job.steps)
+		}
+		if res.TemplateInstalls == 0 {
+			t.Errorf("job %d: no template installs — a cached table leaked across jobs", i)
+		}
+	}
+}
+
+// BenchmarkCtrlFrameEncode measures the per-segment control-frame encode
+// the templated coordinator pays on every loop step, into a reused buffer
+// as tcpControlPlane does. It must not allocate.
+func BenchmarkCtrlFrameEncode(b *testing.B) {
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendPathSeg(buf[:0], PathSegMsg{ID: 1, Pos: i})
+		buf = AppendPathUpdate(buf[:0], PathUpdateMsg{Pos: i, Block: 2})
+	}
+	_ = buf
+}
+
+// TestCtrlFrameEncodeAllocFree enforces BenchmarkCtrlFrameEncode's
+// 0 allocs/op as a test, the same guard the dataflow emit path carries.
+func TestCtrlFrameEncodeAllocFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is not meaningful under -short/-race runs")
+	}
+	res := testing.Benchmark(BenchmarkCtrlFrameEncode)
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("control-frame encode allocates %d allocs/op, want 0", a)
+	}
+}

@@ -32,7 +32,9 @@ const (
 	Magic = 0x4d495453
 	// Version is the protocol version; coordinator and workers must match.
 	// v2 added Register.Name (stable worker identity for re-admission).
-	Version = 2
+	// v3 added execution templates: PathTmpl/PathSeg control frames,
+	// JobSpec.Templates, EventMsg.Count, and ctrl counters in ResultMsg.
+	Version = 3
 	// MaxMsg bounds one framed message. Data frames carry one encoded
 	// batch (typically a few KiB); job shipment carries whole input
 	// datasets, which dominates this bound.
@@ -61,6 +63,8 @@ const (
 	MsgFinish     byte = 0x0b // coord -> worker: job complete, quiesce and report
 	MsgResult     byte = 0x0c // worker -> coord: stats, written datasets, peer counters
 	MsgError      byte = 0x0d // worker -> coord: local job failure
+	MsgPathTmpl   byte = 0x0e // coord -> worker: install one execution template (jump-chain segment)
+	MsgPathSeg    byte = 0x0f // coord -> worker: instantiate an installed template at a path position
 	MsgData       byte = 0x10 // worker -> worker: one serialized batch
 	MsgEOB        byte = 0x11 // worker -> worker: one end-of-bag marker
 	MsgCredit     byte = 0x12 // worker -> worker: flow-control credits returned
@@ -426,6 +430,7 @@ type JobSpec struct {
 	Hoisting    bool
 	Combiners   bool
 	Chaining    bool
+	Templates   bool
 	Datasets    []Dataset
 }
 
@@ -439,6 +444,7 @@ func AppendJobSpec(dst []byte, s JobSpec) []byte {
 	e.boolean(s.Hoisting)
 	e.boolean(s.Combiners)
 	e.boolean(s.Chaining)
+	e.boolean(s.Templates)
 	appendDatasets(&e, s.Datasets)
 	return e.b
 }
@@ -454,6 +460,7 @@ func DecodeJobSpec(b []byte) (JobSpec, error) {
 		Hoisting:    d.boolean(),
 		Combiners:   d.boolean(),
 		Chaining:    d.boolean(),
+		Templates:   d.boolean(),
 	}
 	s.Datasets = decodeDatasets(&d)
 	return s, d.fin()
@@ -482,11 +489,75 @@ func DecodePathUpdate(b []byte) (PathUpdateMsg, error) {
 	return u, d.fin()
 }
 
+// PathTmplMsg installs one execution template on a worker: template ID
+// (coordinator-assigned, dense from 1 within one session attempt) and the
+// jump-chain block segment it caches. Installed once; every later visit of
+// the segment's starting block ships only a PathSegMsg.
+type PathTmplMsg struct {
+	ID     int
+	Blocks []int
+	Final  bool
+}
+
+// AppendPathTmpl appends the encoding of m to dst.
+func AppendPathTmpl(dst []byte, m PathTmplMsg) []byte {
+	e := enc{b: dst}
+	e.num(m.ID)
+	e.u64(uint64(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		e.num(b)
+	}
+	e.boolean(m.Final)
+	return e.b
+}
+
+// DecodePathTmpl decodes a PathTmplMsg.
+func DecodePathTmpl(b []byte) (PathTmplMsg, error) {
+	d := dec{b: b}
+	m := PathTmplMsg{ID: d.num()}
+	n := d.u64()
+	if n > uint64(len(d.b)) { // each block takes at least one byte
+		d.fail("block count")
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		m.Blocks = append(m.Blocks, d.num())
+	}
+	m.Final = d.boolean()
+	return m, d.fin()
+}
+
+// PathSegMsg instantiates an installed template: the execution path grows
+// by template ID's block segment starting at path position Pos. This is
+// the per-step steady-state control frame — position patching is the only
+// per-instantiation parameter, exactly the execution-templates model.
+type PathSegMsg struct {
+	ID  int
+	Pos int
+}
+
+// AppendPathSeg appends the encoding of m to dst.
+func AppendPathSeg(dst []byte, m PathSegMsg) []byte {
+	e := enc{b: dst}
+	e.num(m.ID)
+	e.num(m.Pos)
+	return e.b
+}
+
+// DecodePathSeg decodes a PathSegMsg.
+func DecodePathSeg(b []byte) (PathSegMsg, error) {
+	d := dec{b: b}
+	m := PathSegMsg{ID: d.num(), Pos: d.num()}
+	return m, d.fin()
+}
+
 // EventMsg relays one host event (core.CoordEvent) to the coordinator.
+// Count lets a worker fold several local completions of one position into
+// a single frame (0 and 1 both mean one completion).
 type EventMsg struct {
 	Kind   byte
 	Pos    int
 	Branch bool
+	Count  int
 }
 
 // AppendEvent appends the encoding of ev to dst.
@@ -495,6 +566,7 @@ func AppendEvent(dst []byte, ev EventMsg) []byte {
 	e.b = append(e.b, ev.Kind)
 	e.num(ev.Pos)
 	e.boolean(ev.Branch)
+	e.num(ev.Count)
 	return e.b
 }
 
@@ -510,6 +582,7 @@ func DecodeEvent(b []byte) (EventMsg, error) {
 	}
 	ev.Pos = d.num()
 	ev.Branch = d.boolean()
+	ev.Count = d.num()
 	return ev, d.fin()
 }
 
@@ -566,6 +639,8 @@ func AppendResult(dst []byte, r ResultMsg) []byte {
 	e.i64(r.Stats.BytesSent)
 	e.i64(r.Stats.BytesReceived)
 	e.i64(r.Stats.MailboxDropped)
+	e.i64(r.Stats.CtrlMessages)
+	e.i64(r.Stats.CtrlBytes)
 	e.i64(r.JoinBuilds)
 	e.i64(r.MaxBuffered)
 	e.i64(r.CombineIn)
@@ -595,6 +670,8 @@ func DecodeResult(b []byte) (ResultMsg, error) {
 	r.Stats.BytesSent = d.i64()
 	r.Stats.BytesReceived = d.i64()
 	r.Stats.MailboxDropped = d.i64()
+	r.Stats.CtrlMessages = d.i64()
+	r.Stats.CtrlBytes = d.i64()
 	r.JoinBuilds = d.i64()
 	r.MaxBuffered = d.i64()
 	r.CombineIn = d.i64()

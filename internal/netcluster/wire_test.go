@@ -32,7 +32,7 @@ func TestWireRoundTrips(t *testing.T) {
 	}
 	spec := JobSpec{
 		Source: "x = readDataset(a);", Parallelism: 4, BatchSize: 128,
-		Pipelining: true, Combiners: true,
+		Pipelining: true, Combiners: true, Templates: true,
 		Datasets: []Dataset{{Name: "a", Elems: []val.Value{val.Int(1), val.Str("two"), val.Pair(val.Int(3), val.Float(4.5))}}},
 	}
 	gotSpec, err := DecodeJobSpec(AppendJobSpec(nil, spec))
@@ -40,6 +40,7 @@ func TestWireRoundTrips(t *testing.T) {
 		t.Fatalf("JobSpec: %v", err)
 	}
 	if gotSpec.Source != spec.Source || gotSpec.Parallelism != 4 || !gotSpec.Pipelining || gotSpec.Hoisting ||
+		!gotSpec.Templates ||
 		len(gotSpec.Datasets) != 1 || len(gotSpec.Datasets[0].Elems) != 3 ||
 		gotSpec.Datasets[0].Elems[2].Field(1).AsFloat() != 4.5 {
 		t.Errorf("JobSpec: got %+v", gotSpec)
@@ -47,10 +48,26 @@ func TestWireRoundTrips(t *testing.T) {
 	r := ResultMsg{JoinBuilds: 7, Datasets: []Dataset{{Name: "out", Elems: []val.Value{val.Int(9)}}},
 		Peers: []PeerStat{{Peer: 1, BytesOut: 100, CreditStalls: 3, StallNanos: 12345}}}
 	r.Stats.ElementsSent = 42
+	r.Stats.CtrlMessages = 17
+	r.Stats.CtrlBytes = 321
 	gotR, err := DecodeResult(AppendResult(nil, r))
 	if err != nil || gotR.Stats.ElementsSent != 42 || gotR.JoinBuilds != 7 ||
+		gotR.Stats.CtrlMessages != 17 || gotR.Stats.CtrlBytes != 321 ||
 		len(gotR.Peers) != 1 || gotR.Peers[0].StallNanos != 12345 || len(gotR.Datasets) != 1 {
 		t.Errorf("Result: got %+v, err %v", gotR, err)
+	}
+	tm := PathTmplMsg{ID: 2, Blocks: []int{1, 3, 1}, Final: false}
+	gotTm, err := DecodePathTmpl(AppendPathTmpl(nil, tm))
+	if err != nil || gotTm.ID != 2 || len(gotTm.Blocks) != 3 || gotTm.Blocks[1] != 3 || gotTm.Final {
+		t.Errorf("PathTmpl: got %+v, err %v", gotTm, err)
+	}
+	sg := PathSegMsg{ID: 2, Pos: 104}
+	if gotSg, err := DecodePathSeg(AppendPathSeg(nil, sg)); err != nil || gotSg != sg {
+		t.Errorf("PathSeg: got %+v, err %v", gotSg, err)
+	}
+	ev := EventMsg{Kind: 1, Pos: 9, Count: 5}
+	if gotEv, err := DecodeEvent(AppendEvent(nil, ev)); err != nil || gotEv != ev {
+		t.Errorf("Event with Count: got %+v, err %v", gotEv, err)
 	}
 	h := FrameHeader{Op: 5, Inst: 2, Input: 1, From: 3, Arg: 77}
 	gotH, payload, err := DecodeFrameHeader(append(AppendFrameHeader(nil, h), 0xaa, 0xbb))
@@ -138,12 +155,14 @@ func FuzzFrameRoundTrip(f *testing.F) {
 	f.Add(AppendResult(nil, ResultMsg{Peers: []PeerStat{{Peer: 1}}}), byte(3))
 	f.Add(AppendFrameHeader(nil, FrameHeader{Op: 1, Inst: 2, Input: 0, From: 1, Arg: 9}), byte(4))
 	f.Add(AppendPathUpdate(nil, PathUpdateMsg{Pos: 3, Block: 2, Final: true}), byte(5))
-	f.Add(AppendEvent(nil, EventMsg{Kind: 1, Pos: 4, Branch: true}), byte(6))
+	f.Add(AppendEvent(nil, EventMsg{Kind: 1, Pos: 4, Branch: true, Count: 3}), byte(6))
 	f.Add([]byte{0, 0, 0, 5, MsgData, 1, 2, 3, 4}, byte(7))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0}, byte(7))
+	f.Add(AppendPathTmpl(nil, PathTmplMsg{ID: 1, Blocks: []int{2, 1}, Final: true}), byte(8))
+	f.Add(AppendPathSeg(nil, PathSegMsg{ID: 1, Pos: 7}), byte(9))
 
 	f.Fuzz(func(t *testing.T, data []byte, which byte) {
-		switch which % 8 {
+		switch which % 10 {
 		case 0:
 			if h, err := DecodeHello(data); err == nil {
 				h2, err := DecodeHello(AppendHello(nil, h))
@@ -204,6 +223,19 @@ func FuzzFrameRoundTrip(f *testing.F) {
 			}
 			if cap(buf) > len(data)+2*readChunk {
 				t.Fatalf("ReadMsg allocated %d for %d input bytes", cap(buf), len(data))
+			}
+		case 8:
+			if m, err := DecodePathTmpl(data); err == nil {
+				m2, err := DecodePathTmpl(AppendPathTmpl(nil, m))
+				if err != nil || m2.ID != m.ID || m2.Final != m.Final || len(m2.Blocks) != len(m.Blocks) {
+					t.Fatalf("PathTmpl not stable (%v)", err)
+				}
+			}
+		case 9:
+			if m, err := DecodePathSeg(data); err == nil {
+				if m2, err := DecodePathSeg(AppendPathSeg(nil, m)); err != nil || m2 != m {
+					t.Fatalf("PathSeg not stable (%v)", err)
+				}
 			}
 		}
 	})

@@ -120,6 +120,99 @@ type workerJobRun struct {
 	st    *trackingStore
 	done  chan struct{} // closed once Job.Wait returned
 	fwdWG sync.WaitGroup
+
+	// Templated execution (spec.Templates && spec.Pipelining): the worker
+	// mirrors the coordinator's path so it can fan templates out locally,
+	// speculate past its own condition decisions, and fold per-instance
+	// completions into one aggregated event per position. All of it lives
+	// on the run — a retry or re-admission builds a fresh workerJobRun, so
+	// no template can leak across job attempts.
+	plan      *core.Plan
+	templated bool
+
+	// mu serializes path mutation between the control loop (coordinator
+	// frames) and the event forwarder (local speculation).
+	mu     sync.Mutex
+	blocks []ir.BlockID
+	tmpls  map[int]tmplEntry
+	// localExp is the per-block count of operator instances this machine
+	// hosts; positions reaching it fold into a single Count-carrying
+	// completion event instead of one frame per instance.
+	localExp    map[ir.BlockID]int
+	pendingDone map[int]int
+}
+
+// tmplEntry is one installed path template: the jump-chain block sequence a
+// MsgPathSeg instantiates at a position.
+type tmplEntry struct {
+	blocks []ir.BlockID
+	final  bool
+}
+
+// applyLocked extends the worker's path view at pos and fans the segment
+// out to the local partition. Caller holds rj.mu. A segment at or before
+// the frontier is a duplicate (local speculation beat the coordinator's
+// echo, which always trails it) and only needs a consistency check.
+func (rj *workerJobRun) applyLocked(pos int, blocks []ir.BlockID, final bool) error {
+	if pos <= len(rj.blocks) {
+		if rj.blocks[pos-1] != blocks[0] {
+			return fmt.Errorf("netcluster: path diverged at %d: speculated b%d, coordinator says b%d", pos, rj.blocks[pos-1], blocks[0])
+		}
+		return nil
+	}
+	if pos != len(rj.blocks)+1 {
+		return fmt.Errorf("netcluster: path segment at %d out of order (have %d)", pos, len(rj.blocks))
+	}
+	rj.blocks = append(rj.blocks, blocks...)
+	rj.wj.Job.Broadcast(core.PathSegment{Pos: pos, Blocks: blocks, Final: final})
+	return nil
+}
+
+// speculate advances the path past a locally decided branch without waiting
+// for the coordinator's round trip. It runs before the decision event is
+// sent, so the coordinator's echoed segment can only arrive afterwards and
+// dedups in applyLocked. Only the branch at the frontier qualifies: the
+// path cannot extend past an unresolved branch, so ev.Pos below the
+// frontier means this decision belongs to an already-extended position.
+func (rj *workerJobRun) speculate(ev core.CoordEvent) {
+	rj.mu.Lock()
+	defer rj.mu.Unlock()
+	if ev.Pos != len(rj.blocks) {
+		return
+	}
+	blk := rj.plan.IR.Blocks[rj.blocks[ev.Pos-1]]
+	if blk.Term.Kind != ir.TermBranch {
+		return
+	}
+	next := blk.Term.Succs[1]
+	if ev.Branch {
+		next = blk.Term.Succs[0]
+	}
+	blocks, final := core.SegmentFrom(rj.plan.IR, next)
+	// Appending at the frontier cannot conflict or be out of order.
+	_ = rj.applyLocked(ev.Pos+1, blocks, final)
+}
+
+// noteCompletion folds one local instance completion at pos into the
+// aggregated per-worker event. ready reports whether every local instance
+// of the position's block has completed, i.e. an event should be sent now.
+func (rj *workerJobRun) noteCompletion(pos int) (count int, ready bool) {
+	rj.mu.Lock()
+	defer rj.mu.Unlock()
+	exp := 1
+	if pos >= 1 && pos <= len(rj.blocks) {
+		exp = rj.localExp[rj.blocks[pos-1]]
+	}
+	if exp <= 1 {
+		return 1, true
+	}
+	n := rj.pendingDone[pos] + 1
+	if n == exp {
+		delete(rj.pendingDone, pos)
+		return n, true
+	}
+	rj.pendingDone[pos] = n
+	return 0, false
 }
 
 // fail records the first session error and signals teardown. It never
@@ -203,6 +296,41 @@ func (s *workerSession) controlLoop() error {
 			}
 			if rj := s.running(); rj != nil {
 				rj.wj.Job.Broadcast(core.PathUpdate{Pos: u.Pos, Block: ir.BlockID(u.Block), Final: u.Final})
+			}
+		case MsgPathTmpl:
+			m, err := DecodePathTmpl(body)
+			if err != nil {
+				return s.exitErr(err)
+			}
+			if rj := s.running(); rj != nil && rj.templated {
+				blocks := make([]ir.BlockID, len(m.Blocks))
+				for i, b := range m.Blocks {
+					blocks[i] = ir.BlockID(b)
+				}
+				rj.mu.Lock()
+				rj.tmpls[m.ID] = tmplEntry{blocks: blocks, final: m.Final}
+				rj.mu.Unlock()
+			}
+		case MsgPathSeg:
+			m, err := DecodePathSeg(body)
+			if err != nil {
+				return s.exitErr(err)
+			}
+			if rj := s.running(); rj != nil && rj.templated {
+				rj.mu.Lock()
+				t, ok := rj.tmpls[m.ID]
+				var aerr error
+				if !ok {
+					aerr = fmt.Errorf("netcluster: worker %d: segment for unknown template %d", s.id, m.ID)
+				} else {
+					aerr = rj.applyLocked(m.Pos, t.blocks, t.final)
+				}
+				rj.mu.Unlock()
+				if aerr != nil {
+					s.send(MsgError, AppendError(nil, ErrorMsg{Msg: aerr.Error()}))
+					s.fail(aerr)
+					return s.exitErr(aerr)
+				}
 			}
 		case MsgBarrier:
 			// The coordinator only raises a barrier once every completion
@@ -331,13 +459,19 @@ func (s *workerSession) startJob(spec JobSpec) error {
 		Hoisting:    spec.Hoisting,
 		Combiners:   spec.Combiners,
 		Chaining:    spec.Chaining,
+		Templates:   spec.Templates,
 		BatchSize:   spec.BatchSize,
 	}
 	wj, err := core.NewWorkerJob(plan, st, s.n, s.id, opts, s.mesh)
 	if err != nil {
 		return fmt.Errorf("netcluster: worker %d: building partition: %w", s.id, err)
 	}
-	rj := &workerJobRun{wj: wj, st: st, done: make(chan struct{})}
+	rj := &workerJobRun{wj: wj, st: st, done: make(chan struct{}), plan: plan, templated: spec.Templates && spec.Pipelining}
+	if rj.templated {
+		rj.tmpls = make(map[int]tmplEntry)
+		rj.localExp = plan.InstancesPerBlockOn(s.n, s.id)
+		rj.pendingDone = make(map[int]int)
+	}
 	s.jobMu.Lock()
 	s.job = rj
 	s.jobMu.Unlock()
@@ -357,12 +491,12 @@ func (s *workerSession) startJob(spec JobSpec) error {
 		for {
 			select {
 			case ev := <-wj.Events:
-				s.sendEvent(ev)
+				s.forwardEvent(rj, ev)
 			case <-rj.done:
 				for {
 					select {
 					case ev := <-wj.Events:
-						s.sendEvent(ev)
+						s.forwardEvent(rj, ev)
 					default:
 						return
 					}
@@ -384,8 +518,30 @@ func (s *workerSession) startJob(spec JobSpec) error {
 	return nil
 }
 
+// forwardEvent relays one host event to the coordinator. Under templated
+// execution a decision first advances the local path (speculation, before
+// the send so the coordinator's echo always trails it), and completions
+// are folded into one aggregated frame per position per worker.
+func (s *workerSession) forwardEvent(rj *workerJobRun, ev core.CoordEvent) {
+	if !rj.templated {
+		s.sendEvent(ev)
+		return
+	}
+	switch ev.Kind {
+	case core.EvDecision:
+		rj.speculate(ev)
+		s.sendEvent(ev)
+	case core.EvCompletion:
+		if count, ready := rj.noteCompletion(ev.Pos); ready {
+			s.sendEvent(core.CoordEvent{Kind: core.EvCompletion, Pos: ev.Pos, Count: count})
+		}
+	default:
+		s.sendEvent(ev)
+	}
+}
+
 func (s *workerSession) sendEvent(ev core.CoordEvent) {
-	if err := s.send(MsgEvent, AppendEvent(nil, EventMsg{Kind: byte(ev.Kind), Pos: ev.Pos, Branch: ev.Branch})); err != nil {
+	if err := s.send(MsgEvent, AppendEvent(nil, EventMsg{Kind: byte(ev.Kind), Pos: ev.Pos, Branch: ev.Branch, Count: ev.Count})); err != nil {
 		s.fail(fmt.Errorf("netcluster: worker %d: reporting event: %w", s.id, err))
 	}
 }

@@ -83,6 +83,12 @@ type Config struct {
 	// parallelism fused into single physical vertices); every element then
 	// crosses every edge through a mailbox batch again.
 	DisableChaining bool
+	// DisableTemplates turns off execution templates (the control plane then
+	// broadcasts one path update per basic-block visit and receives one
+	// completion event per operator instance, instead of cached per-block
+	// segment schedules with worker-side fan-out and aggregation). Only
+	// meaningful with pipelining on.
+	DisableTemplates bool
 	// BatchSize overrides the engine transfer batch size.
 	BatchSize int
 	// Observer, when non-nil, collects engine-wide metrics (and a
@@ -134,6 +140,18 @@ type Result struct {
 	// of a mailbox batch. Zero when DisableChaining is set.
 	ChainedEdges    int
 	ElementsChained int64
+	// CtrlMessages and CtrlBytes count control-plane traffic: for Run,
+	// control envelopes through the in-process dataflow (broadcast fan-out
+	// plus targeted sends) and their encoded sizes; for RunTCP, real control
+	// frames on the coordinator links of the successful attempt.
+	CtrlMessages int64
+	CtrlBytes    int64
+	// TemplateInstalls and TemplateInstantiations report the execution
+	// template cache: segments resolved and broadcast in full versus replays
+	// of a cached schedule. Zero when DisableTemplates (or
+	// DisablePipelining) is set.
+	TemplateInstalls       int
+	TemplateInstantiations int
 	// SocketBytes and CreditStalls are set only by RunTCP: total data-plane
 	// socket traffic across all peer links, and the number of emits that
 	// blocked on an exhausted flow-control window.
@@ -238,6 +256,7 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		Hoisting:    !cfg.DisableHoisting,
 		Combiners:   !cfg.DisableCombiners,
 		Chaining:    !cfg.DisableChaining,
+		Templates:   !cfg.DisableTemplates,
 		BatchSize:   cfg.BatchSize,
 		Obs:         o,
 		HTTP:        srv,
@@ -246,16 +265,20 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	out := &Result{
-		Steps:           res.Steps,
-		Duration:        res.Duration,
-		ElementsSent:    res.Job.ElementsSent,
-		RemoteBatches:   res.Job.RemoteBatches,
-		BytesSent:       res.Job.BytesSent,
-		BytesReceived:   res.Job.BytesReceived,
-		CombineIn:       res.CombineIn,
-		CombineOut:      res.CombineOut,
-		ChainedEdges:    res.ChainedEdges,
-		ElementsChained: res.Job.ElementsChained,
+		Steps:                  res.Steps,
+		Duration:               res.Duration,
+		ElementsSent:           res.Job.ElementsSent,
+		RemoteBatches:          res.Job.RemoteBatches,
+		BytesSent:              res.Job.BytesSent,
+		BytesReceived:          res.Job.BytesReceived,
+		CombineIn:              res.CombineIn,
+		CombineOut:             res.CombineOut,
+		ChainedEdges:           res.ChainedEdges,
+		ElementsChained:        res.Job.ElementsChained,
+		CtrlMessages:           res.Job.CtrlMessages,
+		CtrlBytes:              res.Job.CtrlBytes,
+		TemplateInstalls:       res.TemplateInstalls,
+		TemplateInstantiations: res.TemplateInstantiations,
 	}
 	if cfg.Observer != nil {
 		out.Report = cfg.Observer.Snapshot()
@@ -334,6 +357,7 @@ func (p *Program) RunTCP(c *TCPCoordinator, st NamedStore, cfg Config) (*Result,
 		Hoisting:    !cfg.DisableHoisting,
 		Combiners:   !cfg.DisableCombiners,
 		Chaining:    !cfg.DisableChaining,
+		Templates:   !cfg.DisableTemplates,
 		BatchSize:   cfg.BatchSize,
 		Obs:         cfg.Observer,
 	})
@@ -341,19 +365,23 @@ func (p *Program) RunTCP(c *TCPCoordinator, st NamedStore, cfg Config) (*Result,
 		return nil, err
 	}
 	out := &Result{
-		Steps:           res.Steps,
-		Duration:        res.Duration,
-		ElementsSent:    res.Job.ElementsSent,
-		RemoteBatches:   res.Job.RemoteBatches,
-		BytesSent:       res.Job.BytesSent,
-		BytesReceived:   res.Job.BytesReceived,
-		CombineIn:       res.CombineIn,
-		CombineOut:      res.CombineOut,
-		ElementsChained: res.Job.ElementsChained,
-		SocketBytes:     res.SocketBytes,
-		CreditStalls:    res.CreditStalls,
-		Attempts:        res.Attempts,
-		AttemptErrors:   res.AttemptErrors,
+		Steps:                  res.Steps,
+		Duration:               res.Duration,
+		ElementsSent:           res.Job.ElementsSent,
+		RemoteBatches:          res.Job.RemoteBatches,
+		BytesSent:              res.Job.BytesSent,
+		BytesReceived:          res.Job.BytesReceived,
+		CombineIn:              res.CombineIn,
+		CombineOut:             res.CombineOut,
+		ElementsChained:        res.Job.ElementsChained,
+		CtrlMessages:           res.CtrlMessages,
+		CtrlBytes:              res.CtrlBytes,
+		TemplateInstalls:       res.TemplateInstalls,
+		TemplateInstantiations: res.TemplateInstantiations,
+		SocketBytes:            res.SocketBytes,
+		CreditStalls:           res.CreditStalls,
+		Attempts:               res.Attempts,
+		AttemptErrors:          res.AttemptErrors,
 	}
 	if cfg.Observer != nil {
 		out.Report = cfg.Observer.Snapshot()

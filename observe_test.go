@@ -156,9 +156,20 @@ func TestControlFlowCounters(t *testing.T) {
 			if len(bcast) != machines {
 				t.Errorf("broadcasts recorded for %d machines, want %d", len(bcast), machines)
 			}
+			// Pipelined execution uses execution templates: one broadcast
+			// per path *segment* (installs + instantiations), covering every
+			// position. Non-pipelined execution broadcasts each position.
+			wantBcast := int64(res.Steps)
+			if !tc.noPipe {
+				wantBcast = int64(res.TemplateInstalls + res.TemplateInstantiations)
+				if res.TemplateInstalls == 0 || wantBcast >= int64(res.Steps) {
+					t.Errorf("templates: installs=%d instantiations=%d over %d steps, want a compressed segment schedule",
+						res.TemplateInstalls, res.TemplateInstantiations, res.Steps)
+				}
+			}
 			for m, n := range bcast {
-				if n != int64(res.Steps) {
-					t.Errorf("machine %d received %d broadcasts, want one per path position (%d)", m, n, res.Steps)
+				if n != wantBcast {
+					t.Errorf("machine %d received %d broadcasts, want one per control frame (%d)", m, n, wantBcast)
 				}
 			}
 			wantBarriers := int64(0)
@@ -223,8 +234,12 @@ func TestTraceExport(t *testing.T) {
 		seen[ev.Cat+"/"+ev.Name]++
 	}
 	// Bag spans are named after their operator, so check the category;
-	// control-flow events have fixed names.
-	for _, want := range []string{"bag", "cfm/broadcast", "cfm/decision"} {
+	// control-flow events have fixed names. Templated (default) execution
+	// emits segment broadcasts instead of per-position ones.
+	if seen["cfm/broadcast"] == 0 && seen["cfm/broadcast_segment"] == 0 {
+		t.Fatalf("trace missing control-flow broadcast events")
+	}
+	for _, want := range []string{"bag", "cfm/decision"} {
 		if seen[want] == 0 {
 			keys := make([]string, 0, len(seen))
 			for k := range seen {
