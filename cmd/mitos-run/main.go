@@ -21,7 +21,11 @@
 // graph), /lineage, /criticalpath, /debug/pprof. Lineage tracking is
 // enabled, the critical-path summary is printed after the run, and the
 // process keeps serving until interrupted so the finished run can be
-// inspected post-mortem.
+// inspected post-mortem. Combined with -cluster=tcp the server serves the
+// federated cluster view: every worker ships its metrics, trace events,
+// and lineage to the coordinator over the control connection, so /metrics
+// carries machine-labeled per-worker series, /trace is one merged timeline
+// with a process lane per worker, and /criticalpath spans all processes.
 package main
 
 import (
@@ -69,7 +73,7 @@ func main() {
 
 	var err error
 	if *clusterKind == "tcp" {
-		err = runTCP(flag.Arg(0), *listen, *workers, *retries, *retryBackoff, *parallelism, *noPipe, *noHoist, *dataDir, *outDir, *metrics)
+		err = runTCP(flag.Arg(0), *listen, *workers, *retries, *retryBackoff, *parallelism, *noPipe, *noHoist, *dataDir, *outDir, *traceFile, *metrics, *httpAddr)
 	} else {
 		err = run(flag.Arg(0), *machines, *parallelism, *noPipe, *noHoist, *seq, *dataDir, *outDir, *traceFile, *metrics, *httpAddr)
 	}
@@ -134,7 +138,10 @@ func writeOutDir(st mitos.NamedStore, dir string) error {
 }
 
 // runTCP executes the script as the coordinator of a real TCP cluster.
-func runTCP(scriptPath, listen string, workers int, retries int, retryBackoff time.Duration, parallelism int, noPipe, noHoist bool, dataDir, outDir string, metrics bool) error {
+// With httpAddr the introspection server federates telemetry shipped by
+// every worker process: cluster-wide /metrics, merged /trace, per-worker
+// /jobs status, and a cross-process /criticalpath.
+func runTCP(scriptPath, listen string, workers int, retries int, retryBackoff time.Duration, parallelism int, noPipe, noHoist bool, dataDir, outDir, traceFile string, metrics bool, httpAddr string) error {
 	src, err := os.ReadFile(scriptPath)
 	if err != nil {
 		return err
@@ -149,6 +156,24 @@ func runTCP(scriptPath, listen string, workers int, retries int, retryBackoff ti
 			return err
 		}
 	}
+
+	var observer *mitos.Observer
+	if traceFile != "" {
+		observer = mitos.NewTracingObserver()
+	} else if metrics || httpAddr != "" {
+		observer = mitos.NewObserver()
+	}
+	var srv *mitos.IntrospectionServer
+	if httpAddr != "" {
+		observer.EnableLineage()
+		srv, err = mitos.ServeIntrospection(httpAddr, observer)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("introspection server listening on http://%s\n", srv.Addr())
+	}
+
 	fmt.Printf("coordinator listening on %s, waiting for %d workers (mitos-worker -coord ADDR)\n", listen, workers)
 	coord, err := mitos.ListenTCP(mitos.TCPCoordConfig{
 		Listen: listen, Workers: workers,
@@ -160,15 +185,12 @@ func runTCP(scriptPath, listen string, workers int, retries int, retryBackoff ti
 	defer coord.Close()
 	fmt.Printf("%d workers registered and meshed\n", workers)
 
-	var observer *mitos.Observer
-	if metrics {
-		observer = mitos.NewObserver()
-	}
 	res, err := prog.RunTCP(coord, st, mitos.Config{
 		Parallelism:       parallelism,
 		DisablePipelining: noPipe,
 		DisableHoisting:   noHoist,
 		Observer:          observer,
+		HTTP:              srv,
 	})
 	if err != nil {
 		return err
@@ -181,11 +203,36 @@ func runTCP(scriptPath, listen string, workers int, retries int, retryBackoff ti
 			fmt.Printf("  attempt %d failed: %s\n", i+1, e)
 		}
 	}
+	if res.CriticalPath != nil {
+		fmt.Print(res.CriticalPath.String())
+	}
+	if traceFile != "" {
+		f, err := os.Create(traceFile)
+		if err != nil {
+			return err
+		}
+		err = mitos.WriteTrace(observer, f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote merged cluster trace to %s (one process lane per worker; open in chrome://tracing or Perfetto)\n", traceFile)
+	}
 	if metrics {
 		fmt.Print(res.Report.String())
 	}
 	if outDir != "" {
-		return writeOutDir(st, outDir)
+		if err := writeOutDir(st, outDir); err != nil {
+			return err
+		}
+	}
+	if srv != nil {
+		fmt.Printf("serving introspection on http://%s until interrupted (Ctrl-C)\n", srv.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 	return nil
 }

@@ -15,6 +15,13 @@
 // worker is the process a supervisor (systemd, a shell loop) restarts
 // after SIGKILL; together with the coordinator's -retries budget it makes
 // jobs survive worker loss.
+//
+// During a job the worker ships telemetry back to the coordinator on the
+// heartbeat cadence — its metrics registry and, when the coordinator
+// requested tracing, drained trace events — plus a final flush at job
+// end. -trace-buffer bounds how many unshipped trace events the worker
+// holds; overflow is dropped (never blocking the data plane) and counted
+// in the trace_dropped_events gauge.
 package main
 
 import (
@@ -35,6 +42,7 @@ func main() {
 	redial := flag.Bool("redial", false, "reconnect with backoff after session end instead of exiting")
 	redialBase := flag.Duration("redial-base", 100*time.Millisecond, "initial reconnect delay (-redial)")
 	redialMax := flag.Duration("redial-max", 5*time.Second, "reconnect delay cap (-redial)")
+	traceBuffer := flag.Int("trace-buffer", 0, "max buffered trace events awaiting shipment to the coordinator; overflow is dropped and counted (default 16384)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: mitos-worker -coord HOST:PORT [-listen ADDR] [-name ID] [-redial]")
 		flag.PrintDefaults()
@@ -53,7 +61,7 @@ func main() {
 		close(stop)
 	}()
 
-	cfg := mitos.TCPWorkerConfig{Coord: *coord, Listen: *listen, Name: *name}
+	cfg := mitos.TCPWorkerConfig{Coord: *coord, Listen: *listen, Name: *name, TraceBuffer: *traceBuffer}
 	if *redial {
 		mitos.ServeTCPWorkerLoop(cfg, mitos.TCPRedialConfig{Base: *redialBase, Max: *redialMax}, stop)
 		return

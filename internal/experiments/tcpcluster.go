@@ -61,7 +61,9 @@ func measureTCP(o Options, source string, seed func(store.Store) error, workers 
 		return Cell{}, err
 	}
 	defer cleanup()
-	opts.HTTP = nil // partitioned jobs are not registered with a live server
+	// opts.HTTP stays set: the coordinator registers a federated job view
+	// (per-worker queue depths and link counters shipped over the wire),
+	// so mitos-bench -http shows the TCP cells live too.
 	var cell Cell
 	for i := 0; i < o.reps(); i++ {
 		res, err := runTCPOnce(c, source, seed, opts)

@@ -152,6 +152,10 @@ type Result struct {
 	TemplateInstantiations int
 	// PeerLinks reports each worker's per-peer link counters.
 	PeerLinks [][]PeerStat
+	// WorkerStats holds each worker's final metrics snapshot (indexed by
+	// machine ID), shipped with the job-end telemetry flush. Summing them
+	// key-wise reproduces the federated totals — the federation oracle.
+	WorkerStats []*obs.Snapshot
 }
 
 // AttemptError records one failed execution attempt.
@@ -199,6 +203,11 @@ type Coordinator struct {
 	// worker that redials after a failure gets its old partition back.
 	ids map[string]int
 
+	// tel federates worker telemetry (metrics, traces, lineage, clock
+	// offsets). It outlives sessions so re-admitted workers keep feeding
+	// the same view and the final state stays inspectable after a job.
+	tel *clusterTelemetry
+
 	running   atomic.Bool
 	closed    atomic.Bool
 	closec    chan struct{}
@@ -213,6 +222,7 @@ type Coordinator struct {
 // failed attempt into the next one's accounting.
 type session struct {
 	cfg     *CoordConfig
+	tel     *clusterTelemetry
 	workers []*workerConn
 
 	events   chan core.CoordEvent
@@ -254,6 +264,11 @@ type workerConn struct {
 	wmu sync.Mutex
 
 	lastBeat atomic.Int64 // unix nanos of the last message received
+
+	// One outstanding RTT probe: the sequence and send wall-time of the
+	// latest MsgPing; a pong echoing an older sequence is stale and ignored.
+	pingSeq      atomic.Int64
+	pingSentWall atomic.Int64
 }
 
 type workerResult struct {
@@ -282,6 +297,7 @@ func Listen(cfg CoordConfig) (*Coordinator, error) {
 		cfg:    cfg,
 		ln:     ln,
 		ids:    make(map[string]int),
+		tel:    newClusterTelemetry(),
 		closec: make(chan struct{}),
 	}
 	s, err := c.establish()
@@ -305,6 +321,7 @@ func (c *Coordinator) establish() (*session, error) {
 	deadline := time.Now().Add(cfg.SetupTimeout)
 	s := &session{
 		cfg:      cfg,
+		tel:      c.tel,
 		events:   make(chan core.CoordEvent, 4096),
 		readyc:   make(chan int, cfg.Workers),
 		resultc:  make(chan workerResult, cfg.Workers),
@@ -606,6 +623,32 @@ func (s *session) readWorker(w *workerConn) {
 			case <-s.failed:
 				return
 			}
+		case MsgPong:
+			m, err := DecodePong(body)
+			if err != nil {
+				s.fail(fmt.Errorf("netcluster: worker %d: corrupt pong: %w", w.id, err))
+				return
+			}
+			s.handlePong(w, m)
+		case MsgStats:
+			// Telemetry frames are not charged to the control-traffic
+			// counters: they measure observability overhead, not the
+			// per-step control plane the paper's figures are about.
+			m, err := DecodeStats(body)
+			if err != nil {
+				s.fail(fmt.Errorf("netcluster: worker %d: corrupt stats: %w", w.id, err))
+				return
+			}
+			// JSON payload errors are tolerated: telemetry is best-effort
+			// and must never take a healthy job down.
+			s.tel.onStats(w.id, m) //nolint:errcheck
+		case MsgTrace:
+			m, err := DecodeTrace(body)
+			if err != nil {
+				s.fail(fmt.Errorf("netcluster: worker %d: corrupt trace: %w", w.id, err))
+				return
+			}
+			s.tel.onTrace(w.id, m) //nolint:errcheck
 		case MsgError:
 			m, _ := DecodeError(body)
 			s.fail(fmt.Errorf("netcluster: worker %d (%s) failed: %s", w.id, w.addr, m.Msg))
@@ -620,13 +663,16 @@ func (s *session) readWorker(w *workerConn) {
 // monitor fails the session when a worker goes silent past the heartbeat
 // timeout — the no-hang guarantee when a worker process wedges rather
 // than dies (a dead process closes its connection, which is detected
-// immediately by readWorker).
+// immediately by readWorker). It doubles as the RTT probe source: one
+// MsgPing per worker per tick (and one up front, so clock offsets exist
+// before the first telemetry frames arrive).
 func (s *session) monitor() {
 	defer s.wg.Done()
 	tick := s.cfg.HeartbeatTimeout / 4
 	if tick < time.Millisecond {
 		tick = time.Millisecond
 	}
+	s.sendPings()
 	t := time.NewTicker(tick)
 	defer t.Stop()
 	for {
@@ -641,12 +687,47 @@ func (s *session) monitor() {
 					return
 				}
 			}
+			s.sendPings()
 		case <-s.monStop:
 			return
 		case <-s.failed:
 			return
 		}
 	}
+}
+
+// sendPings sends one RTT probe per worker. Probes replace each other (one
+// outstanding per worker); a write failure is left for readWorker or the
+// next heartbeat check to report with a better cause.
+func (s *session) sendPings() {
+	var buf []byte
+	for _, w := range s.workers {
+		seq := w.pingSeq.Add(1)
+		w.pingSentWall.Store(time.Now().UnixNano())
+		buf = AppendPing(buf[:0], PingMsg{Seq: int(seq)})
+		if s.sendTo(w, MsgPing, buf) != nil {
+			return
+		}
+	}
+}
+
+// handlePong resolves one RTT probe: the round trip lands in the worker's
+// heartbeat_rtt histogram, and the clock-offset sample (worker wall minus
+// the probe's midpoint) feeds the minimum-RTT offset estimate.
+func (s *session) handlePong(w *workerConn, m PongMsg) {
+	if int64(m.Seq) != w.pingSeq.Load() {
+		return // stale probe; a fresher one is already in flight
+	}
+	sent := w.pingSentWall.Load()
+	if sent == 0 {
+		return
+	}
+	rtt := time.Duration(time.Now().UnixNano() - sent)
+	if rtt < 0 {
+		return
+	}
+	offset := time.Duration(m.WallNanos - (sent + int64(rtt)/2))
+	s.tel.observeRTT(w.id, rtt, offset)
 }
 
 // tcpControlPlane drives the workers from core.RunCoordinator. All methods
@@ -793,7 +874,13 @@ func (c *Coordinator) prepare(source string, st NamedStore, opts core.Options) (
 		Combiners:   opts.Combiners,
 		Chaining:    opts.Chaining,
 		Templates:   opts.Templates,
-		Datasets:    datasets,
+		// Workers collect what the coordinator can consume: trace spans
+		// when it has a tracer, lineage when it has a tracker, live queue
+		// sampling when an introspection server is attached.
+		Trace:    opts.Obs.Trc() != nil,
+		Lineage:  opts.Obs.Lin() != nil,
+		LiveView: opts.HTTP != nil,
+		Datasets: datasets,
 	}
 	return &preparedJob{plan: plan, opts: opts, spec: AppendJobSpec(nil, spec)}, nil
 }
@@ -848,7 +935,7 @@ func (c *Coordinator) ensureSession(reestablish bool) (*session, error) {
 // executes — the job recompiles deterministically from source, so a
 // retry needs no checkpoint. Exhausting the budget returns a *RetryError
 // carrying every attempt's error.
-func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (*Result, error) {
+func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (res *Result, rerr error) {
 	if !c.running.CompareAndSwap(false, true) {
 		return nil, fmt.Errorf("netcluster: coordinator already running a job")
 	}
@@ -856,6 +943,15 @@ func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (*Res
 	job, err := c.prepare(source, st, opts)
 	if err != nil {
 		return nil, err
+	}
+	c.tel.beginJob(opts.Obs)
+	if opts.HTTP != nil {
+		// One scrape covers the whole cluster: /metrics serves the
+		// federated snapshot, /jobs/{id} the per-worker live view.
+		opts.HTTP.SetSnapshotSource(c.FederatedSnapshot)
+		view := newTCPJobView("mitos-tcp", job.plan, c.tel)
+		opts.HTTP.Register(view)
+		defer func() { view.finish(rerr) }()
 	}
 	start := time.Now()
 	var history []AttemptError
@@ -899,6 +995,11 @@ func (c *Coordinator) Run(source string, st NamedStore, opts core.Options) (*Res
 
 // runAttempt executes the prepared job once on a live session.
 func (c *Coordinator) runAttempt(s *session, job *preparedJob, st NamedStore) (*Result, error) {
+	// A retry starts from a clean federated view (worker registries are
+	// rebuilt from zero), and the lineage clock restarts with the attempt
+	// so worker lineage absorbs onto the right timeline.
+	c.tel.beginJob(job.opts.Obs)
+	job.opts.Obs.Lin().Begin()
 	s.broadcast(MsgJob, job.spec)
 
 	cp := &tcpControlPlane{s: s}
@@ -934,6 +1035,13 @@ func (c *Coordinator) runAttempt(s *session, job *preparedJob, st NamedStore) (*
 		CtrlMessages:           s.ctrlMsgs.Load(),
 		CtrlBytes:              s.ctrlBytes.Load(),
 		PeerLinks:              make([][]PeerStat, len(results)),
+		WorkerStats:            make([]*obs.Snapshot, len(results)),
+	}
+	// The final telemetry flush precedes MsgResult on each (ordered)
+	// control connection, so every worker's end-of-job snapshot is already
+	// federated by the time its result was collected above.
+	for id := range results {
+		out.WorkerStats[id] = c.tel.fed.Worker(id)
 	}
 	for id, r := range results {
 		out.Job.ElementsSent += r.Stats.ElementsSent
@@ -975,6 +1083,19 @@ func (c *Coordinator) runAttempt(s *session, job *preparedJob, st NamedStore) (*
 		}
 	}
 	return out, nil
+}
+
+// FederatedSnapshot returns the cluster-wide merged metrics snapshot: the
+// coordinator's own instruments (per-worker heartbeat RTT), the running
+// job's driver-side registry, and the latest snapshot each worker shipped.
+func (c *Coordinator) FederatedSnapshot() *obs.Snapshot {
+	return c.tel.fed.Merged()
+}
+
+// WorkerSnapshot returns the latest metrics snapshot worker id shipped
+// (nil before the first telemetry frame).
+func (c *Coordinator) WorkerSnapshot(id int) *obs.Snapshot {
+	return c.tel.fed.Worker(id)
 }
 
 // workerID reports the stable machine ID assigned to a registration name,

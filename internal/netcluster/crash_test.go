@@ -304,9 +304,18 @@ func TestHeartbeatTimeout(t *testing.T) {
 			return
 		}
 		fakeDone <- nil
-		// ... and never heartbeat. Hold the connection open until the
+		// ... and never heartbeat. Hold the connection open, discarding
+		// whatever the coordinator sends (RTT pings included — replying
+		// would be traffic, and any traffic proves liveness), until the
 		// coordinator gives up on us.
-		ReadMsg(conn, nil)
+		var rbuf []byte
+		for {
+			_, _, nbuf, err := ReadMsg(conn, rbuf)
+			if err != nil {
+				return
+			}
+			rbuf = nbuf
+		}
 	}()
 
 	c, err := Listen(CoordConfig{Listener: ln, Workers: 1,

@@ -153,6 +153,13 @@ func (q *sendQueue) take() (outFrame, bool) {
 	return f, true
 }
 
+// depth returns the number of queued, not-yet-written frames.
+func (q *sendQueue) depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.q) - q.head
+}
+
 func (q *sendQueue) close() {
 	q.mu.Lock()
 	q.closed = true
@@ -487,6 +494,19 @@ func (m *mesh) readLoop(p *peer) {
 // goroutine dropped the envelope — either way it never blocks.
 func (m *mesh) sendCredit(p *peer, k chanKey) {
 	p.grants.put(outFrame{typ: MsgCredit, hdr: FrameHeader{Op: k.op, Inst: k.inst, Input: k.input, From: k.from, Arg: 1}})
+}
+
+// egressBacklog returns the total frames queued on every peer's egress
+// lane but not yet written — the worker's outbound data-plane backlog,
+// sampled for the live telemetry view.
+func (m *mesh) egressBacklog() int {
+	total := 0
+	for _, p := range m.peers {
+		if p != nil {
+			total += p.frames.depth()
+		}
+	}
+	return total
 }
 
 // stats snapshots every peer link's counters.

@@ -1,0 +1,230 @@
+package netcluster
+
+import (
+	"encoding/json"
+	"sync"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/obs"
+	"github.com/mitos-project/mitos/internal/obs/httpserve"
+	"github.com/mitos-project/mitos/internal/obs/lineage"
+)
+
+// The coordinator side of distributed telemetry. Workers snapshot their
+// local obs registry on the heartbeat cadence and ship it as MsgStats
+// frames (plus MsgTrace frames for drained trace events and, at job end,
+// their bag-lineage snapshot). clusterTelemetry federates all of it:
+//
+//   - metrics: an obs.Federation keyed by worker machine ID, merged with
+//     the coordinator's own registries into the cluster-wide /metrics
+//     exposition (worker instruments are keyed by their machine ID, so
+//     per-worker series survive the merge with a machine label);
+//   - traces: worker events are re-based onto the coordinator tracer's
+//     clock and ingested, producing one Chrome trace with a process lane
+//     per worker;
+//   - lineage: worker bag records are absorbed into the coordinator's
+//     tracker, so critical-path analysis spans processes;
+//   - clocks: MsgPing/MsgPong round trips measure per-worker heartbeat
+//     RTT (exposed as the heartbeat_rtt histogram) and estimate each
+//     worker's wall-clock offset from the minimum-RTT sample, the
+//     correction used when re-basing traces and lineage.
+//
+// The telemetry object outlives sessions: it belongs to the Coordinator,
+// so a worker that is lost and re-admitted keeps contributing to the same
+// federated view, and the final state stays inspectable after the job.
+type clusterTelemetry struct {
+	fed *obs.Federation
+	// coordReg holds the coordinator's own instruments — per-worker
+	// heartbeat RTT histograms — merged into every federated snapshot.
+	coordReg *obs.Registry
+
+	mu     sync.Mutex
+	obs    *obs.Observer // the running job's driver-side observer (nil between jobs)
+	clocks map[int]clockEst
+}
+
+// clockEst is one worker's wall-clock offset estimate: the offset measured
+// by the lowest-RTT probe so far (lower RTT bounds the midpoint error
+// tighter, the classic NTP argument).
+type clockEst struct {
+	rtt    time.Duration
+	offset time.Duration // worker wall minus coordinator wall
+}
+
+func newClusterTelemetry() *clusterTelemetry {
+	t := &clusterTelemetry{
+		fed:      obs.NewFederation(),
+		coordReg: obs.NewRegistry(),
+		clocks:   make(map[int]clockEst),
+	}
+	t.fed.SetLocals(t.coordReg)
+	return t
+}
+
+// beginJob points the telemetry at one job attempt's observer: worker
+// snapshots from any earlier attempt are discarded (a retry re-runs from
+// zeroed worker registries) and the federation merges the coordinator's
+// RTT registry with the job observer's own registry.
+func (t *clusterTelemetry) beginJob(o *obs.Observer) {
+	t.mu.Lock()
+	t.obs = o
+	t.mu.Unlock()
+	t.fed.Reset()
+	t.fed.SetLocals(t.coordReg, o.Reg())
+}
+
+func (t *clusterTelemetry) observer() *obs.Observer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.obs
+}
+
+// observeRTT records one ping round trip for worker id: the RTT lands in
+// the per-worker heartbeat_rtt histogram (exposed via /metrics as
+// mitos_heartbeat_rtt_seconds), and the probe's offset sample replaces the
+// clock estimate when its RTT is the lowest seen.
+func (t *clusterTelemetry) observeRTT(id int, rtt, offset time.Duration) {
+	t.coordReg.Histogram(id, "netcluster", "heartbeat_rtt").Observe(rtt)
+	t.mu.Lock()
+	if est, ok := t.clocks[id]; !ok || rtt <= est.rtt {
+		t.clocks[id] = clockEst{rtt: rtt, offset: offset}
+	}
+	t.mu.Unlock()
+}
+
+// clockOffset returns the estimated wall-clock offset (worker minus
+// coordinator) of worker id; 0 before any probe completed.
+func (t *clusterTelemetry) clockOffset(id int) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.clocks[id].offset
+}
+
+// onStats folds one worker snapshot into the federation; the final frame
+// additionally carries the worker's lineage, absorbed into the job
+// tracker's clock via the ping-estimated offset.
+func (t *clusterTelemetry) onStats(id int, m StatsMsg) error {
+	snap := m.Snap
+	t.fed.Update(id, &snap)
+	if !m.Final || len(m.LineageJSON) == 0 {
+		return nil
+	}
+	lin := t.observer().Lin()
+	if lin == nil {
+		return nil
+	}
+	var ws lineage.Snapshot
+	if err := json.Unmarshal(m.LineageJSON, &ws); err != nil {
+		return err
+	}
+	// A worker offset d corresponds to coordinator-tracker offset
+	// (workerT0Wall - clockOffset - coordT0Wall) + d.
+	shift := time.Duration(m.LinT0Wall-lin.T0().UnixNano()) - t.clockOffset(id)
+	lin.Absorb(ws.Bags, shift)
+	return nil
+}
+
+// onTrace re-bases one worker's drained trace events onto the job
+// tracer's clock and ingests them; events arriving while tracing is off
+// (or between jobs) are discarded.
+func (t *clusterTelemetry) onTrace(id int, m TraceMsg) error {
+	trc := t.observer().Trc()
+	if trc == nil {
+		return nil
+	}
+	var evs []obs.TraceEvent
+	if err := json.Unmarshal(m.EventsJSON, &evs); err != nil {
+		return err
+	}
+	shift := time.Duration(m.T0Wall-trc.T0().UnixNano()) - t.clockOffset(id)
+	shiftUS := float64(shift.Nanoseconds()) / 1e3
+	for i := range evs {
+		if evs[i].Phase != "M" { // metadata events carry no timestamp
+			evs[i].TS += shiftUS
+		}
+	}
+	trc.Ingest(evs)
+	return nil
+}
+
+// tcpJobView adapts one TCP-backend job to the introspection server: the
+// live dataflow graph is rendered from the plan annotated with federated
+// counters, and the per-worker section reports each worker's last shipped
+// queue depths, link counters, and telemetry drop accounting.
+type tcpJobView struct {
+	name    string
+	plan    *core.Plan
+	tel     *clusterTelemetry
+	started time.Time
+
+	mu    sync.Mutex
+	state string // running | done | failed
+	err   string
+	ended time.Time
+}
+
+func newTCPJobView(name string, plan *core.Plan, tel *clusterTelemetry) *tcpJobView {
+	return &tcpJobView{name: name, plan: plan, tel: tel, started: time.Now(), state: "running"}
+}
+
+// finish marks the job done or failed; the view stays registered for
+// post-mortem inspection.
+func (v *tcpJobView) finish(err error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.ended = time.Now()
+	if err != nil {
+		v.state = "failed"
+		v.err = err.Error()
+	} else {
+		v.state = "done"
+	}
+}
+
+func (v *tcpJobView) Name() string { return v.name }
+
+func (v *tcpJobView) Dot() string { return v.plan.DotLive(v.tel.fed.Merged()) }
+
+func (v *tcpJobView) Status() *httpserve.JobStatus {
+	v.mu.Lock()
+	state, errStr, ended := v.state, v.err, v.ended
+	v.mu.Unlock()
+	elapsed := time.Since(v.started)
+	if !ended.IsZero() {
+		elapsed = ended.Sub(v.started)
+	}
+	snap := v.tel.fed.Merged()
+	st := &httpserve.JobStatus{
+		State:   state,
+		Error:   errStr,
+		Steps:   snap.Gauge(obs.MachineDriver, "cfm", "path_len"),
+		Elapsed: elapsed.Seconds(),
+		Totals: httpserve.Totals{
+			ElementsSent:    snap.Total("elements_out"),
+			ElementsChained: snap.Total("elements_chained"),
+			RemoteBatches:   snap.Total("remote_batches_out"),
+			BytesSent:       snap.Total("bytes_sent"),
+			BytesReceived:   snap.Total("bytes_received"),
+		},
+	}
+	for _, id := range v.tel.fed.WorkerIDs() {
+		ws := v.tel.fed.Worker(id)
+		if ws == nil {
+			continue
+		}
+		st.Workers = append(st.Workers, httpserve.WorkerStatus{
+			Machine:          id,
+			MailboxDepth:     ws.Gauge(id, "netcluster", "mailbox_depth"),
+			EgressBacklog:    ws.Gauge(id, "netcluster", "egress_backlog"),
+			CreditStalls:     ws.Gauge(id, "netcluster", "link_credit_stalls"),
+			CreditStallNanos: ws.Gauge(id, "netcluster", "link_credit_stall_nanos"),
+			BytesOut:         ws.Gauge(id, "netcluster", "link_bytes_out"),
+			BytesIn:          ws.Gauge(id, "netcluster", "link_bytes_in"),
+			ElementsOut:      ws.Total("elements_out"),
+			TraceDropped:     ws.Gauge(id, "netcluster", "trace_dropped_events"),
+			TelemetryDropped: ws.Counter(id, "netcluster", "telemetry_dropped"),
+		})
+	}
+	return st
+}

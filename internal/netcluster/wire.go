@@ -22,8 +22,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"github.com/mitos-project/mitos/internal/dataflow"
+	"github.com/mitos-project/mitos/internal/obs"
 	"github.com/mitos-project/mitos/internal/val"
 )
 
@@ -34,7 +36,10 @@ const (
 	// v2 added Register.Name (stable worker identity for re-admission).
 	// v3 added execution templates: PathTmpl/PathSeg control frames,
 	// JobSpec.Templates, EventMsg.Count, and ctrl counters in ResultMsg.
-	Version = 3
+	// v4 added distributed telemetry: Stats/Trace frames shipping worker
+	// metrics and trace spans to the coordinator, Ping/Pong RTT probes for
+	// clock alignment, and the JobSpec Trace/Lineage/LiveView switches.
+	Version = 4
 	// MaxMsg bounds one framed message. Data frames carry one encoded
 	// batch (typically a few KiB); job shipment carries whole input
 	// datasets, which dominates this bound.
@@ -69,6 +74,10 @@ const (
 	MsgEOB        byte = 0x11 // worker -> worker: one end-of-bag marker
 	MsgCredit     byte = 0x12 // worker -> worker: flow-control credits returned
 	MsgFlush      byte = 0x13 // worker -> worker: quiesce token (all my frames are before this)
+	MsgStats      byte = 0x14 // worker -> coord: metrics snapshot (+ lineage on the final flush)
+	MsgTrace      byte = 0x15 // worker -> coord: drained trace events
+	MsgPing       byte = 0x16 // coord -> worker: RTT/clock probe
+	MsgPong       byte = 0x17 // worker -> coord: probe echo with the worker's wall clock
 )
 
 // Handshake roles.
@@ -431,7 +440,15 @@ type JobSpec struct {
 	Combiners   bool
 	Chaining    bool
 	Templates   bool
-	Datasets    []Dataset
+	// Trace, Lineage, and LiveView tell the workers which telemetry to
+	// collect for this job: trace spans (shipped as MsgTrace frames), bag
+	// lineage (shipped with the final MsgStats), and the per-edge queue
+	// depth sampling behind the live /jobs view. Metrics snapshots are
+	// always shipped — counters are too cheap to gate.
+	Trace    bool
+	Lineage  bool
+	LiveView bool
+	Datasets []Dataset
 }
 
 // AppendJobSpec appends the encoding of s to dst.
@@ -445,6 +462,9 @@ func AppendJobSpec(dst []byte, s JobSpec) []byte {
 	e.boolean(s.Combiners)
 	e.boolean(s.Chaining)
 	e.boolean(s.Templates)
+	e.boolean(s.Trace)
+	e.boolean(s.Lineage)
+	e.boolean(s.LiveView)
 	appendDatasets(&e, s.Datasets)
 	return e.b
 }
@@ -461,6 +481,9 @@ func DecodeJobSpec(b []byte) (JobSpec, error) {
 		Combiners:   d.boolean(),
 		Chaining:    d.boolean(),
 		Templates:   d.boolean(),
+		Trace:       d.boolean(),
+		Lineage:     d.boolean(),
+		LiveView:    d.boolean(),
 	}
 	s.Datasets = decodeDatasets(&d)
 	return s, d.fin()
@@ -711,6 +734,190 @@ func AppendError(dst []byte, m ErrorMsg) []byte {
 func DecodeError(b []byte) (ErrorMsg, error) {
 	d := dec{b: b}
 	m := ErrorMsg{Msg: d.str()}
+	return m, d.fin()
+}
+
+// StatsMsg ships one complete metrics snapshot of a worker's registry to
+// the coordinator. Workers send whole snapshots (not deltas) on the
+// heartbeat cadence, so the federation's last-wins update is exact even
+// when frames are dropped by the bounded telemetry buffer. The final
+// flush (Final set, sent before MsgResult) additionally carries the
+// worker's bag-lineage snapshot for cross-process critical-path analysis,
+// with the wall-clock zero point its offsets are relative to.
+type StatsMsg struct {
+	Final       bool
+	Snap        obs.Snapshot
+	LinT0Wall   int64  // UnixNano of the worker lineage tracker's T0; 0 when lineage is off
+	LineageJSON []byte // lineage.Snapshot JSON, only on the final flush
+}
+
+func appendKey(e *enc, k obs.Key) {
+	e.num(k.Machine)
+	e.str(k.Op)
+	e.str(k.Name)
+}
+
+func decodeKey(d *dec) obs.Key {
+	return obs.Key{Machine: d.num(), Op: d.str(), Name: d.str()}
+}
+
+func appendSamples(e *enc, ss []obs.Sample) {
+	e.u64(uint64(len(ss)))
+	for _, s := range ss {
+		appendKey(e, s.Key)
+		e.i64(s.Value)
+	}
+}
+
+func decodeSamples(d *dec) []obs.Sample {
+	n := d.u64()
+	if n > uint64(len(d.b)) { // each sample takes at least one byte
+		d.fail("sample count")
+		return nil
+	}
+	ss := make([]obs.Sample, 0, min(int(n), 1024))
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		ss = append(ss, obs.Sample{Key: decodeKey(d), Value: d.i64()})
+	}
+	return ss
+}
+
+// AppendStats appends the encoding of m to dst. Histogram buckets are
+// sparse-encoded as (index, count) pairs — most of the 32 power-of-two
+// buckets are empty.
+func AppendStats(dst []byte, m StatsMsg) []byte {
+	e := enc{b: dst}
+	e.boolean(m.Final)
+	appendSamples(&e, m.Snap.Counters)
+	appendSamples(&e, m.Snap.Gauges)
+	e.u64(uint64(len(m.Snap.Histograms)))
+	for _, h := range m.Snap.Histograms {
+		appendKey(&e, h.Key)
+		e.i64(h.Count)
+		e.i64(int64(h.Sum))
+		e.i64(int64(h.Max))
+		nz := 0
+		for _, c := range h.Buckets {
+			if c != 0 {
+				nz++
+			}
+		}
+		e.num(nz)
+		for i, c := range h.Buckets {
+			if c != 0 {
+				e.num(i)
+				e.i64(c)
+			}
+		}
+	}
+	e.i64(m.LinT0Wall)
+	e.blob(m.LineageJSON)
+	return e.b
+}
+
+// DecodeStats decodes a StatsMsg.
+func DecodeStats(b []byte) (StatsMsg, error) {
+	d := dec{b: b}
+	var m StatsMsg
+	m.Final = d.boolean()
+	m.Snap.Counters = decodeSamples(&d)
+	m.Snap.Gauges = decodeSamples(&d)
+	n := d.u64()
+	if n > uint64(len(d.b)) { // each histogram takes at least one byte
+		d.fail("histogram count")
+	}
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		h := obs.HistSample{Key: decodeKey(&d)}
+		h.Count = d.i64()
+		h.Sum = time.Duration(d.i64())
+		h.Max = time.Duration(d.i64())
+		nz := d.num()
+		if nz < 0 || nz > len(h.Buckets) {
+			d.fail("bucket count")
+			break
+		}
+		for j := 0; j < nz && d.err == nil; j++ {
+			idx := d.num()
+			c := d.i64()
+			if idx < 0 || idx >= len(h.Buckets) {
+				d.fail("bucket index")
+				break
+			}
+			h.Buckets[idx] = c
+		}
+		m.Snap.Histograms = append(m.Snap.Histograms, h)
+	}
+	m.LinT0Wall = d.i64()
+	m.LineageJSON = d.blobRef()
+	return m, d.fin()
+}
+
+// TraceMsg ships trace events drained from a worker's bounded buffer. The
+// events are the tracer's own JSON encoding (TS relative to the worker's
+// clock); T0Wall is the wall-clock zero point of that clock, which the
+// coordinator combines with its ping-measured clock offset to re-base the
+// events onto its own timeline.
+type TraceMsg struct {
+	T0Wall     int64 // UnixNano of the worker tracer's T0
+	EventsJSON []byte
+}
+
+// AppendTrace appends the encoding of m to dst.
+func AppendTrace(dst []byte, m TraceMsg) []byte {
+	e := enc{b: dst}
+	e.i64(m.T0Wall)
+	e.blob(m.EventsJSON)
+	return e.b
+}
+
+// DecodeTrace decodes a TraceMsg.
+func DecodeTrace(b []byte) (TraceMsg, error) {
+	d := dec{b: b}
+	m := TraceMsg{T0Wall: d.i64(), EventsJSON: d.blobRef()}
+	return m, d.fin()
+}
+
+// PingMsg is the coordinator's RTT/clock probe; the worker echoes the
+// sequence number in a PongMsg together with its wall clock, giving the
+// coordinator an RTT sample (for the heartbeat_rtt histogram) and a clock
+// offset estimate (worker wall minus coordinator wall at the probe's
+// midpoint) used to align merged traces and lineage.
+type PingMsg struct {
+	Seq int
+}
+
+// AppendPing appends the encoding of m to dst.
+func AppendPing(dst []byte, m PingMsg) []byte {
+	e := enc{b: dst}
+	e.num(m.Seq)
+	return e.b
+}
+
+// DecodePing decodes a PingMsg.
+func DecodePing(b []byte) (PingMsg, error) {
+	d := dec{b: b}
+	m := PingMsg{Seq: d.num()}
+	return m, d.fin()
+}
+
+// PongMsg echoes a PingMsg with the worker's wall clock at receipt.
+type PongMsg struct {
+	Seq       int
+	WallNanos int64
+}
+
+// AppendPong appends the encoding of m to dst.
+func AppendPong(dst []byte, m PongMsg) []byte {
+	e := enc{b: dst}
+	e.num(m.Seq)
+	e.i64(m.WallNanos)
+	return e.b
+}
+
+// DecodePong decodes a PongMsg.
+func DecodePong(b []byte) (PongMsg, error) {
+	d := dec{b: b}
+	m := PongMsg{Seq: d.num(), WallNanos: d.i64()}
 	return m, d.fin()
 }
 

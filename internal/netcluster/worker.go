@@ -2,6 +2,7 @@ package netcluster
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -13,6 +14,7 @@ import (
 	"github.com/mitos-project/mitos/internal/core"
 	"github.com/mitos-project/mitos/internal/ir"
 	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/obs"
 	"github.com/mitos-project/mitos/internal/store"
 	"github.com/mitos-project/mitos/internal/val"
 )
@@ -39,7 +41,20 @@ type WorkerConfig struct {
 	// QuiesceTimeout bounds the end-of-job flush-token exchange
 	// (default 30s).
 	QuiesceTimeout time.Duration
+	// TraceBuffer bounds the in-memory trace-event buffer between
+	// telemetry shipments (default 16384 events). Overflowing events are
+	// dropped and counted, never allowed to grow the worker's memory or
+	// stall its data plane.
+	TraceBuffer int
 }
+
+// defaultTraceBuffer bounds a worker's trace buffer between telemetry
+// shipments. At the default 250ms heartbeat cadence this absorbs ~65k
+// events/s before dropping.
+const defaultTraceBuffer = 16384
+
+// traceChunk bounds the events drained into one MsgTrace frame.
+const traceChunk = 4096
 
 // Serve dials the coordinator and serves one session: register, mesh with
 // the other workers, then run jobs until the coordinator closes the
@@ -120,6 +135,17 @@ type workerJobRun struct {
 	st    *trackingStore
 	done  chan struct{} // closed once Job.Wait returned
 	fwdWG sync.WaitGroup
+
+	// Telemetry: the per-job observer whose registry/tracer/lineage the
+	// worker snapshots and ships to the coordinator on the heartbeat
+	// cadence. telC is the single-slot token channel gating the shipping
+	// goroutine — a kick that finds it full is dropped and counted
+	// (telDropped), so a slow coordinator sheds telemetry instead of
+	// backing up into the worker.
+	obs        *obs.Observer
+	telC       chan struct{}
+	telDropped *obs.Counter
+	telFrames  *obs.Counter
 
 	// Templated execution (spec.Templates && spec.Pipelining): the worker
 	// mirrors the coordinator's path so it can fan templates out locally,
@@ -332,6 +358,14 @@ func (s *workerSession) controlLoop() error {
 					return s.exitErr(aerr)
 				}
 			}
+		case MsgPing:
+			p, err := DecodePing(body)
+			if err != nil {
+				return s.exitErr(err)
+			}
+			if err := s.send(MsgPong, AppendPong(nil, PongMsg{Seq: p.Seq, WallNanos: time.Now().UnixNano()})); err != nil {
+				return s.exitErr(err)
+			}
 		case MsgBarrier:
 			// The coordinator only raises a barrier once every completion
 			// for the prior positions is in, so there is nothing left to
@@ -409,6 +443,12 @@ func (s *workerSession) heartbeat(interval time.Duration) {
 			if s.send(MsgHeartbeat, []byte{0}) != nil {
 				return // connection gone; the control loop reports the cause
 			}
+			// Telemetry piggybacks on the heartbeat cadence: offer a token
+			// to the running job's shipping goroutine; if the previous
+			// shipment is still in flight the round is dropped and counted.
+			if rj := s.running(); rj != nil {
+				rj.kickTelemetry()
+			}
 		case <-s.hbStop:
 			return
 		case <-s.failed:
@@ -453,6 +493,22 @@ func (s *workerSession) startJob(spec JobSpec) error {
 			return fmt.Errorf("netcluster: worker %d: seeding dataset %q: %w", s.id, ds.Name, err)
 		}
 	}
+	// Every job gets a worker-local observer: metrics always (counters are
+	// too cheap to gate), trace/lineage only when the coordinator asked.
+	// Snapshots of it are what the telemetry goroutine ships.
+	o := obs.New()
+	if spec.Trace {
+		o.Trace = obs.NewTracer()
+		tb := s.cfg.TraceBuffer
+		if tb <= 0 {
+			tb = defaultTraceBuffer
+		}
+		o.Trace.SetLimit(tb)
+	}
+	if spec.Lineage {
+		o.EnableLineage()
+		o.Lin().Begin()
+	}
 	opts := core.Options{
 		Parallelism: spec.Parallelism,
 		Pipelining:  spec.Pipelining,
@@ -461,12 +517,23 @@ func (s *workerSession) startJob(spec JobSpec) error {
 		Chaining:    spec.Chaining,
 		Templates:   spec.Templates,
 		BatchSize:   spec.BatchSize,
+		Obs:         o,
 	}
 	wj, err := core.NewWorkerJob(plan, st, s.n, s.id, opts, s.mesh)
 	if err != nil {
 		return fmt.Errorf("netcluster: worker %d: building partition: %w", s.id, err)
 	}
-	rj := &workerJobRun{wj: wj, st: st, done: make(chan struct{}), plan: plan, templated: spec.Templates && spec.Pipelining}
+	if spec.LiveView {
+		wj.Job.EnableIntrospection()
+	}
+	rj := &workerJobRun{
+		wj: wj, st: st, done: make(chan struct{}), plan: plan,
+		templated:  spec.Templates && spec.Pipelining,
+		obs:        o,
+		telC:       make(chan struct{}, 1),
+		telDropped: o.Reg().Counter(s.id, "netcluster", "telemetry_dropped"),
+		telFrames:  o.Reg().Counter(s.id, "netcluster", "telemetry_frames"),
+	}
 	if rj.templated {
 		rj.tmpls = make(map[int]tmplEntry)
 		rj.localExp = plan.InstancesPerBlockOn(s.n, s.id)
@@ -504,6 +571,21 @@ func (s *workerSession) startJob(spec JobSpec) error {
 			}
 		}
 	}()
+	// Ship telemetry on the heartbeat's kicks until the job is done; the
+	// final flush happens synchronously in finishJob, after this goroutine
+	// has exited, so the Final frame is the last MsgStats on the wire.
+	rj.fwdWG.Add(1)
+	go func() {
+		defer rj.fwdWG.Done()
+		for {
+			select {
+			case <-rj.telC:
+				s.shipTelemetry(rj, false)
+			case <-rj.done:
+				return
+			}
+		}
+	}()
 	// Watch for local failure: a partition that dies (vertex error, corrupt
 	// frame) must reach the coordinator even though the control loop is
 	// blocked reading.
@@ -516,6 +598,100 @@ func (s *workerSession) startJob(spec JobSpec) error {
 		}
 	}()
 	return nil
+}
+
+// kickTelemetry offers one shipping token; a full slot means the previous
+// shipment is still in flight, so the round is shed and counted instead of
+// queuing behind a slow coordinator.
+func (rj *workerJobRun) kickTelemetry() {
+	if rj.obs == nil {
+		return
+	}
+	select {
+	case rj.telC <- struct{}{}:
+	default:
+		rj.telDropped.Inc()
+	}
+}
+
+// shipTelemetry sends the worker's telemetry to the coordinator: live
+// gauges refreshed, buffered trace events drained into MsgTrace frames,
+// and a complete metrics snapshot as one MsgStats frame. The final flush
+// (job end) drains the whole trace buffer and attaches the bag-lineage
+// snapshot; a periodic shipment caps the trace at one chunk so no single
+// round monopolizes the control connection. Send errors are not fatal
+// here — if the connection is gone the control loop reports the cause.
+func (s *workerSession) shipTelemetry(rj *workerJobRun, final bool) {
+	o := rj.obs
+	if o == nil {
+		return
+	}
+	s.refreshLiveGauges(rj)
+	if trc := o.Trc(); trc != nil {
+		for {
+			evs := trc.Drain(traceChunk)
+			if len(evs) == 0 {
+				break
+			}
+			js, err := json.Marshal(evs)
+			if err == nil {
+				if s.send(MsgTrace, AppendTrace(nil, TraceMsg{T0Wall: trc.T0().UnixNano(), EventsJSON: js})) != nil {
+					return
+				}
+				rj.telFrames.Inc()
+			}
+			if !final {
+				break
+			}
+		}
+	}
+	m := StatsMsg{Final: final}
+	if final {
+		if lin := o.Lin(); lin != nil {
+			m.LinT0Wall = lin.T0().UnixNano()
+			if js, err := json.Marshal(lin.Snapshot()); err == nil {
+				m.LineageJSON = js
+			}
+		}
+	}
+	rj.telFrames.Inc() // count the frame being built so the shipped snapshot includes it
+	m.Snap = *o.Snapshot()
+	if s.send(MsgStats, AppendStats(nil, m)) != nil {
+		rj.telFrames.Add(-1)
+	}
+}
+
+// refreshLiveGauges samples the worker's queue state into its registry so
+// the shipped snapshot carries a live view: data-plane egress backlog,
+// mailbox depths, per-link socket/credit counters, and trace drops. Gauge
+// names are disjoint from the counters the coordinator derives from
+// ResultMsg (socket_bytes_out, credit_stalls, ...) so the federated
+// exposition never sees one metric name with two types.
+func (s *workerSession) refreshLiveGauges(rj *workerJobRun) {
+	reg := rj.obs.Reg()
+	reg.Gauge(s.id, "netcluster", "egress_backlog").Set(int64(s.mesh.egressBacklog()))
+	intro := rj.wj.Job.Introspect()
+	depth := 0
+	for _, op := range intro.Ops {
+		for _, in := range op.Instances {
+			depth += in.MailboxDepth
+		}
+	}
+	reg.Gauge(s.id, "netcluster", "mailbox_depth").Set(int64(depth))
+	var bytesOut, bytesIn, stalls, stallNanos int64
+	for _, p := range s.mesh.stats() {
+		bytesOut += p.BytesOut
+		bytesIn += p.BytesIn
+		stalls += p.CreditStalls
+		stallNanos += p.StallNanos
+	}
+	reg.Gauge(s.id, "netcluster", "link_bytes_out").Set(bytesOut)
+	reg.Gauge(s.id, "netcluster", "link_bytes_in").Set(bytesIn)
+	reg.Gauge(s.id, "netcluster", "link_credit_stalls").Set(stalls)
+	reg.Gauge(s.id, "netcluster", "link_credit_stall_nanos").Set(stallNanos)
+	if trc := rj.obs.Trc(); trc != nil {
+		reg.Gauge(s.id, "netcluster", "trace_dropped_events").Set(trc.Dropped())
+	}
 }
 
 // forwardEvent relays one host event to the coordinator. Under templated
@@ -569,6 +745,11 @@ func (s *workerSession) finishJob() error {
 	if err != nil {
 		return fmt.Errorf("netcluster: worker %d: %w", s.id, err)
 	}
+	// Final telemetry flush: the shipping goroutine has exited (fwdWG), so
+	// this Final frame is the last MsgStats — and the control connection is
+	// ordered, so the coordinator has the complete registry and lineage
+	// before the MsgResult below lets Run return.
+	s.shipTelemetry(rj, true)
 	jb, mb, ci, co := rj.wj.Counters()
 	res := ResultMsg{
 		Stats:       rj.wj.Job.Stats(),

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Federation is the coordinator-side merged view of a multi-process
+// cluster's metrics: the latest snapshot shipped by each worker plus any
+// number of local registries (the coordinator's own instruments). Merged
+// produces one cluster-wide Snapshot — the payload of the federated
+// /metrics endpoint.
+//
+// Merge semantics per key: counters sum, gauges take the maximum, and
+// histograms combine with HistStats.Merge (exact, see that method). Worker
+// registries key every instrument with their own machine ID, so in
+// practice only driver-keyed instruments ever collide; summing them keeps
+// the federation oracle exact: for every counter name, the federated total
+// equals the sum of the per-worker totals plus the local total.
+type Federation struct {
+	mu      sync.Mutex
+	locals  []*Registry
+	workers map[int]*Snapshot
+}
+
+// NewFederation returns an empty federation.
+func NewFederation() *Federation {
+	return &Federation{workers: make(map[int]*Snapshot)}
+}
+
+// SetLocals replaces the set of local registries merged into every
+// federated snapshot (nil registries are skipped). Nil-safe.
+func (f *Federation) SetLocals(regs ...*Registry) {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.locals = f.locals[:0]
+	for _, r := range regs {
+		if r != nil {
+			f.locals = append(f.locals, r)
+		}
+	}
+}
+
+// Update stores worker's latest snapshot, replacing any previous one
+// (workers ship complete registry snapshots, so last-wins is exact).
+// Nil-safe.
+func (f *Federation) Update(worker int, s *Snapshot) {
+	if f == nil || s == nil {
+		return
+	}
+	f.mu.Lock()
+	f.workers[worker] = s
+	f.mu.Unlock()
+}
+
+// Reset discards every worker snapshot (a new job starts from a clean
+// federated view); local registries are kept. Nil-safe.
+func (f *Federation) Reset() {
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.workers = make(map[int]*Snapshot)
+	f.mu.Unlock()
+}
+
+// Worker returns the latest snapshot shipped by one worker, nil if none.
+func (f *Federation) Worker(id int) *Snapshot {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.workers[id]
+}
+
+// WorkerIDs returns the workers with a stored snapshot, sorted.
+func (f *Federation) WorkerIDs() []int {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ids := make([]int, 0, len(f.workers))
+	for id := range f.workers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Merged returns the cluster-wide snapshot: every local registry and every
+// worker snapshot combined key-wise (counters sum, gauges max, histograms
+// HistStats.Merge). Nil-safe (returns an empty snapshot).
+func (f *Federation) Merged() *Snapshot {
+	if f == nil {
+		return &Snapshot{}
+	}
+	f.mu.Lock()
+	parts := make([]*Snapshot, 0, len(f.locals)+len(f.workers))
+	for _, r := range f.locals {
+		parts = append(parts, r.Snapshot())
+	}
+	for _, s := range f.workers {
+		parts = append(parts, s)
+	}
+	f.mu.Unlock()
+	return MergeSnapshots(parts...)
+}
+
+// MergeSnapshots combines snapshots key-wise: counters sum, gauges take
+// the maximum, histograms combine with HistStats.Merge. The result is
+// sorted like any registry snapshot.
+func MergeSnapshots(parts ...*Snapshot) *Snapshot {
+	counters := make(map[Key]int64)
+	gauges := make(map[Key]int64)
+	hists := make(map[Key]HistStats)
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		for _, c := range p.Counters {
+			counters[c.Key] += c.Value
+		}
+		for _, g := range p.Gauges {
+			if cur, ok := gauges[g.Key]; !ok || g.Value > cur {
+				gauges[g.Key] = g.Value
+			}
+		}
+		for _, h := range p.Histograms {
+			hists[h.Key] = hists[h.Key].Merge(h.HistStats)
+		}
+	}
+	out := &Snapshot{}
+	for k, v := range counters {
+		out.Counters = append(out.Counters, Sample{k, v})
+	}
+	for k, v := range gauges {
+		out.Gauges = append(out.Gauges, Sample{k, v})
+	}
+	for k, v := range hists {
+		out.Histograms = append(out.Histograms, HistSample{k, v})
+	}
+	sortSamples(out.Counters)
+	sortSamples(out.Gauges)
+	sort.Slice(out.Histograms, func(i, j int) bool { return keyLess(out.Histograms[i].Key, out.Histograms[j].Key) })
+	return out
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// workerReg builds a registry the way a partitioned worker populates one:
+// data-plane instruments keyed by its own machine ID plus driver-keyed
+// counters every process may touch.
+func workerReg(machine int, elems, driverCtr int64, lat time.Duration) *Registry {
+	r := NewRegistry()
+	r.Counter(machine, "map_1", "elements_out").Add(elems)
+	r.Gauge(machine, "netcluster", "egress_backlog").Set(elems / 2)
+	r.Histogram(machine, "map_1", "emit").Observe(lat)
+	r.Counter(MachineDriver, "cfm", "acks").Add(driverCtr)
+	return r
+}
+
+// TestMergeSnapshotsOracle checks the federation merge semantics: counters
+// sum, gauges take the max, histograms merge exactly, and the output is
+// sorted like a plain registry snapshot.
+func TestMergeSnapshotsOracle(t *testing.T) {
+	a := workerReg(0, 10, 1, 3*time.Microsecond).Snapshot()
+	b := workerReg(1, 32, 2, 90*time.Microsecond).Snapshot()
+	c := workerReg(2, 7, 4, time.Millisecond).Snapshot()
+
+	m := MergeSnapshots(a, nil, b, c) // nil parts are skipped
+
+	// Worker-keyed counters are disjoint by machine: they survive verbatim.
+	for i, want := range []int64{10, 32, 7} {
+		if got := m.Counter(i, "map_1", "elements_out"); got != want {
+			t.Errorf("machine %d elements_out = %d, want %d", i, got, want)
+		}
+		if got := m.Gauge(i, "netcluster", "egress_backlog"); got != want/2 {
+			t.Errorf("machine %d egress_backlog = %d, want %d", i, got, want/2)
+		}
+	}
+	// Driver-keyed counters collide across processes and must sum.
+	if got := m.Counter(MachineDriver, "cfm", "acks"); got != 7 {
+		t.Errorf("driver acks = %d, want 7", got)
+	}
+	if got := m.Total("elements_out"); got != 49 {
+		t.Errorf("Total(elements_out) = %d, want 49", got)
+	}
+
+	// Histograms: merged total equals one histogram fed every sample.
+	oracle := NewRegistry().Histogram(0, "oracle", "all")
+	for _, d := range []time.Duration{3 * time.Microsecond, 90 * time.Microsecond, time.Millisecond} {
+		oracle.Observe(d)
+	}
+	if got, want := m.HistTotal("emit"), oracle.Stats(); got != want {
+		t.Errorf("merged emit histogram = %+v, want %+v", got, want)
+	}
+
+	// Output is sorted with the registry's own order.
+	for i := 1; i < len(m.Counters); i++ {
+		if keyLess(m.Counters[i].Key, m.Counters[i-1].Key) {
+			t.Fatalf("counters not sorted at %d: %+v", i, m.Counters)
+		}
+	}
+}
+
+// TestMergeSnapshotsGaugeMax pins gauge conflict resolution: a federated
+// gauge reports the highest per-process value, not a meaningless sum.
+func TestMergeSnapshotsGaugeMax(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Gauge(0, "x", "depth").Set(5)
+	b.Gauge(0, "x", "depth").Set(3)
+	if got := MergeSnapshots(a.Snapshot(), b.Snapshot()).Gauge(0, "x", "depth"); got != 5 {
+		t.Fatalf("merged gauge = %d, want max 5", got)
+	}
+}
+
+// TestFederation exercises the worker-snapshot store: last write wins per
+// worker, Reset keeps locals, and Merged folds locals plus workers.
+func TestFederation(t *testing.T) {
+	fed := NewFederation()
+	local := NewRegistry()
+	local.Counter(MachineDriver, "coord", "pings").Add(3)
+	fed.SetLocals(local, nil) // nil registries are tolerated
+
+	w0 := workerReg(0, 5, 0, time.Microsecond).Snapshot()
+	fed.Update(0, w0)
+	stale := workerReg(1, 99, 0, time.Microsecond).Snapshot()
+	fed.Update(1, stale)
+	fresh := workerReg(1, 100, 0, time.Microsecond).Snapshot()
+	fed.Update(1, fresh) // replaces, not accumulates
+
+	if ids := fed.WorkerIDs(); len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("WorkerIDs = %v, want [0 1]", ids)
+	}
+	if fed.Worker(1) != fresh {
+		t.Fatal("Worker(1) is not the last-shipped snapshot")
+	}
+	if fed.Worker(7) != nil {
+		t.Fatal("unknown worker should be nil")
+	}
+
+	m := fed.Merged()
+	if got := m.Counter(1, "map_1", "elements_out"); got != 100 {
+		t.Fatalf("worker 1 elements_out = %d, want last-wins 100", got)
+	}
+	if got := m.Counter(MachineDriver, "coord", "pings"); got != 3 {
+		t.Fatalf("local pings lost in merge: %d", got)
+	}
+
+	// Reset drops worker snapshots but keeps the locals.
+	fed.Reset()
+	if ids := fed.WorkerIDs(); len(ids) != 0 {
+		t.Fatalf("WorkerIDs after Reset = %v", ids)
+	}
+	if got := fed.Merged().Counter(MachineDriver, "coord", "pings"); got != 3 {
+		t.Fatalf("locals lost by Reset: pings = %d", got)
+	}
+
+	// Nil-safety.
+	var nilFed *Federation
+	if s := nilFed.Merged(); s == nil || len(s.Counters) != 0 {
+		t.Fatal("nil federation should merge to an empty snapshot")
+	}
+	nilFed.Update(0, w0)
+	nilFed.Reset()
+}

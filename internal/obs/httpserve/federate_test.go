@@ -1,0 +1,108 @@
+package httpserve
+
+import (
+	"testing"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/obs"
+)
+
+// TestFederatedMetricsRoundTrip builds the coordinator's federated view of
+// a 3-worker cluster — per-worker shipped snapshots plus the coordinator's
+// own RTT registry — serves it through SetSnapshotSource, and re-parses
+// /metrics with the strict exposition parser: every worker must appear as
+// a machine-labeled series, colliding driver-keyed counters must sum, and
+// the heartbeat RTT histogram must round-trip exactly.
+func TestFederatedMetricsRoundTrip(t *testing.T) {
+	fed := obs.NewFederation()
+
+	coord := obs.NewRegistry()
+	coord.Histogram(0, "netcluster", "heartbeat_rtt").Observe(200 * time.Microsecond)
+	coord.Histogram(0, "netcluster", "heartbeat_rtt").Observe(300 * time.Microsecond)
+	coord.Histogram(1, "netcluster", "heartbeat_rtt").Observe(150 * time.Microsecond)
+	coord.Histogram(2, "netcluster", "heartbeat_rtt").Observe(175 * time.Microsecond)
+	fed.SetLocals(coord)
+
+	elems := []int64{11, 23, 40}
+	for id, n := range elems {
+		w := obs.NewRegistry()
+		w.Counter(id, "map_1", "elements_out").Add(n)
+		w.Gauge(id, "netcluster", "egress_backlog").Set(int64(id))
+		w.Counter(obs.MachineDriver, "cfm", "acks").Add(int64(id + 1))
+		fed.Update(id, w.Snapshot())
+	}
+
+	s := NewHandler(obs.New())
+	s.SetSnapshotSource(fed.Merged)
+	code, body, hdr := get(t, s, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct == "" {
+		t.Fatal("no content type")
+	}
+	fams := parseExposition(t, body)
+
+	ein := fams["mitos_elements_out"]
+	if ein == nil || ein.typ != "counter" {
+		t.Fatal("elements_out family missing from federated exposition")
+	}
+	var sum float64
+	for id, n := range elems {
+		v := seriesValue(t, ein, "mitos_elements_out",
+			map[string]string{"machine": "m" + string(rune('0'+id)), "op": "map_1"})
+		if v != float64(n) {
+			t.Errorf("worker %d elements_out = %v, want %d", id, v, n)
+		}
+		sum += v
+	}
+	if want := float64(11 + 23 + 40); sum != want {
+		t.Errorf("summed worker series = %v, want %v", sum, want)
+	}
+
+	// Driver-keyed counters collide across workers and sum: 1+2+3.
+	if v := seriesValue(t, fams["mitos_acks"], "mitos_acks",
+		map[string]string{"machine": "driver", "op": "cfm"}); v != 6 {
+		t.Errorf("federated driver acks = %v, want 6", v)
+	}
+
+	// Per-worker gauges survive with their machine labels.
+	if v := seriesValue(t, fams["mitos_egress_backlog"], "mitos_egress_backlog",
+		map[string]string{"machine": "m2", "op": "netcluster"}); v != 2 {
+		t.Errorf("worker 2 egress_backlog = %v, want 2", v)
+	}
+
+	// Coordinator-side RTT histogram: one series per probed worker, exact
+	// counts and sums (satellite: heartbeat_rtt_seconds on /metrics).
+	rtt := fams["mitos_heartbeat_rtt_seconds"]
+	if rtt == nil || rtt.typ != "histogram" {
+		t.Fatal("heartbeat_rtt histogram family missing")
+	}
+	m0 := map[string]string{"machine": "m0", "op": "netcluster"}
+	if v := seriesValue(t, rtt, "mitos_heartbeat_rtt_seconds_count", m0); v != 2 {
+		t.Errorf("m0 rtt count = %v, want 2", v)
+	}
+	if v := seriesValue(t, rtt, "mitos_heartbeat_rtt_seconds_sum", m0); v < 499e-6 || v > 501e-6 {
+		t.Errorf("m0 rtt sum = %v, want ~500µs", v)
+	}
+	for _, m := range []string{"m1", "m2"} {
+		if v := seriesValue(t, rtt, "mitos_heartbeat_rtt_seconds_count",
+			map[string]string{"machine": m, "op": "netcluster"}); v != 1 {
+			t.Errorf("%s rtt count = %v, want 1", m, v)
+		}
+	}
+}
+
+// TestSnapshotSourceFallback pins that a server without a snapshot source
+// keeps serving its own observer's registry.
+func TestSnapshotSourceFallback(t *testing.T) {
+	o := obs.New()
+	o.Reg().Counter(0, "map_1", "elements_in").Add(4)
+	s := NewHandler(o)
+	_, body, _ := get(t, s, "/metrics")
+	fams := parseExposition(t, body)
+	if v := seriesValue(t, fams["mitos_elements_in"], "mitos_elements_in",
+		map[string]string{"machine": "m0", "op": "map_1"}); v != 4 {
+		t.Fatalf("fallback registry value = %v, want 4", v)
+	}
+}

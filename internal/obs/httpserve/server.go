@@ -52,6 +52,26 @@ type JobStatus struct {
 	Totals  Totals         `json:"totals"`
 	Ops     []OpStatus     `json:"ops"`
 	Egress  []EgressStatus `json:"egress,omitempty"`
+	// Workers is the per-worker live telemetry of a multi-process (TCP
+	// cluster) execution, built from the snapshots the workers ship to the
+	// coordinator; absent on single-process runs.
+	Workers []WorkerStatus `json:"workers,omitempty"`
+}
+
+// WorkerStatus is one worker process's live telemetry in a clustered
+// execution: queue state, data-plane link counters, and the telemetry
+// pipeline's own drop accounting.
+type WorkerStatus struct {
+	Machine          int   `json:"machine"`
+	MailboxDepth     int64 `json:"mailbox_depth"`
+	EgressBacklog    int64 `json:"egress_backlog"`
+	CreditStalls     int64 `json:"credit_stalls"`
+	CreditStallNanos int64 `json:"credit_stall_nanos,omitempty"`
+	BytesOut         int64 `json:"bytes_out"`
+	BytesIn          int64 `json:"bytes_in"`
+	ElementsOut      int64 `json:"elements_out"`
+	TraceDropped     int64 `json:"trace_dropped,omitempty"`
+	TelemetryDropped int64 `json:"telemetry_dropped,omitempty"`
 }
 
 // Totals are the job-wide transfer counters.
@@ -120,6 +140,7 @@ type Server struct {
 
 	mu   sync.Mutex
 	jobs []JobView
+	snap func() *obs.Snapshot
 }
 
 // NewHandler returns a server without a listener; use it as an
@@ -134,6 +155,7 @@ func NewHandler(o *obs.Observer) *Server {
 	s.mux.HandleFunc("GET /lineage", s.handleLineage)
 	s.mux.HandleFunc("GET /lineage/{bagid}", s.handleLineageBag)
 	s.mux.HandleFunc("GET /criticalpath", s.handleCriticalPath)
+	s.mux.HandleFunc("GET /trace", s.handleTrace)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -179,6 +201,15 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Observer returns the observer the server exposes.
 func (s *Server) Observer() *obs.Observer { return s.obs }
 
+// SetSnapshotSource overrides where /metrics gets its snapshot. A cluster
+// coordinator points this at its federation's Merged so one scrape covers
+// every worker process; nil restores the server's own observer.
+func (s *Server) SetSnapshotSource(f func() *obs.Snapshot) {
+	s.mu.Lock()
+	s.snap = f
+	s.mu.Unlock()
+}
+
 // Register adds an execution to the /jobs listing and returns its 1-based
 // id. Completed jobs stay listed (state done/failed) for post-mortem
 // inspection. The engine registers after the job has started, which also
@@ -216,13 +247,31 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
   /lineage            tracked bag identifiers
   /lineage/{bagid}    one bag's lineage record (op@pos)
   /criticalpath       critical-path analysis of the lineage DAG
+  /trace              Chrome trace_event JSON timeline
   /debug/pprof/       runtime profiles
 `)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.mu.Lock()
+	src := s.snap
+	s.mu.Unlock()
+	if src != nil {
+		WriteMetrics(w, src())
+		return
+	}
 	WriteMetrics(w, s.obs.Snapshot())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t := s.obs.Trc()
+	if t == nil {
+		http.Error(w, "tracing is off (observer has no tracer)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	t.WriteJSON(w) //nolint:errcheck // client gone
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {

@@ -154,6 +154,62 @@ func (t *Tracker) Begin() {
 	t.pos = t.pos[:0]
 }
 
+// T0 returns the wall-clock instant of the last Begin — the zero point
+// every recorded time is relative to. Cross-process merging (Absorb) needs
+// it to re-base a worker's offsets onto the coordinator's clock. Zero on a
+// nil tracker.
+func (t *Tracker) T0() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.t0
+}
+
+// Absorb merges bag records captured by another tracker (a worker process)
+// into this one, with shift added to every foreign timestamp to re-base it
+// onto this tracker's clock (shift = foreign T0 − local T0, after clock-
+// offset correction). Counts add, OpenedAt takes the minimum and ClosedAt
+// the maximum across processes, provenance and block are first-wins (they
+// are deterministic across instances), and per-consumer delivery times take
+// the maximum — exactly the aggregation BagOpen/BagClose/Delivered perform
+// within one process, extended across processes. Positions are not merged:
+// only the coordinator records the broadcast timeline. Nil-safe.
+func (t *Tracker) Absorb(bags []Bag, shift time.Duration) {
+	if t == nil || len(bags) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range bags {
+		fb := &bags[i]
+		b := t.get(fb.ID)
+		openedAt := fb.OpenedAt + shift
+		closedAt := fb.ClosedAt + shift
+		if fb.Opens > 0 && (b.opens == 0 || openedAt < b.openedAt) {
+			b.openedAt = openedAt
+		}
+		if fb.Closes > 0 && closedAt > b.closedAt {
+			b.closedAt = closedAt
+		}
+		if b.opens == 0 && fb.Opens > 0 {
+			b.block = fb.Block
+			b.inputs = append(b.inputs[:0], fb.Inputs...)
+		}
+		b.opens += fb.Opens
+		b.closes += fb.Closes
+		b.elements += fb.Elements
+		b.bytes += fb.Bytes
+		for _, d := range fb.Deliveries {
+			at := d.At + shift
+			if prev, ok := b.deliveries[d.Consumer]; !ok || at > prev {
+				b.deliveries[d.Consumer] = at
+			}
+		}
+	}
+}
+
 // Clock returns the time since Begin.
 func (t *Tracker) Clock() time.Duration {
 	if t == nil {

@@ -16,8 +16,10 @@ import (
 type Tracer struct {
 	t0 time.Time
 
-	mu     sync.Mutex
-	events []TraceEvent
+	mu      sync.Mutex
+	events  []TraceEvent
+	limit   int
+	dropped int64
 }
 
 // TraceEvent is one Chrome trace_event record. Timestamps and durations
@@ -42,6 +44,41 @@ func NewTracer() *Tracer {
 // Enabled reports whether events are being recorded.
 func (t *Tracer) Enabled() bool { return t != nil }
 
+// T0 returns the wall-clock instant the tracer's clock started — the zero
+// point every event TS is relative to. Merging traces from multiple
+// processes means re-basing each event stream from its own T0 to the
+// destination tracer's. Zero on a nil tracer.
+func (t *Tracer) T0() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.t0
+}
+
+// SetLimit bounds the in-memory event buffer: once len(events) reaches n,
+// further recordings are discarded and counted by Dropped. 0 (the default)
+// means unbounded. Worker processes that ship their buffer over the
+// network set a limit so a slow or absent consumer can never make tracing
+// grow without bound. Nil-safe.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Dropped reports how many events were discarded by the SetLimit bound.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
 // Clock returns the current trace timestamp. On a nil tracer it returns 0
 // without reading the system clock.
 func (t *Tracer) Clock() time.Duration {
@@ -53,7 +90,11 @@ func (t *Tracer) Clock() time.Duration {
 
 func (t *Tracer) add(ev TraceEvent) {
 	t.mu.Lock()
-	t.events = append(t.events, ev)
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
 	t.mu.Unlock()
 }
 
@@ -126,6 +167,43 @@ func (t *Tracer) Events() []TraceEvent {
 	out := make([]TraceEvent, len(t.events))
 	copy(out, t.events)
 	return out
+}
+
+// Drain removes and returns up to max oldest events (all of them when max
+// <= 0). Shipping deltas with Drain instead of copying with Events keeps a
+// bounded worker buffer from refusing new events forever: drained space is
+// reusable. Nil on a nil or empty tracer.
+func (t *Tracer) Drain(max int) []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.events)
+	if n == 0 {
+		return nil
+	}
+	if max > 0 && max < n {
+		n = max
+	}
+	out := make([]TraceEvent, n)
+	copy(out, t.events[:n])
+	rest := copy(t.events, t.events[n:])
+	t.events = t.events[:rest]
+	return out
+}
+
+// Ingest appends foreign events verbatim — the caller has already re-based
+// their TS onto this tracer's clock (see T0). The SetLimit bound does not
+// apply: a merging coordinator must not silently drop what a worker
+// already paid to ship. Nil-safe.
+func (t *Tracer) Ingest(evs []TraceEvent) {
+	if t == nil || len(evs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, evs...)
+	t.mu.Unlock()
 }
 
 // traceFile is the JSON object form of the trace_event format.

@@ -1,0 +1,56 @@
+package obs
+
+import "testing"
+
+// TestTracerDrainAndLimit covers the worker-side buffer contract: SetLimit
+// bounds the buffer and counts overflow, Drain frees space in FIFO order,
+// and Ingest bypasses the limit (the coordinator must keep everything a
+// worker already shipped).
+func TestTracerDrainAndLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(3)
+	for i := 0; i < 5; i++ {
+		tr.Instant("test", string(rune('a'+i)), 0, i, nil)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want limit 3", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+
+	got := tr.Drain(2)
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("Drain(2) = %+v, want oldest two", got)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after drain = %d, want 1", tr.Len())
+	}
+
+	// Drained space is reusable under the same limit.
+	tr.Instant("test", "f", 0, 9, nil)
+	tr.Instant("test", "g", 0, 9, nil)
+	if tr.Len() != 3 || tr.Dropped() != 2 {
+		t.Fatalf("after refill: Len %d Dropped %d, want 3 and 2", tr.Len(), tr.Dropped())
+	}
+
+	// Ingest ignores the limit.
+	tr.Ingest([]TraceEvent{{Name: "w0", Phase: "i"}, {Name: "w1", Phase: "i"}})
+	if tr.Len() != 5 {
+		t.Fatalf("Len after Ingest = %d, want 5", tr.Len())
+	}
+	if rest := tr.Drain(0); len(rest) != 5 {
+		t.Fatalf("Drain(0) = %d events, want all 5", len(rest))
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len after full drain = %d", tr.Len())
+	}
+
+	// Nil tracer: everything is a no-op.
+	var nilT *Tracer
+	nilT.SetLimit(1)
+	if nilT.Drain(0) != nil || nilT.Dropped() != 0 {
+		t.Fatal("nil tracer not inert")
+	}
+	nilT.Ingest([]TraceEvent{{Name: "x"}})
+}

@@ -98,10 +98,13 @@ type Config struct {
 	Observer *Observer
 	// HTTPAddr, when non-empty, serves a live introspection server
 	// (/metrics, /jobs, /lineage, /criticalpath, /debug/pprof) on this
-	// address for the duration of Run, closed when Run returns. If
-	// Observer is nil a lineage-enabled one is created internally so the
-	// lineage endpoints have data. Ignored when HTTP is set. To keep the
-	// server up after the run, use ServeIntrospection plus HTTP instead.
+	// address for the duration of Run or RunTCP, closed when the run
+	// returns. Under RunTCP the server federates telemetry shipped by
+	// every worker: cluster-wide /metrics with machine-labeled series, a
+	// merged /trace, and cross-process /criticalpath. If Observer is nil a
+	// lineage-enabled one is created internally so the lineage endpoints
+	// have data. Ignored when HTTP is set. To keep the server up after the
+	// run, use ServeIntrospection plus HTTP instead.
 	HTTPAddr string
 	// HTTP registers the execution with a caller-owned introspection
 	// server (ServeIntrospection), which outlives the run and can
@@ -162,6 +165,11 @@ type Result struct {
 	// TCPCoordConfig.Retries) and the error that ended each failed attempt.
 	Attempts      int
 	AttemptErrors []string
+	// WorkerReports is set only by RunTCP: each worker's final shipped
+	// metrics snapshot, indexed by machine ID (an entry is nil if that
+	// worker never delivered telemetry). Summing them — plus the
+	// coordinator-side Report — reproduces the federated /metrics view.
+	WorkerReports []*RunReport
 	// Report is the metrics snapshot taken at the end of the run; nil
 	// unless Config.Observer was set.
 	Report *RunReport
@@ -348,9 +356,28 @@ func StartLocalTCP(n int, cfg TCPCoordConfig) (*TCPCoordinator, func(), error) {
 // RunTCP executes the program on an established TCP cluster session:
 // inputs from st are shipped to the workers, outputs are merged back into
 // st. Config fields that concern the simulated cluster (Machines, Cluster)
-// and the live introspection server are ignored; parallelism defaults to
-// one operator instance per worker.
+// are ignored; parallelism defaults to one operator instance per worker.
+// HTTPAddr/HTTP serve the cluster-wide federated view: /metrics merges
+// every worker's shipped registry (machine-labeled series), /jobs/{id}
+// shows per-worker queue depths and link counters, and — when the
+// observer traces or tracks lineage — /trace and /criticalpath span all
+// worker processes, re-based onto the coordinator's clock.
 func (p *Program) RunTCP(c *TCPCoordinator, st NamedStore, cfg Config) (*Result, error) {
+	o, srv := cfg.Observer, cfg.HTTP
+	if srv != nil && o == nil {
+		o = srv.Observer()
+	}
+	if srv == nil && cfg.HTTPAddr != "" {
+		if o == nil {
+			o = NewLineageObserver()
+		}
+		var err error
+		srv, err = ServeIntrospection(cfg.HTTPAddr, o)
+		if err != nil {
+			return nil, err
+		}
+		defer srv.Close()
+	}
 	res, err := c.Run(p.Source(), st, core.Options{
 		Parallelism: cfg.Parallelism,
 		Pipelining:  !cfg.DisablePipelining,
@@ -359,7 +386,8 @@ func (p *Program) RunTCP(c *TCPCoordinator, st NamedStore, cfg Config) (*Result,
 		Chaining:    !cfg.DisableChaining,
 		Templates:   !cfg.DisableTemplates,
 		BatchSize:   cfg.BatchSize,
-		Obs:         cfg.Observer,
+		Obs:         o,
+		HTTP:        srv,
 	})
 	if err != nil {
 		return nil, err
@@ -382,9 +410,13 @@ func (p *Program) RunTCP(c *TCPCoordinator, st NamedStore, cfg Config) (*Result,
 		CreditStalls:           res.CreditStalls,
 		Attempts:               res.Attempts,
 		AttemptErrors:          res.AttemptErrors,
+		WorkerReports:          res.WorkerStats,
 	}
 	if cfg.Observer != nil {
 		out.Report = cfg.Observer.Snapshot()
+	}
+	if lin := o.Lin(); lin != nil {
+		out.CriticalPath = lineage.Analyze(lin.Snapshot())
 	}
 	return out, nil
 }
