@@ -153,5 +153,14 @@ func UnionBags(a, b Expr) Expr { return lang.UnionBags(a, b) }
 // CrossBags returns a.cross(b).
 func CrossBags(a, b Expr) Expr { return lang.CrossBags(a, b) }
 
+// DeltaMergeBags returns seed.deltaMerge(delta, f): the workset-iteration
+// operator, merging delta into an indexed solution set by key with the
+// commutative+associative f and emitting the changed pairs.
+func DeltaMergeBags(seed, delta, f Expr) Expr { return lang.DeltaMergeBags(seed, delta, f) }
+
+// SolutionBag returns recv.solution(): the full solution set held by the
+// deltaMerge that produced recv.
+func SolutionBag(recv Expr) Expr { return lang.SolutionBag(recv) }
+
 // Cond returns the eager ternary cond(c, a, b).
 func Cond(c, a, b Expr) Expr { return lang.Cond(c, a, b) }

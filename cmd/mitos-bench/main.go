@@ -1,7 +1,7 @@
 // mitos-bench regenerates the paper's evaluation figures on the simulated
 // cluster and prints one table per figure.
 //
-//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|templates|all]
+//	mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|templates|delta|all]
 //
 // The tcpcluster figure measures per-step overhead on the real TCP
 // backend (in-process workers over loopback sockets) against the
@@ -32,9 +32,10 @@ func main() {
 	combine := flag.String("combine", "on", "map-side combiners in Mitos runs: on|off (ablation)")
 	chain := flag.String("chain", "on", "operator chaining in Mitos runs: on|off (ablation)")
 	templates := flag.String("templates", "on", "execution templates in Mitos runs: on|off (ablation)")
+	delta := flag.String("delta", "on", "incremental delta-iteration state in Mitos runs: on|off (ablation)")
 	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /jobs) on this address for the duration of the sweep")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|templates|all]")
+		fmt.Fprintln(os.Stderr, "usage: mitos-bench [flags] [fig1|fig5|fig6|fig7|fig8|fig9|ablation|combine|chain|critpath|tcpcluster|templates|delta|all]")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,10 +52,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mitos-bench: -templates must be on or off, got %q\n", *templates)
 		os.Exit(2)
 	}
+	if *delta != "on" && *delta != "off" {
+		fmt.Fprintf(os.Stderr, "mitos-bench: -delta must be on or off, got %q\n", *delta)
+		os.Exit(2)
+	}
 	o := experiments.Options{
 		Quick: *quick, Reps: *reps, BandwidthMiBps: *bandwidth,
 		NoCombine: *combine == "off", NoChain: *chain == "off",
-		NoTemplates: *templates == "off",
+		NoTemplates: *templates == "off", NoDelta: *delta == "off",
 	}
 	if *httpAddr != "" {
 		o.Obs = obs.New()
@@ -79,6 +84,7 @@ func main() {
 		"ablation": experiments.AblationGrid, "combine": experiments.Combine,
 		"chain": experiments.Chain, "critpath": experiments.CritPath,
 		"tcpcluster": experiments.TCPCluster, "templates": experiments.Templates,
+		"delta": experiments.Delta,
 	}
 	var tables []*experiments.Table
 	if which == "all" {

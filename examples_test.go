@@ -21,7 +21,9 @@ func TestExamplesRun(t *testing.T) {
 		"pagerank":     {"-nodes", "60", "-iters", "4"},
 		"kmeans":       {"-points", "120", "-iters", "3"},
 		"hyperparam":   {"-rates", "2", "-steps", "5", "-samples", "80"},
-		"transclosure": {"-nodes", "25"},
+		"transclosure": {"-nodes", "25", "-mode", "delta"},
+		"connected":    {"-nodes", "300", "-machines", "3"},
+		"sssp":         {"-nodes", "200", "-machines", "3"},
 	}
 	entries, err := os.ReadDir("examples")
 	if err != nil {

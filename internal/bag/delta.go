@@ -1,0 +1,106 @@
+package bag
+
+import (
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// DeltaState is the reference model of a deltaMerge solution set: keyed
+// state indexed by key, with deterministic (first-insert) key order. The
+// reference interpreters hold one DeltaState per deltaMerge instruction,
+// persistent across loop steps; the distributed engine partitions the same
+// state across instances (internal/core).
+type DeltaState struct {
+	idx    *val.Map[val.Value]
+	order  []val.Value // keys in first-insert order, for determinism
+	seeded bool
+}
+
+// NewDeltaState returns an empty, unseeded state.
+func NewDeltaState() *DeltaState {
+	return &DeltaState{idx: val.NewMap[val.Value](16)}
+}
+
+// Seeded reports whether Seed has run.
+func (s *DeltaState) Seeded() bool { return s.seeded }
+
+// Seed folds the seed bag into the state by key with f. It runs once, the
+// first time the deltaMerge instruction executes; seed elements are never
+// emitted.
+func (s *DeltaState) Seed(seed []val.Value, f *lang.UDF) error {
+	for _, x := range seed {
+		k, v, err := pairParts(x, "deltaMerge")
+		if err != nil {
+			return err
+		}
+		if old, ok := s.idx.Get(k); ok {
+			folded, err := f.Call(old, v)
+			if err != nil {
+				return err
+			}
+			s.idx.Put(k, folded)
+		} else {
+			s.idx.Put(k, v)
+			s.order = append(s.order, k)
+		}
+	}
+	s.seeded = true
+	return nil
+}
+
+// Apply merges one step's delta bag into the state: the delta is folded by
+// key with f, each folded candidate is merged against the indexed value
+// with f, and a (key, merged) pair is emitted for every key whose value is
+// new or changed. With a commutative and associative f the emitted multiset
+// is independent of element order and of how the delta is partitioned.
+func (s *DeltaState) Apply(delta []val.Value, f *lang.UDF) ([]val.Value, error) {
+	cand := val.NewMap[val.Value](len(delta))
+	var candOrder []val.Value
+	for _, x := range delta {
+		k, v, err := pairParts(x, "deltaMerge")
+		if err != nil {
+			return nil, err
+		}
+		if old, ok := cand.Get(k); ok {
+			folded, err := f.Call(old, v)
+			if err != nil {
+				return nil, err
+			}
+			cand.Put(k, folded)
+		} else {
+			cand.Put(k, v)
+			candOrder = append(candOrder, k)
+		}
+	}
+	changed := make([]val.Value, 0, len(candOrder))
+	for _, k := range candOrder {
+		v, _ := cand.Get(k)
+		old, ok := s.idx.Get(k)
+		if !ok {
+			s.idx.Put(k, v)
+			s.order = append(s.order, k)
+			changed = append(changed, val.Pair(k, v))
+			continue
+		}
+		merged, err := f.Call(old, v)
+		if err != nil {
+			return nil, err
+		}
+		if !merged.Equal(old) {
+			s.idx.Put(k, merged)
+			changed = append(changed, val.Pair(k, merged))
+		}
+	}
+	return changed, nil
+}
+
+// Solution returns the full solution set as (key, value) pairs, one per
+// key, in first-insert order.
+func (s *DeltaState) Solution() []val.Value {
+	out := make([]val.Value, 0, len(s.order))
+	for _, k := range s.order {
+		v, _ := s.idx.Get(k)
+		out = append(out, val.Pair(k, v))
+	}
+	return out
+}

@@ -80,9 +80,17 @@ func (p *Plan) InsertCombiners() int {
 			continue // a combiner never feeds another combiner
 		}
 		var kind SynthKind
+		slot := 0
 		switch op.Instr.Kind {
 		case ir.OpReduceByKey:
 			kind = SynthCombineByKey
+		case ir.OpDeltaMerge:
+			// The per-step delta (slot 1) is folded by key with the merge
+			// UDF before crossing the shuffle — the same contract as
+			// reduceByKey, since deltaMerge's F must be associative and
+			// commutative. The seed (slot 0) crosses once; not worth one.
+			kind = SynthCombineByKey
+			slot = 1
 		case ir.OpDistinct:
 			kind = SynthLocalDistinct
 		case ir.OpSum:
@@ -94,7 +102,7 @@ func (p *Plan) InsertCombiners() int {
 		default:
 			continue
 		}
-		in := &op.Inputs[0]
+		in := &op.Inputs[slot]
 		if in.Producer.Synth != SynthNone || in.Combined {
 			continue // already rewritten
 		}

@@ -1,0 +1,467 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/mitos-project/mitos/internal/lang"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// Delta/workset iterations (Ewen et al., "Spinning Fast Iterative Data
+// Flows"): a deltaMerge operator holds the solution set of an iterative
+// computation as persistent, hash-partitioned keyed state, so each loop
+// step processes only the changed elements (the workset) instead of
+// re-deriving the full bag. The state lives outside the bag machinery in
+// per-(operator, instance) solutionStores owned by the runtime; the bags
+// flowing through the dataflow are the per-step deltas, which keep their
+// ordinary bag identifiers so pipelining, hoisting, combiners, chaining,
+// and execution templates all apply unchanged.
+
+// DeltaStep reports what one loop step did to one deltaMerge's solution
+// set, aggregated across instances in Result.DeltaSteps.
+type DeltaStep struct {
+	// Pos is the execution-path position of the step's deltaMerge bag.
+	Pos int
+	// In counts raw delta elements received (the workset size).
+	In int64
+	// Changed counts keys whose merged value was new or changed — the
+	// elements emitted as the next workset.
+	Changed int64
+	// Touched counts index operations: folded candidates merged, plus (in
+	// the -delta=off ablation) the full per-step index rebuild.
+	Touched int64
+	// Elements and Bytes are the solution set's size after the step.
+	Elements int64
+	Bytes    int64
+	// DurNS is the wall time from the previous step's merge (or store
+	// creation) to this step's merge completing — the per-step cadence.
+	DurNS int64
+}
+
+// stateKey identifies one instance's partition of one deltaMerge's state.
+type stateKey struct {
+	op   int
+	inst int
+}
+
+// undoEntry records how to roll one key back across one applied step:
+// either the key was inserted (present=false) or overwritten (present=true
+// with the previous value).
+type undoEntry struct {
+	key     val.Value
+	old     val.Value
+	present bool
+}
+
+type undoStep struct {
+	pos  int
+	ents []undoEntry
+}
+
+// solutionStore is one instance's partition of a deltaMerge solution set.
+// The deltaMerge host is the only writer (apply); solution hosts read
+// concurrently (snapshot) — with pipelining the merge may run steps ahead
+// of an in-loop reader, so when the plan marks StateJournal the store keeps
+// per-step undo records and reconstructs the step a reader targets.
+type solutionStore struct {
+	mu      sync.Mutex
+	idx     *val.Map[val.Value]
+	seeded  bool
+	applied int   // path position of the last merged step
+	bytes   int64 // approximate encoded size of the index contents
+	journal bool
+	undo    []undoStep // applied steps' undo records, ascending position
+	readers []int      // per attached solution reader: last targeted position
+	steps   []DeltaStep
+	created time.Time
+	lastOp  time.Time
+}
+
+// stateStore returns (creating on first use) the state partition of
+// deltaMerge operator op for instance inst. Both the deltaMerge host and
+// any solution hosts resolve their store here at Open; instance co-location
+// (i%machines placement on both backends) guarantees they meet in the same
+// process.
+func (rt *runtime) stateStore(op *PlanOp, inst int) *solutionStore {
+	rt.stateMu.Lock()
+	defer rt.stateMu.Unlock()
+	if rt.stateStores == nil {
+		rt.stateStores = make(map[stateKey]*solutionStore)
+	}
+	k := stateKey{op: op.ID, inst: inst}
+	s := rt.stateStores[k]
+	if s == nil {
+		s = &solutionStore{
+			idx:     val.NewMap[val.Value](16),
+			journal: op.StateJournal,
+			created: time.Now(),
+		}
+		rt.stateStores[k] = s
+	}
+	return s
+}
+
+// isSeeded reports whether the seed bag has been ingested.
+func (s *solutionStore) isSeeded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seeded
+}
+
+// addReader registers one solution reader and returns its slot, used to
+// garbage-collect undo records all readers have moved past.
+func (s *solutionStore) addReader() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.readers = append(s.readers, 0)
+	return len(s.readers) - 1
+}
+
+// apply merges one step into the state: the (already key-folded) seed is
+// ingested on the first step, then each folded delta candidate is merged
+// against the indexed value with f. It returns the (key, merged) pairs that
+// changed — the caller emits them AFTER this returns, outside the lock,
+// because emitting can block on backpressure while a solution reader holds
+// (or waits for) the lock. incremental=false is the -delta=off ablation: the
+// whole index is rebuilt from scratch every step, modeling full
+// re-derivation, before the same merge runs — outputs are identical, only
+// the per-step cost changes from O(|delta|) to O(|solution|).
+func (s *solutionStore) apply(pos int, seed, cand *val.Map[val.Value], f *lang.UDF, incremental bool, in int64) ([]val.Value, DeltaStep, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ents []undoEntry
+	var touched int64
+	if !s.seeded {
+		if seed != nil {
+			seed.Range(func(k, v val.Value) bool {
+				s.idx.Put(k, v)
+				s.bytes += int64(val.EncodedSize(k) + val.EncodedSize(v))
+				if s.journal {
+					ents = append(ents, undoEntry{key: k})
+				}
+				touched++
+				return true
+			})
+		}
+		s.seeded = true
+	}
+	if !incremental {
+		fresh := val.NewMap[val.Value](16)
+		s.idx.Range(func(k, v val.Value) bool {
+			fresh.Put(k, v)
+			touched++
+			return true
+		})
+		s.idx = fresh
+	}
+	var changed []val.Value
+	var udfErr error
+	cand.Range(func(k, v val.Value) bool {
+		touched++
+		old, ok := s.idx.Get(k)
+		if !ok {
+			s.idx.Put(k, v)
+			s.bytes += int64(val.EncodedSize(k) + val.EncodedSize(v))
+			changed = append(changed, val.Pair(k, v))
+			if s.journal {
+				ents = append(ents, undoEntry{key: k})
+			}
+			return true
+		}
+		merged, err := f.Call(old, v)
+		if err != nil {
+			udfErr = err
+			return false
+		}
+		if !merged.Equal(old) {
+			s.idx.Put(k, merged)
+			s.bytes += int64(val.EncodedSize(merged) - val.EncodedSize(old))
+			changed = append(changed, val.Pair(k, merged))
+			if s.journal {
+				ents = append(ents, undoEntry{key: k, old: old, present: true})
+			}
+		}
+		return true
+	})
+	if udfErr != nil {
+		return nil, DeltaStep{}, udfErr
+	}
+	if s.journal {
+		s.undo = append(s.undo, undoStep{pos: pos, ents: ents})
+	}
+	s.applied = pos
+	now := time.Now()
+	since := s.lastOp
+	if since.IsZero() {
+		since = s.created
+	}
+	s.lastOp = now
+	step := DeltaStep{
+		Pos:      pos,
+		In:       in,
+		Changed:  int64(len(changed)),
+		Touched:  touched,
+		Elements: int64(s.idx.Len()),
+		Bytes:    s.bytes,
+		DurNS:    now.Sub(since).Nanoseconds(),
+	}
+	s.steps = append(s.steps, step)
+	return changed, step, nil
+}
+
+// snapshot returns the full solution set as it stood after step target (0 =
+// before any step). When the merge has pipelined past target, the undo
+// journal rolls the overlayed keys back. The caller emits the returned
+// pairs outside the lock (see apply).
+func (s *solutionStore) snapshot(target, reader int) ([]val.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if reader >= 0 && reader < len(s.readers) && target > s.readers[reader] {
+		s.readers[reader] = target
+	}
+	out := make([]val.Value, 0, s.idx.Len())
+	if s.applied <= target {
+		s.idx.Range(func(k, v val.Value) bool {
+			out = append(out, val.Pair(k, v))
+			return true
+		})
+		s.gcUndo()
+		return out, nil
+	}
+	if !s.journal {
+		return nil, fmt.Errorf("state advanced to step %d past solution read at %d without a journal (plan bug)", s.applied, target)
+	}
+	// Overlay: for every key touched after target, its value as of target
+	// — the FIRST undo record at a position > target wins.
+	type rollback struct {
+		old     val.Value
+		present bool
+	}
+	ov := val.NewMap[rollback](16)
+	for _, st := range s.undo {
+		if st.pos <= target {
+			continue
+		}
+		for _, e := range st.ents {
+			if _, ok := ov.Get(e.key); !ok {
+				ov.Put(e.key, rollback{old: e.old, present: e.present})
+			}
+		}
+	}
+	s.idx.Range(func(k, v val.Value) bool {
+		if r, ok := ov.Get(k); ok {
+			if r.present {
+				out = append(out, val.Pair(k, r.old))
+			}
+			return true
+		}
+		out = append(out, val.Pair(k, v))
+		return true
+	})
+	s.gcUndo()
+	return out, nil
+}
+
+// gcUndo drops undo steps every reader has targeted past. Called with mu
+// held.
+func (s *solutionStore) gcUndo() {
+	if len(s.undo) == 0 || len(s.readers) == 0 {
+		return
+	}
+	min := s.readers[0]
+	for _, t := range s.readers[1:] {
+		if t < min {
+			min = t
+		}
+	}
+	keep := 0
+	for keep < len(s.undo) && s.undo[keep].pos <= min {
+		keep++
+	}
+	if keep > 0 {
+		s.undo = append(s.undo[:0], s.undo[keep:]...)
+	}
+}
+
+// summary returns this partition's final size and per-step records. Called
+// after the job finished (no concurrent apply), but locks anyway.
+func (s *solutionStore) summary() (elements, bytes int64, steps []DeltaStep) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return int64(s.idx.Len()), s.bytes, s.steps
+}
+
+// deltaSummary aggregates all state partitions of the runtime: totals over
+// every step, final solution-set size, and the per-step series merged
+// across instances (sums per position; DurNS is the slowest instance).
+func (rt *runtime) deltaSummary() (in, changed, touched, elements, bytes int64, steps []DeltaStep) {
+	rt.stateMu.Lock()
+	stores := make([]*solutionStore, 0, len(rt.stateStores))
+	for _, s := range rt.stateStores {
+		stores = append(stores, s)
+	}
+	rt.stateMu.Unlock()
+	byPos := make(map[int]*DeltaStep)
+	for _, s := range stores {
+		el, by, sts := s.summary()
+		elements += el
+		bytes += by
+		for _, st := range sts {
+			in += st.In
+			changed += st.Changed
+			touched += st.Touched
+			m := byPos[st.Pos]
+			if m == nil {
+				m = &DeltaStep{Pos: st.Pos}
+				byPos[st.Pos] = m
+			}
+			m.In += st.In
+			m.Changed += st.Changed
+			m.Touched += st.Touched
+			m.Elements += st.Elements
+			m.Bytes += st.Bytes
+			if st.DurNS > m.DurNS {
+				m.DurNS = st.DurNS
+			}
+		}
+	}
+	steps = make([]DeltaStep, 0, len(byPos))
+	for _, m := range byPos {
+		steps = append(steps, *m)
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i].Pos < steps[j].Pos })
+	return in, changed, touched, elements, bytes, steps
+}
+
+// beginDeltaMerge prepares one step's run: candidate fold table, and — on
+// this instance's first step only — the seed fold table. Later steps skip
+// the seed slot entirely (its selected bag stays buffered; the low-water GC
+// retires it as the input position advances).
+func (h *host) beginDeltaMerge(run *outputRun) {
+	run.hash = val.NewMap[val.Value](16)
+	if h.state.isSeeded() {
+		run.slotDone[0] = true
+		h.seedStale = true
+	} else {
+		run.seedHash = val.NewMap[val.Value](16)
+	}
+}
+
+// foldInto folds streaming (key, value) pairs into a per-run table with the
+// operator's merge function — the same pre-aggregation shape as
+// reduceByKey, so a step's delta is merged in one index pass.
+func (h *host) foldInto(m *val.Map[val.Value], x val.Value) error {
+	k, v, err := pairParts(x, h.op.Instr.Var)
+	if err != nil {
+		return err
+	}
+	var udfErr error
+	m.Update(k, func(old val.Value, present bool) val.Value {
+		if !present {
+			return v
+		}
+		y, err := h.op.Instr.F.Call(old, v)
+		if err != nil && udfErr == nil {
+			udfErr = err
+		}
+		return y
+	})
+	if udfErr != nil {
+		return fmt.Errorf("core: %s: %w", h.op.Instr.Var, udfErr)
+	}
+	return nil
+}
+
+// pumpDeltaMerge runs one step: fold the seed (first step only) and the
+// delta as they stream in, then — once both bags are complete — merge the
+// candidates into the state store in one atomic step and emit the changed
+// pairs as the next workset.
+func (h *host) pumpDeltaMerge(run *outputRun) (bool, error) {
+	if !run.slotDone[0] {
+		for _, x := range h.drainSlot(run, 0) {
+			if err := h.foldInto(run.seedHash, x); err != nil {
+				return false, err
+			}
+		}
+		if h.slotExhausted(run, 0) {
+			run.slotDone[0] = true
+		}
+	}
+	if !run.slotDone[1] {
+		for _, x := range h.drainSlot(run, 1) {
+			run.count++
+			if err := h.foldInto(run.hash, x); err != nil {
+				return false, err
+			}
+		}
+		if h.slotExhausted(run, 1) {
+			run.slotDone[1] = true
+		}
+	}
+	if !allDone(run) {
+		return false, nil
+	}
+	changed, step, err := h.state.apply(run.pos, run.seedHash, run.hash, h.op.Instr.F, h.rt.opts.Delta, run.count)
+	if err != nil {
+		return false, fmt.Errorf("core: %s: %w", h.op.Instr.Var, err)
+	}
+	h.deltaIn.Add(step.In)
+	h.deltaChanged.Add(step.Changed)
+	h.deltaTouched.Add(step.Touched)
+	h.solutionElements.Max(step.Elements)
+	h.solutionBytes.Max(step.Bytes)
+	for _, y := range changed {
+		h.emit(run, y)
+	}
+	return true, nil
+}
+
+// pumpSolution dumps the full solution set of its deltaMerge. The rewired
+// input edge carries the deltaMerge's per-step delta; those elements are
+// not the output — the edge exists so bag selection names WHICH step the
+// dump must reflect, and end-of-bag proves the store has merged it. A
+// target of 0 (input slot unused) means the deltaMerge has not run on the
+// path yet: the solution set at that point is empty (or, mid-pipeline,
+// whatever the journal rolls back to).
+func (h *host) pumpSolution(run *outputRun) (bool, error) {
+	target := 0
+	if run.inPos[0] > 0 {
+		h.drainSlot(run, 0)
+		if !h.slotExhausted(run, 0) {
+			return false, nil
+		}
+		run.slotDone[0] = true
+		target = run.inPos[0]
+	}
+	ents, err := h.state.snapshot(target, h.readerSlot)
+	if err != nil {
+		return false, fmt.Errorf("core: %s: %w", h.op.Instr.Var, err)
+	}
+	for _, e := range ents {
+		h.emit(run, e)
+	}
+	return true, nil
+}
+
+// startSolution selects the deltaMerge step a solution output at pos
+// reflects: the latest occurrence of the deltaMerge's block — bounded by
+// pos-1 when the deltaMerge sits later in the same block, since the
+// solution executes before it within the visit. No occurrence means the
+// deltaMerge has not run yet: the slot is unused, like a phi's unselected
+// inputs.
+func (h *host) startSolution(run *outputRun, pos int) {
+	src := h.op.Inputs[0].Producer
+	limit := pos
+	if src.Block == h.op.Block && src.ID > h.op.ID {
+		limit = pos - 1
+	}
+	if p := h.latestOcc(src.Block, limit); p > 0 {
+		run.inPos[0] = p
+	} else {
+		run.inPos[0] = -1
+		run.slotDone[0] = true
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,12 @@ type Options struct {
 	// position. Effective only with Pipelining (non-pipelined execution
 	// gates positions one at a time by construction).
 	Templates bool
+	// Delta keeps deltaMerge solution sets as incremental indexed state,
+	// so each loop step costs O(|delta|) index work. False is the
+	// -delta=off ablation: the same plan runs, but every step rebuilds its
+	// solution set from scratch (O(|solution|) per step), modeling full
+	// re-derivation. Outputs are identical either way.
+	Delta bool
 	// BatchSize overrides the engine's transfer batch size (0 = default).
 	BatchSize int
 	// Obs attaches an observability collector (metrics and optionally
@@ -56,7 +63,7 @@ type Options struct {
 // Mitos runs in the paper, plus map-side combiners, operator chaining, and
 // execution templates.
 func DefaultOptions() Options {
-	return Options{Pipelining: true, Hoisting: true, Combiners: true, Chaining: true, Templates: true}
+	return Options{Pipelining: true, Hoisting: true, Combiners: true, Chaining: true, Templates: true, Delta: true}
 }
 
 // Result reports what one execution did.
@@ -88,6 +95,16 @@ type Result struct {
 	// every iteration is an instantiation.
 	TemplateInstalls       int
 	TemplateInstantiations int
+	// Delta-iteration totals across all deltaMerge operators: delta
+	// elements received, changed pairs emitted, index operations, and the
+	// final solution-set size. DeltaSteps is the per-step series
+	// (aggregated across instances), showing the frontier shrinking.
+	DeltaIn       int64
+	DeltaChanged  int64
+	DeltaTouched  int64
+	DeltaElements int64
+	DeltaBytes    int64
+	DeltaSteps    []DeltaStep
 	// Job reports engine transfer counters.
 	Job dataflow.JobStats
 }
@@ -112,6 +129,11 @@ type runtime struct {
 	maxBuffered atomic.Int64
 	combineIn   atomic.Int64
 	combineOut  atomic.Int64
+
+	// stateStores holds the per-(deltaMerge, instance) solution-set
+	// partitions, created lazily at host Open (see delta.go).
+	stateMu     sync.Mutex
+	stateStores map[stateKey]*solutionStore
 }
 
 // noteBuffered records a high-water mark of buffered input bags.
@@ -198,6 +220,7 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 	if err != nil {
 		return nil, fmt.Errorf("core: execution failed: %w", err)
 	}
+	din, dch, dto, del, dby, dsteps := rt.deltaSummary()
 	return &Result{
 		Steps:                  cstats.Steps,
 		Duration:               time.Since(start),
@@ -208,6 +231,12 @@ func ExecutePlan(plan *Plan, st store.Store, cl *cluster.Cluster, opts Options) 
 		ChainedEdges:           chainedEdges,
 		TemplateInstalls:       cstats.TemplateInstalls,
 		TemplateInstantiations: cstats.TemplateInstantiations,
+		DeltaIn:                din,
+		DeltaChanged:           dch,
+		DeltaTouched:           dto,
+		DeltaElements:          del,
+		DeltaBytes:             dby,
+		DeltaSteps:             dsteps,
 		Job:                    job.Stats(),
 	}, nil
 }
@@ -311,4 +340,12 @@ func NewWorkerJob(plan *Plan, st store.Store, machines, self int, opts Options, 
 // (join builds, buffered-bag high-water mark, combiner traffic).
 func (w *WorkerJob) Counters() (joinBuilds, maxBuffered, combineIn, combineOut int64) {
 	return w.rt.joinBuilds.Load(), w.rt.maxBuffered.Load(), w.rt.combineIn.Load(), w.rt.combineOut.Load()
+}
+
+// DeltaCounters reports the delta-iteration totals of this worker's local
+// state partitions (see Result's Delta fields). Per-step series stay local
+// to the worker; the coordinator aggregates only the totals over the wire.
+func (w *WorkerJob) DeltaCounters() (in, changed, touched, elements, bytes int64) {
+	in, changed, touched, elements, bytes, _ = w.rt.deltaSummary()
+	return in, changed, touched, elements, bytes
 }

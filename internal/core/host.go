@@ -57,6 +57,17 @@ type host struct {
 	cachedBuildPos int
 	cachedBuild    *val.Map[[]val.Value]
 
+	// Delta iteration state: the solution-set partition this instance
+	// writes (deltaMerge) or reads (solution), and the reader slot used
+	// for undo-journal GC.
+	state      *solutionStore
+	readerSlot int
+	// seedStale is set once a deltaMerge's state is seeded: steps from then
+	// on skip the seed slot without draining it, so its producer's bags can
+	// arrive after the low-water GC has already passed them — expected
+	// garbage on this one slot, a protocol violation anywhere else.
+	seedStale bool
+
 	// Observability handles; nil (no-op) unless the run has an observer.
 	trc        *obs.Tracer
 	lin        *lineage.Tracker
@@ -68,6 +79,14 @@ type host struct {
 	joinReuses *obs.Counter
 	combineIn  *obs.Counter
 	combineOut *obs.Counter
+	// Frontier-shrinkage metrics of deltaMerge operators: per-step delta
+	// size counters and solution-set size gauges (per-instance high-water;
+	// exact current size at one instance per machine, the default).
+	deltaIn          *obs.Counter
+	deltaChanged     *obs.Counter
+	deltaTouched     *obs.Counter
+	solutionElements *obs.Gauge
+	solutionBytes    *obs.Gauge
 
 	// Live progress for Job.Introspect, maintained unconditionally (one
 	// atomic store per bag, not per element) and read concurrently by the
@@ -96,7 +115,8 @@ type outputRun struct {
 	slotDone []bool
 	phase    int // kind-specific sequencing (join build/probe, cross sides)
 
-	hash     *val.Map[val.Value]   // reduceByKey groups
+	hash     *val.Map[val.Value]   // reduceByKey groups / deltaMerge candidate fold
+	seedHash *val.Map[val.Value]   // deltaMerge seed fold (first step only)
 	build    *val.Map[[]val.Value] // join build table
 	distinct *val.Map[struct{}]
 	args     []val.Value // captured singleton inputs (combine, readFile, writeFile)
@@ -150,6 +170,24 @@ func (h *host) Open(ctx *dataflow.Context) error {
 		if h.op.Synth != SynthNone {
 			h.combineIn = reg.Counter(h.machine, name, "combine_in")
 			h.combineOut = reg.Counter(h.machine, name, "combine_out")
+		}
+		if h.op.Instr.Kind == ir.OpDeltaMerge && h.op.Synth == SynthNone {
+			h.deltaIn = reg.Counter(h.machine, name, "delta_in")
+			h.deltaChanged = reg.Counter(h.machine, name, "delta_changed")
+			h.deltaTouched = reg.Counter(h.machine, name, "delta_touched")
+			h.solutionElements = reg.Gauge(h.machine, name, "solution_elements")
+			h.solutionBytes = reg.Gauge(h.machine, name, "solution_bytes")
+		}
+	}
+	// Synthetic combiners clone their consumer's Instr (including its
+	// kind), so only true deltaMerge/solution operators own state.
+	if h.op.Synth == SynthNone {
+		switch h.op.Instr.Kind {
+		case ir.OpDeltaMerge:
+			h.state = h.rt.stateStore(h.op, h.inst)
+		case ir.OpSolution:
+			h.state = h.rt.stateStore(h.op.Inputs[0].Producer, h.inst)
+			h.readerSlot = h.state.addReader()
 		}
 	}
 	return nil
@@ -215,6 +253,9 @@ func (h *host) OnBatch(input, from int, batch []Element) error {
 	for _, e := range batch {
 		pos := int(e.Tag)
 		if pos < buf.lowWater {
+			if h.seedStale && input == 0 {
+				continue
+			}
 			return fmt.Errorf("core: %s input %d: element for GCed bag at %d (lowWater %d)", h.op.Instr.Var, input, pos, buf.lowWater)
 		}
 		b := buf.bags[pos]
@@ -235,6 +276,9 @@ func (h *host) OnEOB(input, from int, tag dataflow.Tag) error {
 	buf := &h.inbufs[input]
 	pos := int(tag)
 	if pos < buf.lowWater {
+		if h.seedStale && input == 0 {
+			return h.progress()
+		}
 		return fmt.Errorf("core: %s input %d: EOB for GCed bag at %d", h.op.Instr.Var, input, pos)
 	}
 	b := buf.bags[pos]
@@ -360,6 +404,8 @@ func (h *host) startOutput(pos int) error {
 		if selected == -1 {
 			return fmt.Errorf("core: phi %s: no input for predecessor b%d", h.op.Instr.Var, pred)
 		}
+	} else if h.op.Instr.Kind == ir.OpSolution {
+		h.startSolution(run, pos)
 	} else {
 		for i, in := range h.op.Inputs {
 			p := h.latestOcc(in.Producer.Block, pos)

@@ -39,6 +39,8 @@ func (h *host) beginKind(run *outputRun) error {
 		}
 	case ir.OpReduceByKey:
 		run.hash = val.NewMap[val.Value](16)
+	case ir.OpDeltaMerge:
+		h.beginDeltaMerge(run)
 	case ir.OpDistinct:
 		run.distinct = val.NewMap[struct{}](16)
 	case ir.OpCombine, ir.OpReadFile, ir.OpWriteFile:
@@ -71,6 +73,10 @@ func (h *host) pump() (bool, error) {
 		return h.pumpCross(run)
 	case ir.OpReduceByKey:
 		return h.pumpReduceByKey(run)
+	case ir.OpDeltaMerge:
+		return h.pumpDeltaMerge(run)
+	case ir.OpSolution:
+		return h.pumpSolution(run)
 	case ir.OpReduce, ir.OpSum, ir.OpCount, ir.OpDistinct:
 		return h.pumpAggregate(run)
 	case ir.OpCombine:

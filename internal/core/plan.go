@@ -45,6 +45,12 @@ type PlanOp struct {
 	// Chain is the 1-based index into Plan.Chains of the operator's chain
 	// group, 0 when unchained (or before BuildChains runs).
 	Chain int
+	// StateJournal, on deltaMerge operators, marks that some solution
+	// operator reads the state from inside a loop that also contains the
+	// deltaMerge: with pipelining the merge may run ahead of the read, so
+	// the state store must keep per-step undo records to reconstruct the
+	// step the reader targets. Off for the common read-after-loop case.
+	StateJournal bool
 }
 
 // PlanInput describes one logical input slot.
@@ -109,6 +115,9 @@ func BuildPlan(g *ir.Graph, parallelism int) (*Plan, error) {
 			}
 		}
 	}
+	if err := p.resolveDeltaSources(); err != nil {
+		return nil, err
+	}
 	if err := p.inferParallelism(parallelism); err != nil {
 		return nil, err
 	}
@@ -117,6 +126,43 @@ func BuildPlan(g *ir.Graph, parallelism int) (*Plan, error) {
 		p.InstancesPerBlock[op.Block] += op.Par
 	}
 	return p, nil
+}
+
+// resolveDeltaSources rewires every solution operator's input from the
+// copy/phi chain it syntactically references straight to the deltaMerge
+// operator whose partitioned state it dumps. The data edge then carries no
+// elements at run time (the host drains and discards it); it exists so the
+// bag-identifier protocol still tells the solution operator *which step* of
+// the deltaMerge its output must reflect. It also decides, per deltaMerge,
+// whether the state store needs an undo journal (see PlanOp.StateJournal).
+func (p *Plan) resolveDeltaSources() error {
+	var defs map[string][]*ir.Instr
+	var loops *ir.Loops
+	for _, op := range p.Ops {
+		if op.Instr.Kind != ir.OpSolution {
+			continue
+		}
+		if defs == nil {
+			defs = p.IR.Defs()
+			loops = ir.AnalyzeLoops(p.IR)
+		}
+		src, err := ir.ResolveDeltaSource(defs, op.Instr.Args[0])
+		if err != nil {
+			return err
+		}
+		srcOp := p.ByVar[src.Var]
+		op.Inputs[0].Producer = srcOp
+		// The journal is needed only when this reader can observe the
+		// state mid-loop while the deltaMerge pipelines ahead: some loop
+		// contains both operators' blocks.
+		for li := range loops.Loops {
+			if loops.Contains(li, srcOp.Block) && loops.Contains(li, op.Block) {
+				srcOp.StateJournal = true
+				break
+			}
+		}
+	}
+	return nil
 }
 
 // InstancesPerBlockOn is the per-block completion target restricted to the
@@ -150,7 +196,8 @@ func (p *Plan) inferParallelism(n int) error {
 		case ir.OpSingleton, ir.OpEmpty, ir.OpCombine, ir.OpSum, ir.OpCount,
 			ir.OpReduce, ir.OpWriteFile:
 			op.Par = 1
-		case ir.OpReadFile, ir.OpJoin, ir.OpReduceByKey, ir.OpDistinct:
+		case ir.OpReadFile, ir.OpJoin, ir.OpReduceByKey, ir.OpDistinct,
+			ir.OpDeltaMerge:
 			op.Par = n
 		default:
 			op.Par = 0 // propagated below: Map, FlatMap, Filter, Copy, Phi, Union, Cross
@@ -164,7 +211,10 @@ func (p *Plan) inferParallelism(n int) error {
 			}
 			var par int
 			switch op.Instr.Kind {
-			case ir.OpMap, ir.OpFlatMap, ir.OpFilter, ir.OpCopy, ir.OpCross:
+			case ir.OpMap, ir.OpFlatMap, ir.OpFilter, ir.OpCopy, ir.OpCross,
+				ir.OpSolution:
+				// A solution operator dumps the partitioned state of its
+				// deltaMerge (its rewired input): same instances, same keys.
 				par = op.Inputs[0].Producer.Par
 			case ir.OpPhi, ir.OpUnion:
 				for _, in := range op.Inputs {
@@ -200,6 +250,10 @@ func (p *Plan) choosePartitionings() {
 			prodPar := in.Producer.Par
 			switch op.Instr.Kind {
 			case ir.OpJoin, ir.OpReduceByKey:
+				in.Part = dataflow.PartShuffleKey
+			case ir.OpDeltaMerge:
+				// Both the seed and every step's delta are hash-partitioned
+				// by key, so state updates are instance-local.
 				in.Part = dataflow.PartShuffleKey
 			case ir.OpDistinct:
 				in.Part = dataflow.PartShuffleVal

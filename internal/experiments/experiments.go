@@ -54,6 +54,10 @@ type Options struct {
 	// path-update broadcast per basic-block visit and one completion event
 	// per operator instance.
 	NoTemplates bool
+	// NoDelta disables incremental solution-set maintenance in every Mitos
+	// run (the -delta=off ablation): deltaMerge stores re-derive their full
+	// index on every loop step instead of touching only the delta's keys.
+	NoDelta bool
 	// Obs attaches a shared observer to every Mitos run, and HTTP
 	// registers each run with a live introspection server — mitos-bench
 	// -http wires both so /metrics and /jobs reflect the sweep as it runs.
@@ -312,6 +316,7 @@ func (o Options) mitosOpts() core.Options {
 	opts.Combiners = !o.NoCombine
 	opts.Chaining = !o.NoChain
 	opts.Templates = !o.NoTemplates
+	opts.Delta = !o.NoDelta
 	opts.Obs = o.Obs
 	opts.HTTP = o.HTTP
 	return opts
@@ -924,7 +929,7 @@ func CritPath(o Options) (*Table, error) {
 
 // All runs every experiment in figure order.
 func All(o Options) ([]*Table, error) {
-	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine, Chain, CritPath, TCPCluster, Templates}
+	funcs := []func(Options) (*Table, error){Fig1, Fig5, Fig6, Fig7, Fig8, Fig9, AblationGrid, Combine, Chain, CritPath, TCPCluster, Templates, Delta}
 	var out []*Table
 	for _, f := range funcs {
 		t, err := f(o)

@@ -16,11 +16,13 @@ import (
 // AST interpreter vs SSA interpreter vs distributed execution.
 func RunAST(prog *lang.Program, st store.Store) error {
 	a := &astInterp{
-		store:    st,
-		scalars:  make(map[string]val.Value),
-		bags:     make(map[string][]val.Value),
-		varTypes: make(map[string]lang.Type),
-		limit:    1e7,
+		store:       st,
+		scalars:     make(map[string]val.Value),
+		bags:        make(map[string][]val.Value),
+		varTypes:    make(map[string]lang.Type),
+		deltaStates: make(map[*lang.Method]*bag.DeltaState),
+		bagOwner:    make(map[string]*lang.Method),
+		limit:       1e7,
 	}
 	return a.runStmts(prog.Stmts)
 }
@@ -37,6 +39,13 @@ type astInterp struct {
 	scalars  map[string]val.Value
 	bags     map[string][]val.Value
 	varTypes map[string]lang.Type
+	// deltaStates holds the persistent solution set of each deltaMerge
+	// expression node, across loop iterations.
+	deltaStates map[*lang.Method]*bag.DeltaState
+	// bagOwner tracks which deltaMerge node (if any) produced the value of
+	// a bag variable, so solution() can find its state. It is the dynamic
+	// analog of ir.ResolveDeltaSource's static walk over copies and phis.
+	bagOwner map[string]*lang.Method
 	steps    int
 	limit    int
 }
@@ -75,6 +84,7 @@ func (a *astInterp) runStmt(s lang.Stmt) error {
 			}
 			a.bags[s.Name] = b
 			a.varTypes[s.Name] = lang.TypeBag
+			a.bagOwner[s.Name] = a.exprOwner(s.RHS)
 		} else {
 			v, err := a.evalScalar(s.RHS)
 			if err != nil {
@@ -383,7 +393,54 @@ func (a *astInterp) evalMethod(e *lang.Method) ([]val.Value, error) {
 		return bag.Count(recv), nil
 	case "distinct":
 		return bag.Distinct(recv), nil
+	case "deltaMerge":
+		f, err := lang.MakeUDF(e.Args[1])
+		if err != nil {
+			return nil, err
+		}
+		delta, err := a.evalBag(e.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		st := a.deltaStates[e]
+		if st == nil {
+			st = bag.NewDeltaState()
+			a.deltaStates[e] = st
+		}
+		// The seed (the receiver) is ingested only on the first execution;
+		// later iterations re-evaluate but ignore it, like the lowered
+		// program.
+		if !st.Seeded() {
+			if err := st.Seed(recv, f); err != nil {
+				return nil, err
+			}
+		}
+		return st.Apply(delta, f)
+	case "solution":
+		owner := a.exprOwner(e.Recv)
+		if owner == nil {
+			return nil, fmt.Errorf("ir: %s: solution() requires a bag produced by deltaMerge", e.Pos)
+		}
+		st := a.deltaStates[owner]
+		if st == nil {
+			return nil, nil
+		}
+		return st.Solution(), nil
 	default:
 		return nil, fmt.Errorf("ir: %s: unknown bag operation %s", e.Pos, e.Name)
 	}
+}
+
+// exprOwner resolves the deltaMerge node that produced the value of a bag
+// expression, when it is one syntactically or through variable assignment.
+func (a *astInterp) exprOwner(e lang.Expr) *lang.Method {
+	switch e := e.(type) {
+	case *lang.Ident:
+		return a.bagOwner[e.Name]
+	case *lang.Method:
+		if e.Name == "deltaMerge" {
+			return e
+		}
+	}
+	return nil
 }

@@ -1,0 +1,51 @@
+package ir
+
+import "fmt"
+
+// ResolveDeltaSource finds the deltaMerge instruction whose solution set a
+// solution() instruction reads. Starting from the variable named root, it
+// walks backwards through copies and phis (the only instructions that can
+// forward a delta-merged bag between loop steps without changing its
+// contents) until it reaches OpDeltaMerge definitions. defs is the
+// variable→defining-instructions map of the graph (Graph.Defs()).
+//
+// The walk must reach exactly one deltaMerge instruction: the solution set
+// is per-operator state, so a bag that could come from two different
+// deltaMerges (or from an ordinary operator) has no well-defined solution
+// set, and an error is returned.
+func ResolveDeltaSource(defs map[string][]*Instr, root string) (*Instr, error) {
+	visited := make(map[string]bool)
+	var found *Instr
+	stack := []string{root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[v] {
+			continue
+		}
+		visited[v] = true
+		ins := defs[v]
+		if len(ins) == 0 {
+			return nil, fmt.Errorf("ir: solution(): no definition for %s", v)
+		}
+		for _, in := range ins {
+			switch in.Kind {
+			case OpDeltaMerge:
+				if found != nil && found != in {
+					return nil, fmt.Errorf("ir: solution(): %s may come from more than one deltaMerge (%s and %s)", root, found.Var, in.Var)
+				}
+				found = in
+			case OpCopy:
+				stack = append(stack, in.Args[0])
+			case OpPhi:
+				stack = append(stack, in.Args...)
+			default:
+				return nil, fmt.Errorf("ir: solution() requires a bag produced by deltaMerge, but %s is defined by %s", v, in.Kind)
+			}
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("ir: solution(): %s does not reach a deltaMerge", root)
+	}
+	return found, nil
+}

@@ -25,6 +25,13 @@ type Interp struct {
 	// distributed runtime's per-operator elements_out metrics must match
 	// these ground-truth counts; obs integration tests diff the two.
 	OpCounts map[string]int64
+
+	// deltaStates holds the persistent solution set of each deltaMerge
+	// instruction, across loop steps within one Run.
+	deltaStates map[*Instr]*bag.DeltaState
+	// solutionSrc caches solution-instruction → deltaMerge resolution.
+	solutionSrc map[*Instr]*Instr
+	defs        map[string][]*Instr
 }
 
 // Run executes the SSA graph g against the interpreter's store.
@@ -36,6 +43,9 @@ func (it *Interp) Run(g *Graph) error {
 	if limit == 0 {
 		limit = 1e7
 	}
+	it.deltaStates = make(map[*Instr]*bag.DeltaState)
+	it.solutionSrc = make(map[*Instr]*Instr)
+	it.defs = g.Defs()
 	env := make(map[string][]val.Value)
 	cur := g.Entry()
 	prev := BlockID(-1)
@@ -131,6 +141,34 @@ func (it *Interp) exec(in *Instr, blk *Block, prev BlockID, env map[string][]val
 			return nil, err
 		}
 		return nil, nil
+	case OpDeltaMerge:
+		st := it.deltaStates[in]
+		if st == nil {
+			st = bag.NewDeltaState()
+			it.deltaStates[in] = st
+		}
+		if !st.Seeded() {
+			if err := st.Seed(arg(0), in.F); err != nil {
+				return nil, err
+			}
+		}
+		return st.Apply(arg(1), in.F)
+	case OpSolution:
+		src := it.solutionSrc[in]
+		if src == nil {
+			s, err := ResolveDeltaSource(it.defs, in.Args[0])
+			if err != nil {
+				return nil, err
+			}
+			it.solutionSrc[in] = s
+			src = s
+		}
+		st := it.deltaStates[src]
+		if st == nil {
+			// The deltaMerge has not executed yet: empty solution set.
+			return nil, nil
+		}
+		return st.Solution(), nil
 	case OpPhi:
 		for i, p := range blk.Preds {
 			if p == prev {

@@ -77,6 +77,20 @@ const (
 	// Args are aligned with the containing block's Preds. Only present
 	// after ToSSA.
 	OpPhi
+	// OpDeltaMerge is the workset/delta iteration operator (Ewen et al.,
+	// "Spinning Fast Iterative Data Flows"): it holds an indexed solution
+	// set as persistent per-instance keyed state. Args[0] is the seed bag,
+	// folded into the index the first time the instruction executes;
+	// Args[1] is the per-step delta bag of (key, value) candidates. Each
+	// execution folds the delta by key with F, merges the folded
+	// candidates into the index with F, and emits one (key, merged) pair
+	// for every key whose indexed value changed (or is new) — the next
+	// workset. F must be associative and commutative, like reduceByKey.
+	OpDeltaMerge
+	// OpSolution emits the full solution set held by the delta-merge
+	// instruction that (transitively, through copies and phis) defined
+	// Args[0], as it stands when this instruction executes.
+	OpSolution
 )
 
 var opNames = [...]string{
@@ -85,7 +99,8 @@ var opNames = [...]string{
 	OpJoin: "join", OpReduceByKey: "reduceByKey", OpReduce: "reduce",
 	OpSum: "sum", OpCount: "count", OpDistinct: "distinct", OpUnion: "union",
 	OpCross: "cross", OpCombine: "combine", OpReadFile: "readFile",
-	OpWriteFile: "writeFile", OpPhi: "phi",
+	OpWriteFile: "writeFile", OpPhi: "phi", OpDeltaMerge: "deltaMerge",
+	OpSolution: "solution",
 }
 
 // String returns the operation's name.
@@ -99,7 +114,8 @@ func (k OpKind) String() string {
 // HasUDF reports whether instructions of this kind carry a UDF.
 func (k OpKind) HasUDF() bool {
 	switch k {
-	case OpMap, OpFlatMap, OpFilter, OpReduceByKey, OpReduce, OpCombine:
+	case OpMap, OpFlatMap, OpFilter, OpReduceByKey, OpReduce, OpCombine,
+		OpDeltaMerge:
 		return true
 	}
 	return false

@@ -180,12 +180,32 @@ func (lo *lowerer) lowerMethod(e *lang.Method) (string, *Instr, error) {
 		"reduceByKey": OpReduceByKey, "reduce": OpReduce,
 		"join": OpJoin, "union": OpUnion, "cross": OpCross,
 		"sum": OpSum, "count": OpCount, "distinct": OpDistinct,
+		"deltaMerge": OpDeltaMerge, "solution": OpSolution,
 	}
 	kind, ok := kindOf[e.Name]
 	if !ok {
 		return "", nil, fmt.Errorf("ir: %s: unknown bag operation %s", e.Pos, e.Name)
 	}
 	instr := &Instr{Var: lo.fresh("t"), Kind: kind, Args: []string{recv}}
+	switch kind {
+	case OpDeltaMerge:
+		// seed.deltaMerge(delta, merge): Args = [seed, delta], F = merge.
+		delta, _, err := lo.lowerBag(e.Args[0])
+		if err != nil {
+			return "", nil, err
+		}
+		instr.Args = append(instr.Args, delta)
+		f, err := lang.MakeUDF(e.Args[1])
+		if err != nil {
+			return "", nil, err
+		}
+		instr.F = f
+		lo.emit(instr)
+		return instr.Var, instr, nil
+	case OpSolution:
+		lo.emit(instr)
+		return instr.Var, instr, nil
+	}
 	if kind.HasUDF() {
 		f, err := lang.MakeUDF(e.Args[0])
 		if err != nil {

@@ -104,6 +104,22 @@ while (i < 3) {
   }
   i = i + 1
 }`, "unreachable"},
+		// A break belongs to the loop it appears in: it must not void the
+		// definite-assignment contribution of a LATER do-while body at the
+		// same nesting depth.
+		{"break scoped to its own loop", `i = 0
+while (i < 3) {
+  i = i + 1
+  if (i == 1) {
+    break
+  }
+}
+j = 0
+do {
+  y = 5
+  j = j + 1
+} while (j < 3)
+z = y`, ""},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {

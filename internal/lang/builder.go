@@ -228,5 +228,16 @@ func DistinctBag(recv Expr) Expr { return method(recv, "distinct") }
 // UnionBags returns a.union(b).
 func UnionBags(a, b Expr) Expr { return method(a, "union", b) }
 
+// DeltaMergeBags returns seed.deltaMerge(delta, f): the workset-iteration
+// operator. It folds delta into an indexed solution set seeded once from
+// seed, merging values by key with f (which must be commutative and
+// associative), and produces the (key, value) pairs that changed — the
+// next workset.
+func DeltaMergeBags(seed, delta, f Expr) Expr { return method(seed, "deltaMerge", delta, f) }
+
+// SolutionBag returns recv.solution(): the full solution set held by the
+// deltaMerge that produced recv.
+func SolutionBag(recv Expr) Expr { return method(recv, "solution") }
+
 // CrossBags returns a.cross(b): all (a, b) pairs.
 func CrossBags(a, b Expr) Expr { return method(a, "cross", b) }

@@ -74,6 +74,8 @@ var bagMethods = map[string]methodSig{
 	"reduceByKey": {lambdaArity: 2, result: TypeBag},
 	"reduce":      {lambdaArity: 2, result: TypeBag},
 	"join":        {bagArg: true, result: TypeBag},
+	"deltaMerge":  {bagArg: true, lambdaArity: 2, result: TypeBag},
+	"solution":    {result: TypeBag},
 	"union":       {bagArg: true, result: TypeBag},
 	"cross":       {bagArg: true, result: TypeBag},
 	"sum":         {result: TypeBag},
@@ -217,6 +219,7 @@ func (c *checker) checkStmt(s Stmt, assigned map[string]bool) (terminated bool, 
 		bodySet := cloneSet(assigned)
 		c.loopDepth++
 		_, err := c.checkStmts(s.Body, bodySet)
+		delete(c.loopJumps, c.loopDepth) // jumps exit this loop, not a later one at the same depth
 		c.loopDepth--
 		return false, err
 	case *ForStmt:
@@ -234,6 +237,7 @@ func (c *checker) checkStmt(s Stmt, assigned map[string]bool) (terminated bool, 
 		bodySet := cloneSet(assigned)
 		c.loopDepth++
 		_, err := c.checkStmts(s.Body, bodySet)
+		delete(c.loopJumps, c.loopDepth)
 		c.loopDepth--
 		return false, err
 	case *ExprStmt:
@@ -383,6 +387,16 @@ func (c *checker) checkMethod(e *Method, assigned map[string]bool) (Type, error)
 		return TypeScalar, err
 	}
 	switch {
+	case sig.bagArg && sig.lambdaArity > 0:
+		// deltaMerge(delta, merge): a bag argument followed by a
+		// commutative+associative merge function.
+		if len(e.Args) != 2 {
+			return TypeScalar, errf(e.Pos, "%s expects a bag argument and a function argument", e.Name)
+		}
+		if _, err := c.checkExprOfType(e.Args[0], TypeBag, assigned); err != nil {
+			return TypeScalar, err
+		}
+		return sig.result, c.checkUDF(e.Args[1], sig.lambdaArity, e.Name)
 	case sig.lambdaArity > 0:
 		if len(e.Args) != 1 {
 			return TypeScalar, errf(e.Pos, "%s expects one function argument", e.Name)

@@ -131,6 +131,15 @@ type Result struct {
 	MaxBufferedBags int64
 	CombineIn       int64
 	CombineOut      int64
+	// Delta-iteration counters summed across workers: delta elements in,
+	// changed pairs emitted, index entries touched, and final solution-set
+	// elements/bytes held. State lives per attempt — a retried job rebuilds
+	// it from scratch, and only the successful attempt reports.
+	DeltaIn       int64
+	DeltaChanged  int64
+	DeltaTouched  int64
+	DeltaElements int64
+	DeltaBytes    int64
 	// SocketBytes is the total data-plane traffic (sum of every peer
 	// link's bytes written) — the real-wire analogue of Job.BytesSent,
 	// which counts only encoded batch payloads.
@@ -874,6 +883,7 @@ func (c *Coordinator) prepare(source string, st NamedStore, opts core.Options) (
 		Combiners:   opts.Combiners,
 		Chaining:    opts.Chaining,
 		Templates:   opts.Templates,
+		Delta:       opts.Delta,
 		// Workers collect what the coordinator can consume: trace spans
 		// when it has a tracer, lineage when it has a tracker, live queue
 		// sampling when an introspection server is attached.
@@ -1057,6 +1067,11 @@ func (c *Coordinator) runAttempt(s *session, job *preparedJob, st NamedStore) (*
 		out.MaxBufferedBags = max(out.MaxBufferedBags, r.MaxBuffered)
 		out.CombineIn += r.CombineIn
 		out.CombineOut += r.CombineOut
+		out.DeltaIn += r.DeltaIn
+		out.DeltaChanged += r.DeltaChanged
+		out.DeltaTouched += r.DeltaTouched
+		out.DeltaElements += r.DeltaElements
+		out.DeltaBytes += r.DeltaBytes
 		out.PeerLinks[id] = r.Peers
 		for _, p := range r.Peers {
 			out.SocketBytes += p.BytesOut

@@ -1,0 +1,68 @@
+package netcluster
+
+import (
+	"testing"
+
+	"github.com/mitos-project/mitos/internal/core"
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/workload"
+)
+
+// TestTCPMatchesSimDelta is the cross-backend differential for delta
+// iterations: connected components over the TCP cluster must produce
+// bag-identical outputs to the simulated cluster, with incremental state
+// maintenance on (the default) and off (the -delta=off ablation, which
+// re-derives the full solution index every step).
+func TestTCPMatchesSimDelta(t *testing.T) {
+	spec := workload.ConnectedSpec{PairChains: 150, LongChains: 4, LongLen: 12}
+	for _, delta := range []bool{true, false} {
+		opts := core.DefaultOptions()
+		opts.Delta = delta
+		diffTCPvsSim(t, workload.ConnectedScript, spec.Generate, 3, opts, 0)
+	}
+}
+
+// TestTCPDeltaCounters checks the wire plumbing of the frontier counters:
+// workers report their solution-store totals in the result message and the
+// coordinator sums them. Both modes see the same delta flow; only the
+// touched counter shows the off mode's full per-step re-derivation.
+func TestTCPDeltaCounters(t *testing.T) {
+	spec := workload.ConnectedSpec{PairChains: 80, LongChains: 3, LongLen: 10}
+	c, cleanup, err := StartLocal(3, CoordConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	var results [2]*Result
+	for i, delta := range []bool{false, true} {
+		st := store.NewMemStore()
+		if err := spec.Generate(st); err != nil {
+			t.Fatal(err)
+		}
+		opts := core.DefaultOptions()
+		opts.Delta = delta
+		res, err := c.Run(workload.ConnectedScript, st, opts)
+		if err != nil {
+			t.Fatalf("delta=%t: %v", delta, err)
+		}
+		results[i] = res
+	}
+	off, on := results[0], results[1]
+	if on.DeltaIn == 0 || on.DeltaChanged == 0 {
+		t.Fatalf("delta counters not shipped over the wire: %+v", on)
+	}
+	if on.DeltaElements != int64(spec.Nodes()) {
+		t.Errorf("solution elements = %d, want %d", on.DeltaElements, spec.Nodes())
+	}
+	if on.DeltaBytes == 0 {
+		t.Error("solution bytes not reported")
+	}
+	if off.DeltaIn != on.DeltaIn || off.DeltaChanged != on.DeltaChanged {
+		t.Errorf("delta flow differs off/on: in %d/%d changed %d/%d",
+			off.DeltaIn, on.DeltaIn, off.DeltaChanged, on.DeltaChanged)
+	}
+	if off.DeltaTouched <= on.DeltaTouched {
+		t.Errorf("off mode touched %d <= on mode's %d (full re-derivation missing)",
+			off.DeltaTouched, on.DeltaTouched)
+	}
+}

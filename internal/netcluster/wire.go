@@ -39,7 +39,10 @@ const (
 	// v4 added distributed telemetry: Stats/Trace frames shipping worker
 	// metrics and trace spans to the coordinator, Ping/Pong RTT probes for
 	// clock alignment, and the JobSpec Trace/Lineage/LiveView switches.
-	Version = 4
+	// v5 added delta iterations: JobSpec.Delta (incremental solution-set
+	// maintenance vs. full per-step re-derivation) and the delta/solution
+	// counters in ResultMsg.
+	Version = 5
 	// MaxMsg bounds one framed message. Data frames carry one encoded
 	// batch (typically a few KiB); job shipment carries whole input
 	// datasets, which dominates this bound.
@@ -440,6 +443,10 @@ type JobSpec struct {
 	Combiners   bool
 	Chaining    bool
 	Templates   bool
+	// Delta selects incremental solution-set maintenance for deltaMerge
+	// state (false = the -delta=off ablation: every step re-derives the
+	// full index before merging).
+	Delta bool
 	// Trace, Lineage, and LiveView tell the workers which telemetry to
 	// collect for this job: trace spans (shipped as MsgTrace frames), bag
 	// lineage (shipped with the final MsgStats), and the per-edge queue
@@ -462,6 +469,7 @@ func AppendJobSpec(dst []byte, s JobSpec) []byte {
 	e.boolean(s.Combiners)
 	e.boolean(s.Chaining)
 	e.boolean(s.Templates)
+	e.boolean(s.Delta)
 	e.boolean(s.Trace)
 	e.boolean(s.Lineage)
 	e.boolean(s.LiveView)
@@ -481,6 +489,7 @@ func DecodeJobSpec(b []byte) (JobSpec, error) {
 		Combiners:   d.boolean(),
 		Chaining:    d.boolean(),
 		Templates:   d.boolean(),
+		Delta:       d.boolean(),
 		Trace:       d.boolean(),
 		Lineage:     d.boolean(),
 		LiveView:    d.boolean(),
@@ -648,8 +657,16 @@ type ResultMsg struct {
 	MaxBuffered int64
 	CombineIn   int64
 	CombineOut  int64
-	Datasets    []Dataset
-	Peers       []PeerStat
+	// Delta-iteration counters from this worker's solution stores: delta
+	// elements in, changed pairs emitted, index entries touched, and the
+	// final held elements/bytes.
+	DeltaIn       int64
+	DeltaChanged  int64
+	DeltaTouched  int64
+	DeltaElements int64
+	DeltaBytes    int64
+	Datasets      []Dataset
+	Peers         []PeerStat
 }
 
 // AppendResult appends the encoding of r to dst.
@@ -668,6 +685,11 @@ func AppendResult(dst []byte, r ResultMsg) []byte {
 	e.i64(r.MaxBuffered)
 	e.i64(r.CombineIn)
 	e.i64(r.CombineOut)
+	e.i64(r.DeltaIn)
+	e.i64(r.DeltaChanged)
+	e.i64(r.DeltaTouched)
+	e.i64(r.DeltaElements)
+	e.i64(r.DeltaBytes)
 	appendDatasets(&e, r.Datasets)
 	e.u64(uint64(len(r.Peers)))
 	for _, p := range r.Peers {
@@ -699,6 +721,11 @@ func DecodeResult(b []byte) (ResultMsg, error) {
 	r.MaxBuffered = d.i64()
 	r.CombineIn = d.i64()
 	r.CombineOut = d.i64()
+	r.DeltaIn = d.i64()
+	r.DeltaChanged = d.i64()
+	r.DeltaTouched = d.i64()
+	r.DeltaElements = d.i64()
+	r.DeltaBytes = d.i64()
 	r.Datasets = decodeDatasets(&d)
 	n := d.u64()
 	if n > uint64(len(d.b)) { // each peer stat takes at least one byte

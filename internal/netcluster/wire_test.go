@@ -32,7 +32,7 @@ func TestWireRoundTrips(t *testing.T) {
 	}
 	spec := JobSpec{
 		Source: "x = readDataset(a);", Parallelism: 4, BatchSize: 128,
-		Pipelining: true, Combiners: true, Templates: true,
+		Pipelining: true, Combiners: true, Templates: true, Delta: true,
 		Datasets: []Dataset{{Name: "a", Elems: []val.Value{val.Int(1), val.Str("two"), val.Pair(val.Int(3), val.Float(4.5))}}},
 	}
 	gotSpec, err := DecodeJobSpec(AppendJobSpec(nil, spec))
@@ -40,19 +40,22 @@ func TestWireRoundTrips(t *testing.T) {
 		t.Fatalf("JobSpec: %v", err)
 	}
 	if gotSpec.Source != spec.Source || gotSpec.Parallelism != 4 || !gotSpec.Pipelining || gotSpec.Hoisting ||
-		!gotSpec.Templates ||
+		!gotSpec.Templates || !gotSpec.Delta ||
 		len(gotSpec.Datasets) != 1 || len(gotSpec.Datasets[0].Elems) != 3 ||
 		gotSpec.Datasets[0].Elems[2].Field(1).AsFloat() != 4.5 {
 		t.Errorf("JobSpec: got %+v", gotSpec)
 	}
 	r := ResultMsg{JoinBuilds: 7, Datasets: []Dataset{{Name: "out", Elems: []val.Value{val.Int(9)}}},
-		Peers: []PeerStat{{Peer: 1, BytesOut: 100, CreditStalls: 3, StallNanos: 12345}}}
+		Peers:   []PeerStat{{Peer: 1, BytesOut: 100, CreditStalls: 3, StallNanos: 12345}},
+		DeltaIn: 1000, DeltaChanged: 600, DeltaTouched: 1700, DeltaElements: 88, DeltaBytes: 4096}
 	r.Stats.ElementsSent = 42
 	r.Stats.CtrlMessages = 17
 	r.Stats.CtrlBytes = 321
 	gotR, err := DecodeResult(AppendResult(nil, r))
 	if err != nil || gotR.Stats.ElementsSent != 42 || gotR.JoinBuilds != 7 ||
 		gotR.Stats.CtrlMessages != 17 || gotR.Stats.CtrlBytes != 321 ||
+		gotR.DeltaIn != 1000 || gotR.DeltaChanged != 600 || gotR.DeltaTouched != 1700 ||
+		gotR.DeltaElements != 88 || gotR.DeltaBytes != 4096 ||
 		len(gotR.Peers) != 1 || gotR.Peers[0].StallNanos != 12345 || len(gotR.Datasets) != 1 {
 		t.Errorf("Result: got %+v, err %v", gotR, err)
 	}

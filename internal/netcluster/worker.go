@@ -516,6 +516,7 @@ func (s *workerSession) startJob(spec JobSpec) error {
 		Combiners:   spec.Combiners,
 		Chaining:    spec.Chaining,
 		Templates:   spec.Templates,
+		Delta:       spec.Delta,
 		BatchSize:   spec.BatchSize,
 		Obs:         o,
 	}
@@ -751,14 +752,20 @@ func (s *workerSession) finishJob() error {
 	// before the MsgResult below lets Run return.
 	s.shipTelemetry(rj, true)
 	jb, mb, ci, co := rj.wj.Counters()
+	din, dch, dto, del, dby := rj.wj.DeltaCounters()
 	res := ResultMsg{
-		Stats:       rj.wj.Job.Stats(),
-		JoinBuilds:  jb,
-		MaxBuffered: mb,
-		CombineIn:   ci,
-		CombineOut:  co,
-		Datasets:    rj.st.written(),
-		Peers:       s.mesh.stats(),
+		Stats:         rj.wj.Job.Stats(),
+		JoinBuilds:    jb,
+		MaxBuffered:   mb,
+		CombineIn:     ci,
+		CombineOut:    co,
+		DeltaIn:       din,
+		DeltaChanged:  dch,
+		DeltaTouched:  dto,
+		DeltaElements: del,
+		DeltaBytes:    dby,
+		Datasets:      rj.st.written(),
+		Peers:         s.mesh.stats(),
 	}
 	return s.send(MsgResult, AppendResult(nil, res))
 }

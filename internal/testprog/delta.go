@@ -1,0 +1,121 @@
+package testprog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/mitos-project/mitos/internal/store"
+	"github.com/mitos-project/mitos/internal/val"
+)
+
+// GenDeltaProgram returns the source of a random delta-iteration program
+// and seeds its input datasets into st. Generation is deterministic in
+// seed. Every program contains at least one loop whose body folds a
+// workset into a deltaMerge solution set; merge functions are drawn from
+// the commutative+associative set {min, max, +} (the contract deltaMerge
+// shares with reduceByKey), loops either run to a counter bound or to
+// workset convergence with a monotone, bounded value transform, and some
+// loops read the solution set from inside the loop body — the case that
+// exercises the store's snapshot journal under pipelining.
+func GenDeltaProgram(st store.Store, seed int64) (string, error) {
+	r := rand.New(rand.NewSource(seed))
+	g := &progGen{r: r}
+
+	nInputs := 2 + r.Intn(2)
+	for i := 0; i < nInputs; i++ {
+		name := fmt.Sprintf("in%d", i)
+		n := 10 + r.Intn(30)
+		elems := make([]val.Value, n)
+		for j := range elems {
+			elems[j] = val.Pair(
+				val.Str(fmt.Sprintf("k%d", r.Intn(8))),
+				val.Int(1+r.Int63n(40)))
+		}
+		if err := st.WriteDataset(name, elems); err != nil {
+			return "", err
+		}
+		v := g.freshBag()
+		g.emit("%s = readFile(\"%s\")", v, name)
+	}
+	for i := 0; i < 2; i++ {
+		v := g.freshScalar()
+		g.emit("%s = %d", v, r.Intn(10))
+	}
+
+	nLoops := 1 + r.Intn(2)
+	for i := 0; i < nLoops; i++ {
+		g.genDeltaLoop()
+		// Interleave ordinary statements between delta loops.
+		g.genStmts(1+r.Intn(2), 0)
+	}
+
+	for i, b := range g.bags {
+		g.emit("%s.writeFile(\"out%d\")", b, i)
+	}
+	return g.b.String(), nil
+}
+
+// genDeltaLoop emits one loop around a deltaMerge. The workset starts from
+// an existing pair bag, the solution set starts empty or from a distinct
+// pre-existing bag (the seed-ingest path), and the body re-derives the
+// next workset from the changed pairs the deltaMerge emits.
+func (g *progGen) genDeltaLoop() {
+	merge := [...]string{"min(a, b)", "max(a, b)", "a + b"}[g.r.Intn(3)]
+	seedExpr := "empty()"
+	if g.r.Intn(2) == 0 {
+		seedExpr = fmt.Sprintf("%s.reduceByKey((a, b) => %s)", g.anyBag(), merge)
+	}
+	src := g.anyBag() // chosen before d and w exist: never self-referential
+	d := g.freshBag()
+	g.emit("%s = %s", d, src)
+	w := g.freshBag()
+
+	// Convergence-bounded loops need a workset transform that provably
+	// reaches the merge's fixpoint: values move monotonically toward a
+	// bound the filter then cuts off. Counter-bounded loops can use any
+	// transform (including growth under the + merge).
+	converge := g.r.Intn(2) == 0 && merge != "a + b"
+	transform := fmt.Sprintf("%s = %s.map(t => (t.0, t.1 + %d))", d, w, 1+g.r.Intn(3))
+	if converge {
+		if merge == "min(a, b)" {
+			transform = fmt.Sprintf("%s = %s.map(t => (t.0, t.1 - %d)).filter(t => t.1 > 0)", d, w, 1+g.r.Intn(3))
+		} else {
+			transform = fmt.Sprintf("%s = %s.map(t => (t.0, t.1 + %d)).filter(t => t.1 < 70)", d, w, 1+g.r.Intn(3))
+		}
+	}
+
+	g.loops++
+	counter := fmt.Sprintf("i%d", g.loops)
+	if !converge {
+		g.emit("%s = 0", counter)
+	}
+	readInLoop := g.r.Intn(2) == 0
+	var acc string
+	if readInLoop {
+		// An in-loop solution read, accumulated across iterations into an
+		// observable bag so every step's snapshot affects the program
+		// output — the case that needs the store's undo journal when
+		// pipelining overlaps steps.
+		acc = g.freshBag()
+		g.emit("%s = empty()", acc)
+	}
+	g.emit("do {")
+	g.indent++
+	g.emit("%s = %s.deltaMerge(%s, (a, b) => %s)", w, seedExpr, d, merge)
+	if readInLoop {
+		s := g.freshBag()
+		g.emit("%s = %s.solution()", s, w)
+		g.emit("%s = %s.union(%s).distinct()", acc, acc, s)
+	}
+	g.emit(transform)
+	if converge {
+		g.indent--
+		g.emit("} while (only(%s.count()) > 0)", w)
+	} else {
+		g.emit("%s = %s + 1", counter, counter)
+		g.indent--
+		g.emit("} while (%s < %d)", counter, 2+g.r.Intn(3))
+	}
+	sol := g.freshBag()
+	g.emit("%s = %s.solution()", sol, w)
+}

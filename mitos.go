@@ -58,6 +58,10 @@ func NewDFS(cfg DFSConfig) *dfs.Store { return dfs.New(cfg) }
 // barrier, control-message and network delays).
 type ClusterConfig = cluster.Config
 
+// DeltaStep is one loop step of a delta iteration as seen by the solution
+// stores (merged across instances, ordered by bag position).
+type DeltaStep = core.DeltaStep
+
 // Config configures an execution.
 type Config struct {
 	// Machines is the simulated cluster size (default 4). Ignored when
@@ -89,6 +93,13 @@ type Config struct {
 	// segment schedules with worker-side fan-out and aggregation). Only
 	// meaningful with pipelining on.
 	DisableTemplates bool
+	// DisableDelta turns off incremental maintenance of deltaMerge solution
+	// sets: every loop step then re-derives the full index from the
+	// retained entries before merging the step's delta, instead of touching
+	// only the delta's keys. Outputs are identical; per-step work becomes
+	// O(|solution set|) instead of O(|delta|). Programs without deltaMerge
+	// are unaffected.
+	DisableDelta bool
 	// BatchSize overrides the engine transfer batch size.
 	BatchSize int
 	// Observer, when non-nil, collects engine-wide metrics (and a
@@ -155,6 +166,22 @@ type Result struct {
 	// DisablePipelining) is set.
 	TemplateInstalls       int
 	TemplateInstantiations int
+	// Delta-iteration counters, nonzero only for programs using deltaMerge:
+	// DeltaIn counts delta elements entering solution stores, DeltaChanged
+	// the changed pairs re-emitted as the next workset, DeltaTouched the
+	// index entries written (equal to DeltaChanged's candidates plus full
+	// rebuilds when DisableDelta is set), and DeltaElements/DeltaBytes the
+	// solution-set size held at the end of the run.
+	DeltaIn       int64
+	DeltaChanged  int64
+	DeltaTouched  int64
+	DeltaElements int64
+	DeltaBytes    int64
+	// DeltaSteps is the per-step delta series (elements in, changed,
+	// touched, inter-step interval) merged across instances and ordered by
+	// bag position. Set only by Run; the TCP backend ships totals, not the
+	// per-step series.
+	DeltaSteps []DeltaStep
 	// SocketBytes and CreditStalls are set only by RunTCP: total data-plane
 	// socket traffic across all peer links, and the number of emits that
 	// blocked on an exhausted flow-control window.
@@ -265,6 +292,7 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		Combiners:   !cfg.DisableCombiners,
 		Chaining:    !cfg.DisableChaining,
 		Templates:   !cfg.DisableTemplates,
+		Delta:       !cfg.DisableDelta,
 		BatchSize:   cfg.BatchSize,
 		Obs:         o,
 		HTTP:        srv,
@@ -287,6 +315,12 @@ func (p *Program) Run(st Store, cfg Config) (*Result, error) {
 		CtrlBytes:              res.Job.CtrlBytes,
 		TemplateInstalls:       res.TemplateInstalls,
 		TemplateInstantiations: res.TemplateInstantiations,
+		DeltaIn:                res.DeltaIn,
+		DeltaChanged:           res.DeltaChanged,
+		DeltaTouched:           res.DeltaTouched,
+		DeltaElements:          res.DeltaElements,
+		DeltaBytes:             res.DeltaBytes,
+		DeltaSteps:             res.DeltaSteps,
 	}
 	if cfg.Observer != nil {
 		out.Report = cfg.Observer.Snapshot()
@@ -385,6 +419,7 @@ func (p *Program) RunTCP(c *TCPCoordinator, st NamedStore, cfg Config) (*Result,
 		Combiners:   !cfg.DisableCombiners,
 		Chaining:    !cfg.DisableChaining,
 		Templates:   !cfg.DisableTemplates,
+		Delta:       !cfg.DisableDelta,
 		BatchSize:   cfg.BatchSize,
 		Obs:         o,
 		HTTP:        srv,
@@ -401,6 +436,11 @@ func (p *Program) RunTCP(c *TCPCoordinator, st NamedStore, cfg Config) (*Result,
 		BytesReceived:          res.Job.BytesReceived,
 		CombineIn:              res.CombineIn,
 		CombineOut:             res.CombineOut,
+		DeltaIn:                res.DeltaIn,
+		DeltaChanged:           res.DeltaChanged,
+		DeltaTouched:           res.DeltaTouched,
+		DeltaElements:          res.DeltaElements,
+		DeltaBytes:             res.DeltaBytes,
 		ElementsChained:        res.Job.ElementsChained,
 		CtrlMessages:           res.CtrlMessages,
 		CtrlBytes:              res.CtrlBytes,
